@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark files (see conftest.py for fixtures)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def bench_instructions() -> int:
+    """Trace length used by the benchmarks (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and expensive, so a single round is
+    both sufficient and necessary to keep the suite's runtime sane.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the regenerated rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section.  The trace length is controlled by
+the ``REPRO_BENCH_INSTRUCTIONS`` environment variable (default 60 000
+instructions per application); expensive profiling sweeps are shared between
+figures through a single session-scoped
+:class:`repro.experiments.context.ExperimentContext`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import bench_instructions
+
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def experiment_context() -> ExperimentContext:
+    """One shared context so figures reuse each other's profiling runs."""
+    return ExperimentContext(n_instructions=bench_instructions())

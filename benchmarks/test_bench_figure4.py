@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (selective-ways vs selective-sets).
+
+Paper shape being checked: selective-sets achieves the larger mean
+energy-delay reduction for 2- and 4-way base caches, selective-ways for
+8- and 16-way base caches, for both the d-cache and the i-cache.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import figure4
+from repro.experiments.context import D_CACHE, I_CACHE, SELECTIVE_SETS, SELECTIVE_WAYS
+
+
+def test_bench_figure4(benchmark, experiment_context):
+    result = run_once(benchmark, figure4.run, experiment_context)
+    print()
+    print(result.format_table())
+
+    for target in (D_CACHE, I_CACHE):
+        # Selective-sets wins (or ties) at 2-way ...
+        assert (
+            result.mean_reduction(target, SELECTIVE_SETS, 2)
+            >= result.mean_reduction(target, SELECTIVE_WAYS, 2) - 0.5
+        )
+        # ... and selective-ways wins at 8-way and 16-way.
+        for associativity in (8, 16):
+            assert result.mean_reduction(target, SELECTIVE_WAYS, associativity) > result.mean_reduction(
+                target, SELECTIVE_SETS, associativity
+            )
+        # Selective-ways improves monotonically with associativity (finer
+        # granularity), as in the paper.
+        ways_series = [result.mean_reduction(target, SELECTIVE_WAYS, a) for a in (2, 4, 8, 16)]
+        assert ways_series == sorted(ways_series)

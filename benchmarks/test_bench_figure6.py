@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 6 (hybrid organization effectiveness).
+
+Paper shape being checked: the hybrid selective-sets-and-ways organization
+achieves an energy-delay reduction equal to or better than the best of
+selective-ways and selective-sets alone, at every base associativity, for
+both caches.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import figure6
+from repro.experiments.context import D_CACHE, HYBRID, I_CACHE, SELECTIVE_SETS, SELECTIVE_WAYS
+
+
+def test_bench_figure6(benchmark, experiment_context):
+    result = run_once(benchmark, figure6.run, experiment_context)
+    print()
+    print(result.format_table())
+
+    for target in (D_CACHE, I_CACHE):
+        for associativity in result.associativities:
+            assert result.hybrid_matches_best(target, associativity, tolerance=0.75), (
+                target,
+                associativity,
+            )
+        # The hybrid's gain over the best basic organization is largest where
+        # granularity is the binding constraint; it must at least add
+        # something somewhere.
+        gains = [
+            result.mean_reduction(target, HYBRID, a)
+            - max(
+                result.mean_reduction(target, SELECTIVE_WAYS, a),
+                result.mean_reduction(target, SELECTIVE_SETS, a),
+            )
+            for a in result.associativities
+        ]
+        assert max(gains) > -0.5

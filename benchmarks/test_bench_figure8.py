@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 8 (i-cache static vs dynamic resizing).
+
+Paper shape being checked: static i-cache resizing reduces processor
+energy-delay on both processor configurations, the small-footprint
+applications (ammp, compress, m88ksim, swim) downsize dramatically, and the
+large-footprint applications (gcc, tomcatv) do not downsize at all.  The
+same reduced-scale caveat as Figure 7 applies to the dynamic columns.
+"""
+
+from bench_utils import run_once
+
+from repro.common.config import CoreKind
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, experiment_context):
+    result = run_once(benchmark, figure8.run, experiment_context)
+    print()
+    print(result.format_table())
+
+    for core_kind in result.panels:
+        average = result.average(core_kind)
+        assert average.static_energy_delay_reduction > 4.0
+
+        rows = {row.application: row for row in result.panel(core_kind)}
+        for application in ("ammp", "compress", "m88ksim", "swim"):
+            assert rows[application].static_size_reduction >= 75.0, application
+        for application in ("gcc", "tomcatv"):
+            assert rows[application].static_size_reduction == 0.0, application
+
+    # The i-cache's energy share is larger on the in-order engine (the paper
+    # reports 21.5% vs 17.5%), so its static savings are at least comparable.
+    inorder = result.average(CoreKind.IN_ORDER_BLOCKING)
+    ooo = result.average(CoreKind.OUT_OF_ORDER_NONBLOCKING)
+    assert inorder.static_energy_delay_reduction > 0.6 * ooo.static_energy_delay_reduction

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 9 (simultaneous d- and i-cache resizing).
+
+Paper shape being checked: the energy-delay savings from resizing the
+d-cache and the i-cache are additive — resizing both together yields
+approximately the sum of the individual reductions — and the combined mean
+processor energy-delay reduction is substantial (the paper reports ~20 %
+for static selective-sets on the base system).
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, experiment_context):
+    result = run_once(benchmark, figure9.run, experiment_context)
+    print()
+    print(result.format_table())
+
+    average = result.average()
+
+    # Additivity: combined reduction tracks the stacked individual reductions.
+    assert result.mean_additivity_gap() < 3.0
+    for row in result.applications:
+        assert abs(row.additivity_gap) < 6.0, row.application
+
+    # The combined savings are substantial and larger than either cache alone.
+    assert average.both_energy_delay_reduction > 10.0
+    assert average.both_energy_delay_reduction > average.dcache_energy_delay_reduction
+    assert average.both_energy_delay_reduction > average.icache_energy_delay_reduction
+
+    # Combined average-size reduction approximately equals the sum of the two
+    # individual (jointly normalised) size reductions.
+    assert abs(
+        average.both_size_reduction
+        - (average.dcache_size_reduction + average.icache_size_reduction)
+    ) < 5.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (hybrid size/associativity lattice)."""
+
+from bench_utils import run_once
+
+from repro.common.units import KIB
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result.format_table())
+    # Paper check: the hybrid offers all of 32K..1K for a 32K 4-way cache.
+    assert result.hybrid_sizes == [s * KIB for s in (32, 24, 16, 12, 8, 6, 4, 3, 2, 1)]

@@ -1,0 +1,15 @@
+"""Benchmark: Table 2 base configuration and the measured energy breakdown."""
+
+from bench_utils import run_once
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, experiment_context):
+    result = run_once(benchmark, table2.run, experiment_context)
+    print()
+    print(result.format_table())
+    mean = result.mean_fractions
+    # Paper: d-cache ~18.5%, i-cache ~17.5% of processor energy on average.
+    assert 0.10 < mean["l1d"] < 0.30
+    assert 0.10 < mean["l1i"] < 0.30

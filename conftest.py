@@ -1,0 +1,16 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful on offline machines where ``pip install -e .`` cannot
+resolve its build backend).  When the package *is* installed this is a
+harmless no-op because the installed location takes precedence only if it
+appears earlier on ``sys.path``; both point at the same files for an
+editable install.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare selective-ways, selective-sets and the hybrid on one application.
+
+This reproduces the per-application slice of Figures 4-6: for a chosen base
+associativity it profiles all three resizing organizations on the d-cache
+and the i-cache and reports which one wins and why (the size each settles
+on tells the story — granularity vs associativity preservation vs minimum
+size).
+
+Run with:  python examples/compare_organizations.py [application] [associativity]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CacheGeometry,
+    HybridSetsAndWays,
+    SelectiveSets,
+    SelectiveWays,
+    Simulator,
+    SystemConfig,
+    WorkloadGenerator,
+    get_profile,
+    profile_static,
+    run_baseline,
+)
+from repro.common.units import KIB
+from repro.sim.sweep import DCACHE, ICACHE
+
+
+def main(application: str = "ijpeg", associativity: int = 4, n_instructions: int = 60_000) -> None:
+    geometry = CacheGeometry(32 * KIB, associativity)
+    system = SystemConfig().with_l1(l1d=geometry, l1i=geometry)
+    simulator = Simulator(system)
+    trace = WorkloadGenerator(get_profile(application)).generate(n_instructions)
+    warmup = n_instructions // 10
+    baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
+
+    print(f"{application} on a 32K {associativity}-way resizable L1 pair\n")
+    organizations = [SelectiveWays(geometry), SelectiveSets(geometry), HybridSetsAndWays(geometry)]
+
+    for target, title in ((DCACHE, "D-cache"), (ICACHE, "I-cache")):
+        print(f"{title}:")
+        print(f"{'organization':<16}{'offered sizes':>8}{'chosen':>14}{'size red.':>12}{'E*D red.':>11}")
+        best_name, best_reduction = None, float("-inf")
+        for organization in organizations:
+            sweep = profile_static(
+                simulator, trace, organization, target=target,
+                baseline=baseline, warmup_instructions=warmup,
+            )
+            reduction = sweep.energy_delay_reduction()
+            if reduction > best_reduction:
+                best_name, best_reduction = organization.name, reduction
+            print(
+                f"{organization.name:<16}{len(organization.distinct_sizes):>8}"
+                f"{sweep.best_config.label:>14}{sweep.size_reduction():>11.1f}%"
+                f"{reduction:>10.1f}%"
+            )
+        print(f"  -> best organization for the {title.lower()}: {best_name}\n")
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "ijpeg"
+    assoc = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    main(app, assoc)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: resize one application's data cache and measure the payoff.
+
+This walks through the library's core flow:
+
+1. build the paper's base system (Table 2),
+2. generate a synthetic reference stream for one SPEC-like application,
+3. run the non-resizable baseline,
+4. profile every size a selective-sets organization offers (static resizing's
+   offline step), and
+5. report the chosen size, the processor energy-delay reduction and the
+   performance impact.
+
+Run with:  python examples/quickstart.py [application] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    SelectiveSets,
+    Simulator,
+    SystemConfig,
+    WorkloadGenerator,
+    get_profile,
+    profile_static,
+    run_baseline,
+)
+from repro.common.units import format_size
+from repro.sim.sweep import DCACHE
+
+
+def main(application: str = "m88ksim", n_instructions: int = 60_000) -> None:
+    system = SystemConfig()  # Table 2: 4-wide OoO core, 32K 2-way L1s, 512K L2
+    simulator = Simulator(system)
+
+    print(f"Base system\n-----------\n{system.describe()}\n")
+
+    profile = get_profile(application)
+    print(f"Application: {application} — {profile.description}\n")
+
+    trace = WorkloadGenerator(profile).generate(n_instructions)
+    warmup = n_instructions // 10
+
+    baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
+    print(
+        f"Baseline: {baseline.cycles:.0f} cycles, IPC {baseline.ipc:.2f}, "
+        f"d-miss {baseline.l1d_miss_ratio:.3f}, "
+        f"d-cache energy share {baseline.energy.fraction('l1d'):.1%}"
+    )
+
+    organization = SelectiveSets(system.l1d)
+    print(f"\nSelective-sets sizes offered: "
+          f"{', '.join(format_size(s) for s in organization.distinct_sizes)}")
+
+    sweep = profile_static(
+        simulator, trace, organization, target=DCACHE,
+        baseline=baseline, warmup_instructions=warmup,
+    )
+    print("\nStatic profiling sweep (d-cache):")
+    print(f"{'size':>12} {'E*D reduction':>15} {'slowdown':>10} {'miss ratio':>12}")
+    for point in sweep.points:
+        result = sweep.results[point.config]
+        print(
+            f"{point.config.label:>12} "
+            f"{result.energy_delay_reduction(baseline):>14.1f}% "
+            f"{result.slowdown_vs(baseline):>10.3f} "
+            f"{result.l1d_miss_ratio:>12.4f}"
+        )
+
+    print(
+        f"\nChosen static size: {sweep.best_config.label} — "
+        f"processor energy-delay reduced by {sweep.energy_delay_reduction():.1f}% "
+        f"with {sweep.best_result.slowdown_vs(baseline) * 100:.1f}% slowdown."
+    )
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    main(app, count)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Static vs dynamic resizing on the two processor configurations.
+
+Reproduces the per-application slice of Figures 7/8: for one application it
+runs the non-resizable baseline, the best static size, and the miss-ratio
+based dynamic controller — on both the in-order/blocking and the
+out-of-order/non-blocking cores — and prints how much of the resizing
+opportunity each strategy captures.
+
+Run with:  python examples/static_vs_dynamic.py [application] [dcache|icache]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CoreConfig,
+    CoreKind,
+    SelectiveSets,
+    Simulator,
+    SystemConfig,
+    WorkloadGenerator,
+    get_profile,
+    profile_static,
+    run_baseline,
+    run_dynamic,
+)
+from repro.sim.sweep import DCACHE, ICACHE
+
+
+def main(application: str = "gcc", target: str = DCACHE, n_instructions: int = 60_000) -> None:
+    trace = WorkloadGenerator(get_profile(application)).generate(n_instructions)
+    warmup = n_instructions // 10
+
+    print(f"{application}: static vs dynamic resizing of the {target}\n")
+    for kind in (CoreKind.IN_ORDER_BLOCKING, CoreKind.OUT_OF_ORDER_NONBLOCKING):
+        system = SystemConfig(core=CoreConfig(kind=kind))
+        simulator = Simulator(system)
+        organization = SelectiveSets(system.l1d if target == DCACHE else system.l1i)
+
+        baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
+        sweep = profile_static(
+            simulator, trace, organization, target=target,
+            baseline=baseline, warmup_instructions=warmup,
+        )
+        parameters = sweep.dynamic_parameters(sense_interval_accesses=1024)
+        dynamic = run_dynamic(
+            simulator, trace, organization, parameters, target=target,
+            warmup_instructions=warmup, initial_config=sweep.best_config,
+        )
+
+        if target == DCACHE:
+            dynamic_size = dynamic.l1d_size_reduction()
+        else:
+            dynamic_size = dynamic.l1i_size_reduction()
+
+        print(f"{kind.value}")
+        print(f"  baseline            : {baseline.cycles:10.0f} cycles, IPC {baseline.ipc:.2f}")
+        print(
+            f"  static  ({sweep.best_config.label:>10}): "
+            f"E*D reduction {sweep.energy_delay_reduction():6.1f}%, "
+            f"size reduction {sweep.size_reduction():5.1f}%, "
+            f"slowdown {sweep.best_result.slowdown_vs(baseline) * 100:4.1f}%"
+        )
+        print(
+            f"  dynamic (miss-bound {parameters.miss_bound:5.1f}): "
+            f"E*D reduction {dynamic.energy_delay_reduction(baseline):6.1f}%, "
+            f"size reduction {dynamic_size:5.1f}%, "
+            f"resizes {dynamic.l1d_resizes + dynamic.l1i_resizes}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    which = sys.argv[2] if len(sys.argv) > 2 else DCACHE
+    main(app, which)

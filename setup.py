@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that the package can also be installed in environments whose tooling only
+supports the legacy ``setup.py`` path (for example fully offline machines
+where PEP 517 build isolation cannot download a wheel backend:
+``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,28 @@
+"""Conventional (non-resizable) cache substrate.
+
+This package implements the RAM-tag set-associative caches the paper builds
+on: replacement policies, cache sets, SRAM subarray book-keeping, a
+write-back/write-allocate cache, MSHRs, a write-back buffer and the two-level
+hierarchy (L1 instruction + data caches over a unified L2 over main memory).
+"""
+
+from repro.cache.replacement import ReplacementPolicy
+from repro.cache.cache_set import CacheSet
+from repro.cache.subarray import SubarrayMap
+from repro.cache.cache import AccessResult, Cache, CacheStats
+from repro.cache.mshr import MshrFile
+from repro.cache.writeback_buffer import WritebackBuffer
+from repro.cache.hierarchy import CacheHierarchy, HierarchyAccessOutcome
+
+__all__ = [
+    "ReplacementPolicy",
+    "CacheSet",
+    "SubarrayMap",
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "MshrFile",
+    "WritebackBuffer",
+    "CacheHierarchy",
+    "HierarchyAccessOutcome",
+]

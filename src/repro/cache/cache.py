@@ -1,0 +1,204 @@
+"""Write-back, write-allocate set-associative cache.
+
+:class:`Cache` is the fixed-geometry building block: the L2 cache uses it
+directly and the resizable L1 caches (:mod:`repro.resizing.resizable_cache`)
+share its sets, blocks and replacement machinery while adding enable/disable
+masks on top.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.cache_set import CacheSet, make_selector
+from repro.cache.replacement import ReplacementPolicy
+from repro.common.config import CacheGeometry
+from repro.mem.address import AddressMapper, block_address
+from repro.mem.block import CacheBlock
+
+
+class AccessResult:
+    """Outcome of a single cache access.
+
+    Attributes:
+        hit: True when the access hit in the cache.
+        writeback_address: block address of a dirty victim evicted to make
+            room for the fill, or None when nothing needs to be written back.
+        filled: True when the access allocated a new block (always the case
+            on a miss for a write-allocate cache).
+    """
+
+    __slots__ = ("hit", "writeback_address", "filled")
+
+    def __init__(self, hit: bool, writeback_address: Optional[int] = None, filled: bool = False) -> None:
+        self.hit = hit
+        self.writeback_address = writeback_address
+        self.filled = filled
+
+    def __repr__(self) -> str:
+        outcome = "hit" if self.hit else "miss"
+        return f"AccessResult({outcome}, writeback={self.writeback_address}, filled={self.filled})"
+
+
+class CacheStats:
+    """Plain-integer counters kept directly on the cache for speed."""
+
+    __slots__ = (
+        "accesses",
+        "hits",
+        "misses",
+        "reads",
+        "writes",
+        "read_misses",
+        "write_misses",
+        "writebacks",
+        "fills",
+        "invalidations",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.reads = 0
+        self.writes = 0
+        self.read_misses = 0
+        self.write_misses = 0
+        self.writebacks = 0
+        self.fills = 0
+        self.invalidations = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """misses / accesses (0.0 when the cache has not been accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def as_dict(self) -> dict:
+        """Export the counters as a plain dictionary."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(accesses={self.accesses}, misses={self.misses}, "
+            f"miss_ratio={self.miss_ratio:.4f})"
+        )
+
+
+class Cache:
+    """A conventional write-back, write-allocate set-associative cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        replacement: ReplacementPolicy = ReplacementPolicy.LRU,
+        name: str = "cache",
+    ) -> None:
+        self.geometry = geometry
+        self.name = name
+        self.replacement = ReplacementPolicy.parse(replacement)
+        self._selector = make_selector(self.replacement)
+        self._mapper = AddressMapper(geometry.block_bytes, geometry.num_sets)
+        self._sets: List[CacheSet] = [
+            CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ access
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform a load or store access.
+
+        On a miss the block is allocated immediately (write-allocate); if a
+        dirty victim is displaced its block address is reported in the
+        result so the caller can forward the writeback to the next level.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        tag, index = self._mapper.split(address)
+        cache_set = self._sets[index]
+        block = cache_set.lookup(tag)
+        if block is not None:
+            stats.hits += 1
+            if is_write:
+                block.dirty = True
+            return AccessResult(hit=True)
+
+        stats.misses += 1
+        if is_write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+
+        new_block = CacheBlock(block_address(address, self.geometry.block_bytes), dirty=is_write)
+        victim = cache_set.fill(tag, new_block)
+        stats.fills += 1
+        writeback_address = None
+        if victim is not None and victim.dirty:
+            stats.writebacks += 1
+            writeback_address = victim.address
+        return AccessResult(hit=False, writeback_address=writeback_address, filled=True)
+
+    def probe(self, address: int) -> bool:
+        """Return True when ``address`` is resident, without updating any state."""
+        tag, index = self._mapper.split(address)
+        return self._sets[index].probe(tag) is not None
+
+    def invalidate(self, address: int) -> Optional[int]:
+        """Invalidate a block; returns its address if it was dirty (needs writeback)."""
+        tag, index = self._mapper.split(address)
+        victim = self._sets[index].invalidate(tag)
+        if victim is None:
+            return None
+        self.stats.invalidations += 1
+        if victim.dirty:
+            self.stats.writebacks += 1
+            return victim.address
+        return None
+
+    def flush_all(self) -> List[int]:
+        """Invalidate the whole cache; returns addresses of dirty blocks written back."""
+        dirty_addresses: List[int] = []
+        for cache_set in self._sets:
+            for block in cache_set.drain():
+                self.stats.invalidations += 1
+                if block.dirty:
+                    self.stats.writebacks += 1
+                    dirty_addresses.append(block.address)
+        return dirty_addresses
+
+    # ------------------------------------------------------------ introspection
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.geometry.num_sets
+
+    @property
+    def associativity(self) -> int:
+        """Number of ways in the cache."""
+        return self.geometry.associativity
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.geometry.capacity_bytes
+
+    def resident_blocks(self) -> int:
+        """Total number of valid blocks currently resident."""
+        return sum(cache_set.occupancy for cache_set in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero all counters without touching cache contents."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return f"Cache({self.name}, {self.geometry.describe()})"

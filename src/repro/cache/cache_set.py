@@ -1,0 +1,105 @@
+"""A single cache set with an adjustable number of ways.
+
+The set keeps its resident blocks in a plain dict keyed by tag; Python dicts
+preserve insertion order, so deleting and re-inserting a tag on a hit gives
+LRU ordering without any auxiliary data structure.  The capacity (number of
+ways) can be lowered or raised at run time, which is what selective-ways
+resizing needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.replacement import ReplacementPolicy, VictimSelector
+from repro.common.errors import ConfigurationError
+from repro.mem.block import CacheBlock
+
+
+class CacheSet:
+    """One set of a set-associative cache."""
+
+    __slots__ = ("capacity", "_blocks", "_selector", "_refresh_on_hit")
+
+    def __init__(self, capacity: int, selector: VictimSelector) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"set capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._blocks: Dict[int, CacheBlock] = {}
+        self._selector = selector
+        self._refresh_on_hit = selector.refreshes_on_hit
+
+    def lookup(self, tag: int) -> Optional[CacheBlock]:
+        """Return the resident block for ``tag`` or None; refreshes LRU order on hit."""
+        block = self._blocks.get(tag)
+        if block is not None and self._refresh_on_hit:
+            del self._blocks[tag]
+            self._blocks[tag] = block
+        return block
+
+    def probe(self, tag: int) -> Optional[CacheBlock]:
+        """Return the resident block for ``tag`` without touching replacement state."""
+        return self._blocks.get(tag)
+
+    def fill(self, tag: int, block: CacheBlock) -> Optional[CacheBlock]:
+        """Insert a block, evicting the policy's victim if the set is full.
+
+        Returns the evicted block, or None when no eviction was necessary.
+        The caller is responsible for writing back the victim if it is dirty.
+        """
+        victim = None
+        if tag in self._blocks:
+            # Refill of an already-resident tag (e.g. after an upgrade); the
+            # previous copy is replaced in place.
+            victim = self._blocks.pop(tag)
+        elif len(self._blocks) >= self.capacity:
+            victim_tag = self._selector.choose_victim(self._blocks)
+            victim = self._blocks.pop(victim_tag)
+        self._blocks[tag] = block
+        return victim
+
+    def invalidate(self, tag: int) -> Optional[CacheBlock]:
+        """Remove and return the block with ``tag`` (None if absent)."""
+        return self._blocks.pop(tag, None)
+
+    def set_capacity(self, capacity: int) -> List[CacheBlock]:
+        """Change the number of ways; returns any blocks evicted by shrinking."""
+        if capacity < 1:
+            raise ConfigurationError(f"set capacity must be at least 1, got {capacity}")
+        evicted: List[CacheBlock] = []
+        self.capacity = capacity
+        while len(self._blocks) > self.capacity:
+            victim_tag = self._selector.choose_victim(self._blocks)
+            evicted.append(self._blocks.pop(victim_tag))
+        return evicted
+
+    def drain(self) -> List[CacheBlock]:
+        """Remove and return every resident block."""
+        drained = list(self._blocks.values())
+        self._blocks.clear()
+        return drained
+
+    def residents(self) -> Iterable[Tuple[int, CacheBlock]]:
+        """Iterate over ``(tag, block)`` pairs currently resident in the set."""
+        return self._blocks.items()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid blocks currently resident."""
+        return len(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"CacheSet(capacity={self.capacity}, occupancy={len(self._blocks)})"
+
+
+def make_selector(policy, seed: int = 0xC0FFEE) -> VictimSelector:
+    """Build a :class:`VictimSelector` from a policy name or enum member."""
+    from repro.common.rng import DeterministicRng
+
+    parsed = ReplacementPolicy.parse(policy)
+    if parsed is ReplacementPolicy.RANDOM:
+        return VictimSelector(parsed, DeterministicRng(seed))
+    return VictimSelector(parsed)

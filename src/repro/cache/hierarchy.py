@@ -1,0 +1,161 @@
+"""Two-level cache hierarchy.
+
+The hierarchy wires the (possibly resizable) L1 instruction and data caches
+to a unified L2 and main memory, routes writebacks through the write-back
+buffer, and reports per-access latency so the timing models can expose or
+hide it depending on the core configuration.
+
+Any object exposing the :class:`repro.cache.cache.Cache` access interface
+(``access``, ``flush_all``, ``stats``) can serve as an L1, which is how the
+resizable caches plug in without the hierarchy knowing about resizing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cache.cache import Cache
+from repro.cache.writeback_buffer import WritebackBuffer
+from repro.common.config import SystemConfig
+from repro.mem.main_memory import MainMemory
+
+
+class HierarchyAccessOutcome:
+    """Result of one instruction-fetch or data access through the hierarchy.
+
+    Attributes:
+        l1_hit: True when the access hit in its L1 cache.
+        l2_hit: True/False when the L2 was consulted, None on an L1 hit.
+        latency: total latency in cycles seen by the requesting instruction.
+        l2_accesses: number of L2 accesses performed (fills and writebacks).
+        memory_accesses: number of main-memory block transfers performed.
+    """
+
+    __slots__ = ("l1_hit", "l2_hit", "latency", "l2_accesses", "memory_accesses")
+
+    def __init__(
+        self,
+        l1_hit: bool,
+        l2_hit: Optional[bool],
+        latency: int,
+        l2_accesses: int,
+        memory_accesses: int,
+    ) -> None:
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+        self.latency = latency
+        self.l2_accesses = l2_accesses
+        self.memory_accesses = memory_accesses
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchyAccessOutcome(l1_hit={self.l1_hit}, l2_hit={self.l2_hit}, "
+            f"latency={self.latency})"
+        )
+
+
+class CacheHierarchy:
+    """L1 instruction + data caches over a unified L2 over main memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        l1i,
+        l1d,
+        l2: Optional[Cache] = None,
+        memory: Optional[MainMemory] = None,
+    ) -> None:
+        self.config = config
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2 if l2 is not None else Cache(config.l2.geometry, name="l2")
+        self.memory = memory if memory is not None else MainMemory(config.memory)
+        self.writeback_buffer = WritebackBuffer.from_core(config.core)
+        self._l1_hit_latency = config.l1_timing.hit_latency
+        self._l2_hit_latency = config.l2.hit_latency
+        self._l1_block = config.l1d.block_bytes
+        self._l2_block = config.l2.geometry.block_bytes
+
+    # ------------------------------------------------------------------ access
+    def data_access(self, address: int, is_write: bool) -> HierarchyAccessOutcome:
+        """Perform a load or store through L1d, L2 and memory as needed."""
+        return self._access(self.l1d, address, is_write)
+
+    def instruction_fetch(self, address: int) -> HierarchyAccessOutcome:
+        """Perform an instruction fetch through L1i, L2 and memory as needed."""
+        return self._access(self.l1i, address, is_write=False)
+
+    def _access(self, l1, address: int, is_write: bool) -> HierarchyAccessOutcome:
+        l1_result = l1.access(address, is_write)
+        if l1_result.hit:
+            return HierarchyAccessOutcome(
+                l1_hit=True, l2_hit=None, latency=self._l1_hit_latency, l2_accesses=0, memory_accesses=0
+            )
+
+        l2_accesses = 1
+        memory_accesses = 0
+        # Fill from L2 (the L2 sees a read for the missing block).
+        l2_result = self.l2.access(address, is_write=False)
+        latency = self._l1_hit_latency + self._l2_hit_latency
+        if not l2_result.hit:
+            memory_accesses += 1
+            latency += self.memory.read_block(address, self._l2_block)
+        if l2_result.writeback_address is not None:
+            memory_accesses += 1
+            self.memory.write_block(l2_result.writeback_address, self._l2_block)
+
+        # A dirty L1 victim goes through the write-back buffer into L2.
+        if l1_result.writeback_address is not None:
+            self.writeback_buffer.push(l1_result.writeback_address)
+            l2_accesses += 1
+            wb_result = self.l2.access(l1_result.writeback_address, is_write=True)
+            if not wb_result.hit:
+                memory_accesses += 1
+                self.memory.read_block(l1_result.writeback_address, self._l2_block)
+            if wb_result.writeback_address is not None:
+                memory_accesses += 1
+                self.memory.write_block(wb_result.writeback_address, self._l2_block)
+
+        return HierarchyAccessOutcome(
+            l1_hit=False,
+            l2_hit=l2_result.hit,
+            latency=latency,
+            l2_accesses=l2_accesses,
+            memory_accesses=memory_accesses,
+        )
+
+    # --------------------------------------------------------------- writebacks
+    def absorb_l1_writebacks(self, block_addresses: Iterable[int]) -> int:
+        """Write a batch of dirty L1 blocks back into L2.
+
+        Used when a resizable L1 flushes blocks on a resize.  Returns the
+        number of L2 accesses performed so the caller can charge their
+        energy.
+        """
+        l2_accesses = 0
+        for block_address in block_addresses:
+            self.writeback_buffer.push(block_address)
+            l2_accesses += 1
+            result = self.l2.access(block_address, is_write=True)
+            if not result.hit:
+                self.memory.read_block(block_address, self._l2_block)
+            if result.writeback_address is not None:
+                self.memory.write_block(result.writeback_address, self._l2_block)
+        return l2_accesses
+
+    # ------------------------------------------------------------ introspection
+    def miss_ratios(self) -> dict:
+        """Convenience: miss ratios of all three caches."""
+        return {
+            "l1i": self.l1i.stats.miss_ratio,
+            "l1d": self.l1d.stats.miss_ratio,
+            "l2": self.l2.stats.miss_ratio,
+        }
+
+    def reset_stats(self) -> None:
+        """Reset statistics of every level (contents are preserved)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.memory.reset_stats()
+        self.writeback_buffer.reset()

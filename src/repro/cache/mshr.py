@@ -1,0 +1,90 @@
+"""Miss status holding registers (MSHRs).
+
+A non-blocking cache tracks outstanding misses in MSHRs; while free MSHRs
+remain the processor can keep issuing, which is how the out-of-order
+configuration hides data-cache miss latency.  The simulator uses the MSHR
+file at interval granularity: it estimates how many of an interval's misses
+could overlap given the MSHR count and the memory-level parallelism the
+workload exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import CoreConfig
+from repro.common.errors import ConfigurationError
+
+
+class MshrFile:
+    """A simple MSHR file with secondary-miss merging.
+
+    The event-level interface (:meth:`allocate` / :meth:`release`) is used by
+    the unit tests and by callers that track individual outstanding misses;
+    :meth:`overlap_factor` provides the interval-level summary the timing
+    models consume.
+    """
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ConfigurationError(f"MSHR file needs at least one entry, got {num_entries}")
+        self.num_entries = num_entries
+        self._outstanding: Dict[int, int] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.rejected = 0
+
+    @classmethod
+    def from_core(cls, core: CoreConfig) -> "MshrFile":
+        """Create an MSHR file sized per the core configuration."""
+        return cls(core.mshr_entries)
+
+    def allocate(self, block_address: int) -> bool:
+        """Record a miss to ``block_address``.
+
+        Returns True when the miss can proceed (a new or merged entry),
+        False when every MSHR is busy with other blocks and the miss must
+        stall (counted in :attr:`rejected`).
+        """
+        if block_address in self._outstanding:
+            self._outstanding[block_address] += 1
+            self.secondary_misses += 1
+            return True
+        if len(self._outstanding) >= self.num_entries:
+            self.rejected += 1
+            return False
+        self._outstanding[block_address] = 1
+        self.primary_misses += 1
+        return True
+
+    def release(self, block_address: int) -> None:
+        """Retire the outstanding miss for ``block_address`` (fill returned)."""
+        self._outstanding.pop(block_address, None)
+
+    def outstanding(self) -> List[int]:
+        """Block addresses of currently outstanding misses."""
+        return list(self._outstanding)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of MSHRs currently in use."""
+        return len(self._outstanding)
+
+    def overlap_factor(self, exposed_parallelism: float) -> float:
+        """Effective number of misses serviced concurrently.
+
+        ``exposed_parallelism`` is the workload's memory-level parallelism
+        (average number of independent misses the instruction window could
+        issue together); the MSHR count caps it.  The result is always at
+        least 1.0 (a miss can never take less than one full memory latency).
+        """
+        if exposed_parallelism < 1.0:
+            exposed_parallelism = 1.0
+        return min(float(self.num_entries), exposed_parallelism)
+
+    def reset(self) -> None:
+        """Clear outstanding entries and statistics."""
+        self._outstanding.clear()
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.rejected = 0

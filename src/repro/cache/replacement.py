@@ -1,0 +1,64 @@
+"""Block replacement policies.
+
+The paper's caches use LRU replacement (the SimpleScalar default).  FIFO and
+random are provided as well so that tests can check the cache machinery is
+independent of the replacement choice and so that downstream users can run
+their own sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+
+
+class ReplacementPolicy(str, Enum):
+    """Supported block replacement policies."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+    @classmethod
+    def parse(cls, value) -> "ReplacementPolicy":
+        """Coerce a string or enum member into a :class:`ReplacementPolicy`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError as exc:
+                raise ConfigurationError(f"unknown replacement policy {value!r}") from exc
+        raise ConfigurationError(f"unknown replacement policy {value!r}")
+
+
+class VictimSelector:
+    """Chooses the victim tag within a set for the configured policy.
+
+    For LRU and FIFO the victim is simply the oldest entry of the set's
+    insertion-ordered tag dictionary (LRU additionally refreshes entries on
+    hits, which is handled by :class:`repro.cache.cache_set.CacheSet`).  For
+    random replacement a deterministic RNG picks any resident tag.
+    """
+
+    __slots__ = ("policy", "_rng")
+
+    def __init__(self, policy: ReplacementPolicy, rng: DeterministicRng | None = None) -> None:
+        self.policy = ReplacementPolicy.parse(policy)
+        if self.policy is ReplacementPolicy.RANDOM and rng is None:
+            rng = DeterministicRng(seed=0xC0FFEE)
+        self._rng = rng
+
+    def choose_victim(self, resident_tags) -> int:
+        """Return the tag to evict from ``resident_tags`` (a non-empty dict view)."""
+        if self.policy is ReplacementPolicy.RANDOM:
+            return self._rng.choice(list(resident_tags))
+        # LRU / FIFO: the first key in insertion order is the oldest.
+        return next(iter(resident_tags))
+
+    @property
+    def refreshes_on_hit(self) -> bool:
+        """True when a hit should move the block to most-recently-used position."""
+        return self.policy is ReplacementPolicy.LRU

@@ -1,0 +1,83 @@
+"""SRAM subarray book-keeping.
+
+Modern caches split the data (and tag) array into multiple subarrays of SRAM
+rows to optimise access time; all subarrays are precharged before an access
+(Figure 3 of the paper), so dynamic energy scales with the number of
+*enabled* subarrays, and leakage scales with the enabled capacity.  The
+:class:`SubarrayMap` tracks which subarrays a given resizable configuration
+enables so the energy model can charge exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SubarrayState:
+    """A snapshot of how many subarrays are enabled.
+
+    Attributes:
+        enabled_subarrays: number of data subarrays currently powered.
+        total_subarrays: number of data subarrays physically present.
+        enabled_bytes: capacity corresponding to the enabled subarrays.
+    """
+
+    enabled_subarrays: int
+    total_subarrays: int
+    enabled_bytes: int
+
+    @property
+    def enabled_fraction(self) -> float:
+        """Fraction of the cache's subarrays that are enabled (0..1]."""
+        if self.total_subarrays == 0:
+            return 0.0
+        return self.enabled_subarrays / self.total_subarrays
+
+
+class SubarrayMap:
+    """Computes enabled-subarray counts for resizable configurations.
+
+    The map is purely geometric: given the full geometry and an enabled
+    (ways, sets) pair, it reports how many subarrays stay powered.  Resizing
+    granularity comes from here — a way cannot be partially enabled below
+    one subarray, which is why the minimum number of sets is
+    ``subarray_bytes / block_bytes`` (one subarray per way).
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._blocks_per_subarray = geometry.blocks_per_subarray
+
+    def subarrays_for(self, enabled_ways: int, enabled_sets: int) -> SubarrayState:
+        """Return the :class:`SubarrayState` for an enabled configuration."""
+        geometry = self.geometry
+        if enabled_ways < 1 or enabled_ways > geometry.associativity:
+            raise ConfigurationError(
+                f"enabled ways must be in [1, {geometry.associativity}], got {enabled_ways}"
+            )
+        if enabled_sets < 1 or enabled_sets > geometry.num_sets:
+            raise ConfigurationError(
+                f"enabled sets must be in [1, {geometry.num_sets}], got {enabled_sets}"
+            )
+        blocks_per_way = enabled_sets
+        # Each way needs a whole number of subarrays to cover its enabled blocks.
+        subarrays_per_way = max(
+            1, (blocks_per_way + self._blocks_per_subarray - 1) // self._blocks_per_subarray
+        )
+        enabled = subarrays_per_way * enabled_ways
+        total = max(1, geometry.num_subarrays)
+        enabled = min(enabled, total) if enabled_ways == geometry.associativity and enabled_sets == geometry.num_sets else enabled
+        enabled_bytes = enabled_ways * enabled_sets * geometry.block_bytes
+        return SubarrayState(
+            enabled_subarrays=enabled,
+            total_subarrays=total,
+            enabled_bytes=enabled_bytes,
+        )
+
+    def full_state(self) -> SubarrayState:
+        """Return the state with every subarray enabled."""
+        return self.subarrays_for(self.geometry.associativity, self.geometry.num_sets)

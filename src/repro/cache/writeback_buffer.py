@@ -1,0 +1,77 @@
+"""Write-back buffer.
+
+Dirty victims evicted from the L1 data cache are staged in a small buffer
+before being written to L2 so that the processor does not stall on them.
+The buffer only stalls the core when it is full, which the timing models
+account for with a small per-overflow penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.config import CoreConfig
+from repro.common.errors import ConfigurationError
+
+
+class WritebackBuffer:
+    """A FIFO of pending writebacks with overflow accounting."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ConfigurationError(f"writeback buffer needs at least one entry, got {num_entries}")
+        self.num_entries = num_entries
+        self._pending: Deque[int] = deque()
+        self.enqueued = 0
+        self.drained = 0
+        self.overflows = 0
+
+    @classmethod
+    def from_core(cls, core: CoreConfig) -> "WritebackBuffer":
+        """Create a buffer sized per the core configuration."""
+        return cls(core.writeback_buffer_entries)
+
+    def push(self, block_address: int) -> bool:
+        """Enqueue a writeback.
+
+        Returns True when the buffer accepted the entry without stalling;
+        False when the buffer was full, in which case the oldest entry is
+        drained immediately (modelled as a stall counted in
+        :attr:`overflows`) to make room.
+        """
+        self.enqueued += 1
+        if len(self._pending) >= self.num_entries:
+            self.overflows += 1
+            self._pending.popleft()
+            self.drained += 1
+            self._pending.append(block_address)
+            return False
+        self._pending.append(block_address)
+        return True
+
+    def drain_one(self) -> Optional[int]:
+        """Drain the oldest pending writeback (None when empty)."""
+        if not self._pending:
+            return None
+        self.drained += 1
+        return self._pending.popleft()
+
+    def drain_all(self) -> list:
+        """Drain every pending writeback and return their block addresses."""
+        drained = list(self._pending)
+        self.drained += len(drained)
+        self._pending.clear()
+        return drained
+
+    @property
+    def occupancy(self) -> int:
+        """Number of writebacks currently buffered."""
+        return len(self._pending)
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._pending.clear()
+        self.enqueued = 0
+        self.drained = 0
+        self.overflows = 0

@@ -1,0 +1,60 @@
+"""Shared infrastructure: units, configuration, errors, statistics and RNG helpers.
+
+The :mod:`repro.common` package contains the small building blocks every other
+subpackage relies on.  Nothing in here knows about caches, processors or
+energy models; it is deliberately limited to plain value types and utilities
+so that the domain packages stay focused on the paper's concepts.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    ResizingError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.common.units import (
+    KIB,
+    MIB,
+    format_size,
+    is_power_of_two,
+    log2_int,
+    parse_size,
+)
+from repro.common.config import (
+    CacheGeometry,
+    CacheTiming,
+    CoreConfig,
+    CoreKind,
+    L2Config,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.common.stats import Counter, RatioStat, RunningMean, StatGroup
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ResizingError",
+    "SimulationError",
+    "WorkloadError",
+    "KIB",
+    "MIB",
+    "parse_size",
+    "format_size",
+    "is_power_of_two",
+    "log2_int",
+    "CacheGeometry",
+    "CacheTiming",
+    "L2Config",
+    "MemoryConfig",
+    "CoreKind",
+    "CoreConfig",
+    "SystemConfig",
+    "Counter",
+    "RunningMean",
+    "RatioStat",
+    "StatGroup",
+    "DeterministicRng",
+]

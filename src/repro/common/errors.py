@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library problems without accidentally swallowing unrelated
+exceptions.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Examples include a cache capacity that is not a multiple of the block
+    size, an associativity of zero, or a subarray smaller than a block.
+    """
+
+
+class ResizingError(ReproError):
+    """Raised when a resizing request cannot be honoured.
+
+    Typical causes are asking an organization for a size it does not offer,
+    or attempting to resize a cache to a configuration outside its resizing
+    range.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload profile or trace generator is misconfigured."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (e.g. empty workload)."""

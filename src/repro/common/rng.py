@@ -1,0 +1,70 @@
+"""Deterministic random number generation.
+
+All stochastic behaviour in the library (synthetic address streams, random
+replacement, etc.) goes through :class:`DeterministicRng` so that every
+experiment is exactly reproducible from a seed.  The class wraps
+``random.Random`` rather than numpy's generator because the hot loops draw
+one value at a time and ``random.Random`` is faster for that usage pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class DeterministicRng:
+    """A seeded random source with a few convenience draws.
+
+    The generator is deliberately tiny: the workload generators need uniform
+    integers, floats, choices and a geometric-ish burst length, nothing more.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._random = random.Random(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    def fork(self, stream_id: int) -> "DeterministicRng":
+        """Create an independent generator derived from this one.
+
+        Forking lets a workload give each phase or each pattern its own
+        stream so that changing one pattern does not perturb the others.
+        """
+        return DeterministicRng((self._seed * 1_000_003 + int(stream_id)) & 0x7FFFFFFF)
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def choice(self, options: Sequence):
+        """Pick one element of a non-empty sequence uniformly at random."""
+        return self._random.choice(options)
+
+    def burst_length(self, mean: int) -> int:
+        """Draw a burst length with the given mean (at least 1).
+
+        Burst lengths follow a geometric distribution which matches the
+        bursty reuse behaviour of the synthetic reference streams.
+        """
+        if mean <= 1:
+            return 1
+        p = 1.0 / float(mean)
+        length = 1
+        while self._random.random() > p and length < mean * 10:
+            length += 1
+        return length
+
+    def shuffled(self, items: Sequence) -> list:
+        """Return a new list containing ``items`` in random order."""
+        shuffled = list(items)
+        self._random.shuffle(shuffled)
+        return shuffled

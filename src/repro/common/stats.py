@@ -1,0 +1,168 @@
+"""Lightweight statistics containers.
+
+Simulation components record their activity in named counters grouped into
+:class:`StatGroup` objects.  The containers are intentionally simple (plain
+attribute access, explicit ``reset``) so they stay cheap on the simulator's
+hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Accumulates a weighted running mean (e.g. average enabled cache size)."""
+
+    __slots__ = ("name", "_total", "_weight")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total = 0.0
+        self._weight = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Add an observation with the given weight."""
+        self._total += value * weight
+        self._weight += weight
+
+    @property
+    def mean(self) -> float:
+        """The weighted mean of all observations (0.0 if none recorded)."""
+        if self._weight == 0.0:
+            return 0.0
+        return self._total / self._weight
+
+    @property
+    def weight(self) -> float:
+        """Total weight accumulated so far."""
+        return self._weight
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self._total = 0.0
+        self._weight = 0.0
+
+    def __repr__(self) -> str:
+        return f"RunningMean({self.name}={self.mean:.4g})"
+
+
+class RatioStat:
+    """A numerator/denominator pair, e.g. misses over accesses."""
+
+    __slots__ = ("name", "numerator", "denominator")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.numerator = 0
+        self.denominator = 0
+
+    def record(self, hit_numerator: bool) -> None:
+        """Record one event, counting it in the numerator when True."""
+        self.denominator += 1
+        if hit_numerator:
+            self.numerator += 1
+
+    @property
+    def ratio(self) -> float:
+        """numerator / denominator, or 0.0 when nothing was recorded."""
+        if self.denominator == 0:
+            return 0.0
+        return self.numerator / self.denominator
+
+    def reset(self) -> None:
+        """Reset both counts to zero."""
+        self.numerator = 0
+        self.denominator = 0
+
+    def __repr__(self) -> str:
+        return f"RatioStat({self.name}={self.ratio:.4f})"
+
+
+class StatGroup:
+    """A named collection of statistics with dictionary-style export.
+
+    Components create their counters once at construction time and then
+    update them directly (attribute access) on the hot path; the group is
+    only consulted when results are collected.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Create (or fetch) a named :class:`Counter` in this group."""
+        return self._get_or_create(name, Counter)
+
+    def running_mean(self, name: str) -> RunningMean:
+        """Create (or fetch) a named :class:`RunningMean` in this group."""
+        return self._get_or_create(name, RunningMean)
+
+    def ratio(self, name: str) -> RatioStat:
+        """Create (or fetch) a named :class:`RatioStat` in this group."""
+        return self._get_or_create(name, RatioStat)
+
+    def _get_or_create(self, name: str, factory):
+        existing = self._stats.get(name)
+        if existing is None:
+            existing = factory(name)
+            self._stats[name] = existing
+        elif not isinstance(existing, factory):
+            raise TypeError(
+                f"statistic {name!r} already exists with type {type(existing).__name__}"
+            )
+        return existing
+
+    def reset(self) -> None:
+        """Reset every statistic in the group."""
+        for stat in self._stats.values():
+            stat.reset()
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate over (name, statistic) pairs."""
+        return iter(self._stats.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Export all statistics as a flat ``name -> value`` mapping."""
+        exported: Dict[str, float] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                exported[name] = stat.value
+            elif isinstance(stat, RunningMean):
+                exported[name] = stat.mean
+            elif isinstance(stat, RatioStat):
+                exported[name] = stat.ratio
+            else:  # pragma: no cover - defensive
+                exported[name] = float(stat)
+        return exported
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name}, {len(self._stats)} stats)"

@@ -1,0 +1,92 @@
+"""Size units and small integer helpers used throughout the library.
+
+Cache capacities in the paper are quoted in binary kilobytes ("32K" means
+32 KiB).  This module provides parsing/formatting helpers plus the couple of
+power-of-two utilities that cache index arithmetic needs.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+#: One binary kilobyte (1024 bytes).
+KIB = 1024
+
+#: One binary megabyte (1024 * 1024 bytes).
+MIB = 1024 * 1024
+
+_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+}
+
+
+def parse_size(value) -> int:
+    """Parse a human-readable size into a number of bytes.
+
+    Accepts plain integers (returned unchanged) and strings such as
+    ``"32K"``, ``"512KB"``, ``"1M"`` or ``"4096"``.
+
+    Raises:
+        ConfigurationError: if the value cannot be interpreted as a size.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"cannot interpret boolean {value!r} as a size")
+    if isinstance(value, int):
+        if value < 0:
+            raise ConfigurationError(f"size must be non-negative, got {value}")
+        return value
+    if isinstance(value, float):
+        if value < 0 or value != int(value):
+            raise ConfigurationError(f"size must be a non-negative integer, got {value}")
+        return int(value)
+    if not isinstance(value, str):
+        raise ConfigurationError(f"cannot interpret {value!r} as a size")
+
+    text = value.strip().upper().replace(" ", "")
+    digits = ""
+    index = 0
+    while index < len(text) and (text[index].isdigit() or text[index] == "."):
+        digits += text[index]
+        index += 1
+    suffix = text[index:]
+    if not digits or suffix not in _SUFFIXES:
+        raise ConfigurationError(f"cannot interpret {value!r} as a size")
+    quantity = float(digits)
+    size = quantity * _SUFFIXES[suffix]
+    if size != int(size):
+        raise ConfigurationError(f"size {value!r} is not a whole number of bytes")
+    return int(size)
+
+
+def format_size(num_bytes: int) -> str:
+    """Format a byte count the way the paper does (e.g. ``24576 -> "24K"``)."""
+    if num_bytes < 0:
+        raise ConfigurationError(f"size must be non-negative, got {num_bytes}")
+    if num_bytes >= MIB and num_bytes % MIB == 0:
+        return f"{num_bytes // MIB}M"
+    if num_bytes >= KIB and num_bytes % KIB == 0:
+        return f"{num_bytes // KIB}K"
+    return f"{num_bytes}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return log2 of a power-of-two integer.
+
+    Raises:
+        ConfigurationError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

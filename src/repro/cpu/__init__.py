@@ -1,0 +1,30 @@
+"""Processor timing models.
+
+Two core models bracket the miss-latency-exposure regimes Section 4.2 of the
+paper contrasts:
+
+* :class:`repro.cpu.inorder.InOrderCore` — in-order issue with a blocking
+  data cache: every L1 miss sits on the critical path.
+* :class:`repro.cpu.ooo.OutOfOrderCore` — out-of-order issue with a
+  non-blocking data cache: data misses are largely hidden behind independent
+  work while instruction misses remain exposed.
+
+Both consume :class:`repro.metrics.counts.IntervalCounts` and return cycles,
+which keeps them fast enough to evaluate per sense interval and easy to test.
+A bimodal branch predictor provides misprediction counts for the front end.
+"""
+
+from repro.cpu.branch import BimodalBranchPredictor
+from repro.cpu.timing import CoreTimingParameters
+from repro.cpu.core_model import CoreModel, make_core_model
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.ooo import OutOfOrderCore
+
+__all__ = [
+    "BimodalBranchPredictor",
+    "CoreTimingParameters",
+    "CoreModel",
+    "make_core_model",
+    "InOrderCore",
+    "OutOfOrderCore",
+]

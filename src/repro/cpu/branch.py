@@ -1,0 +1,63 @@
+"""Branch prediction.
+
+The base system uses a combining predictor (Table 2); a bimodal predictor
+with a generous table is a close-enough stand-in for the workloads' mostly
+regular loop branches, and what actually matters to the resizing study is
+only that mispredictions add a realistic, cache-independent number of
+cycles to the front end.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two
+
+
+class BimodalBranchPredictor:
+    """A table of 2-bit saturating counters indexed by branch PC."""
+
+    STRONG_NOT_TAKEN = 0
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, table_entries: int = 4096) -> None:
+        if not is_power_of_two(table_entries):
+            raise ConfigurationError(f"predictor table must be a power of two, got {table_entries}")
+        self.table_entries = table_entries
+        self._mask = table_entries - 1
+        self._counters = [self.WEAK_TAKEN] * table_entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``, update the counter, return True on mispredict."""
+        index = (pc >> 2) & self._mask
+        counter = self._counters[index]
+        predicted_taken = counter >= self.WEAK_TAKEN
+        mispredicted = predicted_taken != taken
+
+        self.predictions += 1
+        if mispredicted:
+            self.mispredictions += 1
+
+        if taken:
+            if counter < self.STRONG_TAKEN:
+                self._counters[index] = counter + 1
+        else:
+            if counter > self.STRONG_NOT_TAKEN:
+                self._counters[index] = counter - 1
+        return mispredicted
+
+    @property
+    def misprediction_ratio(self) -> float:
+        """Fraction of predicted branches that were mispredicted."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset(self) -> None:
+        """Forget all history and statistics."""
+        self._counters = [self.WEAK_TAKEN] * self.table_entries
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,31 @@
+"""In-order issue engine with a blocking data cache.
+
+This is the first processor configuration of Section 4.2: the pipeline
+stalls for the full latency of every data-cache miss (the cache is
+blocking), so data-miss latency is completely exposed on the critical path.
+Instruction misses also stall fetch, but because the back end is frequently
+stalled anyway, a somewhat smaller fraction of their latency translates into
+lost cycles.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CoreKind
+from repro.cpu.core_model import CoreModel
+from repro.metrics.counts import IntervalCounts
+
+
+class InOrderCore(CoreModel):
+    """Interval timing model for the in-order, blocking-d-cache pipeline."""
+
+    @property
+    def kind(self) -> CoreKind:
+        return CoreKind.IN_ORDER_BLOCKING
+
+    def interval_cycles(self, counts: IntervalCounts) -> float:
+        timing = self.timing
+        base = counts.instructions * timing.inorder_base_cpi
+        data_stalls = self._dcache_miss_latency(counts) * timing.inorder_dcache_exposure
+        fetch_stalls = self._icache_miss_latency(counts) * timing.inorder_icache_exposure
+        frontend = self._frontend_cycles(counts)
+        return base + data_stalls + fetch_stalls + frontend

@@ -1,0 +1,24 @@
+"""Energy models.
+
+The models are analytical stand-ins for Wattch's capacitance-based power
+accounting: every structure's dynamic energy scales with its activity and —
+for the resizable L1 caches — with the number of *enabled* subarrays, and
+leakage scales with the enabled capacity.  Absolute values are in
+nanojoules; only the relative breakdown matters for the paper's metric, and
+the default technology parameters are calibrated so the base configuration
+reproduces the paper's reported breakdown (d-cache ~18.5 %, i-cache ~17.5 %
+of processor energy).
+"""
+
+from repro.energy.technology import TechnologyParameters
+from repro.energy.cache_energy import CacheEnergyModel, L2EnergyModel
+from repro.energy.processor_energy import ProcessorEnergyModel
+from repro.energy.accounting import EnergyAccountant
+
+__all__ = [
+    "TechnologyParameters",
+    "CacheEnergyModel",
+    "L2EnergyModel",
+    "ProcessorEnergyModel",
+    "EnergyAccountant",
+]

@@ -1,0 +1,77 @@
+"""Interval-level energy accounting.
+
+:class:`EnergyAccountant` combines the cache, L2, memory and core energy
+models into a single call the simulator makes once per interval, producing an
+:class:`repro.metrics.breakdown.EnergyBreakdown` that is accumulated into the
+run totals.
+"""
+
+from __future__ import annotations
+
+from repro.cache.subarray import SubarrayState
+from repro.common.config import SystemConfig
+from repro.energy.cache_energy import CacheEnergyModel, L2EnergyModel
+from repro.energy.processor_energy import ProcessorEnergyModel
+from repro.energy.technology import TechnologyParameters
+from repro.metrics.breakdown import EnergyBreakdown
+from repro.metrics.counts import IntervalCounts
+
+
+class EnergyAccountant:
+    """Computes the per-interval energy breakdown of the whole processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        technology: TechnologyParameters | None = None,
+        l1d_resizing_tag_bits: int = 0,
+        l1i_resizing_tag_bits: int = 0,
+    ) -> None:
+        self.config = config
+        self.technology = technology if technology is not None else TechnologyParameters()
+        self.l1d_model = CacheEnergyModel(
+            config.l1d, self.technology, l1d_resizing_tag_bits, config.address_bits
+        )
+        self.l1i_model = CacheEnergyModel(
+            config.l1i, self.technology, l1i_resizing_tag_bits, config.address_bits
+        )
+        self.l2_model = L2EnergyModel(config.l2.geometry, self.technology)
+        self.core_model = ProcessorEnergyModel(config.core, self.technology)
+
+    def interval_breakdown(
+        self,
+        counts: IntervalCounts,
+        cycles: float,
+        l1d_state: SubarrayState,
+        l1d_ways: int,
+        l1i_state: SubarrayState,
+        l1i_ways: int,
+    ) -> EnergyBreakdown:
+        """Energy attributed to each structure during one interval.
+
+        Args:
+            counts: the interval's activity counts.
+            cycles: the interval's execution time (from the core timing model).
+            l1d_state / l1d_ways: enabled subarrays/ways of the data cache.
+            l1i_state / l1i_ways: enabled subarrays/ways of the instruction cache.
+        """
+        reads = counts.l1d_accesses - counts.l1d_stores
+        l1d_energy = self.l1d_model.interval_access_energy(
+            l1d_state, l1d_ways, reads=reads, writes=counts.l1d_stores
+        )
+        l1d_energy += self.l1d_model.interval_cycle_energy(l1d_state, cycles)
+
+        l1i_energy = self.l1i_model.fetch_array_energy(l1i_state, l1i_ways, counts.l1i_accesses)
+        l1i_energy += self.l1i_model.interval_cycle_energy(l1i_state, cycles)
+
+        l2_energy = self.l2_model.interval_energy(counts.l2_accesses, cycles)
+        memory_energy = self.core_model.memory_energy(counts)
+        core_energy = self.core_model.interval_energy(counts, cycles)
+
+        return EnergyBreakdown(
+            l1d=l1d_energy,
+            l1i=l1i_energy,
+            l2=l2_energy,
+            memory=memory_energy,
+            core=core_energy,
+        )

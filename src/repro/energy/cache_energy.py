@@ -1,0 +1,106 @@
+"""Cache energy models.
+
+The L1 model is where resizing pays off: dynamic energy per access scales
+with the number of *enabled* subarrays (all enabled subarrays precharge on
+every access) and per-cycle clock/leakage energy scales with the enabled
+capacity.  Selective-sets additionally pays for its resizing tag bits on
+every access.
+
+The L2 model is deliberately simple — a fixed energy per access — following
+the paper's argument that L2 accesses are less latency-critical and can use
+delayed precharge, so the extra L2 traffic caused by downsizing or flushing
+shows up as a modest, but accounted-for, energy increase.
+"""
+
+from __future__ import annotations
+
+from repro.cache.subarray import SubarrayState
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.energy.technology import TechnologyParameters
+
+
+class CacheEnergyModel:
+    """Energy model for one resizable (or plain) L1 cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        technology: TechnologyParameters,
+        resizing_tag_bits: int = 0,
+        address_bits: int = 32,
+    ) -> None:
+        self.geometry = geometry
+        self.technology = technology
+        self.resizing_tag_bits = resizing_tag_bits
+        self.address_bits = address_bits
+        self._base_tag_bits = geometry.tag_bits(address_bits)
+
+    # ------------------------------------------------------------- per access
+    def access_energy(self, state: SubarrayState, enabled_ways: int, is_write: bool = False) -> float:
+        """Energy of one access with the given enabled configuration."""
+        tech = self.technology
+        tag_bits = self._base_tag_bits + self.resizing_tag_bits
+        energy = (
+            state.enabled_subarrays * tech.subarray_access_energy
+            + enabled_ways * tech.way_sense_energy
+            + enabled_ways * tag_bits * tech.tag_bit_energy
+        )
+        if is_write:
+            energy *= tech.write_energy_factor
+        return energy
+
+    def interval_access_energy(
+        self,
+        state: SubarrayState,
+        enabled_ways: int,
+        reads: int,
+        writes: int,
+    ) -> float:
+        """Energy of an interval's worth of accesses."""
+        read_energy = self.access_energy(state, enabled_ways, is_write=False)
+        write_energy = self.access_energy(state, enabled_ways, is_write=True)
+        return reads * read_energy + writes * write_energy
+
+    # -------------------------------------------------------------- per cycle
+    def cycle_energy(self, state: SubarrayState) -> float:
+        """Clock + leakage energy of one cycle with the given enabled state."""
+        tech = self.technology
+        clock = state.enabled_subarrays * tech.clock_energy_per_subarray
+        leakage = (state.enabled_bytes / KIB) * tech.leakage_energy_per_kib
+        return clock + leakage
+
+    def interval_cycle_energy(self, state: SubarrayState, cycles: float) -> float:
+        """Clock + leakage energy over ``cycles`` cycles."""
+        return cycles * self.cycle_energy(state)
+
+    # ------------------------------------------------------------ convenience
+    def fetch_array_energy(self, state: SubarrayState, enabled_ways: int, lookups: int) -> float:
+        """Front-end instruction-array energy over an interval.
+
+        ``lookups`` is the number of functional fetch-block lookups the
+        simulator performed; the technology's ``fetch_accesses_per_lookup``
+        converts them into physical array accesses (a real front end
+        re-reads the array nearly every cycle, while the simulator coalesces
+        sequential fetches within one block into a single lookup).
+        """
+        per_access = self.access_energy(state, enabled_ways, is_write=False)
+        return lookups * self.technology.fetch_accesses_per_lookup * per_access
+
+
+class L2EnergyModel:
+    """Fixed energy per L2 access plus leakage for the (never-resized) L2."""
+
+    def __init__(self, geometry: CacheGeometry, technology: TechnologyParameters) -> None:
+        self.geometry = geometry
+        self.technology = technology
+
+    def interval_energy(self, accesses: int, cycles: float) -> float:
+        """Energy of an interval's worth of L2 activity."""
+        tech = self.technology
+        dynamic = accesses * tech.l2_access_energy
+        # The L2 is an order of magnitude larger than an L1 but is built from
+        # slower, lower-leakage cells; a quarter of the L1 per-KiB leakage is
+        # a reasonable stand-in and keeps L2 leakage a second-order term.
+        leakage = cycles * (self.geometry.capacity_bytes / KIB) * tech.leakage_energy_per_kib * 0.25
+        return dynamic + leakage

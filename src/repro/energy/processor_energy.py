@@ -1,0 +1,38 @@
+"""Rest-of-processor and main-memory energy.
+
+Everything outside the caches — clock tree, fetch/decode/issue logic,
+register files, functional units, the ROB and LSQ — is lumped into a
+per-cycle plus per-instruction energy, the same granularity Wattch's
+aggregate numbers provide.  This is what makes the paper's metric honest:
+when resizing slows the program down, the rest of the processor burns energy
+for those extra cycles, so over-aggressive downsizing hurts the total even
+before the delay factor of energy-delay is applied.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CoreConfig
+from repro.energy.technology import TechnologyParameters
+from repro.metrics.counts import IntervalCounts
+
+
+class ProcessorEnergyModel:
+    """Lumped energy model for the non-cache portion of the processor."""
+
+    def __init__(self, core: CoreConfig, technology: TechnologyParameters) -> None:
+        self.core = core
+        self.technology = technology
+        # An in-order core has a much simpler issue/rename/wakeup path; scale
+        # its per-cycle overhead down so the two core types stay comparable.
+        self._cycle_scale = 1.0 if core.is_out_of_order else 0.8
+
+    def interval_energy(self, counts: IntervalCounts, cycles: float) -> float:
+        """Core (non-cache) energy over one interval."""
+        tech = self.technology
+        cycle_energy = cycles * tech.core_cycle_energy * self._cycle_scale
+        instruction_energy = counts.instructions * tech.core_instruction_energy
+        return cycle_energy + instruction_energy
+
+    def memory_energy(self, counts: IntervalCounts) -> float:
+        """Main-memory energy over one interval."""
+        return counts.memory_accesses * self.technology.memory_access_energy

@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Every module in this package reproduces one piece of the paper's evaluation
+section and exposes a ``run(context)`` function returning a result object
+with ``rows()`` (raw numbers) and ``format_table()`` (text rendering).  The
+shared :class:`repro.experiments.context.ExperimentContext` memoises traces,
+baselines and profiling sweeps so that figures which reuse the same runs
+(e.g. Figures 4, 5 and 6) do not repeat work within one process.
+
+=================  =========================================================
+module             paper content
+=================  =========================================================
+``table1``         hybrid size/associativity lattice (Table 1)
+``table2``         base system configuration and energy breakdown (Table 2)
+``figure4``        selective-ways vs selective-sets mean E·D reduction
+``figure5``        per-application ways vs sets detail at 4-way
+``figure6``        hybrid organization vs both baselines
+``figure7``        d-cache static vs dynamic resizing, two core types
+``figure8``        i-cache static vs dynamic resizing, two core types
+``figure9``        simultaneous d- and i-cache resizing (additivity)
+=================  =========================================================
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "table1",
+    "table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+]

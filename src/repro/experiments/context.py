@@ -1,0 +1,232 @@
+"""Shared experiment context.
+
+The context owns the experiment-wide parameters (trace length, warmup,
+interval sizes, the slowdown bound) and memoises everything expensive —
+generated traces, baseline runs, static profiling sweeps and dynamic runs —
+keyed by the parameters that actually influence them.  Figures 4, 5 and 6
+share profiling sweeps, and Figure 9 reuses Figure 7/8's static choices, so
+running the whole evaluation in one process costs far less than the sum of
+its parts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import CacheGeometry, CoreConfig, CoreKind, SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB
+from repro.cpu.timing import CoreTimingParameters
+from repro.energy.technology import TechnologyParameters
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.organization import ResizingOrganization
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.sim.sweep import (
+    DCACHE,
+    ICACHE,
+    StaticProfile,
+    profile_static,
+    run_baseline,
+    run_dynamic,
+)
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import SPEC_APPLICATION_NAMES, get_profile
+from repro.workloads.trace import Trace
+
+#: Organization names accepted by :meth:`ExperimentContext.organization`.
+SELECTIVE_WAYS = "selective-ways"
+SELECTIVE_SETS = "selective-sets"
+HYBRID = "hybrid"
+
+_ORGANIZATIONS = {
+    SELECTIVE_WAYS: SelectiveWays,
+    SELECTIVE_SETS: SelectiveSets,
+    HYBRID: HybridSetsAndWays,
+}
+
+
+class ExperimentContext:
+    """Parameters plus memoisation for the experiment harnesses."""
+
+    def __init__(
+        self,
+        n_instructions: int = 60_000,
+        warmup_fraction: float = 0.10,
+        interval_instructions: int = 1500,
+        sense_interval_accesses: int = 1024,
+        miss_bound_factor: float = 1.5,
+        max_slowdown: Optional[float] = None,
+        l1_capacity_bytes: int = 32 * KIB,
+        applications: Optional[Iterable[str]] = None,
+        technology: Optional[TechnologyParameters] = None,
+        timing: Optional[CoreTimingParameters] = None,
+    ) -> None:
+        if n_instructions < 1_000:
+            raise ConfigurationError("experiments need at least 1000 instructions")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError("warmup fraction must be in [0, 1)")
+        self.n_instructions = n_instructions
+        self.warmup_instructions = int(n_instructions * warmup_fraction)
+        self.interval_instructions = interval_instructions
+        self.sense_interval_accesses = sense_interval_accesses
+        self.miss_bound_factor = miss_bound_factor
+        self.max_slowdown = max_slowdown
+        self.l1_capacity_bytes = l1_capacity_bytes
+        self.applications: Tuple[str, ...] = (
+            tuple(applications) if applications is not None else SPEC_APPLICATION_NAMES
+        )
+        self.technology = technology if technology is not None else TechnologyParameters()
+        self.timing = timing if timing is not None else CoreTimingParameters()
+
+        self._traces: Dict[str, Trace] = {}
+        self._systems: Dict[Tuple[int, CoreKind], SystemConfig] = {}
+        self._simulators: Dict[Tuple[int, CoreKind], Simulator] = {}
+        self._organizations: Dict[Tuple[str, int], ResizingOrganization] = {}
+        self._baselines: Dict[Tuple[str, int, CoreKind], SimulationResult] = {}
+        self._profiles: Dict[Tuple[str, str, str, int, CoreKind], StaticProfile] = {}
+        self._dynamic_runs: Dict[Tuple[str, str, str, int, CoreKind], SimulationResult] = {}
+
+    # ----------------------------------------------------------------- basics
+    def trace(self, application: str) -> Trace:
+        """The (memoised) synthetic trace for one application."""
+        cached = self._traces.get(application)
+        if cached is None:
+            generator = WorkloadGenerator(get_profile(application))
+            cached = generator.generate(self.n_instructions)
+            self._traces[application] = cached
+        return cached
+
+    def system(
+        self,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> SystemConfig:
+        """A Table-2 system with the requested L1 associativity and core."""
+        key = (associativity, core_kind)
+        cached = self._systems.get(key)
+        if cached is None:
+            geometry = CacheGeometry(self.l1_capacity_bytes, associativity)
+            cached = SystemConfig(core=CoreConfig(kind=core_kind), l1d=geometry, l1i=geometry)
+            self._systems[key] = cached
+        return cached
+
+    def simulator(
+        self,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> Simulator:
+        """A (memoised) simulator for the requested system."""
+        key = (associativity, core_kind)
+        cached = self._simulators.get(key)
+        if cached is None:
+            cached = Simulator(self.system(associativity, core_kind), self.technology, self.timing)
+            self._simulators[key] = cached
+        return cached
+
+    def organization(self, name: str, associativity: int = 2) -> ResizingOrganization:
+        """A (memoised) organization for the 32K L1 of the given associativity."""
+        key = (name, associativity)
+        cached = self._organizations.get(key)
+        if cached is None:
+            try:
+                factory = _ORGANIZATIONS[name]
+            except KeyError as exc:
+                known = ", ".join(sorted(_ORGANIZATIONS))
+                raise ConfigurationError(
+                    f"unknown organization {name!r}; known organizations: {known}"
+                ) from exc
+            cached = factory(CacheGeometry(self.l1_capacity_bytes, associativity))
+            self._organizations[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------- runs
+    def baseline(
+        self,
+        application: str,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> SimulationResult:
+        """The non-resizable baseline run for (application, associativity, core)."""
+        key = (application, associativity, core_kind)
+        cached = self._baselines.get(key)
+        if cached is None:
+            cached = run_baseline(
+                self.simulator(associativity, core_kind),
+                self.trace(application),
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+            )
+            self._baselines[key] = cached
+        return cached
+
+    def static_profile(
+        self,
+        application: str,
+        organization_name: str,
+        target: str = DCACHE,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> StaticProfile:
+        """Profiling sweep of one organization on one cache of one application."""
+        key = (application, organization_name, target, associativity, core_kind)
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = profile_static(
+                self.simulator(associativity, core_kind),
+                self.trace(application),
+                self.organization(organization_name, associativity),
+                target=target,
+                baseline=self.baseline(application, associativity, core_kind),
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+                max_slowdown=self.max_slowdown,
+            )
+            self._profiles[key] = cached
+        return cached
+
+    def dynamic_run(
+        self,
+        application: str,
+        organization_name: str,
+        target: str = DCACHE,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> SimulationResult:
+        """Miss-ratio-based dynamic resizing run with profiled parameters."""
+        key = (application, organization_name, target, associativity, core_kind)
+        cached = self._dynamic_runs.get(key)
+        if cached is None:
+            profile = self.static_profile(
+                application, organization_name, target, associativity, core_kind
+            )
+            parameters = profile.dynamic_parameters(
+                sense_interval_accesses=self.sense_interval_accesses,
+                miss_bound_factor=self.miss_bound_factor,
+            )
+            cached = run_dynamic(
+                self.simulator(associativity, core_kind),
+                self.trace(application),
+                self.organization(organization_name, associativity),
+                parameters,
+                target=target,
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+                initial_config=profile.best_config,
+            )
+            self._dynamic_runs[key] = cached
+        return cached
+
+    # ------------------------------------------------------------- convenience
+    def mean_over_applications(self, values: List[float]) -> float:
+        """Arithmetic mean used for every 'AVG.' column in the figures."""
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+#: Targets re-exported so experiment modules do not need to import sweep.
+D_CACHE = DCACHE
+I_CACHE = ICACHE

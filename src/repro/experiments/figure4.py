@@ -1,0 +1,103 @@
+"""Figure 4 — resizable cache organizations and energy-delay reductions.
+
+The paper's Figure 4 plots, for d-caches (a) and i-caches (b), the mean
+processor energy-delay reduction achieved by *static* selective-ways and
+selective-sets resizing for base caches of 2-, 4-, 8- and 16-way
+set-associativity (32K, 1K subarrays, out-of-order core).  The headline
+shape: selective-sets wins at associativity <= 4 (peaking at 4-way),
+selective-ways wins at 8-way and above because selective-sets runs out of
+resizing granularity there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.context import (
+    D_CACHE,
+    I_CACHE,
+    SELECTIVE_SETS,
+    SELECTIVE_WAYS,
+    ExperimentContext,
+)
+
+#: Associativities shown on the figure's x axis.
+ASSOCIATIVITIES: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+@dataclass
+class Figure4Result:
+    """Mean energy-delay reductions per (cache, organization, associativity)."""
+
+    #: reductions[(target, organization_name, associativity)] -> mean percent.
+    reductions: Dict[Tuple[str, str, int], float] = field(default_factory=dict)
+    #: per_application[(target, organization_name, associativity)] -> {app: percent}.
+    per_application: Dict[Tuple[str, str, int], Dict[str, float]] = field(default_factory=dict)
+    associativities: Tuple[int, ...] = ASSOCIATIVITIES
+
+    def mean_reduction(self, target: str, organization: str, associativity: int) -> float:
+        """Mean energy-delay reduction (%) for one bar of the figure."""
+        return self.reductions[(target, organization, associativity)]
+
+    def rows(self) -> List[dict]:
+        """One row per bar of the figure."""
+        return [
+            {
+                "cache": target,
+                "organization": organization,
+                "associativity": associativity,
+                "energy_delay_reduction_percent": value,
+            }
+            for (target, organization, associativity), value in sorted(self.reductions.items())
+        ]
+
+    def crossover_summary(self) -> Dict[str, Dict[int, str]]:
+        """Which organization wins at each associativity, per cache."""
+        summary: Dict[str, Dict[int, str]] = {}
+        for target in (D_CACHE, I_CACHE):
+            summary[target] = {}
+            for associativity in self.associativities:
+                ways = self.reductions[(target, SELECTIVE_WAYS, associativity)]
+                sets = self.reductions[(target, SELECTIVE_SETS, associativity)]
+                summary[target][associativity] = (
+                    SELECTIVE_SETS if sets >= ways else SELECTIVE_WAYS
+                )
+        return summary
+
+    def format_table(self) -> str:
+        """Text rendering mirroring the figure's two panels."""
+        lines = ["Figure 4 — organizations and energy-delay reductions (static resizing)"]
+        for target, title in ((D_CACHE, "(a) D-Cache"), (I_CACHE, "(b) I-Cache")):
+            lines.append("")
+            lines.append(title)
+            header = f"{'organization':<16}" + "".join(
+                f"{assoc:>8}-way" for assoc in self.associativities
+            )
+            lines.append(header)
+            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
+                cells = "".join(
+                    f"{self.reductions[(target, organization, assoc)]:>11.1f}%"
+                    for assoc in self.associativities
+                )
+                lines.append(f"{organization:<16}{cells}")
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext | None = None) -> Figure4Result:
+    """Regenerate Figure 4 (both panels) with the context's parameters."""
+    context = context if context is not None else ExperimentContext()
+    result = Figure4Result()
+    for associativity in ASSOCIATIVITIES:
+        for target in (D_CACHE, I_CACHE):
+            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
+                per_app: Dict[str, float] = {}
+                for application in context.applications:
+                    profile = context.static_profile(
+                        application, organization, target=target, associativity=associativity
+                    )
+                    per_app[application] = profile.energy_delay_reduction()
+                key = (target, organization, associativity)
+                result.per_application[key] = per_app
+                result.reductions[key] = context.mean_over_applications(list(per_app.values()))
+    return result

@@ -1,0 +1,133 @@
+"""Figure 5 — per-application comparison of selective-ways and selective-sets.
+
+The paper's Figure 5 drills into 32K 4-way L1 caches (a reasonable
+granularity point for both organizations) and shows, per application, the
+reduction in average cache size and the reduction in processor energy-delay
+for static selective-ways and selective-sets resizing — d-caches in panel
+(a), i-caches in panel (b), with the average appended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments.context import (
+    D_CACHE,
+    I_CACHE,
+    SELECTIVE_SETS,
+    SELECTIVE_WAYS,
+    ExperimentContext,
+)
+
+
+@dataclass
+class ApplicationComparison:
+    """Figure 5 numbers for one application and one cache."""
+
+    application: str
+    ways_size_reduction: float
+    ways_energy_delay_reduction: float
+    sets_size_reduction: float
+    sets_energy_delay_reduction: float
+    ways_config: str = ""
+    sets_config: str = ""
+
+    @property
+    def sets_wins(self) -> bool:
+        """True when selective-sets achieves the better energy-delay reduction."""
+        return self.sets_energy_delay_reduction >= self.ways_energy_delay_reduction
+
+
+@dataclass
+class Figure5Result:
+    """Per-application detail for the 4-way comparison."""
+
+    associativity: int
+    dcache: List[ApplicationComparison] = field(default_factory=list)
+    icache: List[ApplicationComparison] = field(default_factory=list)
+
+    def panel(self, target: str) -> List[ApplicationComparison]:
+        """The list of per-application rows for one panel."""
+        return self.dcache if target == D_CACHE else self.icache
+
+    def average(self, target: str) -> ApplicationComparison:
+        """The figure's AVG. entry for one panel."""
+        rows = self.panel(target)
+        count = max(1, len(rows))
+        return ApplicationComparison(
+            application="AVG.",
+            ways_size_reduction=sum(r.ways_size_reduction for r in rows) / count,
+            ways_energy_delay_reduction=sum(r.ways_energy_delay_reduction for r in rows) / count,
+            sets_size_reduction=sum(r.sets_size_reduction for r in rows) / count,
+            sets_energy_delay_reduction=sum(r.sets_energy_delay_reduction for r in rows) / count,
+        )
+
+    def sets_win_count(self, target: str) -> int:
+        """How many applications prefer selective-sets in the given panel."""
+        return sum(1 for row in self.panel(target) if row.sets_wins)
+
+    def rows(self) -> List[dict]:
+        """Flat rows for both panels (the AVG. rows included)."""
+        flat = []
+        for target in (D_CACHE, I_CACHE):
+            for row in self.panel(target) + [self.average(target)]:
+                flat.append(
+                    {
+                        "cache": target,
+                        "application": row.application,
+                        "ways_size_reduction": row.ways_size_reduction,
+                        "ways_ed_reduction": row.ways_energy_delay_reduction,
+                        "sets_size_reduction": row.sets_size_reduction,
+                        "sets_ed_reduction": row.sets_energy_delay_reduction,
+                    }
+                )
+        return flat
+
+    def format_table(self) -> str:
+        """Text rendering mirroring the figure's two panels."""
+        lines = [
+            f"Figure 5 — selective-ways vs selective-sets for {self.associativity}-way caches",
+        ]
+        for target, title in ((D_CACHE, "(a) D-Cache"), (I_CACHE, "(b) I-Cache")):
+            lines.append("")
+            lines.append(title)
+            lines.append(
+                f"{'application':<12}{'ways size%':>12}{'ways E·D%':>12}"
+                f"{'sets size%':>12}{'sets E·D%':>12}"
+            )
+            for row in self.panel(target) + [self.average(target)]:
+                lines.append(
+                    f"{row.application:<12}{row.ways_size_reduction:>12.1f}"
+                    f"{row.ways_energy_delay_reduction:>12.1f}"
+                    f"{row.sets_size_reduction:>12.1f}"
+                    f"{row.sets_energy_delay_reduction:>12.1f}"
+                )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext | None = None, associativity: int = 4) -> Figure5Result:
+    """Regenerate Figure 5 (default: the paper's 4-way configuration)."""
+    context = context if context is not None else ExperimentContext()
+    result = Figure5Result(associativity=associativity)
+    for target in (D_CACHE, I_CACHE):
+        panel = result.panel(target)
+        for application in context.applications:
+            ways_profile = context.static_profile(
+                application, SELECTIVE_WAYS, target=target, associativity=associativity
+            )
+            sets_profile = context.static_profile(
+                application, SELECTIVE_SETS, target=target, associativity=associativity
+            )
+            panel.append(
+                ApplicationComparison(
+                    application=application,
+                    ways_size_reduction=ways_profile.size_reduction(),
+                    ways_energy_delay_reduction=ways_profile.energy_delay_reduction(),
+                    sets_size_reduction=sets_profile.size_reduction(),
+                    sets_energy_delay_reduction=sets_profile.energy_delay_reduction(),
+                    ways_config=ways_profile.best_config.label,
+                    sets_config=sets_profile.best_config.label,
+                )
+            )
+    return result

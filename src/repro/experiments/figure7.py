@@ -1,0 +1,163 @@
+"""Figure 7 — d-cache static vs dynamic resizing on two processor types.
+
+Figure 7 compares the static and the miss-ratio based dynamic resizing
+strategies for a 2-way selective-sets d-cache on (a) an in-order issue
+engine with a blocking d-cache — where every data-miss sits on the critical
+path — and (b) the base out-of-order engine with a non-blocking d-cache.
+Panel rows report, per application, the reduction in average d-cache size
+and in processor energy-delay.  The paper's findings: dynamic resizing wins
+clearly when miss latency is exposed (in-order/blocking) and the working set
+varies; with the out-of-order engine static resizing is nearly as good
+because misses are cheap enough that it can downsize aggressively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.config import CoreKind
+from repro.experiments.context import D_CACHE, SELECTIVE_SETS, ExperimentContext
+
+CORE_KINDS = (CoreKind.IN_ORDER_BLOCKING, CoreKind.OUT_OF_ORDER_NONBLOCKING)
+
+
+@dataclass
+class StrategyComparison:
+    """Static vs dynamic numbers for one application on one core type."""
+
+    application: str
+    static_size_reduction: float
+    static_energy_delay_reduction: float
+    dynamic_size_reduction: float
+    dynamic_energy_delay_reduction: float
+    static_config: str = ""
+    dynamic_resizes: int = 0
+
+    @property
+    def dynamic_size_gap(self) -> float:
+        """Extra average-size reduction dynamic resizing achieves (percentage points)."""
+        return self.dynamic_size_reduction - self.static_size_reduction
+
+    @property
+    def dynamic_energy_delay_gap(self) -> float:
+        """Extra energy-delay reduction dynamic resizing achieves (percentage points)."""
+        return self.dynamic_energy_delay_reduction - self.static_energy_delay_reduction
+
+
+@dataclass
+class StrategyFigureResult:
+    """Shared result structure for Figures 7 (d-cache) and 8 (i-cache)."""
+
+    target: str
+    organization: str
+    panels: Dict[CoreKind, List[StrategyComparison]] = field(default_factory=dict)
+
+    def panel(self, core_kind: CoreKind) -> List[StrategyComparison]:
+        """Per-application rows for one processor configuration."""
+        return self.panels[core_kind]
+
+    def average(self, core_kind: CoreKind) -> StrategyComparison:
+        """The AVG. entry of one panel."""
+        rows = self.panels[core_kind]
+        count = max(1, len(rows))
+        return StrategyComparison(
+            application="AVG.",
+            static_size_reduction=sum(r.static_size_reduction for r in rows) / count,
+            static_energy_delay_reduction=sum(r.static_energy_delay_reduction for r in rows) / count,
+            dynamic_size_reduction=sum(r.dynamic_size_reduction for r in rows) / count,
+            dynamic_energy_delay_reduction=sum(r.dynamic_energy_delay_reduction for r in rows)
+            / count,
+        )
+
+    def rows(self) -> List[dict]:
+        """Flat rows for both panels (AVG. included)."""
+        flat = []
+        for core_kind, rows in self.panels.items():
+            for row in rows + [self.average(core_kind)]:
+                flat.append(
+                    {
+                        "core": core_kind.value,
+                        "application": row.application,
+                        "static_size_reduction": row.static_size_reduction,
+                        "static_ed_reduction": row.static_energy_delay_reduction,
+                        "dynamic_size_reduction": row.dynamic_size_reduction,
+                        "dynamic_ed_reduction": row.dynamic_energy_delay_reduction,
+                    }
+                )
+        return flat
+
+    def format_table(self) -> str:
+        """Text rendering mirroring the figure's two panels."""
+        cache_name = "D-cache" if self.target == D_CACHE else "I-cache"
+        lines = [f"{cache_name} static vs dynamic resizing ({self.organization}, 2-way)"]
+        titles = {
+            CoreKind.IN_ORDER_BLOCKING: "(a) In-order issue engine with blocking d-cache",
+            CoreKind.OUT_OF_ORDER_NONBLOCKING: "(b) Out-of-order issue engine with nonblocking d-cache",
+        }
+        for core_kind in self.panels:
+            lines.append("")
+            lines.append(titles[core_kind])
+            lines.append(
+                f"{'application':<12}{'stat size%':>12}{'stat E·D%':>12}"
+                f"{'dyn size%':>12}{'dyn E·D%':>12}"
+            )
+            for row in self.panels[core_kind] + [self.average(core_kind)]:
+                lines.append(
+                    f"{row.application:<12}{row.static_size_reduction:>12.1f}"
+                    f"{row.static_energy_delay_reduction:>12.1f}"
+                    f"{row.dynamic_size_reduction:>12.1f}"
+                    f"{row.dynamic_energy_delay_reduction:>12.1f}"
+                )
+        return "\n".join(lines)
+
+
+def _compare_strategies(
+    context: ExperimentContext,
+    target: str,
+    associativity: int,
+    organization: str,
+) -> StrategyFigureResult:
+    """Shared implementation for Figures 7 and 8."""
+    result = StrategyFigureResult(target=target, organization=organization)
+    for core_kind in CORE_KINDS:
+        rows: List[StrategyComparison] = []
+        for application in context.applications:
+            profile = context.static_profile(
+                application, organization, target=target,
+                associativity=associativity, core_kind=core_kind,
+            )
+            dynamic = context.dynamic_run(
+                application, organization, target=target,
+                associativity=associativity, core_kind=core_kind,
+            )
+            baseline = context.baseline(application, associativity, core_kind)
+            if target == D_CACHE:
+                dynamic_size_reduction = dynamic.l1d_size_reduction()
+            else:
+                dynamic_size_reduction = dynamic.l1i_size_reduction()
+            rows.append(
+                StrategyComparison(
+                    application=application,
+                    static_size_reduction=profile.size_reduction(),
+                    static_energy_delay_reduction=profile.energy_delay_reduction(),
+                    dynamic_size_reduction=dynamic_size_reduction,
+                    dynamic_energy_delay_reduction=dynamic.energy_delay_reduction(baseline),
+                    static_config=profile.best_config.label,
+                    dynamic_resizes=(
+                        dynamic.l1d_resizes if target == D_CACHE else dynamic.l1i_resizes
+                    ),
+                )
+            )
+        result.panels[core_kind] = rows
+    return result
+
+
+def run(
+    context: ExperimentContext | None = None,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> StrategyFigureResult:
+    """Regenerate Figure 7 (d-cache, 2-way selective-sets by default)."""
+    context = context if context is not None else ExperimentContext()
+    return _compare_strategies(context, D_CACHE, associativity, organization)

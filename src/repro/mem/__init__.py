@@ -1,0 +1,13 @@
+"""Memory-system primitives: address arithmetic, cache blocks, main memory."""
+
+from repro.mem.address import AddressMapper, block_address, block_offset
+from repro.mem.block import CacheBlock
+from repro.mem.main_memory import MainMemory
+
+__all__ = [
+    "AddressMapper",
+    "block_address",
+    "block_offset",
+    "CacheBlock",
+    "MainMemory",
+]

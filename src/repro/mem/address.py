@@ -1,0 +1,82 @@
+"""Address arithmetic for set-associative caches.
+
+A physical address is split into (tag, index, offset) fields.  The
+:class:`AddressMapper` is the single place where that split is computed so
+that resizable caches — which change the number of index bits at run time —
+can recompute mappings consistently.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two, log2_int
+
+
+def block_address(address: int, block_bytes: int) -> int:
+    """Return the block-aligned address (address with the offset bits cleared)."""
+    return address & ~(block_bytes - 1)
+
+
+def block_offset(address: int, block_bytes: int) -> int:
+    """Return the byte offset of ``address`` within its block."""
+    return address & (block_bytes - 1)
+
+
+class AddressMapper:
+    """Maps addresses to (tag, set index) for a given cache shape.
+
+    The mapper is immutable; a resizable cache creates a new mapper whenever
+    the number of enabled sets changes.  Tags always include every address
+    bit above the *offset*, divided by the current number of sets — this is
+    equivalent to storing the largest tag the smallest configuration would
+    need, which is exactly what the paper says a selective-sets cache must do
+    (Section 2.1: the tag array must be as large as required by the smallest
+    offered size).
+    """
+
+    __slots__ = ("block_bytes", "num_sets", "_offset_bits", "_index_bits", "_set_mask")
+
+    def __init__(self, block_bytes: int, num_sets: int) -> None:
+        if not is_power_of_two(block_bytes):
+            raise ConfigurationError(f"block size must be a power of two, got {block_bytes}")
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(f"number of sets must be a power of two, got {num_sets}")
+        self.block_bytes = block_bytes
+        self.num_sets = num_sets
+        self._offset_bits = log2_int(block_bytes)
+        self._index_bits = log2_int(num_sets)
+        self._set_mask = num_sets - 1
+
+    def split(self, address: int) -> tuple:
+        """Return ``(tag, set_index)`` for an address."""
+        block = address >> self._offset_bits
+        return block >> self._index_bits, block & self._set_mask
+
+    def set_index(self, address: int) -> int:
+        """Return only the set index for an address."""
+        return (address >> self._offset_bits) & self._set_mask
+
+    def tag(self, address: int) -> int:
+        """Return only the tag for an address."""
+        return address >> (self._offset_bits + self._index_bits)
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Reconstruct the block-aligned address from a (tag, index) pair."""
+        return ((tag << self._index_bits) | set_index) << self._offset_bits
+
+    @property
+    def index_bits(self) -> int:
+        """Number of index bits used by this mapping."""
+        return self._index_bits
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of block-offset bits."""
+        return self._offset_bits
+
+    def tag_bits(self, address_bits: int = 32) -> int:
+        """Number of tag bits for the given address width."""
+        return max(0, address_bits - self._index_bits - self._offset_bits)
+
+    def __repr__(self) -> str:
+        return f"AddressMapper(block={self.block_bytes}, sets={self.num_sets})"

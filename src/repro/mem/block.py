@@ -1,0 +1,33 @@
+"""Cache block (line) state."""
+
+from __future__ import annotations
+
+
+class CacheBlock:
+    """State of one cache block frame.
+
+    Only the metadata the simulator needs is kept — the actual data payload
+    is irrelevant for miss-count and energy accounting, so it is not stored.
+
+    Attributes:
+        address: block-aligned physical address currently cached.
+        dirty: True when the block has been written since it was filled.
+    """
+
+    __slots__ = ("address", "dirty")
+
+    def __init__(self, address: int, dirty: bool = False) -> None:
+        self.address = address
+        self.dirty = dirty
+
+    def mark_dirty(self) -> None:
+        """Mark the block as modified."""
+        self.dirty = True
+
+    def mark_clean(self) -> None:
+        """Clear the modified flag (after a writeback)."""
+        self.dirty = False
+
+    def __repr__(self) -> str:
+        state = "dirty" if self.dirty else "clean"
+        return f"CacheBlock(0x{self.address:x}, {state})"

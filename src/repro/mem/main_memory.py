@@ -1,0 +1,48 @@
+"""Main-memory model.
+
+Main memory is the backing store below the L2 cache.  It never misses; it
+only contributes latency (Table 2: 80 cycles plus 5 cycles per 8 bytes
+transferred) and counts accesses for the energy model.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import MemoryConfig
+from repro.common.stats import StatGroup
+
+
+class MainMemory:
+    """Terminal level of the memory hierarchy."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config if config is not None else MemoryConfig()
+        self.stats = StatGroup("main_memory")
+        self._reads = self.stats.counter("reads")
+        self._writes = self.stats.counter("writes")
+        self._bytes_transferred = self.stats.counter("bytes_transferred")
+
+    def read_block(self, address: int, block_bytes: int) -> int:
+        """Service a block fill from memory; returns the latency in cycles."""
+        self._reads.increment()
+        self._bytes_transferred.increment(block_bytes)
+        return self.config.access_latency(block_bytes)
+
+    def write_block(self, address: int, block_bytes: int) -> int:
+        """Service a writeback to memory; returns the latency in cycles.
+
+        Writebacks are buffered in real systems and rarely stall the
+        processor; callers typically ignore the returned latency but the
+        access is still counted for energy purposes.
+        """
+        self._writes.increment()
+        self._bytes_transferred.increment(block_bytes)
+        return self.config.access_latency(block_bytes)
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of read and write block transfers."""
+        return self._reads.value + self._writes.value
+
+    def reset_stats(self) -> None:
+        """Clear all accumulated counters."""
+        self.stats.reset()

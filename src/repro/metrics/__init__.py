@@ -1,0 +1,24 @@
+"""Shared measurement types: activity counts, energy breakdowns, energy-delay.
+
+The timing models (:mod:`repro.cpu`), the energy models (:mod:`repro.energy`)
+and the simulator (:mod:`repro.sim`) all exchange data through the types in
+this package, which keeps those packages decoupled from one another.
+"""
+
+from repro.metrics.counts import IntervalCounts
+from repro.metrics.breakdown import EnergyBreakdown
+from repro.metrics.edp import (
+    energy_delay_product,
+    percent_reduction,
+    relative_energy_delay,
+    slowdown,
+)
+
+__all__ = [
+    "IntervalCounts",
+    "EnergyBreakdown",
+    "energy_delay_product",
+    "relative_energy_delay",
+    "percent_reduction",
+    "slowdown",
+]

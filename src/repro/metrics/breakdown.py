@@ -1,0 +1,63 @@
+"""Energy breakdown across processor structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (in nanojoules) attributed to each structure.
+
+    The paper reports energy for the *entire* processor so that resizing
+    side effects (extra L2 traffic, resizing tag bits, longer execution) are
+    all accounted for; this breakdown keeps the same structures separable so
+    the per-structure fractions can also be reported.
+    """
+
+    l1d: float = 0.0
+    l1i: float = 0.0
+    l2: float = 0.0
+    memory: float = 0.0
+    core: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total processor energy."""
+        return self.l1d + self.l1i + self.l2 + self.memory + self.core
+
+    def fraction(self, structure: str) -> float:
+        """Fraction of total energy dissipated in ``structure`` (by field name)."""
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        return getattr(self, structure) / total
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        """Accumulate another breakdown into this one (in place)."""
+        self.l1d += other.l1d
+        self.l1i += other.l1i
+        self.l2 += other.l2
+        self.memory += other.memory
+        self.core += other.core
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return EnergyBreakdown(
+            l1d=self.l1d * factor,
+            l1i=self.l1i * factor,
+            l2=self.l2 * factor,
+            memory=self.memory * factor,
+            core=self.core * factor,
+        )
+
+    def as_dict(self) -> dict:
+        """Export the breakdown (plus the total) as a dictionary."""
+        return {
+            "l1d": self.l1d,
+            "l1i": self.l1i,
+            "l2": self.l2,
+            "memory": self.memory,
+            "core": self.core,
+            "total": self.total,
+        }

@@ -1,0 +1,46 @@
+"""Energy-delay product helpers.
+
+The paper's headline metric is the processor's energy-delay product,
+normalised to the non-resizable cache of the same size and set-associativity
+and reported as a percentage reduction.
+"""
+
+from __future__ import annotations
+
+
+def energy_delay_product(energy: float, cycles: float) -> float:
+    """Energy-delay product (energy times execution time in cycles)."""
+    return energy * cycles
+
+
+def relative_energy_delay(energy: float, cycles: float, baseline_energy: float, baseline_cycles: float) -> float:
+    """Energy-delay of a configuration normalised to its baseline.
+
+    Values below 1.0 mean the resizable configuration improves on the
+    non-resizable cache of the same size and associativity.
+    """
+    baseline = energy_delay_product(baseline_energy, baseline_cycles)
+    if baseline <= 0.0:
+        return 0.0
+    return energy_delay_product(energy, cycles) / baseline
+
+
+def percent_reduction(value: float, baseline: float) -> float:
+    """Percentage reduction of ``value`` relative to ``baseline``.
+
+    Positive numbers mean improvement (smaller value); this is how every
+    figure in the paper reports energy-delay and cache-size reductions.
+    """
+    if baseline <= 0.0:
+        return 0.0
+    return (1.0 - value / baseline) * 100.0
+
+
+def slowdown(cycles: float, baseline_cycles: float) -> float:
+    """Fractional execution-time increase relative to the baseline.
+
+    0.03 means the configuration runs 3 % slower than the baseline.
+    """
+    if baseline_cycles <= 0.0:
+        return 0.0
+    return cycles / baseline_cycles - 1.0

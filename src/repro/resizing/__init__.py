@@ -1,0 +1,54 @@
+"""Resizable caches: organizations, the resizable cache itself, and strategies.
+
+This package is the paper's primary contribution area:
+
+* :mod:`repro.resizing.organization` — the notion of a resizing
+  *organization*, i.e. the spectrum of (ways, sets) configurations a cache
+  offers.
+* :mod:`repro.resizing.selective_ways` — Albonesi-style way masking.
+* :mod:`repro.resizing.selective_sets` — Yang-style set masking.
+* :mod:`repro.resizing.hybrid` — the paper's hybrid selective-sets-and-ways
+  organization (Table 1).
+* :mod:`repro.resizing.resizable_cache` — a cache whose enabled ways/sets can
+  change at run time, including the flush rules Section 2.1 describes.
+* :mod:`repro.resizing.strategy` / ``static_strategy`` / ``dynamic_strategy``
+  — the "when to resize" half of the design space (Section 2.2).
+* :mod:`repro.resizing.profiler` — offline selection of static sizes and of
+  the dynamic strategy's miss-bound / size-bound parameters.
+"""
+
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+from repro.resizing.selective_ways import SelectiveWays
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.masks import SetMask, WayMask
+from repro.resizing.resizable_cache import ResizableCache, ResizeOutcome
+from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.resizing.static_strategy import StaticResizing
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.profiler import (
+    DynamicParameters,
+    ProfilePoint,
+    derive_dynamic_parameters,
+    select_static_config,
+)
+
+__all__ = [
+    "SizeConfig",
+    "ResizingOrganization",
+    "SelectiveWays",
+    "SelectiveSets",
+    "HybridSetsAndWays",
+    "WayMask",
+    "SetMask",
+    "ResizableCache",
+    "ResizeOutcome",
+    "ResizingStrategy",
+    "NoResizing",
+    "StaticResizing",
+    "DynamicResizing",
+    "ProfilePoint",
+    "DynamicParameters",
+    "select_static_config",
+    "derive_dynamic_parameters",
+]

@@ -1,0 +1,90 @@
+"""Hybrid selective-sets-and-ways organization (the paper's proposal).
+
+The hybrid cache carries both a way-mask and a set-mask, so it can reach any
+(ways, sets) combination with ``ways`` between 1 and the full associativity
+and ``sets`` a power of two between one-subarray-per-way and the full set
+count.  Its size spectrum is therefore the union of the selective-ways and
+selective-sets spectra plus cross products neither offers alone (Table 1:
+a 32K 4-way cache with 1K subarrays offers 32K, 24K, 16K, 12K, 8K, 6K, 4K,
+3K, 2K and 1K).
+
+For a redundant size (one reachable with several associativities) the hybrid
+uses the highest associativity, "to minimize miss ratio and optimize the
+utilization of block frames" — that tie-break lives in
+:meth:`repro.resizing.organization.ResizingOrganization.ladder`, and this
+module additionally exposes the full lattice so the Table 1 reproduction can
+show every offered combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.units import format_size
+from repro.resizing.organization import ResizingOrganization, SizeConfig, make_config
+
+
+class HybridSetsAndWays(ResizingOrganization):
+    """Resizing with both a way-mask and a set-mask."""
+
+    name = "hybrid"
+
+    def _generate_configs(self) -> List[SizeConfig]:
+        geometry = self.geometry
+        configs = []
+        sets = geometry.num_sets
+        min_sets = geometry.min_sets
+        set_options = []
+        while sets >= min_sets and sets >= 1:
+            set_options.append(sets)
+            if sets == 1:
+                break
+            sets //= 2
+        for num_sets in set_options:
+            for ways in range(geometry.associativity, 0, -1):
+                configs.append(make_config(ways, num_sets, geometry.block_bytes))
+        return configs
+
+    def size_table(self) -> Dict[int, Dict[int, SizeConfig]]:
+        """The full lattice as ``{way_capacity: {ways: SizeConfig}}``.
+
+        Mirrors Table 1 of the paper: rows are the capacity of each way
+        (i.e. the enabled set count times the block size) and columns are the
+        enabled associativity.
+        """
+        table: Dict[int, Dict[int, SizeConfig]] = {}
+        for config in self.configs:
+            way_capacity = config.sets * self.geometry.block_bytes
+            table.setdefault(way_capacity, {})[config.ways] = config
+        return table
+
+    def format_size_table(self) -> str:
+        """Render the Table 1 lattice as aligned text, largest rows first."""
+        table = self.size_table()
+        ways_order = list(range(self.geometry.associativity, 0, -1))
+        header_cells = ["Size of each way"] + [
+            "dm" if ways == 1 else f"{ways}-way" for ways in ways_order
+        ]
+        rows: List[Tuple[str, ...]] = [tuple(header_cells)]
+        for way_capacity in sorted(table, reverse=True):
+            cells = [format_size(way_capacity)]
+            for ways in ways_order:
+                config = table[way_capacity].get(ways)
+                cells.append(format_size(config.capacity_bytes) if config else "-")
+            rows.append(tuple(cells))
+        widths = [max(len(row[column]) for row in rows) for column in range(len(rows[0]))]
+        lines = []
+        for row in rows:
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def redundant_sizes(self) -> Dict[int, List[SizeConfig]]:
+        """Capacities offered by more than one (ways, sets) combination."""
+        by_capacity: Dict[int, List[SizeConfig]] = {}
+        for config in self.configs:
+            by_capacity.setdefault(config.capacity_bytes, []).append(config)
+        return {
+            capacity: sorted(options, key=lambda config: config.ways, reverse=True)
+            for capacity, options in by_capacity.items()
+            if len(options) > 1
+        }

@@ -1,0 +1,108 @@
+"""Way and set masks.
+
+The hardware proposals express resizing as programmable masks: a *way-mask*
+with one bit per way (Figure 1) and a *set-mask* that selects how many index
+bits participate in set selection (Figure 2).  The simulator works directly
+with enabled counts, but the masks are modelled explicitly so that the
+hardware-facing representation (and its constraints, e.g. contiguous
+enabling) is captured and testable.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, ResizingError
+from repro.common.units import is_power_of_two, log2_int
+
+
+class WayMask:
+    """One enable bit per way; ways are enabled from way 0 upward."""
+
+    def __init__(self, total_ways: int, enabled_ways: int | None = None) -> None:
+        if total_ways < 1:
+            raise ConfigurationError(f"a cache needs at least one way, got {total_ways}")
+        self.total_ways = total_ways
+        self._enabled_ways = total_ways if enabled_ways is None else 0
+        if enabled_ways is not None:
+            self.set_enabled(enabled_ways)
+
+    @property
+    def enabled_ways(self) -> int:
+        """Number of ways currently enabled."""
+        return self._enabled_ways
+
+    def set_enabled(self, enabled_ways: int) -> None:
+        """Enable exactly ``enabled_ways`` ways (1 .. total)."""
+        if enabled_ways < 1 or enabled_ways > self.total_ways:
+            raise ResizingError(
+                f"enabled ways must be in [1, {self.total_ways}], got {enabled_ways}"
+            )
+        self._enabled_ways = enabled_ways
+
+    @property
+    def bits(self) -> tuple:
+        """The mask as a tuple of 0/1 bits, way 0 first."""
+        return tuple(1 if way < self._enabled_ways else 0 for way in range(self.total_ways))
+
+    def is_enabled(self, way: int) -> bool:
+        """True when ``way`` is enabled."""
+        if way < 0 or way >= self.total_ways:
+            raise ConfigurationError(f"way {way} out of range [0, {self.total_ways})")
+        return way < self._enabled_ways
+
+    def __repr__(self) -> str:
+        return f"WayMask({''.join(str(bit) for bit in self.bits)})"
+
+
+class SetMask:
+    """Selects how many index bits are used, i.e. how many sets are enabled.
+
+    The enabled set count must be a power of two between the minimum
+    (one subarray per way) and the full set count, matching the paper's
+    index-masking scheme.
+    """
+
+    def __init__(self, total_sets: int, min_sets: int, enabled_sets: int | None = None) -> None:
+        if not is_power_of_two(total_sets):
+            raise ConfigurationError(f"total sets must be a power of two, got {total_sets}")
+        if not is_power_of_two(min_sets) or min_sets > total_sets:
+            raise ConfigurationError(
+                f"minimum sets must be a power of two no larger than {total_sets}, got {min_sets}"
+            )
+        self.total_sets = total_sets
+        self.min_sets = min_sets
+        self._enabled_sets = total_sets
+        if enabled_sets is not None:
+            self.set_enabled(enabled_sets)
+
+    @property
+    def enabled_sets(self) -> int:
+        """Number of sets currently enabled."""
+        return self._enabled_sets
+
+    def set_enabled(self, enabled_sets: int) -> None:
+        """Enable exactly ``enabled_sets`` sets (a power of two in range)."""
+        if not is_power_of_two(enabled_sets):
+            raise ResizingError(f"enabled sets must be a power of two, got {enabled_sets}")
+        if enabled_sets < self.min_sets or enabled_sets > self.total_sets:
+            raise ResizingError(
+                f"enabled sets must be in [{self.min_sets}, {self.total_sets}], got {enabled_sets}"
+            )
+        self._enabled_sets = enabled_sets
+
+    @property
+    def masked_index_bits(self) -> int:
+        """Number of index bits masked out relative to the full-size cache."""
+        return log2_int(self.total_sets) - log2_int(self._enabled_sets)
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Extra tag bits the tag array must hold to support the smallest size.
+
+        Section 2.1: the tag array must be as large as required by the
+        smallest offered size, so the overhead is the number of index bits
+        that can be masked away in the worst case.
+        """
+        return log2_int(self.total_sets) - log2_int(self.min_sets)
+
+    def __repr__(self) -> str:
+        return f"SetMask(enabled={self._enabled_sets}/{self.total_sets}, min={self.min_sets})"

@@ -1,0 +1,165 @@
+"""Resizing organizations: the spectrum of sizes a resizable cache offers.
+
+An organization answers "which (ways, sets) configurations can this cache be
+resized to?".  The three concrete organizations — selective-ways,
+selective-sets and the hybrid — differ exactly in that spectrum, which is
+what Section 2.1 of the paper analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ResizingError
+from repro.common.units import format_size
+
+
+@dataclass(frozen=True, order=True)
+class SizeConfig:
+    """One point in an organization's resizing spectrum.
+
+    The dataclass orders by capacity (then associativity) so that sorting a
+    list of configurations sorts by size.
+
+    Attributes:
+        capacity_bytes: enabled data capacity.
+        ways: enabled associativity.
+        sets: enabled number of sets.
+    """
+
+    capacity_bytes: int
+    ways: int
+    sets: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"24K 3-way"``."""
+        suffix = "dm" if self.ways == 1 else f"{self.ways}-way"
+        return f"{format_size(self.capacity_bytes)} {suffix}"
+
+    def __repr__(self) -> str:
+        return f"SizeConfig({self.label})"
+
+
+def make_config(ways: int, sets: int, block_bytes: int) -> SizeConfig:
+    """Build a :class:`SizeConfig` from an enabled (ways, sets) pair."""
+    return SizeConfig(capacity_bytes=ways * sets * block_bytes, ways=ways, sets=sets)
+
+
+class ResizingOrganization:
+    """Base class for resizing organizations.
+
+    Subclasses implement :meth:`_generate_configs`; everything else
+    (navigation between adjacent sizes, lookups, tag-bit overhead) is shared.
+    """
+
+    #: short name used in reports, overridden by subclasses.
+    name = "organization"
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        configs = sorted(self._generate_configs(), reverse=True)
+        if not configs:
+            raise ResizingError(f"{self.name} offers no configurations for {geometry.describe()}")
+        self._configs: Tuple[SizeConfig, ...] = tuple(configs)
+        self._by_capacity = {}
+        for config in self._configs:
+            # Keep the highest-associativity configuration for a redundant
+            # size (the paper's tie-break for the hybrid organization).
+            existing = self._by_capacity.get(config.capacity_bytes)
+            if existing is None or config.ways > existing.ways:
+                self._by_capacity[config.capacity_bytes] = config
+
+    # ----------------------------------------------------------- to override
+    def _generate_configs(self) -> Sequence[SizeConfig]:
+        """Return every configuration the organization offers (any order)."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def configs(self) -> Tuple[SizeConfig, ...]:
+        """All offered configurations, largest first."""
+        return self._configs
+
+    @property
+    def distinct_sizes(self) -> List[int]:
+        """Distinct capacities offered, largest first."""
+        return sorted(self._by_capacity, reverse=True)
+
+    @property
+    def full_config(self) -> SizeConfig:
+        """The full-size (no resizing) configuration."""
+        return self._configs[0]
+
+    @property
+    def min_config(self) -> SizeConfig:
+        """The smallest offered configuration."""
+        return self._configs[-1]
+
+    def config_for_capacity(self, capacity_bytes: int) -> SizeConfig:
+        """Return the offered configuration with exactly this capacity.
+
+        For redundant sizes the highest-associativity option is returned
+        (Table 1's tie-break).  Raises :class:`ResizingError` if the capacity
+        is not offered.
+        """
+        config = self._by_capacity.get(capacity_bytes)
+        if config is None:
+            offered = ", ".join(format_size(size) for size in self.distinct_sizes)
+            raise ResizingError(
+                f"{self.name} does not offer {format_size(capacity_bytes)}; offered sizes: {offered}"
+            )
+        return config
+
+    def next_smaller(self, config: SizeConfig) -> Optional[SizeConfig]:
+        """The next configuration down the resizing ladder (None at the bottom)."""
+        ladder = self.ladder()
+        try:
+            position = ladder.index(config)
+        except ValueError as exc:
+            raise ResizingError(f"{config!r} is not offered by {self.name}") from exc
+        if position + 1 >= len(ladder):
+            return None
+        return ladder[position + 1]
+
+    def next_larger(self, config: SizeConfig) -> Optional[SizeConfig]:
+        """The next configuration up the resizing ladder (None at the top)."""
+        ladder = self.ladder()
+        try:
+            position = ladder.index(config)
+        except ValueError as exc:
+            raise ResizingError(f"{config!r} is not offered by {self.name}") from exc
+        if position == 0:
+            return None
+        return ladder[position - 1]
+
+    def ladder(self) -> List[SizeConfig]:
+        """The resizing ladder: one configuration per distinct size, largest first.
+
+        Redundant sizes collapse to their highest-associativity option, which
+        is the path Table 1 describes for the hybrid organization and is a
+        no-op for the two basic organizations.
+        """
+        return [self._by_capacity[size] for size in self.distinct_sizes]
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Extra tag bits required to support the smallest offered set count."""
+        full_sets = self.geometry.num_sets
+        min_sets = min(config.sets for config in self._configs)
+        extra = 0
+        sets = min_sets
+        while sets < full_sets:
+            sets *= 2
+            extra += 1
+        return extra
+
+    def contains(self, config: SizeConfig) -> bool:
+        """True when the organization offers exactly this configuration."""
+        return config in self._configs
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(config.label for config in self.ladder())
+        return f"{type(self).__name__}({self.geometry.describe()}: {sizes})"

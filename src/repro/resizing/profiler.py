@@ -1,0 +1,148 @@
+"""Offline profiling used by both resizing strategies.
+
+Static resizing needs one profiled size per (application, cache,
+organization); the dynamic framework needs a miss-bound and a size-bound.
+Both are "extracted offline through profiling" in the paper.  The functions
+here implement the *selection* logic over profiling results; actually
+producing the profiling runs is the simulator's job
+(:mod:`repro.sim.sweep`), which keeps this module free of any simulator
+dependency and easy to test with hand-built numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.resizing.organization import SizeConfig
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """Result of profiling one candidate configuration.
+
+    Attributes:
+        config: the candidate (ways, sets) configuration.
+        energy: total processor energy for the profiling run (arbitrary units).
+        cycles: execution time of the profiling run in cycles.
+        l1_accesses: L1 accesses made by the resized cache during the run.
+        l1_misses: L1 misses during the run.
+    """
+
+    config: SizeConfig
+    energy: float
+    cycles: float
+    l1_accesses: int = 0
+    l1_misses: int = 0
+
+    @property
+    def energy_delay(self) -> float:
+        """Energy-delay product for this candidate."""
+        return self.energy * self.cycles
+
+    @property
+    def miss_ratio(self) -> float:
+        """L1 miss ratio observed during profiling."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.l1_misses / self.l1_accesses
+
+
+@dataclass(frozen=True)
+class DynamicParameters:
+    """Profiled parameters for the miss-ratio based dynamic framework."""
+
+    miss_bound: float
+    size_bound_bytes: int
+    sense_interval_accesses: int
+
+
+def select_static_config(
+    points: Sequence[ProfilePoint],
+    baseline_cycles: Optional[float] = None,
+    max_slowdown: Optional[float] = None,
+) -> ProfilePoint:
+    """Pick the static configuration with the lowest energy-delay product.
+
+    The paper reports "the lowest energy-delay product achieved for each
+    application regardless of the performance degradation" (all of which end
+    up within 6 %); passing ``max_slowdown`` (e.g. ``0.06``) and the
+    baseline's cycle count restricts the choice to candidates within that
+    slowdown, which is how a deployment would bound worst-case impact.
+
+    Args:
+        points: one :class:`ProfilePoint` per offered configuration.
+        baseline_cycles: cycle count of the non-resizable baseline.
+        max_slowdown: maximum tolerated fractional slowdown vs the baseline.
+
+    Returns:
+        The chosen profile point (so callers can also read its energy/cycles).
+    """
+    if not points:
+        raise ConfigurationError("cannot select a static configuration from an empty profile")
+    candidates = list(points)
+    if max_slowdown is not None:
+        if baseline_cycles is None:
+            raise ConfigurationError("max_slowdown requires baseline_cycles")
+        limit = baseline_cycles * (1.0 + max_slowdown)
+        bounded = [point for point in candidates if point.cycles <= limit]
+        if bounded:
+            candidates = bounded
+    best = min(candidates, key=lambda point: (point.energy_delay, -point.config.capacity_bytes))
+    return best
+
+
+def derive_dynamic_parameters(
+    points: Sequence[ProfilePoint],
+    sense_interval_accesses: int = 16384,
+    miss_bound_factor: float = 1.5,
+    slack: float = 0.01,
+    size_bound_miss_allowance: float = 0.02,
+    baseline_cycles: Optional[float] = None,
+    max_slowdown: Optional[float] = None,
+) -> DynamicParameters:
+    """Derive the dynamic framework's miss-bound and size-bound from a profile.
+
+    * The **miss-bound** is derived from the miss ratio the application shows
+      at its *statically selected* size — the size the application is known
+      to tolerate — scaled by ``miss_bound_factor`` plus a small absolute
+      ``slack``.  Intervals that miss noticeably more than that are evidence
+      the current size is too small (upsize); intervals at or below it are
+      safe to shrink.  Anchoring the bound at the tolerated size (rather
+      than at the full size) keeps the controller stable once it has settled
+      there instead of ping-ponging around its own equilibrium.
+    * The **size-bound** prevents thrashing: the smallest offered capacity
+      whose *whole-run* profiled miss ratio stays within
+      ``size_bound_miss_allowance`` of the full-size miss ratio.  Unlike the
+      statically selected size, this floor deliberately allows the dynamic
+      controller to drop below the static choice during low-demand phases —
+      that is where dynamic resizing earns its advantage — while keeping
+      clearly-thrashing sizes (e.g. half of a streaming working set) out of
+      reach.  It is never larger than the statically selected size.
+    """
+    if not points:
+        raise ConfigurationError("cannot derive dynamic parameters from an empty profile")
+    full = max(points, key=lambda point: point.config.capacity_bytes)
+    full_miss_ratio = full.miss_ratio
+    best = select_static_config(
+        points, baseline_cycles=baseline_cycles, max_slowdown=max_slowdown
+    )
+    anchor_miss_ratio = max(best.miss_ratio, full_miss_ratio)
+    miss_bound = (anchor_miss_ratio * miss_bound_factor + slack) * sense_interval_accesses
+
+    tolerated = [
+        point
+        for point in points
+        if point.miss_ratio <= full_miss_ratio + size_bound_miss_allowance
+    ]
+    if tolerated:
+        size_bound = min(point.config.capacity_bytes for point in tolerated)
+    else:
+        size_bound = best.config.capacity_bytes
+    size_bound = min(size_bound, best.config.capacity_bytes)
+    return DynamicParameters(
+        miss_bound=miss_bound,
+        size_bound_bytes=size_bound,
+        sense_interval_accesses=sense_interval_accesses,
+    )

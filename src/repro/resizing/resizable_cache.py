@@ -1,0 +1,273 @@
+"""A cache whose enabled ways and sets can change at run time.
+
+:class:`ResizableCache` exposes the same access interface as
+:class:`repro.cache.cache.Cache` so it can slot into the hierarchy
+transparently, and adds :meth:`resize_to`, which applies the flush rules of
+Section 2.1:
+
+* disabling ways — dirty blocks in the disabled ways are written back;
+* disabling sets — blocks in the disabled sets are flushed (dirty ones
+  written back);
+* enabling sets — blocks whose set mapping changes under the new index are
+  flushed, clean or dirty, because the lookup would no longer find them;
+* enabling ways — nothing needs to be flushed.
+
+The physical arrays are always allocated at the full geometry; resizing only
+changes which portion the index/way masks allow the cache to use, exactly as
+the hardware proposals do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.cache import AccessResult, CacheStats
+from repro.cache.cache_set import CacheSet, make_selector
+from repro.cache.replacement import ReplacementPolicy
+from repro.cache.subarray import SubarrayMap, SubarrayState
+from repro.common.config import CacheGeometry
+from repro.common.errors import ResizingError
+from repro.mem.address import AddressMapper, block_address
+from repro.mem.block import CacheBlock
+from repro.resizing.masks import SetMask, WayMask
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+
+
+class ResizeOutcome:
+    """What a resize did to the cache contents.
+
+    Attributes:
+        previous: configuration before the resize.
+        current: configuration after the resize.
+        writeback_addresses: dirty blocks that must be written back to L2.
+        discarded_blocks: number of clean blocks dropped.
+    """
+
+    __slots__ = ("previous", "current", "writeback_addresses", "discarded_blocks")
+
+    def __init__(
+        self,
+        previous: SizeConfig,
+        current: SizeConfig,
+        writeback_addresses: List[int],
+        discarded_blocks: int,
+    ) -> None:
+        self.previous = previous
+        self.current = current
+        self.writeback_addresses = writeback_addresses
+        self.discarded_blocks = discarded_blocks
+
+    @property
+    def changed(self) -> bool:
+        """True when the resize actually changed the configuration."""
+        return self.previous != self.current
+
+    def __repr__(self) -> str:
+        return (
+            f"ResizeOutcome({self.previous.label} -> {self.current.label}, "
+            f"writebacks={len(self.writeback_addresses)}, discarded={self.discarded_blocks})"
+        )
+
+
+class ResizableCache:
+    """Write-back, write-allocate cache with run-time resizing."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        organization: ResizingOrganization,
+        replacement: ReplacementPolicy = ReplacementPolicy.LRU,
+        name: str = "resizable-cache",
+    ) -> None:
+        if organization.geometry != geometry:
+            raise ResizingError(
+                "organization was built for a different geometry: "
+                f"{organization.geometry.describe()} vs {geometry.describe()}"
+            )
+        self.geometry = geometry
+        self.organization = organization
+        self.name = name
+        self.replacement = ReplacementPolicy.parse(replacement)
+        self._selector = make_selector(self.replacement)
+        self._sets: List[CacheSet] = [
+            CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
+        ]
+        self._subarray_map = SubarrayMap(geometry)
+        self.way_mask = WayMask(geometry.associativity)
+        self.set_mask = SetMask(geometry.num_sets, min_sets=min(c.sets for c in organization.configs))
+        self._current = organization.full_config
+        self._mapper = AddressMapper(geometry.block_bytes, self._current.sets)
+        self.stats = CacheStats()
+        self.resize_count = 0
+        self.flush_writebacks = 0
+        self.flushed_blocks = 0
+
+    # ------------------------------------------------------------------ access
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform a load or store access against the enabled portion."""
+        stats = self.stats
+        stats.accesses += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        tag, index = self._mapper.split(address)
+        cache_set = self._sets[index]
+        block = cache_set.lookup(tag)
+        if block is not None:
+            stats.hits += 1
+            if is_write:
+                block.dirty = True
+            return AccessResult(hit=True)
+
+        stats.misses += 1
+        if is_write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+
+        new_block = CacheBlock(block_address(address, self.geometry.block_bytes), dirty=is_write)
+        victim = cache_set.fill(tag, new_block)
+        stats.fills += 1
+        writeback_address = None
+        if victim is not None and victim.dirty:
+            stats.writebacks += 1
+            writeback_address = victim.address
+        return AccessResult(hit=False, writeback_address=writeback_address, filled=True)
+
+    def probe(self, address: int) -> bool:
+        """Return True when ``address`` is resident, without updating LRU state."""
+        tag, index = self._mapper.split(address)
+        return self._sets[index].probe(tag) is not None
+
+    def flush_all(self) -> List[int]:
+        """Invalidate every enabled block; returns dirty block addresses."""
+        dirty: List[int] = []
+        for cache_set in self._sets:
+            for block in cache_set.drain():
+                self.stats.invalidations += 1
+                if block.dirty:
+                    self.stats.writebacks += 1
+                    dirty.append(block.address)
+        return dirty
+
+    # ------------------------------------------------------------------ resize
+    def resize_to(self, target: SizeConfig) -> ResizeOutcome:
+        """Resize the cache to ``target``, applying the Section 2.1 flush rules."""
+        if not self.organization.contains(target):
+            raise ResizingError(
+                f"{self.organization.name} does not offer {target.label} "
+                f"for {self.geometry.describe()}"
+            )
+        previous = self._current
+        if target == previous:
+            return ResizeOutcome(previous, target, [], 0)
+
+        writebacks: List[int] = []
+        discarded = 0
+
+        old_sets = previous.sets
+        new_sets = target.sets
+
+        if new_sets < old_sets:
+            # Disabling sets: every block in a disabled set leaves the cache.
+            for index in range(new_sets, old_sets):
+                for block in self._sets[index].drain():
+                    if block.dirty:
+                        writebacks.append(block.address)
+                    else:
+                        discarded += 1
+        elif new_sets > old_sets:
+            # Enabling sets: blocks whose index changes under the wider index
+            # field would become unreachable, so they are flushed.
+            new_mapper = AddressMapper(self.geometry.block_bytes, new_sets)
+            for index in range(old_sets):
+                cache_set = self._sets[index]
+                stale_tags = [
+                    tag
+                    for tag, block in cache_set.residents()
+                    if new_mapper.set_index(block.address) != index
+                ]
+                for tag in stale_tags:
+                    block = cache_set.invalidate(tag)
+                    if block is None:
+                        continue
+                    if block.dirty:
+                        writebacks.append(block.address)
+                    else:
+                        discarded += 1
+
+        # Adjust associativity on every physical set (disabled sets are empty).
+        if target.ways != previous.ways:
+            for cache_set in self._sets:
+                for block in cache_set.set_capacity(target.ways):
+                    if block.dirty:
+                        writebacks.append(block.address)
+                    else:
+                        discarded += 1
+
+        self._current = target
+        self._mapper = AddressMapper(self.geometry.block_bytes, new_sets)
+        self.way_mask.set_enabled(target.ways)
+        self.set_mask.set_enabled(new_sets)
+
+        self.resize_count += 1
+        self.flush_writebacks += len(writebacks)
+        self.flushed_blocks += len(writebacks) + discarded
+        self.stats.writebacks += len(writebacks)
+        self.stats.invalidations += len(writebacks) + discarded
+        return ResizeOutcome(previous, target, writebacks, discarded)
+
+    # ------------------------------------------------------------ introspection
+    @property
+    def current_config(self) -> SizeConfig:
+        """The currently enabled (ways, sets) configuration."""
+        return self._current
+
+    @property
+    def current_capacity_bytes(self) -> int:
+        """Enabled capacity in bytes."""
+        return self._current.capacity_bytes
+
+    @property
+    def associativity(self) -> int:
+        """Currently enabled associativity."""
+        return self._current.ways
+
+    @property
+    def num_sets(self) -> int:
+        """Currently enabled number of sets."""
+        return self._current.sets
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Full (physical) capacity in bytes."""
+        return self.geometry.capacity_bytes
+
+    @property
+    def subarray_state(self) -> SubarrayState:
+        """Enabled/total subarray counts for the current configuration."""
+        return self._subarray_map.subarrays_for(self._current.ways, self._current.sets)
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Extra tag bits carried to support the smallest offered size."""
+        return self.organization.resizing_tag_bits
+
+    def resident_blocks(self) -> int:
+        """Total number of valid blocks currently resident."""
+        return sum(cache_set.occupancy for cache_set in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero all access and resize counters without touching contents."""
+        self.stats.reset()
+        self.resize_count = 0
+        self.flush_writebacks = 0
+        self.flushed_blocks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResizableCache({self.name}, {self.geometry.describe()}, "
+            f"{self.organization.name}, now {self._current.label})"
+        )

@@ -1,0 +1,34 @@
+"""Selective-sets organization (Yang et al., HPCA 2001).
+
+Selective-sets enables or disables cache sets by masking index bits
+(Figure 2 of the paper).  Its size spectrum is the powers of two between the
+full size and one subarray per way, so a 32K 4-way cache with 1K subarrays
+offers 32K, 16K, 8K and 4K.  The organization preserves associativity as it
+shrinks — valuable for reference streams with conflict misses — but offers
+no sizes between the full size and half of it, pays for extra "resizing" tag
+bits, and must flush blocks whose set mapping changes on a resize.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.resizing.organization import ResizingOrganization, SizeConfig, make_config
+
+
+class SelectiveSets(ResizingOrganization):
+    """Resizing by enabling/disabling cache sets (index masking)."""
+
+    name = "selective-sets"
+
+    def _generate_configs(self) -> List[SizeConfig]:
+        geometry = self.geometry
+        configs = []
+        sets = geometry.num_sets
+        min_sets = geometry.min_sets
+        while sets >= min_sets and sets >= 1:
+            configs.append(make_config(geometry.associativity, sets, geometry.block_bytes))
+            if sets == 1:
+                break
+            sets //= 2
+        return configs

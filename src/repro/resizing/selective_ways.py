@@ -1,0 +1,33 @@
+"""Selective-ways organization (Albonesi, MICRO 1999).
+
+Selective-ways enables or disables whole associative ways through a way-mask
+(Figure 1 of the paper).  Its size spectrum is linear — every multiple of a
+way's capacity — so a 32K 4-way cache offers 32K, 24K, 16K and 8K.  The
+organization keeps the set mapping unchanged, needs no extra tag bits, and
+never has to flush clean blocks; its weaknesses are that it lowers
+associativity as it shrinks and that it cannot shrink below one way.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.resizing.organization import ResizingOrganization, SizeConfig, make_config
+
+
+class SelectiveWays(ResizingOrganization):
+    """Resizing by enabling/disabling associative ways."""
+
+    name = "selective-ways"
+
+    def _generate_configs(self) -> List[SizeConfig]:
+        geometry = self.geometry
+        configs = []
+        for ways in range(geometry.associativity, 0, -1):
+            configs.append(make_config(ways, geometry.num_sets, geometry.block_bytes))
+        return configs
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Selective-ways never changes the index, so it needs no extra tag bits."""
+        return 0

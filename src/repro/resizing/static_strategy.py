@@ -1,0 +1,50 @@
+"""Static resizing strategy.
+
+Static resizing (Albonesi's proposal) chooses one cache size per application
+before execution starts: the application is profiled offline with each
+offered size, the size with the lowest processor energy-delay (optionally
+subject to a slowdown bound) is recorded, and the operating system loads the
+corresponding way/set mask before the application runs.  During execution
+the size never changes, which is what makes the scheme simple.
+
+The offline profiling lives in :func:`repro.resizing.profiler.select_static_config`
+and :mod:`repro.sim.sweep`; this class only carries the chosen configuration
+into a run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ResizingError
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+from repro.resizing.strategy import ResizingStrategy
+
+
+class StaticResizing(ResizingStrategy):
+    """Apply a profiled configuration at program start and never resize again."""
+
+    name = "static"
+
+    def __init__(self, config: SizeConfig) -> None:
+        super().__init__()
+        self._config = config
+
+    @property
+    def config(self) -> SizeConfig:
+        """The statically selected configuration."""
+        return self._config
+
+    def bind(self, organization: ResizingOrganization) -> None:
+        if not organization.contains(self._config):
+            raise ResizingError(
+                f"static configuration {self._config.label} is not offered by {organization.name}"
+            )
+        super().bind(organization)
+
+    def initial_config(self) -> Optional[SizeConfig]:
+        return self._config
+
+    def observe_interval(self, accesses: int, misses: int, current: SizeConfig) -> Optional[SizeConfig]:
+        """Static resizing never reacts to run-time behaviour."""
+        return None

@@ -1,0 +1,73 @@
+"""Resizing strategies: the "when to resize" half of the design space.
+
+A strategy is bound to one resizable cache and is consulted by the simulator
+at two points:
+
+* :meth:`ResizingStrategy.initial_config` — before the run begins (this is
+  where static resizing applies its profiled size, mirroring the operating
+  system loading a size mask before the application starts);
+* :meth:`ResizingStrategy.observe_interval` — at the end of every sense
+  interval, with the interval's L1 access and miss counts (this is where the
+  miss-ratio based dynamic framework makes its decisions).
+
+Both hooks return the configuration the cache should be in (or ``None`` for
+"no change"); the simulator performs the actual resize and routes the flush
+writebacks into the L2, so strategies stay pure decision logic and are easy
+to unit test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+
+
+class ResizingStrategy:
+    """Base class for resizing strategies."""
+
+    #: short name used in reports, overridden by subclasses.
+    name = "strategy"
+
+    def __init__(self) -> None:
+        self._organization: Optional[ResizingOrganization] = None
+
+    def bind(self, organization: ResizingOrganization) -> None:
+        """Attach the strategy to the organization whose ladder it navigates."""
+        self._organization = organization
+
+    @property
+    def organization(self) -> ResizingOrganization:
+        """The bound organization (raises if :meth:`bind` has not been called)."""
+        if self._organization is None:
+            raise RuntimeError(f"{type(self).__name__} has not been bound to an organization")
+        return self._organization
+
+    # ------------------------------------------------------------------- hooks
+    def initial_config(self) -> Optional[SizeConfig]:
+        """Configuration to apply before the run starts (None = full size)."""
+        return None
+
+    def observe_interval(self, accesses: int, misses: int, current: SizeConfig) -> Optional[SizeConfig]:
+        """Observe one sense interval; return a new configuration or None.
+
+        Args:
+            accesses: L1 accesses made by the cache during the interval.
+            misses: L1 misses during the interval.
+            current: the configuration the cache is currently in.
+        """
+        return None
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the strategy may resize during execution."""
+        return False
+
+
+class NoResizing(ResizingStrategy):
+    """The non-resizable baseline: the cache stays at full size forever."""
+
+    name = "none"
+
+    def initial_config(self) -> Optional[SizeConfig]:
+        return self.organization.full_config

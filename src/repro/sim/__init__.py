@@ -1,0 +1,22 @@
+"""Simulation driver: ties caches, cores, energy models and workloads together."""
+
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import L1Setup, Simulator
+from repro.sim.sweep import (
+    StaticProfile,
+    profile_static,
+    run_baseline,
+    run_dynamic,
+    run_with_setups,
+)
+
+__all__ = [
+    "SimulationResult",
+    "L1Setup",
+    "Simulator",
+    "StaticProfile",
+    "run_baseline",
+    "run_with_setups",
+    "profile_static",
+    "run_dynamic",
+]

@@ -1,0 +1,126 @@
+"""Simulation results.
+
+A :class:`SimulationResult` carries everything the experiments need: total
+energy broken down by structure, execution time, the average enabled size of
+each L1 cache, and miss statistics.  Comparisons against a baseline (the
+non-resizable cache of the same size and associativity) are provided as
+methods so every experiment reports reductions the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.breakdown import EnergyBreakdown
+from repro.metrics.edp import energy_delay_product, percent_reduction, slowdown
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulated run."""
+
+    workload: str
+    core_kind: str
+    instructions: int = 0
+    cycles: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    l1d_label: str = "32K 2-way"
+    l1i_label: str = "32K 2-way"
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    branch_mispredicts: int = 0
+
+    #: instruction-weighted average enabled capacity of each L1, in bytes.
+    average_l1d_capacity: float = 0.0
+    average_l1i_capacity: float = 0.0
+    #: full (physical) capacity of each L1, in bytes.
+    full_l1d_capacity: int = 0
+    full_l1i_capacity: int = 0
+
+    l1d_resizes: int = 0
+    l1i_resizes: int = 0
+    l1d_flush_writebacks: int = 0
+    l1i_flush_writebacks: int = 0
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def energy_delay(self) -> float:
+        """Processor energy-delay product of the run."""
+        return energy_delay_product(self.energy.total, self.cycles)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1d_miss_ratio(self) -> float:
+        """Data-cache miss ratio over the measured region."""
+        if self.l1d_accesses == 0:
+            return 0.0
+        return self.l1d_misses / self.l1d_accesses
+
+    @property
+    def l1i_miss_ratio(self) -> float:
+        """Instruction-cache miss ratio over the measured region."""
+        if self.l1i_accesses == 0:
+            return 0.0
+        return self.l1i_misses / self.l1i_accesses
+
+    # ------------------------------------------------------------ comparisons
+    def energy_delay_reduction(self, baseline: "SimulationResult") -> float:
+        """Percentage reduction in processor energy-delay vs ``baseline``."""
+        return percent_reduction(self.energy_delay, baseline.energy_delay)
+
+    def slowdown_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional execution-time increase vs ``baseline``."""
+        return slowdown(self.cycles, baseline.cycles)
+
+    def l1d_size_reduction(self) -> float:
+        """Percentage reduction in average d-cache size vs its full capacity."""
+        if self.full_l1d_capacity <= 0:
+            return 0.0
+        return percent_reduction(self.average_l1d_capacity, float(self.full_l1d_capacity))
+
+    def l1i_size_reduction(self) -> float:
+        """Percentage reduction in average i-cache size vs its full capacity."""
+        if self.full_l1i_capacity <= 0:
+            return 0.0
+        return percent_reduction(self.average_l1i_capacity, float(self.full_l1i_capacity))
+
+    def combined_size_reduction(self) -> float:
+        """Reduction of (d + i) average size vs the sum of their full capacities.
+
+        This is the normalisation Figure 9 uses: "average cache size is
+        normalized to the summation of base case d-cache and i-cache sizes".
+        """
+        full = float(self.full_l1d_capacity + self.full_l1i_capacity)
+        if full <= 0:
+            return 0.0
+        enabled = self.average_l1d_capacity + self.average_l1i_capacity
+        return percent_reduction(enabled, full)
+
+    def summary(self) -> dict:
+        """Flat dictionary of the headline numbers (useful for reports/tests)."""
+        return {
+            "workload": self.workload,
+            "core": self.core_kind,
+            "l1d": self.l1d_label,
+            "l1i": self.l1i_label,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "energy_total": self.energy.total,
+            "energy_delay": self.energy_delay,
+            "l1d_miss_ratio": self.l1d_miss_ratio,
+            "l1i_miss_ratio": self.l1i_miss_ratio,
+            "avg_l1d_capacity": self.average_l1d_capacity,
+            "avg_l1i_capacity": self.average_l1i_capacity,
+        }

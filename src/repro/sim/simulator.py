@@ -1,0 +1,326 @@
+"""The trace-driven processor simulator.
+
+The simulator replays a :class:`repro.workloads.trace.Trace` against a
+two-level cache hierarchy, chops execution into fixed-length instruction
+intervals, and for each interval
+
+1. asks the core timing model for the interval's cycles,
+2. asks the energy accountant for the interval's energy breakdown (which
+   depends on how many subarrays each L1 currently has enabled), and
+3. gives each resizing strategy the interval's access/miss counts so the
+   miss-ratio based dynamic framework can upsize or downsize.
+
+Resizing flushes are routed into the L2 and charged to the following
+interval, so the energy and delay costs of resizing the paper discusses in
+Section 3 are all accounted for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.subarray import SubarrayMap
+from repro.common.config import CacheGeometry, SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.units import format_size
+from repro.cpu.branch import BimodalBranchPredictor
+from repro.cpu.core_model import make_core_model
+from repro.cpu.timing import CoreTimingParameters
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.technology import TechnologyParameters
+from repro.metrics.counts import IntervalCounts
+from repro.resizing.organization import ResizingOrganization
+from repro.resizing.resizable_cache import ResizableCache
+from repro.resizing.strategy import ResizingStrategy
+from repro.sim.results import SimulationResult
+from repro.workloads.trace import Trace
+
+_BLOCK_MASK_CACHE = {}
+
+
+class L1Setup:
+    """How one L1 cache is configured for a run.
+
+    ``organization=None`` builds a conventional non-resizable cache (the
+    baseline every figure normalises against); otherwise a
+    :class:`ResizableCache` with the given organization is built and the
+    strategy decides when it resizes.
+    """
+
+    def __init__(
+        self,
+        organization: Optional[ResizingOrganization] = None,
+        strategy: Optional[ResizingStrategy] = None,
+    ) -> None:
+        if organization is None and strategy is not None:
+            raise SimulationError("a resizing strategy requires a resizing organization")
+        self.organization = organization
+        self.strategy = strategy
+
+    @property
+    def is_resizable(self) -> bool:
+        """True when this setup builds a resizable cache."""
+        return self.organization is not None
+
+    def build(self, geometry: CacheGeometry, name: str):
+        """Instantiate the cache object for this setup."""
+        if self.organization is None:
+            return Cache(geometry, name=name)
+        if self.organization.geometry != geometry:
+            raise SimulationError(
+                f"organization geometry {self.organization.geometry.describe()} does not "
+                f"match the system's {name} geometry {geometry.describe()}"
+            )
+        return ResizableCache(geometry, self.organization, name=name)
+
+    def describe(self) -> str:
+        """Short label, e.g. ``"selective-sets/static"`` or ``"fixed"``."""
+        if self.organization is None:
+            return "fixed"
+        strategy_name = self.strategy.name if self.strategy is not None else "none"
+        return f"{self.organization.name}/{strategy_name}"
+
+
+class _L1Runtime:
+    """Book-keeping the simulator keeps per L1 cache during a run."""
+
+    def __init__(self, cache, setup: L1Setup, geometry: CacheGeometry) -> None:
+        self.cache = cache
+        self.setup = setup
+        self.geometry = geometry
+        self.is_resizable = isinstance(cache, ResizableCache)
+        self._full_state = SubarrayMap(geometry).full_state()
+        self.strategy = setup.strategy
+        if self.strategy is not None:
+            self.strategy.bind(setup.organization)
+        self.capacity_weight = 0.0  # sum of capacity * instructions
+        self.pending_flush_writebacks = 0
+
+    def apply_initial_config(self) -> None:
+        """Apply the strategy's initial configuration (before the run starts)."""
+        if not self.is_resizable or self.strategy is None:
+            return
+        initial = self.strategy.initial_config()
+        if initial is not None and initial != self.cache.current_config:
+            self.cache.resize_to(initial)
+
+    @property
+    def subarray_state(self):
+        """Enabled-subarray state used by the energy model."""
+        if self.is_resizable:
+            return self.cache.subarray_state
+        return self._full_state
+
+    @property
+    def enabled_ways(self) -> int:
+        """Currently enabled associativity."""
+        return self.cache.associativity
+
+    @property
+    def current_capacity(self) -> float:
+        """Currently enabled capacity in bytes."""
+        if self.is_resizable:
+            return float(self.cache.current_capacity_bytes)
+        return float(self.geometry.capacity_bytes)
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Extra tag bits the energy model must charge for."""
+        if self.is_resizable:
+            return self.cache.resizing_tag_bits
+        return 0
+
+    @property
+    def label(self) -> str:
+        """Label describing the cache configuration for reports."""
+        base = f"{format_size(self.geometry.capacity_bytes)} {self.geometry.associativity}-way"
+        return f"{base} ({self.setup.describe()})"
+
+    def observe_interval(self, hierarchy: CacheHierarchy, accesses: int, misses: int) -> int:
+        """Run the strategy for one interval; returns flush-writeback count."""
+        if not self.is_resizable or self.strategy is None:
+            return 0
+        decision = self.strategy.observe_interval(accesses, misses, self.cache.current_config)
+        if decision is None or decision == self.cache.current_config:
+            return 0
+        outcome = self.cache.resize_to(decision)
+        if outcome.writeback_addresses:
+            hierarchy.absorb_l1_writebacks(outcome.writeback_addresses)
+        return len(outcome.writeback_addresses)
+
+
+class Simulator:
+    """Replays traces against a configured system and produces results."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        technology: Optional[TechnologyParameters] = None,
+        timing: Optional[CoreTimingParameters] = None,
+    ) -> None:
+        self.system = system if system is not None else SystemConfig()
+        self.technology = technology if technology is not None else TechnologyParameters()
+        self.timing = timing if timing is not None else CoreTimingParameters()
+
+    def run(
+        self,
+        trace: Trace,
+        d_setup: Optional[L1Setup] = None,
+        i_setup: Optional[L1Setup] = None,
+        interval_instructions: int = 1500,
+        warmup_instructions: int = 0,
+    ) -> SimulationResult:
+        """Simulate ``trace`` and return the aggregated result.
+
+        Args:
+            trace: the instruction trace to replay.
+            d_setup / i_setup: L1 configurations (None = non-resizable).
+            interval_instructions: interval length for timing, energy and
+                resizing decisions.
+            warmup_instructions: leading instructions excluded from the
+                reported statistics (they still warm the caches and drive
+                resizing decisions).
+        """
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        if interval_instructions < 1:
+            raise SimulationError("interval length must be at least one instruction")
+
+        system = self.system
+        d_setup = d_setup if d_setup is not None else L1Setup()
+        i_setup = i_setup if i_setup is not None else L1Setup()
+
+        l1d = d_setup.build(system.l1d, "l1d")
+        l1i = i_setup.build(system.l1i, "l1i")
+        hierarchy = CacheHierarchy(system, l1i=l1i, l1d=l1d)
+        d_runtime = _L1Runtime(l1d, d_setup, system.l1d)
+        i_runtime = _L1Runtime(l1i, i_setup, system.l1i)
+        d_runtime.apply_initial_config()
+        i_runtime.apply_initial_config()
+
+        core_model = make_core_model(system, self.timing)
+        predictor = BimodalBranchPredictor()
+        accountant = EnergyAccountant(
+            system,
+            self.technology,
+            l1d_resizing_tag_bits=d_runtime.resizing_tag_bits,
+            l1i_resizing_tag_bits=i_runtime.resizing_tag_bits,
+        )
+
+        result = SimulationResult(
+            workload=trace.name,
+            core_kind=system.core.kind.value,
+            l1d_label=d_runtime.label,
+            l1i_label=i_runtime.label,
+            full_l1d_capacity=system.l1d.capacity_bytes,
+            full_l1i_capacity=system.l1i.capacity_bytes,
+        )
+
+        block_mask = ~(system.l1i.block_bytes - 1)
+        data_access = hierarchy.data_access
+        instruction_fetch = hierarchy.instruction_fetch
+        predict = predictor.predict_and_update
+        mlp = trace.memory_level_parallelism
+
+        counts = IntervalCounts(memory_level_parallelism=mlp)
+        measured_instructions = 0
+        measured_cycles = 0.0
+        last_fetch_block = -1
+        instructions_in_interval = 0
+        total_seen = 0
+
+        def close_interval(final: bool = False) -> None:
+            nonlocal counts, instructions_in_interval, measured_instructions, measured_cycles
+            if counts.instructions == 0:
+                return
+            cycles = core_model.interval_cycles(counts)
+            breakdown = accountant.interval_breakdown(
+                counts,
+                cycles,
+                l1d_state=d_runtime.subarray_state,
+                l1d_ways=d_runtime.enabled_ways,
+                l1i_state=i_runtime.subarray_state,
+                l1i_ways=i_runtime.enabled_ways,
+            )
+            in_warmup = total_seen <= warmup_instructions
+            if not in_warmup:
+                measured_instructions += counts.instructions
+                measured_cycles += cycles
+                result.energy.add(breakdown)
+                result.l1d_accesses += counts.l1d_accesses
+                result.l1d_misses += counts.l1d_misses
+                result.l1i_accesses += counts.l1i_accesses
+                result.l1i_misses += counts.l1i_misses
+                result.l2_accesses += counts.l2_accesses
+                result.l2_misses += counts.memory_accesses
+                result.branch_mispredicts += counts.branch_mispredicts
+                d_runtime.capacity_weight += d_runtime.current_capacity * counts.instructions
+                i_runtime.capacity_weight += i_runtime.current_capacity * counts.instructions
+
+            if not final:
+                d_flush = d_runtime.observe_interval(
+                    hierarchy, counts.l1d_accesses, counts.l1d_misses
+                )
+                i_flush = i_runtime.observe_interval(
+                    hierarchy, counts.l1i_accesses, counts.l1i_misses
+                )
+                counts = IntervalCounts(memory_level_parallelism=mlp)
+                if d_flush or i_flush:
+                    counts.resize_flush_writebacks = d_flush + i_flush
+                    counts.l2_accesses += d_flush + i_flush
+            instructions_in_interval = 0
+
+        for record in trace.records:
+            pc, data_address, is_store, is_branch, taken = record
+            counts.instructions += 1
+            total_seen += 1
+
+            fetch_block = pc & block_mask
+            if fetch_block != last_fetch_block:
+                last_fetch_block = fetch_block
+                outcome = instruction_fetch(pc)
+                counts.l1i_accesses += 1
+                if not outcome.l1_hit:
+                    counts.l1i_misses += 1
+                    counts.l2_accesses += outcome.l2_accesses
+                    counts.memory_accesses += outcome.memory_accesses
+                    counts.l1i_memory_accesses += outcome.memory_accesses
+
+            if is_branch:
+                counts.branches += 1
+                if predict(pc, taken):
+                    counts.branch_mispredicts += 1
+
+            if data_address is not None:
+                outcome = data_access(data_address, is_store)
+                counts.l1d_accesses += 1
+                if is_store:
+                    counts.l1d_stores += 1
+                if not outcome.l1_hit:
+                    counts.l1d_misses += 1
+                    counts.l2_accesses += outcome.l2_accesses
+                    counts.memory_accesses += outcome.memory_accesses
+                    counts.l1d_memory_accesses += outcome.memory_accesses
+                    if outcome.l2_accesses > 1:
+                        counts.l1d_writebacks += outcome.l2_accesses - 1
+
+            instructions_in_interval += 1
+            if instructions_in_interval >= interval_instructions:
+                close_interval()
+
+        close_interval(final=True)
+
+        result.instructions = measured_instructions
+        result.cycles = measured_cycles
+        if measured_instructions > 0:
+            result.average_l1d_capacity = d_runtime.capacity_weight / measured_instructions
+            result.average_l1i_capacity = i_runtime.capacity_weight / measured_instructions
+        if d_runtime.is_resizable:
+            result.l1d_resizes = l1d.resize_count
+            result.l1d_flush_writebacks = l1d.flush_writebacks
+        if i_runtime.is_resizable:
+            result.l1i_resizes = l1i.resize_count
+            result.l1i_flush_writebacks = l1i.flush_writebacks
+        return result

@@ -1,0 +1,215 @@
+"""Profiling sweeps and convenience runners.
+
+Static resizing needs one profiling run per offered configuration (the paper
+extracts static sizes "offline through profiling"), and the dynamic
+framework's miss-bound / size-bound are derived from the same profile.  The
+functions here run those sweeps on top of :class:`repro.sim.simulator.Simulator`
+and return the structures the experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+from repro.resizing.profiler import (
+    DynamicParameters,
+    ProfilePoint,
+    derive_dynamic_parameters,
+    select_static_config,
+)
+from repro.resizing.static_strategy import StaticResizing
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import L1Setup, Simulator
+from repro.workloads.trace import Trace
+
+#: Which L1 cache a sweep resizes.
+DCACHE = "dcache"
+ICACHE = "icache"
+
+
+def _setups_for(target: str, setup: L1Setup):
+    """Return (d_setup, i_setup) with ``setup`` applied to the targeted cache."""
+    if target == DCACHE:
+        return setup, L1Setup()
+    if target == ICACHE:
+        return L1Setup(), setup
+    raise SimulationError(f"unknown resizing target {target!r}; use 'dcache' or 'icache'")
+
+
+def run_baseline(
+    simulator: Simulator,
+    trace: Trace,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> SimulationResult:
+    """Run the non-resizable baseline (both L1 caches fixed at full size)."""
+    return simulator.run(
+        trace,
+        d_setup=L1Setup(),
+        i_setup=L1Setup(),
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+    )
+
+
+def run_with_setups(
+    simulator: Simulator,
+    trace: Trace,
+    d_setup: Optional[L1Setup] = None,
+    i_setup: Optional[L1Setup] = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> SimulationResult:
+    """Run an arbitrary combination of L1 setups."""
+    return simulator.run(
+        trace,
+        d_setup=d_setup,
+        i_setup=i_setup,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+    )
+
+
+@dataclass
+class StaticProfile:
+    """Outcome of profiling every configuration an organization offers."""
+
+    organization: ResizingOrganization
+    target: str
+    baseline: SimulationResult
+    points: List[ProfilePoint] = field(default_factory=list)
+    results: Dict[SizeConfig, SimulationResult] = field(default_factory=dict)
+    max_slowdown: Optional[float] = None
+
+    @property
+    def best_point(self) -> ProfilePoint:
+        """Profile point with the lowest processor energy-delay."""
+        return select_static_config(
+            self.points, baseline_cycles=self.baseline.cycles, max_slowdown=self.max_slowdown
+        )
+
+    @property
+    def best_config(self) -> SizeConfig:
+        """Statically selected configuration."""
+        return self.best_point.config
+
+    @property
+    def best_result(self) -> SimulationResult:
+        """Simulation result of the statically selected configuration."""
+        return self.results[self.best_config]
+
+    def energy_delay_reduction(self) -> float:
+        """Best static energy-delay reduction vs the non-resizable baseline (%)."""
+        return self.best_result.energy_delay_reduction(self.baseline)
+
+    def size_reduction(self) -> float:
+        """Average cache-size reduction of the statically selected configuration (%)."""
+        if self.target == DCACHE:
+            return self.best_result.l1d_size_reduction()
+        return self.best_result.l1i_size_reduction()
+
+    def dynamic_parameters(
+        self, sense_interval_accesses: int = 2048, miss_bound_factor: float = 1.5
+    ) -> DynamicParameters:
+        """Derive the dynamic framework's parameters from this profile."""
+        return derive_dynamic_parameters(
+            self.points,
+            sense_interval_accesses=sense_interval_accesses,
+            miss_bound_factor=miss_bound_factor,
+            baseline_cycles=self.baseline.cycles,
+            max_slowdown=self.max_slowdown,
+        )
+
+
+def profile_static(
+    simulator: Simulator,
+    trace: Trace,
+    organization: ResizingOrganization,
+    target: str = DCACHE,
+    baseline: Optional[SimulationResult] = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    max_slowdown: Optional[float] = None,
+) -> StaticProfile:
+    """Profile every size on the organization's resizing ladder.
+
+    Args:
+        simulator: configured simulator (system, technology, timing).
+        trace: the application trace (reused unchanged for every candidate).
+        organization: the resizing organization to evaluate.
+        target: ``"dcache"`` or ``"icache"`` — which L1 is resized.
+        baseline: a pre-computed non-resizable baseline run (computed here
+            when omitted).
+        max_slowdown: optional bound on tolerated slowdown when picking the
+            best static configuration.
+    """
+    if baseline is None:
+        baseline = run_baseline(
+            simulator, trace, interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    profile = StaticProfile(
+        organization=organization, target=target, baseline=baseline, max_slowdown=max_slowdown
+    )
+    for config in organization.ladder():
+        setup = L1Setup(organization=organization, strategy=StaticResizing(config))
+        d_setup, i_setup = _setups_for(target, setup)
+        result = simulator.run(
+            trace,
+            d_setup=d_setup,
+            i_setup=i_setup,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        if target == DCACHE:
+            accesses, misses = result.l1d_accesses, result.l1d_misses
+        else:
+            accesses, misses = result.l1i_accesses, result.l1i_misses
+        profile.points.append(
+            ProfilePoint(
+                config=config,
+                energy=result.energy.total,
+                cycles=result.cycles,
+                l1_accesses=accesses,
+                l1_misses=misses,
+            )
+        )
+        profile.results[config] = result
+    return profile
+
+
+def run_dynamic(
+    simulator: Simulator,
+    trace: Trace,
+    organization: ResizingOrganization,
+    parameters: DynamicParameters,
+    target: str = DCACHE,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    initial_config=None,
+) -> SimulationResult:
+    """Run the miss-ratio based dynamic strategy with profiled parameters.
+
+    ``initial_config`` sets the size the cache starts in (typically the
+    statically profiled size, since the dynamic parameters come from the same
+    profiling pass); the controller is free to move away from it immediately.
+    """
+    strategy = DynamicResizing(
+        miss_bound=parameters.miss_bound,
+        size_bound_bytes=parameters.size_bound_bytes,
+        sense_interval_accesses=parameters.sense_interval_accesses,
+        initial_config=initial_config,
+    )
+    setup = L1Setup(organization=organization, strategy=strategy)
+    d_setup, i_setup = _setups_for(target, setup)
+    return simulator.run(
+        trace,
+        d_setup=d_setup,
+        i_setup=i_setup,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+    )

@@ -1,0 +1,35 @@
+"""Synthetic SPEC-like workloads.
+
+The paper evaluates twelve SPEC95/SPEC2000 applications whose reference
+inputs and binaries are not redistributable, so this package substitutes
+synthetic reference streams whose cache behaviour matches what the paper
+reports about each application: data and instruction working-set sizes,
+conflict-miss propensity, and phase behaviour (constant, varying, or
+periodic working sets).  Each profile in :mod:`repro.workloads.profiles`
+cites the sentence of the paper that motivates its parameters.
+"""
+
+from repro.workloads.trace import InstructionRecord, Trace
+from repro.workloads.patterns import ConflictGroupPattern, WorkingSetPattern
+from repro.workloads.phases import PhaseSchedule, PhaseSpec
+from repro.workloads.profiles import (
+    SPEC_APPLICATION_NAMES,
+    WorkloadProfile,
+    get_profile,
+    iter_profiles,
+)
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "InstructionRecord",
+    "Trace",
+    "WorkingSetPattern",
+    "ConflictGroupPattern",
+    "PhaseSpec",
+    "PhaseSchedule",
+    "WorkloadProfile",
+    "SPEC_APPLICATION_NAMES",
+    "get_profile",
+    "iter_profiles",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,159 @@
+"""Data-reference address patterns.
+
+Two building blocks generate the data side of a synthetic stream:
+
+* :class:`WorkingSetPattern` — references spread over a working set with a
+  skewed (three-tier) popularity distribution, so the miss ratio falls to
+  near zero once the cache covers the working set and climbs smoothly as the
+  cache shrinks below it.  This is the knob that positions each
+  application's "required cache size".
+* :class:`ConflictGroupPattern` — a small group of blocks whose addresses
+  are spaced 32 KiB apart, so they map to the *same* set in every cache
+  configuration the experiments use.  Streams with a conflict group need the
+  cache's associativity, not its capacity: selective-sets preserves their
+  hit rate while shrinking, selective-ways does not — exactly the contrast
+  Section 4.1 draws.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import DeterministicRng
+
+#: Spacing between conflict-group blocks.  32 KiB is a multiple of every
+#: enabled way size the experiments ever use, so the group always collides
+#: into a single set regardless of resizing.
+CONFLICT_STRIDE = 32 * 1024
+
+
+class WorkingSetPattern:
+    """Skewed references over a contiguous working set.
+
+    The working set is split into three tiers by address: a hot tier, a warm
+    tier and a cold tier.  Each reference picks a tier with the configured
+    probability and then a random block inside it; a small sequential-walk
+    component models streaming through the data structure.
+    """
+
+    #: default (fraction of the working set, fraction of references) per tier
+    #: for data streams.
+    DATA_TIERS = ((0.10, 0.55), (0.30, 0.30), (0.60, 0.15))
+
+    #: default tiers for instruction streams: code is more loop-dominated
+    #: than data, so the hot tier is smaller and hotter.
+    CODE_TIERS = ((0.08, 0.70), (0.25, 0.22), (0.67, 0.08))
+
+    # Backwards-compatible alias used when no tiers are passed explicitly.
+    TIERS = DATA_TIERS
+
+    def __init__(
+        self,
+        base_address: int,
+        working_set_bytes: int,
+        block_bytes: int = 32,
+        sequential_fraction: float = 0.10,
+        tiers=None,
+    ) -> None:
+        if working_set_bytes < block_bytes:
+            raise WorkloadError(
+                f"working set ({working_set_bytes}) must be at least one block ({block_bytes})"
+            )
+        if not 0.0 <= sequential_fraction <= 1.0:
+            raise WorkloadError(f"sequential fraction must be in [0, 1], got {sequential_fraction}")
+        self.base_address = base_address
+        self.working_set_bytes = working_set_bytes
+        self.block_bytes = block_bytes
+        self.sequential_fraction = sequential_fraction
+        self.tiers = tuple(tiers) if tiers is not None else self.DATA_TIERS
+        self._num_blocks = max(1, working_set_bytes // block_bytes)
+        self._walk_position = 0
+
+        # Pre-compute tier boundaries in blocks and the cumulative reference
+        # probabilities used to pick a tier.
+        self._tier_limits = []
+        start = 0
+        cumulative = 0.0
+        for size_fraction, ref_fraction in self.tiers:
+            span = max(1, int(self._num_blocks * size_fraction))
+            end = min(self._num_blocks, start + span)
+            cumulative += ref_fraction
+            self._tier_limits.append((cumulative, start, max(start + 1, end)))
+            start = end
+        # Make sure the last tier reaches the end of the working set and the
+        # cumulative probability covers 1.0 exactly.
+        final_cumulative, final_start, _ = self._tier_limits[-1]
+        self._tier_limits[-1] = (1.0, final_start, self._num_blocks)
+
+    def next_address(self, rng: DeterministicRng) -> int:
+        """Return the next reference address."""
+        if rng.uniform() < self.sequential_fraction:
+            block = self._walk_position
+            self._walk_position = (self._walk_position + 1) % self._num_blocks
+        else:
+            draw = rng.uniform()
+            block = 0
+            for cumulative, start, end in self._tier_limits:
+                if draw <= cumulative:
+                    block = rng.randint(start, end - 1)
+                    break
+        offset = rng.randint(0, max(0, self.block_bytes // 4 - 1)) * 4
+        return self.base_address + block * self.block_bytes + offset
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of distinct blocks the pattern can reference."""
+        return self._num_blocks
+
+
+class ConflictGroupPattern:
+    """References over ``group_size`` blocks that all map to the same set.
+
+    With ``burst_length == 1`` (the default) the group is cycled round-robin,
+    the classic worst case for LRU: a cache whose associativity covers the
+    whole group services every reference after the first touch, while every
+    lost way turns the cycle into consecutive conflict misses.  This is the
+    behaviour that makes such streams prefer selective-sets (which preserves
+    associativity while shrinking) over selective-ways.
+
+    With ``burst_length > 1`` references dwell on one member for a short
+    random burst before moving to another, which softens the penalty of a
+    lost way — useful for streams that should be only mildly
+    associativity-sensitive.
+    """
+
+    def __init__(
+        self,
+        base_address: int,
+        group_size: int,
+        block_bytes: int = 32,
+        burst_length: int = 1,
+    ) -> None:
+        if group_size < 1:
+            raise WorkloadError(f"conflict group size must be at least 1, got {group_size}")
+        if burst_length < 1:
+            raise WorkloadError(f"burst length must be at least 1, got {burst_length}")
+        self.base_address = base_address
+        self.group_size = group_size
+        self.block_bytes = block_bytes
+        self.burst_length = burst_length
+        self._position = 0
+        self._remaining_in_burst = 0
+
+    def next_address(self, rng: DeterministicRng) -> int:
+        """Return the next conflicting reference address."""
+        if self.burst_length == 1:
+            self._position = (self._position + 1) % self.group_size
+        else:
+            if self._remaining_in_burst <= 0:
+                if self.group_size > 1:
+                    step = rng.randint(1, self.group_size - 1)
+                    self._position = (self._position + step) % self.group_size
+                self._remaining_in_burst = rng.burst_length(self.burst_length)
+            self._remaining_in_burst -= 1
+        address = self.base_address + self._position * CONFLICT_STRIDE
+        offset = rng.randint(0, max(0, self.block_bytes // 4 - 1)) * 4
+        return address + offset
+
+    def addresses(self) -> list:
+        """Block-aligned addresses of every member of the group."""
+        return [self.base_address + index * CONFLICT_STRIDE for index in range(self.group_size)]

@@ -1,0 +1,148 @@
+"""Execution phases.
+
+A workload is a sequence of *phases*, each with its own data working set,
+conflict behaviour and code footprint.  Phases are what give the dynamic
+resizing strategy something to react to: applications with a single phase
+("constant size" in the paper's Section 4.2 classification) gain nothing
+from dynamic resizing, applications whose phases differ ("working-set
+variation") or repeat ("periodic variation") do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.common.units import KIB
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Behaviour of the reference stream during one phase.
+
+    Attributes:
+        name: label used in reports and tests.
+        weight: relative share of instructions this phase receives.
+        data_working_set: bytes of data the phase actively references.
+        data_sequential_fraction: fraction of data references that walk the
+            working set sequentially (a streaming component).
+        conflict_group_size: number of blocks in the data conflict group
+            (0 disables it); the group maps into a single cache set.
+        conflict_fraction: fraction of data references that go to the
+            conflict group.
+        conflict_burst_length: 1 cycles the group round-robin (strongly
+            associativity-sensitive); larger values dwell on each member and
+            soften the sensitivity.
+        code_footprint: bytes of code the phase touches (the i-cache
+            working set).
+        instructions_per_fetch_block: average instructions executed in a
+            fetch block before control moves to another block.
+        i_conflict_group_size: number of conflicting code blocks (0 disables).
+        i_conflict_fraction: fraction of fetch-block switches that go to the
+            code conflict group.
+    """
+
+    name: str
+    weight: float = 1.0
+    data_working_set: int = 8 * KIB
+    data_sequential_fraction: float = 0.10
+    conflict_group_size: int = 0
+    conflict_fraction: float = 0.0
+    conflict_burst_length: int = 1
+    code_footprint: int = 8 * KIB
+    instructions_per_fetch_block: int = 8
+    i_conflict_group_size: int = 0
+    i_conflict_fraction: float = 0.0
+    i_conflict_burst_length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"phase weight must be positive, got {self.weight}")
+        if self.data_working_set < 32 or self.code_footprint < 32:
+            raise WorkloadError("working sets must be at least one block")
+        if not 0.0 <= self.conflict_fraction <= 1.0:
+            raise WorkloadError("conflict fraction must be in [0, 1]")
+        if not 0.0 <= self.i_conflict_fraction <= 1.0:
+            raise WorkloadError("instruction conflict fraction must be in [0, 1]")
+        if self.conflict_fraction > 0.0 and self.conflict_group_size < 1:
+            raise WorkloadError("a positive conflict fraction needs a conflict group")
+        if self.i_conflict_fraction > 0.0 and self.i_conflict_group_size < 1:
+            raise WorkloadError("a positive i-conflict fraction needs a conflict group")
+        if self.instructions_per_fetch_block < 1:
+            raise WorkloadError("instructions per fetch block must be at least 1")
+        if self.conflict_burst_length < 1 or self.i_conflict_burst_length < 1:
+            raise WorkloadError("conflict burst lengths must be at least 1")
+
+
+class PhaseSchedule:
+    """Maps instruction indices to phases.
+
+    Two modes mirror the paper's classification:
+
+    * sequential (``periodic=False``): each phase occupies a contiguous
+      share of the run proportional to its weight — this models
+      applications whose working set drifts over time;
+    * periodic (``periodic=True``): the phases repeat every
+      ``period_instructions`` instructions — this models applications such
+      as *su2cor* whose "execution phases repeat".
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[PhaseSpec],
+        periodic: bool = False,
+        period_instructions: int = 60_000,
+    ) -> None:
+        if not phases:
+            raise WorkloadError("a schedule needs at least one phase")
+        if period_instructions < len(phases):
+            raise WorkloadError("period must allow at least one instruction per phase")
+        self.phases: Tuple[PhaseSpec, ...] = tuple(phases)
+        self.periodic = periodic
+        self.period_instructions = period_instructions
+        self._total_weight = sum(phase.weight for phase in self.phases)
+
+    def segments(self, total_instructions: int) -> Iterator[Tuple[int, int, PhaseSpec]]:
+        """Yield ``(start, end, phase)`` segments covering the whole run."""
+        if total_instructions <= 0:
+            raise WorkloadError("total instructions must be positive")
+        if not self.periodic:
+            yield from self._sequential_segments(total_instructions)
+            return
+        produced = 0
+        while produced < total_instructions:
+            remaining = total_instructions - produced
+            period = min(self.period_instructions, remaining)
+            for start, end, phase in self._split(period, offset=produced):
+                yield start, end, phase
+            produced += period
+
+    def _sequential_segments(self, total_instructions: int) -> Iterator[Tuple[int, int, PhaseSpec]]:
+        yield from self._split(total_instructions, offset=0)
+
+    def _split(self, span: int, offset: int) -> List[Tuple[int, int, PhaseSpec]]:
+        segments: List[Tuple[int, int, PhaseSpec]] = []
+        start = 0
+        for position, phase in enumerate(self.phases):
+            if position == len(self.phases) - 1:
+                end = span
+            else:
+                end = start + int(round(span * phase.weight / self._total_weight))
+                end = min(end, span)
+            if end > start:
+                segments.append((offset + start, offset + end, phase))
+            start = end
+        if not segments:
+            segments.append((offset, offset + span, self.phases[0]))
+        return segments
+
+    @property
+    def is_multi_phase(self) -> bool:
+        """True when the schedule actually changes behaviour over time."""
+        return len(self.phases) > 1
+
+    def __repr__(self) -> str:
+        mode = "periodic" if self.periodic else "sequential"
+        names = ", ".join(phase.name for phase in self.phases)
+        return f"PhaseSchedule({mode}: {names})"

@@ -1,0 +1,539 @@
+"""Per-application workload profiles.
+
+Each profile is a synthetic stand-in for one of the twelve SPEC95/SPEC2000
+applications the paper evaluates.  The parameters are chosen to match the
+qualitative behaviour the paper reports about that application — its data
+and instruction working-set sizes, whether it relies on associativity
+(conflict misses), and whether its working set is constant, varying or
+periodic.  The docstring-style ``description`` of each profile cites the
+observation from the paper that motivates it; EXPERIMENTS.md discusses how
+faithful the substitution is.
+
+Working-set sizes are expressed relative to the 32 KiB base L1 caches of
+Table 2, since that is the geometry every experiment resizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.common.units import KIB
+from repro.workloads.phases import PhaseSchedule, PhaseSpec
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A complete synthetic application description.
+
+    Attributes:
+        name: SPEC benchmark name this profile substitutes for.
+        description: the paper-reported behaviour the parameters encode.
+        phases: the phase specifications (see :class:`PhaseSpec`).
+        periodic: True when the phases repeat (periodic working-set
+            variation); False when they occur once each, in order.
+        period_instructions: length of one period when ``periodic``.
+        mem_ref_fraction: fraction of instructions that access data memory.
+        store_fraction: fraction of data references that are stores.
+        branch_fraction: fraction of instructions that are branches.
+        memory_level_parallelism: average number of independent outstanding
+            misses the out-of-order core can overlap for this application.
+        seed: RNG seed so every run of the profile is identical.
+    """
+
+    name: str
+    description: str
+    phases: Tuple[PhaseSpec, ...]
+    periodic: bool = False
+    period_instructions: int = 24_000
+    mem_ref_fraction: float = 0.40
+    store_fraction: float = 0.30
+    branch_fraction: float = 0.18
+    memory_level_parallelism: float = 2.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"profile {self.name!r} has no phases")
+        for fraction_name in ("mem_ref_fraction", "store_fraction", "branch_fraction"):
+            value = getattr(self, fraction_name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{fraction_name} must be in [0, 1], got {value}")
+        if self.memory_level_parallelism < 1.0:
+            raise WorkloadError("memory-level parallelism must be at least 1.0")
+
+    def schedule(self) -> PhaseSchedule:
+        """Build the phase schedule for this profile."""
+        return PhaseSchedule(
+            self.phases, periodic=self.periodic, period_instructions=self.period_instructions
+        )
+
+    @property
+    def is_multi_phase(self) -> bool:
+        """True when the profile's working set changes during execution."""
+        return len(self.phases) > 1
+
+    @property
+    def max_data_working_set(self) -> int:
+        """Largest data working set across phases."""
+        return max(phase.data_working_set for phase in self.phases)
+
+    @property
+    def max_code_footprint(self) -> int:
+        """Largest code footprint across phases."""
+        return max(phase.code_footprint for phase in self.phases)
+
+
+def _single(name: str, **kwargs) -> Tuple[PhaseSpec, ...]:
+    """Helper building a single-phase tuple."""
+    return (PhaseSpec(name=name, **kwargs),)
+
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+# --------------------------------------------------------------------------
+# SPEC2000 applications
+# --------------------------------------------------------------------------
+
+_register(
+    WorkloadProfile(
+        name="ammp",
+        description=(
+            "Requires small cache sizes: the paper lists ammp among the d-cache "
+            "applications that 'require small cache sizes and take advantage of the "
+            "smaller minimum size offered by selective-sets', and among the i-cache "
+            "applications with small footprints and a constant size during execution."
+        ),
+        phases=_single(
+            "steady",
+            data_working_set=3 * KIB,
+            code_footprint=4 * KIB,
+        ),
+        mem_ref_fraction=0.42,
+        store_fraction=0.28,
+        branch_fraction=0.12,
+        memory_level_parallelism=2.5,
+        seed=101,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="vortex",
+        description=(
+            "Needs associativity and shows working-set variation: vortex is listed among "
+            "the d-cache applications that benefit from selective-sets' ability to "
+            "maintain set-associativity, among the working-set-variation examples for "
+            "dynamic d-cache resizing, and among the i-cache unavailable-size-emulation "
+            "applications (moderate i-footprint)."
+        ),
+        phases=(
+            PhaseSpec(
+                name="build",
+                weight=1.0,
+                data_working_set=12 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=22 * KIB,
+            ),
+            PhaseSpec(
+                name="lookup",
+                weight=1.0,
+                data_working_set=18 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=22 * KIB,
+            ),
+        ),
+        mem_ref_fraction=0.44,
+        store_fraction=0.34,
+        branch_fraction=0.18,
+        memory_level_parallelism=1.8,
+        seed=102,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="vpr",
+        description=(
+            "Needs associativity in both caches and shows working-set variation: vpr is "
+            "listed among the d-cache applications that benefit from maintaining "
+            "set-associativity, among the working-set-variation examples, and among the "
+            "i-cache applications that 'require set-associativity rather than cache size'."
+        ),
+        phases=(
+            PhaseSpec(
+                name="place",
+                weight=1.2,
+                data_working_set=10 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=18 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+            PhaseSpec(
+                name="route",
+                weight=1.0,
+                data_working_set=18 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=18 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+        ),
+        mem_ref_fraction=0.40,
+        store_fraction=0.30,
+        branch_fraction=0.20,
+        memory_level_parallelism=1.6,
+        seed=103,
+    )
+)
+
+# --------------------------------------------------------------------------
+# SPEC95 applications
+# --------------------------------------------------------------------------
+
+_register(
+    WorkloadProfile(
+        name="applu",
+        description=(
+            "Small, constant data working set (the paper groups applu with the d-cache "
+            "applications requiring small sizes and with constant size during execution); "
+            "its i-cache shows periodic working-set variation across solver sweeps.  The "
+            "paper also notes that at equal sizes selective-ways dissipates less energy "
+            "for applu because fewer ways are read per access."
+        ),
+        phases=(
+            PhaseSpec(
+                name="sweep-small",
+                weight=1.0,
+                data_working_set=3 * KIB + 512,
+                code_footprint=6 * KIB,
+            ),
+            PhaseSpec(
+                name="sweep-large",
+                weight=1.0,
+                data_working_set=3 * KIB + 512,
+                code_footprint=14 * KIB,
+            ),
+        ),
+        periodic=True,
+        period_instructions=20_000,
+        mem_ref_fraction=0.44,
+        store_fraction=0.26,
+        branch_fraction=0.10,
+        memory_level_parallelism=3.5,
+        seed=104,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="apsi",
+        description=(
+            "Relies on associativity and sits between offered sizes: apsi is listed among "
+            "the d-cache applications that benefit from maintaining set-associativity, "
+            "among the unavailable-size-emulation applications for dynamic d-cache "
+            "resizing, and among the i-cache applications requiring set-associativity "
+            "with periodic i-footprint variation."
+        ),
+        phases=(
+            PhaseSpec(
+                name="fft",
+                weight=1.0,
+                data_working_set=10 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=10 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+            PhaseSpec(
+                name="advection",
+                weight=1.0,
+                data_working_set=12 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=18 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+        ),
+        periodic=True,
+        period_instructions=22_000,
+        mem_ref_fraction=0.42,
+        store_fraction=0.30,
+        branch_fraction=0.12,
+        memory_level_parallelism=2.8,
+        seed=105,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="compress",
+        description=(
+            "Data working set between 16K and 32K with variation: the paper singles out "
+            "compress as the application for which 'selective-ways shows better "
+            "energy-delay reduction than selective-sets, because the application requires "
+            "granularity at large cache sizes', lists it among the working-set-variation "
+            "and unavailable-size-emulation d-cache applications, and gives it a small, "
+            "constant i-cache footprint."
+        ),
+        phases=(
+            PhaseSpec(
+                name="compress-window",
+                weight=1.4,
+                data_working_set=22 * KIB,
+                code_footprint=3 * KIB,
+            ),
+            PhaseSpec(
+                name="io",
+                weight=1.0,
+                data_working_set=14 * KIB,
+                code_footprint=3 * KIB,
+            ),
+        ),
+        mem_ref_fraction=0.42,
+        store_fraction=0.32,
+        branch_fraction=0.17,
+        memory_level_parallelism=1.6,
+        seed=106,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="gcc",
+        description=(
+            "Data working set varies across compilation passes and benefits from "
+            "associativity; the instruction working set is 'larger than 32K and "
+            "downsizing incurs large performance degradation', so the i-cache never "
+            "shrinks and behaves as an unavailable-size-emulation case for dynamic "
+            "resizing."
+        ),
+        phases=(
+            PhaseSpec(
+                name="parse",
+                weight=1.0,
+                data_working_set=10 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=40 * KIB,
+            ),
+            PhaseSpec(
+                name="optimize",
+                weight=1.0,
+                data_working_set=24 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=40 * KIB,
+            ),
+            PhaseSpec(
+                name="emit",
+                weight=0.8,
+                data_working_set=14 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=40 * KIB,
+            ),
+        ),
+        mem_ref_fraction=0.40,
+        store_fraction=0.34,
+        branch_fraction=0.20,
+        memory_level_parallelism=1.5,
+        seed=107,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="ijpeg",
+        description=(
+            "Needs associativity in the d-cache and a small, periodically varying i-cache "
+            "footprint: ijpeg is listed among the d-cache applications that benefit from "
+            "maintaining set-associativity, among the unavailable-size-emulation d-cache "
+            "applications, and among the i-cache applications with small working sets; "
+            "it shows the largest static-vs-dynamic average-size gap (38%) in both "
+            "Figure 7(a) and Figure 8(b)."
+        ),
+        phases=(
+            PhaseSpec(
+                name="dct",
+                weight=1.0,
+                data_working_set=6 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=3 * KIB,
+            ),
+            PhaseSpec(
+                name="huffman",
+                weight=1.0,
+                data_working_set=12 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=7 * KIB,
+            ),
+        ),
+        periodic=True,
+        period_instructions=18_000,
+        mem_ref_fraction=0.38,
+        store_fraction=0.30,
+        branch_fraction=0.16,
+        memory_level_parallelism=2.2,
+        seed=108,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="m88ksim",
+        description=(
+            "Small, constant working sets on both sides: m88ksim is listed among the "
+            "d-cache applications requiring small cache sizes, among the constant-size "
+            "applications for dynamic resizing, and among the i-cache applications with "
+            "small footprints."
+        ),
+        phases=_single(
+            "simulate",
+            data_working_set=3 * KIB,
+            code_footprint=4 * KIB,
+        ),
+        mem_ref_fraction=0.38,
+        store_fraction=0.28,
+        branch_fraction=0.20,
+        memory_level_parallelism=1.8,
+        seed=109,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="su2cor",
+        description=(
+            "Periodic data working-set variation with conflict misses: the paper calls "
+            "su2cor 'an example of periodic variation in working set size as execution "
+            "phases repeat' and lists it among the d-cache applications that benefit from "
+            "maintaining associativity; its i-cache footprint is constant and relies on "
+            "associativity."
+        ),
+        phases=(
+            PhaseSpec(
+                name="update",
+                weight=1.0,
+                data_working_set=8 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=14 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+            PhaseSpec(
+                name="measure",
+                weight=1.0,
+                data_working_set=20 * KIB,
+                conflict_group_size=4,
+                conflict_fraction=0.05,
+                code_footprint=14 * KIB,
+                i_conflict_group_size=3,
+                i_conflict_fraction=0.04,
+            ),
+        ),
+        periodic=True,
+        period_instructions=26_000,
+        mem_ref_fraction=0.44,
+        store_fraction=0.26,
+        branch_fraction=0.10,
+        memory_level_parallelism=3.0,
+        seed=110,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="swim",
+        description=(
+            "Streaming data working set larger than the 32K L1: the paper reports that "
+            "for swim 'downsizing creates a large amount of misses and large performance "
+            "degradation, resulting in no downsizing for both organizations', while its "
+            "i-cache footprint is small and constant."
+        ),
+        phases=_single(
+            "stencil",
+            data_working_set=44 * KIB,
+            data_sequential_fraction=0.18,
+            code_footprint=3 * KIB,
+        ),
+        mem_ref_fraction=0.46,
+        store_fraction=0.30,
+        branch_fraction=0.08,
+        memory_level_parallelism=4.0,
+        seed=111,
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="tomcatv",
+        description=(
+            "Moderate data working set whose conflicts punish lower associativity (the "
+            "paper notes tomcatv 'reduces the cache size equally for both [organizations], "
+            "but incurs larger performance impact with selective-ways due to more conflict "
+            "misses'); the instruction working set is larger than 32K so the i-cache does "
+            "not downsize."
+        ),
+        phases=_single(
+            "mesh",
+            data_working_set=16 * KIB,
+            conflict_group_size=3,
+            conflict_fraction=0.06,
+            code_footprint=38 * KIB,
+        ),
+        mem_ref_fraction=0.46,
+        store_fraction=0.28,
+        branch_fraction=0.08,
+        memory_level_parallelism=3.5,
+        seed=112,
+    )
+)
+
+#: The twelve applications in the order the paper's figures list them.
+SPEC_APPLICATION_NAMES: Tuple[str, ...] = (
+    "ammp",
+    "applu",
+    "apsi",
+    "compress",
+    "gcc",
+    "ijpeg",
+    "m88ksim",
+    "su2cor",
+    "swim",
+    "tomcatv",
+    "vortex",
+    "vpr",
+)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by SPEC benchmark name."""
+    try:
+        return _PROFILES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_PROFILES))
+        raise WorkloadError(f"unknown workload {name!r}; known workloads: {known}") from exc
+
+
+def iter_profiles() -> Iterator[WorkloadProfile]:
+    """Iterate over all twelve profiles in the paper's figure order."""
+    for name in SPEC_APPLICATION_NAMES:
+        yield _PROFILES[name]

@@ -1,0 +1,80 @@
+"""Trace record types.
+
+A trace is the unit the simulator consumes: a sequence of per-instruction
+records plus the workload-level metadata (memory-level parallelism) the
+out-of-order timing model needs.  Traces are independent of any cache
+configuration, so one materialised trace is reused across every candidate
+configuration of a profiling sweep — that is what makes the design-space
+sweeps in :mod:`repro.experiments` affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional
+
+
+class InstructionRecord(NamedTuple):
+    """One dynamic instruction.
+
+    Attributes:
+        pc: byte address of the instruction.
+        data_address: byte address of the load/store, or None for non-memory
+            instructions.
+        is_store: True when the data access is a store.
+        is_branch: True when the instruction is a conditional branch or jump.
+        taken: branch outcome (meaningful only when ``is_branch``).
+    """
+
+    pc: int
+    data_address: Optional[int]
+    is_store: bool
+    is_branch: bool
+    taken: bool
+
+
+class Trace:
+    """A materialised instruction trace with workload metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        records: List[InstructionRecord],
+        memory_level_parallelism: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.records = records
+        self.memory_level_parallelism = memory_level_parallelism
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def memory_references(self) -> int:
+        """Number of instructions that carry a data access."""
+        return sum(1 for record in self.records if record.data_address is not None)
+
+    @property
+    def branches(self) -> int:
+        """Number of branch instructions in the trace."""
+        return sum(1 for record in self.records if record.is_branch)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace covering ``records[start:stop]``."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            records=self.records[start:stop],
+            memory_level_parallelism=self.memory_level_parallelism,
+        )
+
+    @classmethod
+    def from_records(
+        cls, name: str, records: Iterable[InstructionRecord], memory_level_parallelism: float = 1.0
+    ) -> "Trace":
+        """Build a trace from any iterable of records."""
+        return cls(name, list(records), memory_level_parallelism)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name}, {len(self.records)} instructions)"

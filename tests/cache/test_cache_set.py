@@ -1,0 +1,99 @@
+"""Tests for a single cache set (LRU ordering, capacity changes, draining)."""
+
+from repro.cache.cache_set import CacheSet, make_selector
+from repro.mem.block import CacheBlock
+
+
+def _lru_set(capacity: int) -> CacheSet:
+    return CacheSet(capacity, make_selector("lru"))
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache_set = _lru_set(2)
+        assert cache_set.lookup(1) is None
+        cache_set.fill(1, CacheBlock(0x20))
+        assert cache_set.lookup(1) is not None
+
+    def test_fill_evicts_lru_when_full(self):
+        cache_set = _lru_set(2)
+        cache_set.fill(1, CacheBlock(0x20))
+        cache_set.fill(2, CacheBlock(0x40))
+        victim = cache_set.fill(3, CacheBlock(0x60))
+        assert victim is not None
+        assert victim.address == 0x20
+        assert cache_set.lookup(1) is None
+        assert cache_set.lookup(2) is not None
+
+    def test_hit_refreshes_lru_order(self):
+        cache_set = _lru_set(2)
+        cache_set.fill(1, CacheBlock(0x20))
+        cache_set.fill(2, CacheBlock(0x40))
+        cache_set.lookup(1)  # 2 becomes LRU
+        victim = cache_set.fill(3, CacheBlock(0x60))
+        assert victim.address == 0x40
+
+    def test_fifo_does_not_refresh_on_hit(self):
+        cache_set = CacheSet(2, make_selector("fifo"))
+        cache_set.fill(1, CacheBlock(0x20))
+        cache_set.fill(2, CacheBlock(0x40))
+        cache_set.lookup(1)
+        victim = cache_set.fill(3, CacheBlock(0x60))
+        assert victim.address == 0x20
+
+    def test_refill_of_resident_tag_replaces_in_place(self):
+        cache_set = _lru_set(2)
+        cache_set.fill(1, CacheBlock(0x20))
+        victim = cache_set.fill(1, CacheBlock(0x20, dirty=True))
+        assert victim is not None and victim.address == 0x20
+        assert cache_set.occupancy == 1
+        assert cache_set.probe(1).dirty
+
+    def test_probe_does_not_change_order(self):
+        cache_set = _lru_set(2)
+        cache_set.fill(1, CacheBlock(0x20))
+        cache_set.fill(2, CacheBlock(0x40))
+        cache_set.probe(1)
+        victim = cache_set.fill(3, CacheBlock(0x60))
+        assert victim.address == 0x20
+
+
+class TestCapacityAndDrain:
+    def test_invalidate_returns_block(self):
+        cache_set = _lru_set(2)
+        cache_set.fill(1, CacheBlock(0x20, dirty=True))
+        block = cache_set.invalidate(1)
+        assert block.dirty
+        assert cache_set.invalidate(1) is None
+
+    def test_shrinking_capacity_evicts_lru_first(self):
+        cache_set = _lru_set(4)
+        for tag in range(4):
+            cache_set.fill(tag, CacheBlock(tag * 0x20))
+        cache_set.lookup(0)  # tag 0 most recently used
+        evicted = cache_set.set_capacity(2)
+        assert len(evicted) == 2
+        assert {block.address for block in evicted} == {0x20, 0x40}
+        assert cache_set.occupancy == 2
+
+    def test_growing_capacity_keeps_blocks(self):
+        cache_set = _lru_set(1)
+        cache_set.fill(1, CacheBlock(0x20))
+        assert cache_set.set_capacity(4) == []
+        assert cache_set.occupancy == 1
+        cache_set.fill(2, CacheBlock(0x40))
+        assert cache_set.occupancy == 2
+
+    def test_drain_returns_everything_and_empties_set(self):
+        cache_set = _lru_set(4)
+        for tag in range(3):
+            cache_set.fill(tag, CacheBlock(tag * 0x20))
+        drained = cache_set.drain()
+        assert len(drained) == 3
+        assert cache_set.occupancy == 0
+
+    def test_residents_iteration(self):
+        cache_set = _lru_set(4)
+        cache_set.fill(7, CacheBlock(0xE0))
+        residents = dict(cache_set.residents())
+        assert list(residents.keys()) == [7]

@@ -1,0 +1,74 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+from repro.common.config import CoreConfig
+from repro.common.errors import ConfigurationError
+
+
+class TestAllocation:
+    def test_primary_miss_allocates(self):
+        mshrs = MshrFile(4)
+        assert mshrs.allocate(0x100)
+        assert mshrs.occupancy == 1
+        assert mshrs.primary_misses == 1
+
+    def test_secondary_miss_merges(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0x100)
+        assert mshrs.allocate(0x100)
+        assert mshrs.occupancy == 1
+        assert mshrs.secondary_misses == 1
+
+    def test_full_file_rejects_new_blocks(self):
+        mshrs = MshrFile(2)
+        assert mshrs.allocate(0x100)
+        assert mshrs.allocate(0x200)
+        assert not mshrs.allocate(0x300)
+        assert mshrs.rejected == 1
+
+    def test_release_frees_entry(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(0x100)
+        mshrs.release(0x100)
+        assert mshrs.allocate(0x200)
+
+    def test_release_of_unknown_block_is_harmless(self):
+        MshrFile(1).release(0xDEAD)
+
+    def test_outstanding_lists_blocks(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0x100)
+        mshrs.allocate(0x200)
+        assert sorted(mshrs.outstanding()) == [0x100, 0x200]
+
+    def test_reset(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(0x100)
+        mshrs.reset()
+        assert mshrs.occupancy == 0
+        assert mshrs.primary_misses == 0
+
+
+class TestOverlapFactor:
+    def test_overlap_capped_by_entries(self):
+        mshrs = MshrFile(4)
+        assert mshrs.overlap_factor(10.0) == pytest.approx(4.0)
+
+    def test_overlap_floor_of_one(self):
+        mshrs = MshrFile(4)
+        assert mshrs.overlap_factor(0.2) == pytest.approx(1.0)
+
+    def test_overlap_passthrough_in_range(self):
+        mshrs = MshrFile(8)
+        assert mshrs.overlap_factor(2.5) == pytest.approx(2.5)
+
+    def test_from_core_uses_configured_entries(self):
+        mshrs = MshrFile.from_core(CoreConfig(mshr_entries=8))
+        assert mshrs.num_entries == 8
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ConfigurationError):
+        MshrFile(0)

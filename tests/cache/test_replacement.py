@@ -1,0 +1,48 @@
+"""Tests for replacement policy parsing and victim selection."""
+
+import pytest
+
+from repro.cache.replacement import ReplacementPolicy, VictimSelector
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+
+
+class TestPolicyParsing:
+    def test_parse_strings(self):
+        assert ReplacementPolicy.parse("lru") is ReplacementPolicy.LRU
+        assert ReplacementPolicy.parse("FIFO") is ReplacementPolicy.FIFO
+        assert ReplacementPolicy.parse("Random") is ReplacementPolicy.RANDOM
+
+    def test_parse_enum_passthrough(self):
+        assert ReplacementPolicy.parse(ReplacementPolicy.LRU) is ReplacementPolicy.LRU
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ReplacementPolicy.parse("plru")
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(ConfigurationError):
+            ReplacementPolicy.parse(42)
+
+
+class TestVictimSelector:
+    def test_lru_refreshes_on_hit(self):
+        assert VictimSelector(ReplacementPolicy.LRU).refreshes_on_hit
+
+    def test_fifo_does_not_refresh_on_hit(self):
+        assert not VictimSelector(ReplacementPolicy.FIFO).refreshes_on_hit
+
+    def test_oldest_entry_chosen_for_lru_and_fifo(self):
+        resident = {10: "a", 20: "b", 30: "c"}
+        for policy in (ReplacementPolicy.LRU, ReplacementPolicy.FIFO):
+            assert VictimSelector(policy).choose_victim(resident) == 10
+
+    def test_random_selector_picks_resident_tags(self):
+        selector = VictimSelector(ReplacementPolicy.RANDOM, DeterministicRng(1))
+        resident = {1: "a", 2: "b", 3: "c"}
+        for _ in range(30):
+            assert selector.choose_victim(resident) in resident
+
+    def test_random_selector_gets_default_rng(self):
+        selector = VictimSelector(ReplacementPolicy.RANDOM)
+        assert selector.choose_victim({5: "a"}) == 5

@@ -1,0 +1,73 @@
+"""Tests for subarray enable/disable book-keeping."""
+
+import pytest
+
+from repro.cache.subarray import SubarrayMap
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB
+
+
+class TestFullState:
+    def test_base_l1_has_32_subarrays(self):
+        state = SubarrayMap(CacheGeometry(32 * KIB, 2)).full_state()
+        assert state.total_subarrays == 32
+        assert state.enabled_subarrays == 32
+        assert state.enabled_bytes == 32 * KIB
+        assert state.enabled_fraction == pytest.approx(1.0)
+
+    def test_full_state_for_high_associativity(self):
+        state = SubarrayMap(CacheGeometry(32 * KIB, 16)).full_state()
+        assert state.enabled_subarrays == 32
+
+
+class TestPartialStates:
+    def test_disabling_ways_scales_subarrays_linearly(self):
+        geometry = CacheGeometry(32 * KIB, 4)
+        subarrays = SubarrayMap(geometry)
+        state = subarrays.subarrays_for(enabled_ways=2, enabled_sets=geometry.num_sets)
+        assert state.enabled_subarrays == 16
+        assert state.enabled_bytes == 16 * KIB
+
+    def test_disabling_sets_scales_subarrays(self):
+        geometry = CacheGeometry(32 * KIB, 2)
+        subarrays = SubarrayMap(geometry)
+        state = subarrays.subarrays_for(enabled_ways=2, enabled_sets=128)
+        assert state.enabled_bytes == 8 * KIB
+        assert state.enabled_subarrays == 8
+
+    def test_minimum_one_subarray_per_way(self):
+        geometry = CacheGeometry(32 * KIB, 4)
+        subarrays = SubarrayMap(geometry)
+        # 16 sets of 32-byte blocks is half a subarray per way; the map still
+        # has to keep one whole subarray per way powered.
+        state = subarrays.subarrays_for(enabled_ways=4, enabled_sets=32)
+        assert state.enabled_subarrays == 4
+
+    def test_hybrid_three_way_configuration(self):
+        geometry = CacheGeometry(32 * KIB, 4)
+        state = SubarrayMap(geometry).subarrays_for(enabled_ways=3, enabled_sets=256)
+        assert state.enabled_bytes == 24 * KIB
+        assert state.enabled_subarrays == 24
+
+    def test_enabled_fraction(self):
+        geometry = CacheGeometry(32 * KIB, 2)
+        state = SubarrayMap(geometry).subarrays_for(enabled_ways=2, enabled_sets=256)
+        assert state.enabled_fraction == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_zero_ways(self):
+        subarrays = SubarrayMap(CacheGeometry(32 * KIB, 2))
+        with pytest.raises(ConfigurationError):
+            subarrays.subarrays_for(enabled_ways=0, enabled_sets=512)
+
+    def test_rejects_too_many_ways(self):
+        subarrays = SubarrayMap(CacheGeometry(32 * KIB, 2))
+        with pytest.raises(ConfigurationError):
+            subarrays.subarrays_for(enabled_ways=3, enabled_sets=512)
+
+    def test_rejects_too_many_sets(self):
+        subarrays = SubarrayMap(CacheGeometry(32 * KIB, 2))
+        with pytest.raises(ConfigurationError):
+            subarrays.subarrays_for(enabled_ways=2, enabled_sets=1024)

@@ -1,0 +1,58 @@
+"""Tests for the write-back buffer."""
+
+import pytest
+
+from repro.cache.writeback_buffer import WritebackBuffer
+from repro.common.config import CoreConfig
+from repro.common.errors import ConfigurationError
+
+
+def test_push_and_drain_fifo_order():
+    buffer = WritebackBuffer(4)
+    for address in (0x100, 0x200, 0x300):
+        assert buffer.push(address)
+    assert buffer.drain_one() == 0x100
+    assert buffer.drain_one() == 0x200
+    assert buffer.occupancy == 1
+
+
+def test_overflow_drains_oldest_and_counts_stall():
+    buffer = WritebackBuffer(2)
+    buffer.push(0x100)
+    buffer.push(0x200)
+    accepted = buffer.push(0x300)
+    assert not accepted
+    assert buffer.overflows == 1
+    assert buffer.occupancy == 2
+    assert buffer.drain_one() == 0x200
+
+
+def test_drain_all_empties_buffer():
+    buffer = WritebackBuffer(4)
+    buffer.push(0x100)
+    buffer.push(0x200)
+    assert buffer.drain_all() == [0x100, 0x200]
+    assert buffer.occupancy == 0
+    assert buffer.drained == 2
+
+
+def test_drain_one_on_empty_returns_none():
+    assert WritebackBuffer(2).drain_one() is None
+
+
+def test_reset_clears_state_and_counters():
+    buffer = WritebackBuffer(2)
+    buffer.push(0x100)
+    buffer.reset()
+    assert buffer.occupancy == 0
+    assert buffer.enqueued == 0
+
+
+def test_from_core_uses_configured_entries():
+    buffer = WritebackBuffer.from_core(CoreConfig(writeback_buffer_entries=8))
+    assert buffer.num_entries == 8
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ConfigurationError):
+        WritebackBuffer(0)

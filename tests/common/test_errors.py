@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    ResizingError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (ConfigurationError, ResizingError, SimulationError, WorkloadError):
+        assert issubclass(error_type, ReproError)
+
+
+def test_repro_error_derives_from_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(ReproError):
+        raise ResizingError("size not offered")
+
+
+def test_error_messages_are_preserved():
+    try:
+        raise ConfigurationError("capacity must be positive")
+    except ReproError as error:
+        assert "capacity must be positive" in str(error)

@@ -1,0 +1,64 @@
+"""Tests for deterministic random number generation."""
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.uniform() for _ in range(50)] == [b.uniform() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.uniform() for _ in range(10)] != [b.uniform() for _ in range(10)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = DeterministicRng(7)
+        fork_a = parent.fork(1)
+        fork_b = DeterministicRng(7).fork(1)
+        fork_c = parent.fork(2)
+        sequence_a = [fork_a.randint(0, 100) for _ in range(20)]
+        sequence_b = [fork_b.randint(0, 100) for _ in range(20)]
+        sequence_c = [fork_c.randint(0, 100) for _ in range(20)]
+        assert sequence_a == sequence_b
+        assert sequence_a != sequence_c
+
+
+class TestDraws:
+    def test_uniform_in_unit_interval(self):
+        rng = DeterministicRng(3)
+        for _ in range(200):
+            value = rng.uniform()
+            assert 0.0 <= value < 1.0
+
+    def test_randint_bounds_inclusive(self):
+        rng = DeterministicRng(4)
+        values = {rng.randint(2, 5) for _ in range(300)}
+        assert values == {2, 3, 4, 5}
+
+    def test_choice_returns_members(self):
+        rng = DeterministicRng(5)
+        options = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(options) in options
+
+    def test_burst_length_at_least_one(self):
+        rng = DeterministicRng(6)
+        for mean in (1, 2, 5, 20):
+            for _ in range(100):
+                assert rng.burst_length(mean) >= 1
+
+    def test_burst_length_mean_is_roughly_right(self):
+        rng = DeterministicRng(7)
+        samples = [rng.burst_length(4) for _ in range(4000)]
+        average = sum(samples) / len(samples)
+        assert 3.0 < average < 5.0
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRng(8)
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))

@@ -1,0 +1,97 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.common.stats import Counter, RatioStat, RunningMean, StatGroup
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_increment_default_and_amount(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_int_conversion(self):
+        counter = Counter("x")
+        counter.increment(7)
+        assert int(counter) == 7
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean("m").mean == 0.0
+
+    def test_unweighted_mean(self):
+        mean = RunningMean("m")
+        for value in (1.0, 2.0, 3.0):
+            mean.add(value)
+        assert mean.mean == pytest.approx(2.0)
+
+    def test_weighted_mean(self):
+        mean = RunningMean("m")
+        mean.add(10.0, weight=1.0)
+        mean.add(0.0, weight=3.0)
+        assert mean.mean == pytest.approx(2.5)
+        assert mean.weight == pytest.approx(4.0)
+
+    def test_reset(self):
+        mean = RunningMean("m")
+        mean.add(5.0)
+        mean.reset()
+        assert mean.mean == 0.0
+
+
+class TestRatioStat:
+    def test_empty_ratio_is_zero(self):
+        assert RatioStat("r").ratio == 0.0
+
+    def test_ratio_counts_numerator_events(self):
+        ratio = RatioStat("r")
+        for hit in (True, False, False, True):
+            ratio.record(hit)
+        assert ratio.ratio == pytest.approx(0.5)
+        assert ratio.numerator == 2
+        assert ratio.denominator == 4
+
+
+class TestStatGroup:
+    def test_counters_are_memoised_by_name(self):
+        group = StatGroup("g")
+        assert group.counter("a") is group.counter("a")
+
+    def test_type_conflict_raises(self):
+        group = StatGroup("g")
+        group.counter("a")
+        with pytest.raises(TypeError):
+            group.ratio("a")
+
+    def test_as_dict_exports_all_kinds(self):
+        group = StatGroup("g")
+        group.counter("hits").increment(3)
+        group.running_mean("size").add(8.0)
+        group.ratio("miss").record(True)
+        exported = group.as_dict()
+        assert exported == {"hits": 3, "size": 8.0, "miss": 1.0}
+
+    def test_reset_resets_everything(self):
+        group = StatGroup("g")
+        group.counter("hits").increment(3)
+        group.ratio("miss").record(True)
+        group.reset()
+        assert group.as_dict() == {"hits": 0, "miss": 0.0}
+
+    def test_contains(self):
+        group = StatGroup("g")
+        group.counter("hits")
+        assert "hits" in group
+        assert "misses" not in group

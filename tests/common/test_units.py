@@ -1,0 +1,103 @@
+"""Tests for size parsing/formatting and power-of-two helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB, MIB, format_size, is_power_of_two, log2_int, parse_size
+
+
+class TestParseSize:
+    def test_plain_integer_is_returned_unchanged(self):
+        assert parse_size(4096) == 4096
+
+    def test_integral_float_is_accepted(self):
+        assert parse_size(2048.0) == 2048
+
+    def test_kilobyte_suffixes(self):
+        assert parse_size("32K") == 32 * KIB
+        assert parse_size("32KB") == 32 * KIB
+        assert parse_size("32kib") == 32 * KIB
+
+    def test_megabyte_suffixes(self):
+        assert parse_size("1M") == MIB
+        assert parse_size("2MB") == 2 * MIB
+
+    def test_plain_byte_string(self):
+        assert parse_size("512") == 512
+        assert parse_size("512B") == 512
+
+    def test_fractional_kilobytes(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_whitespace_and_case_are_ignored(self):
+        assert parse_size("  32 k ") == 32 * KIB
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(-1)
+
+    def test_non_integral_byte_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("1.0001K")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("banana")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("32G")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(None)
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(1.5)
+
+
+class TestFormatSize:
+    def test_kilobytes(self):
+        assert format_size(32 * KIB) == "32K"
+        assert format_size(24 * KIB) == "24K"
+
+    def test_megabytes(self):
+        assert format_size(MIB) == "1M"
+
+    def test_small_sizes_in_bytes(self):
+        assert format_size(48) == "48B"
+
+    def test_non_multiple_of_kib_rendered_in_bytes(self):
+        assert format_size(KIB + 1) == f"{KIB + 1}B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_size(-5)
+
+    def test_roundtrip_with_parse(self):
+        for size in (KIB, 3 * KIB, 24 * KIB, 512 * KIB, MIB):
+            assert parse_size(format_size(size)) == size
+
+
+class TestPowerOfTwo:
+    def test_powers_of_two_detected(self):
+        for exponent in range(0, 20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -2, 3, 6, 12, 24 * KIB):
+            assert not is_power_of_two(value)
+
+    def test_log2_of_powers(self):
+        assert log2_int(1) == 0
+        assert log2_int(512) == 9
+        assert log2_int(32 * KIB) == 15
+
+    def test_log2_rejects_non_powers(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(24 * KIB)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour small geometries and short traces so the whole suite
+stays fast; the benchmarks (not the tests) exercise paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheGeometry, CoreConfig, CoreKind, SystemConfig
+from repro.common.units import KIB
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A 4 KiB 2-way cache with 1 KiB subarrays (small but realistic)."""
+    return CacheGeometry(capacity_bytes=4 * KIB, associativity=2, block_bytes=32, subarray_bytes=KIB)
+
+
+@pytest.fixture
+def base_l1_geometry() -> CacheGeometry:
+    """The paper's base 32 KiB 2-way L1 geometry."""
+    return CacheGeometry(capacity_bytes=32 * KIB, associativity=2)
+
+
+@pytest.fixture
+def four_way_geometry() -> CacheGeometry:
+    """The 32 KiB 4-way geometry used by Table 1 and Figure 5."""
+    return CacheGeometry(capacity_bytes=32 * KIB, associativity=4)
+
+
+@pytest.fixture
+def base_system() -> SystemConfig:
+    """The Table 2 base system (out-of-order core, 32K 2-way L1s)."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def inorder_system() -> SystemConfig:
+    """The in-order / blocking-d-cache variant used in Section 4.2."""
+    return SystemConfig(core=CoreConfig(kind=CoreKind.IN_ORDER_BLOCKING))
+
+
+@pytest.fixture
+def simulator(base_system) -> Simulator:
+    """A simulator for the base system."""
+    return Simulator(base_system)
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """A short (8k instruction) gcc trace shared across tests in a session."""
+    return WorkloadGenerator(get_profile("gcc")).generate(8_000)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A very short (3k instruction) ammp trace for fast end-to-end tests."""
+    return WorkloadGenerator(get_profile("ammp")).generate(3_000)

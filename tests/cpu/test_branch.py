@@ -1,0 +1,60 @@
+"""Tests for the bimodal branch predictor."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.branch import BimodalBranchPredictor
+
+
+def test_learns_an_always_taken_branch():
+    predictor = BimodalBranchPredictor()
+    mispredicts = [predictor.predict_and_update(0x400, True) for _ in range(20)]
+    # The counter starts weakly-taken, so an always-taken branch never mispredicts.
+    assert not any(mispredicts)
+
+
+def test_learns_an_always_not_taken_branch_after_warmup():
+    predictor = BimodalBranchPredictor()
+    outcomes = [predictor.predict_and_update(0x500, False) for _ in range(20)]
+    assert outcomes[0] is True  # initial weakly-taken counter mispredicts once
+    assert not any(outcomes[5:])
+
+
+def test_alternating_branch_mispredicts_often():
+    predictor = BimodalBranchPredictor()
+    mispredicts = sum(
+        predictor.predict_and_update(0x600, taken)
+        for taken in [bool(i % 2) for i in range(100)]
+    )
+    assert mispredicts > 30
+
+
+def test_biased_branch_mispredicts_rarely():
+    predictor = BimodalBranchPredictor()
+    pattern = ([True] * 9 + [False]) * 20
+    mispredicts = sum(predictor.predict_and_update(0x700, taken) for taken in pattern)
+    assert mispredicts / len(pattern) < 0.2
+
+
+def test_distinct_branches_use_distinct_counters():
+    predictor = BimodalBranchPredictor(table_entries=1024)
+    for _ in range(10):
+        predictor.predict_and_update(0x100, True)
+        predictor.predict_and_update(0x200, False)
+    assert not predictor.predict_and_update(0x100, True)
+    assert not predictor.predict_and_update(0x200, False)
+
+
+def test_misprediction_ratio_and_reset():
+    predictor = BimodalBranchPredictor()
+    predictor.predict_and_update(0x100, False)
+    assert predictor.predictions == 1
+    assert predictor.misprediction_ratio == 1.0
+    predictor.reset()
+    assert predictor.predictions == 0
+    assert predictor.misprediction_ratio == 0.0
+
+
+def test_table_size_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        BimodalBranchPredictor(table_entries=1000)

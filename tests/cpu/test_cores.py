@@ -1,0 +1,119 @@
+"""Tests for the in-order and out-of-order interval timing models."""
+
+import pytest
+
+from repro.common.config import CoreKind, SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.cpu.core_model import make_core_model
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.ooo import OutOfOrderCore
+from repro.cpu.timing import CoreTimingParameters
+from repro.metrics.counts import IntervalCounts
+
+
+def _counts(**overrides) -> IntervalCounts:
+    counts = IntervalCounts(
+        instructions=10_000,
+        l1d_accesses=4_000,
+        l1d_misses=40,
+        l1i_accesses=2_200,
+        l1i_misses=10,
+        branches=1_800,
+        branch_mispredicts=90,
+        memory_level_parallelism=2.0,
+    )
+    for name, value in overrides.items():
+        setattr(counts, name, value)
+    return counts
+
+
+class TestFactory:
+    def test_factory_builds_matching_model(self, base_system, inorder_system):
+        assert isinstance(make_core_model(base_system), OutOfOrderCore)
+        assert isinstance(make_core_model(inorder_system), InOrderCore)
+
+    def test_kind_property(self, base_system, inorder_system):
+        assert make_core_model(base_system).kind is CoreKind.OUT_OF_ORDER_NONBLOCKING
+        assert make_core_model(inorder_system).kind is CoreKind.IN_ORDER_BLOCKING
+
+
+class TestRelativeBehaviour:
+    def test_ooo_is_faster_than_inorder_on_identical_work(self, base_system, inorder_system):
+        counts = _counts()
+        ooo = make_core_model(base_system).interval_cycles(counts)
+        inorder = make_core_model(inorder_system).interval_cycles(counts)
+        assert ooo < inorder
+
+    def test_dcache_misses_cost_more_on_the_inorder_core(self, base_system, inorder_system):
+        few = _counts(l1d_misses=10)
+        many = _counts(l1d_misses=400)
+        ooo_penalty = (
+            make_core_model(base_system).interval_cycles(many)
+            - make_core_model(base_system).interval_cycles(few)
+        )
+        inorder_penalty = (
+            make_core_model(inorder_system).interval_cycles(many)
+            - make_core_model(inorder_system).interval_cycles(few)
+        )
+        assert inorder_penalty > ooo_penalty
+
+    def test_icache_misses_are_exposed_on_both_cores(self, base_system, inorder_system):
+        few = _counts(l1i_misses=0)
+        many = _counts(l1i_misses=300)
+        for system in (base_system, inorder_system):
+            model = make_core_model(system)
+            assert model.interval_cycles(many) > model.interval_cycles(few)
+
+    def test_icache_miss_relative_impact_is_larger_on_ooo(self, base_system, inorder_system):
+        # Section 4.2.2: i-cache miss latency is more exposed relative to the
+        # total execution time on the out-of-order engine.
+        few = _counts(l1i_misses=0)
+        many = _counts(l1i_misses=300)
+        ooo = make_core_model(base_system)
+        inorder = make_core_model(inorder_system)
+        ooo_relative = ooo.interval_cycles(many) / ooo.interval_cycles(few)
+        inorder_relative = inorder.interval_cycles(many) / inorder.interval_cycles(few)
+        assert ooo_relative > inorder_relative
+
+    def test_memory_level_parallelism_hides_ooo_data_misses(self, base_system):
+        model = make_core_model(base_system)
+        low_mlp = _counts(l1d_misses=400, memory_level_parallelism=1.0)
+        high_mlp = _counts(l1d_misses=400, memory_level_parallelism=4.0)
+        assert model.interval_cycles(high_mlp) < model.interval_cycles(low_mlp)
+
+    def test_mlp_is_capped_by_mshr_count(self, base_system):
+        model = make_core_model(base_system)
+        at_cap = _counts(l1d_misses=400, memory_level_parallelism=8.0)
+        beyond_cap = _counts(l1d_misses=400, memory_level_parallelism=100.0)
+        assert model.interval_cycles(at_cap) == pytest.approx(model.interval_cycles(beyond_cap))
+
+    def test_branch_mispredictions_add_cycles(self, base_system):
+        model = make_core_model(base_system)
+        clean = _counts(branch_mispredicts=0)
+        messy = _counts(branch_mispredicts=500)
+        expected_penalty = 500 * base_system.core.branch_mispredict_penalty
+        assert model.interval_cycles(messy) - model.interval_cycles(clean) == pytest.approx(
+            expected_penalty
+        )
+
+    def test_memory_accesses_cost_more_than_l2_hits(self, base_system):
+        model = make_core_model(base_system)
+        l2_only = _counts(l1d_misses=100, l1d_memory_accesses=0)
+        to_memory = _counts(l1d_misses=100, l1d_memory_accesses=100)
+        assert model.interval_cycles(to_memory) > model.interval_cycles(l2_only)
+
+
+class TestTimingParameters:
+    def test_invalid_exposure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreTimingParameters(ooo_dcache_exposure=1.5)
+
+    def test_invalid_cpi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreTimingParameters(ooo_base_cpi=0.0)
+
+    def test_custom_timing_changes_cycles(self, base_system):
+        fast = make_core_model(base_system, CoreTimingParameters(ooo_base_cpi=0.3))
+        slow = make_core_model(base_system, CoreTimingParameters(ooo_base_cpi=0.9))
+        counts = _counts()
+        assert fast.interval_cycles(counts) < slow.interval_cycles(counts)

@@ -1,0 +1,102 @@
+"""Tests for interval-level energy accounting across structures."""
+
+import pytest
+
+from repro.cache.subarray import SubarrayMap
+from repro.common.config import SystemConfig
+from repro.energy.accounting import EnergyAccountant
+from repro.metrics.counts import IntervalCounts
+
+
+@pytest.fixture
+def accountant(base_system) -> EnergyAccountant:
+    return EnergyAccountant(base_system)
+
+
+@pytest.fixture
+def full_states(base_system):
+    return (
+        SubarrayMap(base_system.l1d).full_state(),
+        SubarrayMap(base_system.l1i).full_state(),
+    )
+
+
+def _typical_counts() -> IntervalCounts:
+    return IntervalCounts(
+        instructions=1000,
+        l1d_accesses=400,
+        l1d_stores=120,
+        l1d_misses=8,
+        l1i_accesses=220,
+        l1i_misses=2,
+        l2_accesses=10,
+        memory_accesses=1,
+        branches=180,
+        branch_mispredicts=9,
+    )
+
+
+class TestBreakdownStructure:
+    def test_all_components_are_positive_for_typical_activity(self, accountant, full_states):
+        l1d_state, l1i_state = full_states
+        breakdown = accountant.interval_breakdown(
+            _typical_counts(), cycles=700, l1d_state=l1d_state, l1d_ways=2,
+            l1i_state=l1i_state, l1i_ways=2,
+        )
+        assert breakdown.l1d > 0
+        assert breakdown.l1i > 0
+        assert breakdown.l2 > 0
+        assert breakdown.memory > 0
+        assert breakdown.core > 0
+
+    def test_cache_fractions_match_paper_ballpark(self, accountant, full_states):
+        # Section 4: d-cache ~18.5% and i-cache ~17.5% of processor energy on
+        # average.  The synthetic calibration should land in that ballpark
+        # (generous bounds: 10-30%).
+        l1d_state, l1i_state = full_states
+        breakdown = accountant.interval_breakdown(
+            _typical_counts(), cycles=700, l1d_state=l1d_state, l1d_ways=2,
+            l1i_state=l1i_state, l1i_ways=2,
+        )
+        assert 0.10 < breakdown.fraction("l1d") < 0.30
+        assert 0.10 < breakdown.fraction("l1i") < 0.30
+        assert breakdown.fraction("core") > 0.30
+
+
+class TestResizingEffects:
+    def test_disabling_subarrays_reduces_l1d_energy_only(self, base_system, accountant):
+        l1d_map = SubarrayMap(base_system.l1d)
+        l1i_state = SubarrayMap(base_system.l1i).full_state()
+        counts = _typical_counts()
+        full = accountant.interval_breakdown(
+            counts, 700, l1d_state=l1d_map.full_state(), l1d_ways=2,
+            l1i_state=l1i_state, l1i_ways=2,
+        )
+        shrunk = accountant.interval_breakdown(
+            counts, 700, l1d_state=l1d_map.subarrays_for(2, 64), l1d_ways=2,
+            l1i_state=l1i_state, l1i_ways=2,
+        )
+        assert shrunk.l1d < full.l1d
+        assert shrunk.l1i == pytest.approx(full.l1i)
+        assert shrunk.core == pytest.approx(full.core)
+
+    def test_resizing_tag_bits_increase_l1_energy(self, base_system, full_states):
+        l1d_state, l1i_state = full_states
+        counts = _typical_counts()
+        plain = EnergyAccountant(base_system).interval_breakdown(
+            counts, 700, l1d_state, 2, l1i_state, 2
+        )
+        with_tags = EnergyAccountant(
+            base_system, l1d_resizing_tag_bits=4, l1i_resizing_tag_bits=4
+        ).interval_breakdown(counts, 700, l1d_state, 2, l1i_state, 2)
+        assert with_tags.l1d > plain.l1d
+        assert with_tags.l1i > plain.l1i
+
+    def test_extra_l2_traffic_increases_l2_energy(self, accountant, full_states):
+        l1d_state, l1i_state = full_states
+        calm = _typical_counts()
+        busy = _typical_counts()
+        busy.l2_accesses += 50
+        calm_breakdown = accountant.interval_breakdown(calm, 700, l1d_state, 2, l1i_state, 2)
+        busy_breakdown = accountant.interval_breakdown(busy, 700, l1d_state, 2, l1i_state, 2)
+        assert busy_breakdown.l2 > calm_breakdown.l2

@@ -1,0 +1,104 @@
+"""Tests for the L1 and L2 cache energy models.
+
+The key property resizing exploits: dynamic energy per access scales with
+the number of enabled subarrays, and per-cycle (clock + leakage) energy
+scales with the enabled capacity.
+"""
+
+import pytest
+
+from repro.cache.subarray import SubarrayMap
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.energy.cache_energy import CacheEnergyModel, L2EnergyModel
+from repro.energy.technology import TechnologyParameters
+
+
+@pytest.fixture
+def geometry() -> CacheGeometry:
+    return CacheGeometry(32 * KIB, 2)
+
+
+@pytest.fixture
+def technology() -> TechnologyParameters:
+    return TechnologyParameters()
+
+
+@pytest.fixture
+def model(geometry, technology) -> CacheEnergyModel:
+    return CacheEnergyModel(geometry, technology)
+
+
+class TestAccessEnergy:
+    def test_access_energy_scales_with_enabled_subarrays(self, geometry, model):
+        subarrays = SubarrayMap(geometry)
+        full = model.access_energy(subarrays.full_state(), enabled_ways=2)
+        half = model.access_energy(subarrays.subarrays_for(2, 256), enabled_ways=2)
+        assert half < full
+        # The subarray-dependent portion halves exactly.
+        technology = model.technology
+        expected_delta = 16 * technology.subarray_access_energy
+        assert full - half == pytest.approx(expected_delta)
+
+    def test_write_access_costs_more_than_read(self, geometry, model):
+        state = SubarrayMap(geometry).full_state()
+        read = model.access_energy(state, 2, is_write=False)
+        write = model.access_energy(state, 2, is_write=True)
+        assert write == pytest.approx(read * model.technology.write_energy_factor)
+
+    def test_fewer_enabled_ways_cost_less_at_equal_capacity(self, technology):
+        # The paper's applu observation: at the same size, a lower-associative
+        # configuration reads fewer subarrays per access.
+        geometry = CacheGeometry(32 * KIB, 4)
+        model = CacheEnergyModel(geometry, technology)
+        subarrays = SubarrayMap(geometry)
+        sets_16k = model.access_energy(subarrays.subarrays_for(4, 128), enabled_ways=4)
+        ways_16k = model.access_energy(subarrays.subarrays_for(2, 256), enabled_ways=2)
+        assert ways_16k < sets_16k
+
+    def test_resizing_tag_bits_add_energy(self, geometry, technology):
+        plain = CacheEnergyModel(geometry, technology, resizing_tag_bits=0)
+        selective_sets = CacheEnergyModel(geometry, technology, resizing_tag_bits=4)
+        state = SubarrayMap(geometry).full_state()
+        assert selective_sets.access_energy(state, 2) > plain.access_energy(state, 2)
+
+    def test_interval_access_energy_combines_reads_and_writes(self, geometry, model):
+        state = SubarrayMap(geometry).full_state()
+        combined = model.interval_access_energy(state, 2, reads=10, writes=5)
+        expected = 10 * model.access_energy(state, 2) + 5 * model.access_energy(
+            state, 2, is_write=True
+        )
+        assert combined == pytest.approx(expected)
+
+
+class TestCycleEnergy:
+    def test_cycle_energy_scales_with_enabled_capacity(self, geometry, model):
+        subarrays = SubarrayMap(geometry)
+        full = model.cycle_energy(subarrays.full_state())
+        quarter = model.cycle_energy(subarrays.subarrays_for(2, 128))
+        assert quarter == pytest.approx(full / 4.0)
+
+    def test_interval_cycle_energy_is_linear_in_cycles(self, geometry, model):
+        state = SubarrayMap(geometry).full_state()
+        assert model.interval_cycle_energy(state, 100.0) == pytest.approx(
+            100.0 * model.cycle_energy(state)
+        )
+
+    def test_fetch_array_energy_scales_with_lookups(self, geometry, model):
+        state = SubarrayMap(geometry).full_state()
+        one = model.fetch_array_energy(state, 2, lookups=1)
+        many = model.fetch_array_energy(state, 2, lookups=10)
+        assert many == pytest.approx(10 * one)
+
+
+class TestL2Energy:
+    def test_l2_energy_scales_with_accesses(self, technology):
+        model = L2EnergyModel(CacheGeometry(512 * KIB, 4, block_bytes=64, subarray_bytes=4 * KIB), technology)
+        low = model.interval_energy(accesses=10, cycles=1000)
+        high = model.interval_energy(accesses=100, cycles=1000)
+        assert high - low == pytest.approx(90 * technology.l2_access_energy)
+
+    def test_l2_access_energy_exceeds_l1_access_energy(self, geometry, technology, model):
+        state = SubarrayMap(geometry).full_state()
+        l1_access = model.access_energy(state, 2)
+        assert technology.l2_access_energy > l1_access

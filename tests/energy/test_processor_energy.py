@@ -1,0 +1,43 @@
+"""Tests for the rest-of-processor and memory energy model."""
+
+import pytest
+
+from repro.common.config import CoreConfig, CoreKind
+from repro.energy.processor_energy import ProcessorEnergyModel
+from repro.energy.technology import TechnologyParameters
+from repro.metrics.counts import IntervalCounts
+
+
+@pytest.fixture
+def technology() -> TechnologyParameters:
+    return TechnologyParameters()
+
+
+def test_energy_grows_with_cycles_and_instructions(technology):
+    model = ProcessorEnergyModel(CoreConfig(), technology)
+    short = model.interval_energy(IntervalCounts(instructions=100), cycles=100)
+    longer = model.interval_energy(IntervalCounts(instructions=100), cycles=200)
+    more_work = model.interval_energy(IntervalCounts(instructions=200), cycles=100)
+    assert longer > short
+    assert more_work > short
+
+
+def test_stalled_cycles_still_burn_core_energy(technology):
+    # This is what makes over-aggressive downsizing unattractive: the rest of
+    # the processor keeps dissipating while it waits on extra misses.
+    model = ProcessorEnergyModel(CoreConfig(), technology)
+    counts = IntervalCounts(instructions=1000)
+    assert model.interval_energy(counts, cycles=2000) > model.interval_energy(counts, cycles=1000)
+
+
+def test_inorder_core_has_lower_per_cycle_overhead(technology):
+    counts = IntervalCounts(instructions=1000)
+    ooo = ProcessorEnergyModel(CoreConfig(kind=CoreKind.OUT_OF_ORDER_NONBLOCKING), technology)
+    inorder = ProcessorEnergyModel(CoreConfig(kind=CoreKind.IN_ORDER_BLOCKING), technology)
+    assert inorder.interval_energy(counts, 1000) < ooo.interval_energy(counts, 1000)
+
+
+def test_memory_energy_counts_block_transfers(technology):
+    model = ProcessorEnergyModel(CoreConfig(), technology)
+    counts = IntervalCounts(memory_accesses=7)
+    assert model.memory_energy(counts) == pytest.approx(7 * technology.memory_access_energy)

@@ -1,0 +1,35 @@
+"""Tests for technology parameter validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.energy.technology import TechnologyParameters
+
+
+def test_defaults_are_valid():
+    technology = TechnologyParameters()
+    assert technology.subarray_access_energy > 0
+    assert technology.l2_access_energy > technology.subarray_access_energy
+
+
+def test_negative_energy_rejected():
+    with pytest.raises(ConfigurationError):
+        TechnologyParameters(subarray_access_energy=-0.001)
+    with pytest.raises(ConfigurationError):
+        TechnologyParameters(l2_access_energy=-1.0)
+
+
+def test_write_factor_must_be_at_least_one():
+    with pytest.raises(ConfigurationError):
+        TechnologyParameters(write_energy_factor=0.9)
+
+
+def test_fetch_accesses_per_lookup_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        TechnologyParameters(fetch_accesses_per_lookup=0.0)
+
+
+def test_parameters_are_immutable():
+    technology = TechnologyParameters()
+    with pytest.raises(AttributeError):
+        technology.l2_access_energy = 5.0

@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment harnesses on a reduced context.
+
+These use a handful of applications and short traces so they stay fast; the
+full twelve-application, paper-scale runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.common.config import CoreKind
+from repro.experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
+from repro.experiments.context import (
+    D_CACHE,
+    HYBRID,
+    I_CACHE,
+    SELECTIVE_SETS,
+    SELECTIVE_WAYS,
+    ExperimentContext,
+)
+
+
+@pytest.fixture(scope="module")
+def small_context() -> ExperimentContext:
+    return ExperimentContext(
+        n_instructions=12_000,
+        applications=("ammp", "compress", "gcc"),
+    )
+
+
+class TestContext:
+    def test_traces_and_baselines_are_memoised(self, small_context):
+        assert small_context.trace("ammp") is small_context.trace("ammp")
+        assert small_context.baseline("ammp") is small_context.baseline("ammp")
+
+    def test_profiles_are_memoised_per_key(self, small_context):
+        first = small_context.static_profile("ammp", SELECTIVE_SETS, D_CACHE, 2)
+        again = small_context.static_profile("ammp", SELECTIVE_SETS, D_CACHE, 2)
+        other = small_context.static_profile("ammp", SELECTIVE_WAYS, D_CACHE, 2)
+        assert first is again
+        assert first is not other
+
+    def test_unknown_organization_rejected(self, small_context):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            small_context.organization("selective-banks", 2)
+
+
+class TestTable2:
+    def test_breakdown_rows_cover_all_applications(self, small_context):
+        result = table2.run(small_context)
+        assert set(result.per_application_fractions) == set(small_context.applications)
+        mean = result.mean_fractions
+        assert abs(sum(mean.values()) - 1.0) < 1e-6
+        assert "512K 4-way" in result.format_table()
+
+
+class TestFigureHarnesses:
+    def test_figure4_produces_all_bars(self, small_context):
+        result = figure4.run(small_context)
+        assert len(result.rows()) == 2 * 2 * 4  # caches x organizations x associativities
+        for row in result.rows():
+            assert -100.0 < row["energy_delay_reduction_percent"] < 100.0
+        assert set(result.crossover_summary()) == {D_CACHE, I_CACHE}
+
+    def test_figure5_rows_per_application(self, small_context):
+        result = figure5.run(small_context)
+        assert len(result.panel(D_CACHE)) == len(small_context.applications)
+        ammp = next(r for r in result.panel(D_CACHE) if r.application == "ammp")
+        # ammp's small working set downsizes under selective-sets.
+        assert ammp.sets_size_reduction > 50.0
+        assert "AVG." in result.format_table()
+
+    def test_figure6_hybrid_at_least_matches_both(self, small_context):
+        result = figure6.run(small_context)
+        for target in (D_CACHE, I_CACHE):
+            for associativity in result.associativities:
+                assert result.hybrid_matches_best(target, associativity, tolerance=1.5)
+
+    def test_figure7_compares_cores_and_strategies(self, small_context):
+        result = figure7.run(small_context)
+        assert set(result.panels) == {
+            CoreKind.IN_ORDER_BLOCKING,
+            CoreKind.OUT_OF_ORDER_NONBLOCKING,
+        }
+        average = result.average(CoreKind.OUT_OF_ORDER_NONBLOCKING)
+        assert average.static_size_reduction >= 0.0
+        assert "static" in result.format_table().lower()
+
+    def test_figure8_targets_the_icache(self, small_context):
+        result = figure8.run(small_context)
+        assert result.target == I_CACHE
+        rows = result.panel(CoreKind.OUT_OF_ORDER_NONBLOCKING)
+        ammp = next(r for r in rows if r.application == "ammp")
+        assert ammp.static_size_reduction > 50.0
+
+    def test_figure9_additivity(self, small_context):
+        result = figure9.run(small_context)
+        assert len(result.applications) == len(small_context.applications)
+        for row in result.applications:
+            stacked = row.stacked_energy_delay_reduction
+            assert row.both_energy_delay_reduction == pytest.approx(stacked, abs=6.0)
+        assert result.average().both_energy_delay_reduction >= 0.0

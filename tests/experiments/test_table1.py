@@ -1,0 +1,27 @@
+"""Tests for the Table 1 reproduction (analytic, no simulation)."""
+
+from repro.common.units import KIB
+from repro.experiments import table1
+
+
+def test_table1_reproduces_paper_sizes():
+    result = table1.run()
+    assert result.hybrid_sizes == [s * KIB for s in (32, 24, 16, 12, 8, 6, 4, 3, 2, 1)]
+    assert result.selective_ways_sizes == [s * KIB for s in (32, 24, 16, 8)]
+    assert result.selective_sets_sizes == [s * KIB for s in (32, 16, 8, 4)]
+
+
+def test_table1_rows_and_rendering():
+    result = table1.run()
+    rows = result.rows()
+    assert len(rows) == 4  # way capacities 8K, 4K, 2K, 1K
+    assert rows[0]["way_capacity"] == 8 * KIB
+    assert rows[0]["4-way"] == 32 * KIB
+    text = result.format_table()
+    assert "24K" in text and "3-way" in text and "dm" in text
+
+
+def test_table1_for_other_geometries():
+    result = table1.run(capacity_bytes=32 * KIB, associativity=2)
+    assert 32 * KIB in result.hybrid_sizes
+    assert result.hybrid_sizes[-1] == KIB

@@ -1,0 +1,70 @@
+"""Tests for address splitting and reconstruction."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.address import AddressMapper, block_address, block_offset
+
+
+class TestBlockHelpers:
+    def test_block_address_clears_offset(self):
+        assert block_address(0x1234, 32) == 0x1220
+        assert block_address(0x1220, 32) == 0x1220
+
+    def test_block_offset(self):
+        assert block_offset(0x1234, 32) == 0x14
+        assert block_offset(0x1220, 32) == 0
+
+
+class TestAddressMapper:
+    def test_split_and_rebuild_roundtrip(self):
+        mapper = AddressMapper(block_bytes=32, num_sets=512)
+        for address in (0x0, 0x1000, 0xDEADBEE0, 0x7FFFFFE0):
+            tag, index = mapper.split(address)
+            rebuilt = mapper.rebuild_address(tag, index)
+            assert rebuilt == block_address(address, 32)
+
+    def test_set_index_wraps_with_num_sets(self):
+        mapper = AddressMapper(block_bytes=32, num_sets=16)
+        # Addresses one "cache way" apart map to the same set.
+        stride = 16 * 32
+        assert mapper.set_index(0x100) == mapper.set_index(0x100 + stride)
+
+    def test_fewer_sets_use_fewer_index_bits(self):
+        full = AddressMapper(block_bytes=32, num_sets=512)
+        half = AddressMapper(block_bytes=32, num_sets=256)
+        assert full.index_bits == 9
+        assert half.index_bits == 8
+        assert half.tag_bits(32) == full.tag_bits(32) + 1
+
+    def test_downsizing_preserves_low_set_indices(self):
+        # The selective-sets flush rule relies on this: a block stored in a
+        # set whose index is below the new (smaller) set count maps to the
+        # same set after downsizing.
+        full = AddressMapper(block_bytes=32, num_sets=512)
+        half = AddressMapper(block_bytes=32, num_sets=256)
+        for address in range(0, 512 * 32 * 4, 32):
+            full_index = full.set_index(address)
+            if full_index < 256:
+                assert half.set_index(address) == full_index
+
+    def test_same_block_same_mapping(self):
+        mapper = AddressMapper(block_bytes=32, num_sets=64)
+        assert mapper.split(0x4000) == mapper.split(0x4000 + 31)
+
+    def test_conflict_stride_maps_to_same_set(self):
+        # The workload generator's conflict groups are spaced 32 KiB apart;
+        # they must collide in every configuration used by the experiments.
+        for num_sets in (32, 64, 128, 256, 512, 1024):
+            mapper = AddressMapper(block_bytes=32, num_sets=num_sets)
+            base = 0x4000_0000
+            indices = {mapper.set_index(base + i * 32 * 1024) for i in range(8)}
+            assert len(indices) == 1
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=32, num_sets=48)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=40, num_sets=64)

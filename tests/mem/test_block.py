@@ -1,0 +1,26 @@
+"""Tests for cache block metadata."""
+
+from repro.mem.block import CacheBlock
+
+
+def test_new_block_is_clean_by_default():
+    block = CacheBlock(0x1000)
+    assert block.address == 0x1000
+    assert not block.dirty
+
+
+def test_block_can_be_created_dirty():
+    assert CacheBlock(0x2000, dirty=True).dirty
+
+
+def test_mark_dirty_and_clean():
+    block = CacheBlock(0x1000)
+    block.mark_dirty()
+    assert block.dirty
+    block.mark_clean()
+    assert not block.dirty
+
+
+def test_repr_mentions_state():
+    assert "clean" in repr(CacheBlock(0x20))
+    assert "dirty" in repr(CacheBlock(0x20, dirty=True))

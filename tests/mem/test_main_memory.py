@@ -1,0 +1,38 @@
+"""Tests for the main-memory model."""
+
+from repro.common.config import MemoryConfig
+from repro.mem.main_memory import MainMemory
+
+
+def test_read_latency_matches_table2_formula():
+    memory = MainMemory(MemoryConfig())
+    assert memory.read_block(0x1000, 64) == 80 + 5 * 8
+
+
+def test_write_latency_uses_same_formula():
+    memory = MainMemory(MemoryConfig())
+    assert memory.write_block(0x1000, 32) == 80 + 5 * 4
+
+
+def test_access_counters_accumulate():
+    memory = MainMemory()
+    memory.read_block(0x0, 64)
+    memory.read_block(0x40, 64)
+    memory.write_block(0x80, 64)
+    assert memory.total_accesses == 3
+    stats = memory.stats.as_dict()
+    assert stats["reads"] == 2
+    assert stats["writes"] == 1
+    assert stats["bytes_transferred"] == 192
+
+
+def test_reset_stats_clears_counters():
+    memory = MainMemory()
+    memory.read_block(0x0, 64)
+    memory.reset_stats()
+    assert memory.total_accesses == 0
+
+
+def test_custom_latency_configuration():
+    memory = MainMemory(MemoryConfig(base_latency=100, cycles_per_chunk=2, chunk_bytes=16))
+    assert memory.read_block(0x0, 64) == 100 + 2 * 4

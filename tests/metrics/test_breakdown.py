@@ -1,0 +1,40 @@
+"""Tests for the energy breakdown container."""
+
+import pytest
+
+from repro.metrics.breakdown import EnergyBreakdown
+
+
+def test_total_sums_components():
+    breakdown = EnergyBreakdown(l1d=1.0, l1i=2.0, l2=3.0, memory=4.0, core=5.0)
+    assert breakdown.total == pytest.approx(15.0)
+
+
+def test_fraction():
+    breakdown = EnergyBreakdown(l1d=2.0, l1i=2.0, l2=1.0, memory=1.0, core=4.0)
+    assert breakdown.fraction("l1d") == pytest.approx(0.2)
+    assert breakdown.fraction("core") == pytest.approx(0.4)
+
+
+def test_fraction_of_empty_breakdown_is_zero():
+    assert EnergyBreakdown().fraction("l1d") == 0.0
+
+
+def test_add_accumulates_in_place():
+    total = EnergyBreakdown(l1d=1.0)
+    total.add(EnergyBreakdown(l1d=2.0, core=3.0))
+    assert total.l1d == pytest.approx(3.0)
+    assert total.core == pytest.approx(3.0)
+
+
+def test_scaled_returns_new_breakdown():
+    breakdown = EnergyBreakdown(l1d=1.0, core=2.0)
+    scaled = breakdown.scaled(2.0)
+    assert scaled.l1d == pytest.approx(2.0)
+    assert breakdown.l1d == pytest.approx(1.0)
+
+
+def test_as_dict_includes_total():
+    exported = EnergyBreakdown(l1d=1.0, l1i=1.0).as_dict()
+    assert exported["total"] == pytest.approx(2.0)
+    assert set(exported) == {"l1d", "l1i", "l2", "memory", "core", "total"}

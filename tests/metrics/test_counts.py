@@ -1,0 +1,43 @@
+"""Tests for interval activity counts."""
+
+import pytest
+
+from repro.metrics.counts import IntervalCounts
+
+
+def test_defaults_are_zero():
+    counts = IntervalCounts()
+    assert counts.instructions == 0
+    assert counts.l1d_miss_ratio == 0.0
+    assert counts.l1i_miss_ratio == 0.0
+
+
+def test_miss_ratios():
+    counts = IntervalCounts(l1d_accesses=100, l1d_misses=5, l1i_accesses=50, l1i_misses=10)
+    assert counts.l1d_miss_ratio == pytest.approx(0.05)
+    assert counts.l1i_miss_ratio == pytest.approx(0.2)
+
+
+def test_merge_accumulates_counts():
+    first = IntervalCounts(instructions=100, l1d_accesses=40, l1d_misses=4, branches=10)
+    second = IntervalCounts(instructions=200, l1d_accesses=80, l1d_misses=2, branches=30)
+    first.merge(second)
+    assert first.instructions == 300
+    assert first.l1d_accesses == 120
+    assert first.l1d_misses == 6
+    assert first.branches == 40
+
+
+def test_merge_weights_memory_level_parallelism_by_instructions():
+    first = IntervalCounts(instructions=100, memory_level_parallelism=1.0)
+    second = IntervalCounts(instructions=300, memory_level_parallelism=3.0)
+    first.merge(second)
+    assert first.memory_level_parallelism == pytest.approx(2.5)
+
+
+def test_copy_is_independent():
+    original = IntervalCounts(instructions=10, l1d_accesses=5, memory_level_parallelism=2.0)
+    duplicate = original.copy()
+    duplicate.instructions += 1
+    assert original.instructions == 10
+    assert duplicate.memory_level_parallelism == pytest.approx(2.0)

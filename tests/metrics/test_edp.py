@@ -1,0 +1,45 @@
+"""Tests for energy-delay helpers."""
+
+import pytest
+
+from repro.metrics.edp import (
+    energy_delay_product,
+    percent_reduction,
+    relative_energy_delay,
+    slowdown,
+)
+
+
+def test_energy_delay_product():
+    assert energy_delay_product(10.0, 5.0) == pytest.approx(50.0)
+
+
+def test_relative_energy_delay_below_one_means_improvement():
+    relative = relative_energy_delay(energy=8.0, cycles=10.0, baseline_energy=10.0, baseline_cycles=10.0)
+    assert relative == pytest.approx(0.8)
+
+
+def test_relative_energy_delay_handles_zero_baseline():
+    assert relative_energy_delay(1.0, 1.0, 0.0, 10.0) == 0.0
+
+
+def test_percent_reduction():
+    assert percent_reduction(80.0, 100.0) == pytest.approx(20.0)
+    assert percent_reduction(110.0, 100.0) == pytest.approx(-10.0)
+    assert percent_reduction(50.0, 0.0) == 0.0
+
+
+def test_slowdown():
+    assert slowdown(106.0, 100.0) == pytest.approx(0.06)
+    assert slowdown(95.0, 100.0) == pytest.approx(-0.05)
+    assert slowdown(10.0, 0.0) == 0.0
+
+
+def test_reduction_and_relative_are_consistent():
+    energy, cycles = 9.0, 11.0
+    base_energy, base_cycles = 10.0, 10.0
+    relative = relative_energy_delay(energy, cycles, base_energy, base_cycles)
+    reduction = percent_reduction(
+        energy_delay_product(energy, cycles), energy_delay_product(base_energy, base_cycles)
+    )
+    assert reduction == pytest.approx((1 - relative) * 100.0)

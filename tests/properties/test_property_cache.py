@@ -1,0 +1,75 @@
+"""Property-based tests for the cache substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+
+_GEOMETRIES = st.sampled_from(
+    [
+        CacheGeometry(2 * KIB, 1, subarray_bytes=KIB),
+        CacheGeometry(4 * KIB, 2, subarray_bytes=KIB),
+        CacheGeometry(8 * KIB, 4, subarray_bytes=KIB),
+    ]
+)
+
+_ACCESSES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=0xFFFF), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+@given(geometry=_GEOMETRIES, accesses=_ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(geometry, accesses):
+    cache = Cache(geometry)
+    block_capacity = geometry.capacity_bytes // geometry.block_bytes
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+        assert cache.resident_blocks() <= block_capacity
+
+
+@given(geometry=_GEOMETRIES, accesses=_ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_hits_plus_misses_equals_accesses(geometry, accesses):
+    cache = Cache(geometry)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(accesses)
+    assert stats.reads + stats.writes == stats.accesses
+
+
+@given(geometry=_GEOMETRIES, accesses=_ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_repeating_the_same_address_twice_in_a_row_always_hits(geometry, accesses):
+    cache = Cache(geometry)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+        assert cache.access(address, False).hit
+
+
+@given(geometry=_GEOMETRIES, accesses=_ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_flush_returns_only_blocks_that_were_written(geometry, accesses):
+    cache = Cache(geometry)
+    written_blocks = set()
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+        if is_write:
+            written_blocks.add(address & ~(geometry.block_bytes - 1))
+    for dirty_address in cache.flush_all():
+        assert dirty_address in written_blocks
+
+
+@given(accesses=_ACCESSES)
+@settings(max_examples=40, deadline=None)
+def test_larger_caches_never_miss_more(accesses):
+    small = Cache(CacheGeometry(2 * KIB, 2, subarray_bytes=KIB))
+    large = Cache(CacheGeometry(8 * KIB, 2, subarray_bytes=KIB))
+    for address, is_write in accesses:
+        small.access(address, is_write)
+        large.access(address, is_write)
+    assert large.stats.misses <= small.stats.misses

@@ -1,0 +1,91 @@
+"""Property-based tests for resizing organizations and the resizable cache."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.resizable_cache import ResizableCache
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+
+_ASSOCIATIVITIES = st.sampled_from([1, 2, 4, 8, 16])
+_ORG_FACTORIES = st.sampled_from([SelectiveWays, SelectiveSets, HybridSetsAndWays])
+
+
+@given(associativity=_ASSOCIATIVITIES, factory=_ORG_FACTORIES)
+@settings(max_examples=40, deadline=None)
+def test_every_offered_config_fits_the_geometry(associativity, factory):
+    geometry = CacheGeometry(32 * KIB, associativity)
+    organization = factory(geometry)
+    for config in organization.configs:
+        assert 1 <= config.ways <= geometry.associativity
+        assert geometry.min_sets <= config.sets <= geometry.num_sets
+        assert config.capacity_bytes == config.ways * config.sets * geometry.block_bytes
+        assert config.capacity_bytes <= geometry.capacity_bytes
+
+
+@given(associativity=_ASSOCIATIVITIES, factory=_ORG_FACTORIES)
+@settings(max_examples=40, deadline=None)
+def test_ladder_walks_are_closed_and_monotonic(associativity, factory):
+    organization = factory(CacheGeometry(32 * KIB, associativity))
+    config = organization.full_config
+    visited = [config]
+    while True:
+        smaller = organization.next_smaller(config)
+        if smaller is None:
+            break
+        assert smaller.capacity_bytes < config.capacity_bytes
+        assert organization.contains(smaller)
+        config = smaller
+        visited.append(config)
+    assert visited == organization.ladder()
+
+
+_RESIZE_GEOMETRY = CacheGeometry(8 * KIB, 4, subarray_bytes=KIB)
+_ADDRESSES = st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=10, max_size=200)
+_RESIZE_CHOICES = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=6)
+
+
+@given(addresses=_ADDRESSES, resize_choices=_RESIZE_CHOICES, factory=_ORG_FACTORIES)
+@settings(max_examples=60, deadline=None)
+def test_resizable_cache_never_exceeds_its_enabled_capacity(addresses, resize_choices, factory):
+    organization = factory(_RESIZE_GEOMETRY)
+    cache = ResizableCache(_RESIZE_GEOMETRY, organization)
+    ladder = organization.ladder()
+    choice_index = 0
+    for position, address in enumerate(addresses):
+        cache.access(address, is_write=(address % 3 == 0))
+        if position % 37 == 36 and choice_index < len(resize_choices):
+            target = ladder[resize_choices[choice_index] % len(ladder)]
+            cache.resize_to(target)
+            choice_index += 1
+        enabled_blocks = cache.current_capacity_bytes // _RESIZE_GEOMETRY.block_bytes
+        assert cache.resident_blocks() <= enabled_blocks
+
+
+@given(addresses=_ADDRESSES, resize_choices=_RESIZE_CHOICES, factory=_ORG_FACTORIES)
+@settings(max_examples=60, deadline=None)
+def test_resizing_preserves_correct_lookups(addresses, resize_choices, factory):
+    """After any resize sequence, a just-accessed address must hit on re-access."""
+    organization = factory(_RESIZE_GEOMETRY)
+    cache = ResizableCache(_RESIZE_GEOMETRY, organization)
+    ladder = organization.ladder()
+    for address, choice in zip(addresses, resize_choices * len(addresses)):
+        cache.resize_to(ladder[choice % len(ladder)])
+        cache.access(address)
+        assert cache.access(address).hit
+
+
+@given(resize_choices=_RESIZE_CHOICES, factory=_ORG_FACTORIES)
+@settings(max_examples=40, deadline=None)
+def test_subarray_state_tracks_current_config(resize_choices, factory):
+    organization = factory(_RESIZE_GEOMETRY)
+    cache = ResizableCache(_RESIZE_GEOMETRY, organization)
+    ladder = organization.ladder()
+    for choice in resize_choices:
+        target = ladder[choice % len(ladder)]
+        cache.resize_to(target)
+        state = cache.subarray_state
+        assert state.enabled_bytes == target.capacity_bytes
+        assert 1 <= state.enabled_subarrays <= state.total_subarrays

@@ -1,0 +1,56 @@
+"""Property-based tests for units, address mapping and the RNG."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.common.units import format_size, is_power_of_two, log2_int, parse_size
+from repro.mem.address import AddressMapper, block_address
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_format_parse_roundtrip(num_bytes):
+    assert parse_size(format_size(num_bytes)) == num_bytes
+
+
+@given(st.integers(min_value=0, max_value=60))
+def test_log2_inverts_shift(exponent):
+    assert log2_int(1 << exponent) == exponent
+    assert is_power_of_two(1 << exponent)
+
+
+@given(
+    address=st.integers(min_value=0, max_value=2**32 - 1),
+    block_exp=st.integers(min_value=4, max_value=7),
+    sets_exp=st.integers(min_value=3, max_value=10),
+)
+@settings(max_examples=200)
+def test_address_split_roundtrip(address, block_exp, sets_exp):
+    mapper = AddressMapper(1 << block_exp, 1 << sets_exp)
+    tag, index = mapper.split(address)
+    assert 0 <= index < (1 << sets_exp)
+    assert mapper.rebuild_address(tag, index) == block_address(address, 1 << block_exp)
+
+
+@given(
+    address=st.integers(min_value=0, max_value=2**32 - 1),
+    block_exp=st.integers(min_value=4, max_value=7),
+    sets_exp=st.integers(min_value=4, max_value=10),
+)
+@settings(max_examples=200)
+def test_halving_sets_preserves_low_indices(address, block_exp, sets_exp):
+    """The selective-sets downsizing rule: blocks in surviving sets keep their index."""
+    full = AddressMapper(1 << block_exp, 1 << sets_exp)
+    half = AddressMapper(1 << block_exp, 1 << (sets_exp - 1))
+    index = full.set_index(address)
+    if index < (1 << (sets_exp - 1)):
+        assert half.set_index(address) == index
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50)
+def test_rng_reproducibility(seed):
+    first = DeterministicRng(seed)
+    second = DeterministicRng(seed)
+    assert [first.randint(0, 1000) for _ in range(20)] == [
+        second.randint(0, 1000) for _ in range(20)
+    ]

@@ -1,0 +1,118 @@
+"""Tests for the miss-ratio based dynamic resizing strategy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.selective_sets import SelectiveSets
+
+
+@pytest.fixture
+def organization(base_l1_geometry):
+    return SelectiveSets(base_l1_geometry)
+
+
+def _bound_strategy(organization, miss_bound=50.0, size_bound=2 * KIB, **kwargs):
+    strategy = DynamicResizing(
+        miss_bound=miss_bound,
+        size_bound_bytes=size_bound,
+        sense_interval_accesses=1000,
+        settle_intervals=0,
+        **kwargs,
+    )
+    strategy.bind(organization)
+    return strategy
+
+
+class TestConstruction:
+    def test_defaults_start_at_full_size(self, organization):
+        strategy = _bound_strategy(organization)
+        assert strategy.initial_config() == organization.full_config
+        assert strategy.is_dynamic
+
+    def test_explicit_initial_config(self, organization):
+        config = organization.config_for_capacity(8 * KIB)
+        strategy = DynamicResizing(
+            miss_bound=10, size_bound_bytes=2 * KIB, initial_config=config
+        )
+        strategy.bind(organization)
+        assert strategy.initial_config() == config
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicResizing(miss_bound=-1, size_bound_bytes=2 * KIB)
+        with pytest.raises(ConfigurationError):
+            DynamicResizing(miss_bound=1, size_bound_bytes=2 * KIB, sense_interval_accesses=0)
+        with pytest.raises(ConfigurationError):
+            DynamicResizing(miss_bound=1, size_bound_bytes=2 * KIB, downsize_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DynamicResizing(miss_bound=1, size_bound_bytes=2 * KIB, settle_intervals=-1)
+
+
+class TestDecisions:
+    def test_low_misses_trigger_downsize(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        decision = strategy.observe_interval(1000, 5, organization.full_config)
+        assert decision == organization.next_smaller(organization.full_config)
+        assert strategy.downsizes == 1
+
+    def test_high_misses_trigger_upsize(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        current = organization.config_for_capacity(8 * KIB)
+        decision = strategy.observe_interval(1000, 500, current)
+        assert decision == organization.next_larger(current)
+        assert strategy.upsizes == 1
+
+    def test_upsize_impossible_at_full_size(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        assert strategy.observe_interval(1000, 500, organization.full_config) is None
+
+    def test_size_bound_blocks_downsizing(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50, size_bound=16 * KIB)
+        current = organization.config_for_capacity(16 * KIB)
+        assert strategy.observe_interval(1000, 0, current) is None
+
+    def test_incomplete_sense_interval_defers_decision(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        assert strategy.observe_interval(400, 0, organization.full_config) is None
+        decision = strategy.observe_interval(700, 0, organization.full_config)
+        assert decision is not None
+
+    def test_misses_are_scaled_to_the_sense_interval(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        # 120 misses over 2000 accesses is 60 per 1000-access interval, which
+        # exceeds the bound even though the accumulation spans two intervals.
+        current = organization.config_for_capacity(8 * KIB)
+        decision = strategy.observe_interval(2000, 120, current)
+        assert decision == organization.next_larger(current)
+
+    def test_downsize_hysteresis_fraction(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=100, downsize_fraction=0.5)
+        # 60 misses: below the upsize bound but above the downsize threshold.
+        assert strategy.observe_interval(1000, 60, organization.full_config) is None
+        assert strategy.observe_interval(1000, 40, organization.full_config) is not None
+
+
+class TestSettling:
+    def test_settle_interval_skips_post_resize_window(self, organization):
+        strategy = DynamicResizing(
+            miss_bound=50,
+            size_bound_bytes=2 * KIB,
+            sense_interval_accesses=1000,
+            settle_intervals=1,
+        )
+        strategy.bind(organization)
+        first = strategy.observe_interval(1000, 0, organization.full_config)
+        assert first is not None
+        # The next full window is the flush transient and must be ignored.
+        assert strategy.observe_interval(1000, 500, first) is None
+        # After settling, decisions resume.
+        assert strategy.observe_interval(1000, 500, first) == organization.full_config
+
+    def test_reset_clears_settling_and_counters(self, organization):
+        strategy = _bound_strategy(organization, miss_bound=50)
+        strategy.observe_interval(1000, 0, organization.full_config)
+        strategy.reset()
+        assert strategy.upsizes == 0
+        assert strategy.downsizes == 0

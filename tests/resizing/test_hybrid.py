@@ -1,0 +1,89 @@
+"""Tests for the hybrid selective-sets-and-ways organization (Table 1)."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+
+
+class TestTable1:
+    def test_paper_size_spectrum_for_32k_4way(self, four_way_geometry):
+        # Table 1: 32K, 24K, 16K, 12K, 8K, 6K, 4K, 3K, 2K and 1K.
+        organization = HybridSetsAndWays(four_way_geometry)
+        expected = [32, 24, 16, 12, 8, 6, 4, 3, 2, 1]
+        assert organization.distinct_sizes == [size * KIB for size in expected]
+
+    def test_ladder_follows_paper_resizing_scheme(self, four_way_geometry):
+        # Sizes between 32K and 3K alternate between 4-way and 3-way; below
+        # 3K only associativity reductions remain (Table 1 discussion).
+        organization = HybridSetsAndWays(four_way_geometry)
+        labels = [config.label for config in organization.ladder()]
+        assert labels == [
+            "32K 4-way",
+            "24K 3-way",
+            "16K 4-way",
+            "12K 3-way",
+            "8K 4-way",
+            "6K 3-way",
+            "4K 4-way",
+            "3K 3-way",
+            "2K 2-way",
+            "1K dm",
+        ]
+
+    def test_redundant_sizes_resolve_to_highest_associativity(self, four_way_geometry):
+        organization = HybridSetsAndWays(four_way_geometry)
+        redundant = organization.redundant_sizes()
+        # 16K is offered as 4-way (128 sets) and 2-way (256 sets); the ladder
+        # must pick the 4-way option.
+        assert 16 * KIB in redundant
+        assert organization.config_for_capacity(16 * KIB).ways == 4
+
+    def test_size_table_rows_match_way_capacities(self, four_way_geometry):
+        organization = HybridSetsAndWays(four_way_geometry)
+        table = organization.size_table()
+        assert sorted(table, reverse=True) == [8 * KIB, 4 * KIB, 2 * KIB, KIB]
+        assert table[8 * KIB][4].capacity_bytes == 32 * KIB
+        assert table[8 * KIB][3].capacity_bytes == 24 * KIB
+        assert table[KIB][1].capacity_bytes == KIB
+
+    def test_format_size_table_contains_paper_row(self, four_way_geometry):
+        rendered = HybridSetsAndWays(four_way_geometry).format_size_table()
+        assert "32K" in rendered and "24K" in rendered and "1K" in rendered
+        assert "dm" in rendered
+
+
+class TestSupersetProperty:
+    @pytest.mark.parametrize("associativity", [2, 4, 8, 16])
+    def test_hybrid_offers_superset_of_both_organizations(self, associativity):
+        geometry = CacheGeometry(32 * KIB, associativity)
+        hybrid_sizes = set(HybridSetsAndWays(geometry).distinct_sizes)
+        ways_sizes = set(SelectiveWays(geometry).distinct_sizes)
+        sets_sizes = set(SelectiveSets(geometry).distinct_sizes)
+        assert ways_sizes <= hybrid_sizes
+        assert sets_sizes <= hybrid_sizes
+
+    @pytest.mark.parametrize("associativity", [4, 8, 16])
+    def test_hybrid_offers_sizes_neither_basic_organization_has(self, associativity):
+        geometry = CacheGeometry(32 * KIB, associativity)
+        hybrid_sizes = set(HybridSetsAndWays(geometry).distinct_sizes)
+        union = set(SelectiveWays(geometry).distinct_sizes) | set(
+            SelectiveSets(geometry).distinct_sizes
+        )
+        assert hybrid_sizes - union, "hybrid should enrich the size spectrum"
+
+    def test_hybrid_minimum_is_at_most_either_organization(self, four_way_geometry):
+        hybrid = HybridSetsAndWays(four_way_geometry)
+        ways = SelectiveWays(four_way_geometry)
+        sets = SelectiveSets(four_way_geometry)
+        assert hybrid.min_config.capacity_bytes <= ways.min_config.capacity_bytes
+        assert hybrid.min_config.capacity_bytes <= sets.min_config.capacity_bytes
+
+    def test_resizing_tag_bits_match_selective_sets(self, four_way_geometry):
+        assert (
+            HybridSetsAndWays(four_way_geometry).resizing_tag_bits
+            == SelectiveSets(four_way_geometry).resizing_tag_bits
+        )

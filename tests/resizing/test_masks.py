@@ -1,0 +1,72 @@
+"""Tests for way and set masks."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ResizingError
+from repro.resizing.masks import SetMask, WayMask
+
+
+class TestWayMask:
+    def test_all_ways_enabled_by_default(self):
+        mask = WayMask(4)
+        assert mask.enabled_ways == 4
+        assert mask.bits == (1, 1, 1, 1)
+
+    def test_enable_subset_of_ways(self):
+        mask = WayMask(4, enabled_ways=2)
+        assert mask.bits == (1, 1, 0, 0)
+        assert mask.is_enabled(0)
+        assert not mask.is_enabled(3)
+
+    def test_set_enabled_bounds(self):
+        mask = WayMask(4)
+        with pytest.raises(ResizingError):
+            mask.set_enabled(0)
+        with pytest.raises(ResizingError):
+            mask.set_enabled(5)
+
+    def test_way_index_bounds_checked(self):
+        mask = WayMask(2)
+        with pytest.raises(ConfigurationError):
+            mask.is_enabled(2)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayMask(0)
+
+
+class TestSetMask:
+    def test_all_sets_enabled_by_default(self):
+        mask = SetMask(total_sets=512, min_sets=32)
+        assert mask.enabled_sets == 512
+        assert mask.masked_index_bits == 0
+
+    def test_enabling_fewer_sets_masks_index_bits(self):
+        mask = SetMask(total_sets=512, min_sets=32, enabled_sets=128)
+        assert mask.masked_index_bits == 2
+
+    def test_resizing_tag_bits_cover_smallest_size(self):
+        # 512 -> 32 sets is four halvings, so four extra tag bits are needed,
+        # matching the paper's "usually between 1 and 4" observation.
+        mask = SetMask(total_sets=512, min_sets=32)
+        assert mask.resizing_tag_bits == 4
+
+    def test_enabled_sets_must_be_power_of_two(self):
+        mask = SetMask(total_sets=512, min_sets=32)
+        with pytest.raises(ResizingError):
+            mask.set_enabled(96)
+
+    def test_enabled_sets_must_respect_bounds(self):
+        mask = SetMask(total_sets=512, min_sets=32)
+        with pytest.raises(ResizingError):
+            mask.set_enabled(16)
+        with pytest.raises(ResizingError):
+            mask.set_enabled(1024)
+
+    def test_total_sets_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SetMask(total_sets=48, min_sets=16)
+
+    def test_min_sets_cannot_exceed_total(self):
+        with pytest.raises(ConfigurationError):
+            SetMask(total_sets=32, min_sets=64)

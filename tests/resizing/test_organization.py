@@ -1,0 +1,74 @@
+"""Tests for the organization base class and SizeConfig."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ResizingError
+from repro.common.units import KIB
+from repro.resizing.organization import SizeConfig, make_config
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+
+
+class TestSizeConfig:
+    def test_label_formats_ways(self):
+        assert make_config(4, 256, 32).label == "32K 4-way"
+        assert make_config(1, 256, 32).label == "8K dm"
+        assert make_config(3, 256, 32).label == "24K 3-way"
+
+    def test_ordering_by_capacity(self):
+        small = make_config(2, 64, 32)
+        large = make_config(2, 512, 32)
+        assert small < large
+        assert sorted([large, small])[0] is small
+
+    def test_capacity_consistency(self):
+        config = make_config(4, 128, 32)
+        assert config.capacity_bytes == 4 * 128 * 32
+
+
+class TestNavigation:
+    def test_ladder_is_strictly_decreasing(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        sizes = [config.capacity_bytes for config in organization.ladder()]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_full_and_min_configs(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        assert organization.full_config.capacity_bytes == 32 * KIB
+        assert organization.min_config.capacity_bytes == 2 * KIB
+
+    def test_next_smaller_and_larger_are_inverses(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        ladder = organization.ladder()
+        for upper, lower in zip(ladder, ladder[1:]):
+            assert organization.next_smaller(upper) == lower
+            assert organization.next_larger(lower) == upper
+
+    def test_ends_of_ladder_return_none(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        assert organization.next_larger(organization.full_config) is None
+        assert organization.next_smaller(organization.min_config) is None
+
+    def test_navigation_rejects_foreign_config(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        foreign = make_config(8, 8, 32)
+        with pytest.raises(ResizingError):
+            organization.next_smaller(foreign)
+
+    def test_config_for_capacity_lookup(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        assert organization.config_for_capacity(16 * KIB).sets == 256
+        with pytest.raises(ResizingError):
+            organization.config_for_capacity(24 * KIB)
+
+    def test_contains(self, base_l1_geometry):
+        organization = SelectiveWays(base_l1_geometry)
+        assert organization.contains(organization.full_config)
+        assert not organization.contains(make_config(2, 64, 32))
+
+    def test_repr_lists_sizes(self, four_way_geometry):
+        text = repr(SelectiveWays(four_way_geometry))
+        assert "32K 4-way" in text
+        assert "24K 3-way" in text

@@ -1,0 +1,122 @@
+"""Tests for offline profiling: static size selection and dynamic parameters."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB
+from repro.resizing.organization import make_config
+from repro.resizing.profiler import (
+    ProfilePoint,
+    derive_dynamic_parameters,
+    select_static_config,
+)
+
+
+def _point(capacity_kib: int, energy: float, cycles: float, miss_ratio: float = 0.01) -> ProfilePoint:
+    accesses = 100_000
+    return ProfilePoint(
+        config=make_config(2, capacity_kib * KIB // (2 * 32), 32),
+        energy=energy,
+        cycles=cycles,
+        l1_accesses=accesses,
+        l1_misses=int(accesses * miss_ratio),
+    )
+
+
+class TestProfilePoint:
+    def test_energy_delay_product(self):
+        point = _point(32, energy=10.0, cycles=5.0)
+        assert point.energy_delay == pytest.approx(50.0)
+
+    def test_miss_ratio(self):
+        point = _point(32, 10, 5, miss_ratio=0.03)
+        assert point.miss_ratio == pytest.approx(0.03)
+
+    def test_miss_ratio_with_no_accesses(self):
+        point = ProfilePoint(config=make_config(2, 512, 32), energy=1, cycles=1)
+        assert point.miss_ratio == 0.0
+
+
+class TestSelectStaticConfig:
+    def test_picks_lowest_energy_delay(self):
+        points = [
+            _point(32, energy=100, cycles=100),
+            _point(16, energy=90, cycles=101),
+            _point(8, energy=85, cycles=120),
+        ]
+        best = select_static_config(points)
+        assert best.config.capacity_bytes == 16 * KIB
+
+    def test_tie_breaks_toward_larger_capacity(self):
+        points = [
+            _point(32, energy=10, cycles=10),
+            _point(16, energy=10, cycles=10),
+        ]
+        assert select_static_config(points).config.capacity_bytes == 32 * KIB
+
+    def test_slowdown_bound_excludes_slow_candidates(self):
+        points = [
+            _point(32, energy=100, cycles=100),
+            _point(8, energy=50, cycles=120),  # 20% slower but lowest E*D
+        ]
+        unbounded = select_static_config(points)
+        bounded = select_static_config(points, baseline_cycles=100, max_slowdown=0.06)
+        assert unbounded.config.capacity_bytes == 8 * KIB
+        assert bounded.config.capacity_bytes == 32 * KIB
+
+    def test_slowdown_bound_ignored_if_nothing_qualifies(self):
+        points = [_point(16, energy=90, cycles=120), _point(8, energy=80, cycles=130)]
+        best = select_static_config(points, baseline_cycles=100, max_slowdown=0.05)
+        assert best.config.capacity_bytes == 8 * KIB
+
+    def test_slowdown_bound_requires_baseline(self):
+        with pytest.raises(ConfigurationError):
+            select_static_config([_point(32, 1, 1)], max_slowdown=0.06)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_static_config([])
+
+
+class TestDeriveDynamicParameters:
+    def test_miss_bound_scales_with_sense_interval(self):
+        points = [
+            _point(32, 100, 100, miss_ratio=0.01),
+            _point(16, 95, 102, miss_ratio=0.02),
+        ]
+        parameters = derive_dynamic_parameters(points, sense_interval_accesses=1000, slack=0.0)
+        # Best static is 16K (lowest E*D); its miss ratio anchors the bound.
+        assert parameters.miss_bound == pytest.approx(0.02 * 1.5 * 1000)
+        assert parameters.sense_interval_accesses == 1000
+
+    def test_size_bound_allows_sizes_below_the_static_choice(self):
+        points = [
+            _point(32, 100, 100, miss_ratio=0.01),
+            _point(16, 99, 100, miss_ratio=0.02),
+            _point(8, 101, 104, miss_ratio=0.05),
+            _point(4, 120, 130, miss_ratio=0.30),
+        ]
+        parameters = derive_dynamic_parameters(points, size_bound_miss_allowance=0.10)
+        # 8K is within the 10-point allowance, 4K is not.
+        assert parameters.size_bound_bytes == 8 * KIB
+
+    def test_size_bound_never_exceeds_static_choice(self):
+        points = [
+            _point(32, 100, 100, miss_ratio=0.01),
+            _point(16, 90, 100, miss_ratio=0.02),
+        ]
+        parameters = derive_dynamic_parameters(points, size_bound_miss_allowance=0.0)
+        assert parameters.size_bound_bytes <= 16 * KIB
+
+    def test_streaming_application_keeps_full_size_bound(self):
+        # Mimics swim: every smaller size misses far more than the allowance.
+        points = [
+            _point(32, 100, 100, miss_ratio=0.15),
+            _point(16, 110, 130, miss_ratio=0.40),
+        ]
+        parameters = derive_dynamic_parameters(points, size_bound_miss_allowance=0.10)
+        assert parameters.size_bound_bytes == 32 * KIB
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_dynamic_parameters([])

@@ -1,0 +1,208 @@
+"""Tests for the resizable cache: access behaviour and Section 2.1 flush rules."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ResizingError
+from repro.common.units import KIB
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.organization import make_config
+from repro.resizing.resizable_cache import ResizableCache
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+
+
+def _sets_cache(geometry=None) -> ResizableCache:
+    geometry = geometry or CacheGeometry(4 * KIB, 2, subarray_bytes=KIB)
+    return ResizableCache(geometry, SelectiveSets(geometry), name="l1d")
+
+
+def _ways_cache(geometry=None) -> ResizableCache:
+    geometry = geometry or CacheGeometry(4 * KIB, 4, subarray_bytes=KIB)
+    return ResizableCache(geometry, SelectiveWays(geometry), name="l1d")
+
+
+class TestBasicAccess:
+    def test_behaves_like_a_cache_at_full_size(self):
+        cache = _sets_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+        assert cache.stats.accesses == 2
+
+    def test_starts_at_full_configuration(self):
+        cache = _sets_cache()
+        assert cache.current_config == cache.organization.full_config
+        assert cache.current_capacity_bytes == 4 * KIB
+        assert cache.subarray_state.enabled_subarrays == 4
+
+    def test_rejects_mismatched_organization(self):
+        geometry = CacheGeometry(4 * KIB, 2, subarray_bytes=KIB)
+        other_geometry = CacheGeometry(8 * KIB, 2, subarray_bytes=KIB)
+        with pytest.raises(ResizingError):
+            ResizableCache(geometry, SelectiveSets(other_geometry))
+
+    def test_rejects_resize_to_unoffered_config(self):
+        cache = _sets_cache()
+        with pytest.raises(ResizingError):
+            cache.resize_to(make_config(8, 8, 32))
+
+
+class TestSelectiveSetsResizing:
+    def test_downsizing_halves_enabled_sets_and_subarrays(self):
+        cache = _sets_cache()
+        target = cache.organization.config_for_capacity(2 * KIB)
+        outcome = cache.resize_to(target)
+        assert outcome.changed
+        assert cache.num_sets == 32
+        assert cache.associativity == 2
+        assert cache.subarray_state.enabled_subarrays == 2
+
+    def test_downsizing_flushes_blocks_in_disabled_sets(self):
+        cache = _sets_cache()
+        # Fill every set with one clean block.
+        for index in range(64):
+            cache.access(index * 32)
+        outcome = cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        # Half of the sets are disabled, and their blocks must leave the cache.
+        assert outcome.discarded_blocks == 32
+        assert cache.resident_blocks() == 32
+
+    def test_downsizing_writes_back_dirty_blocks_from_disabled_sets(self):
+        cache = _sets_cache()
+        for index in range(64):
+            cache.access(index * 32, is_write=True)
+        outcome = cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        assert len(outcome.writeback_addresses) == 32
+        assert all(address >= 32 * 32 for address in outcome.writeback_addresses)
+
+    def test_blocks_in_remaining_sets_survive_a_downsize(self):
+        cache = _sets_cache()
+        cache.access(0x0)  # maps to set 0 in every configuration
+        cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        assert cache.access(0x0).hit
+
+    def test_accesses_after_downsize_stay_within_enabled_sets(self):
+        cache = _sets_cache()
+        cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        # An address whose full-size set index is above the enabled range
+        # must now map into the enabled sets (index masking).
+        high_index_address = 48 * 32
+        cache.access(high_index_address)
+        assert cache.access(high_index_address).hit
+        assert cache.resident_blocks() <= 64
+
+    def test_upsizing_flushes_blocks_whose_mapping_changes(self):
+        cache = _sets_cache()
+        small = cache.organization.config_for_capacity(2 * KIB)
+        cache.resize_to(small)
+        # Address 48*32 maps to set 16 when 32 sets are enabled, but to set
+        # 48 when 64 sets are enabled, so its mapping changes on upsize.
+        moving = 48 * 32
+        staying = 8 * 32
+        cache.access(moving, is_write=True)
+        cache.access(staying, is_write=True)
+        outcome = cache.resize_to(cache.organization.full_config)
+        assert moving in outcome.writeback_addresses
+        assert staying not in outcome.writeback_addresses
+        assert not cache.probe(moving)
+        assert cache.probe(staying)
+
+    def test_upsizing_flushes_clean_blocks_with_changed_mapping_silently(self):
+        cache = _sets_cache()
+        cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        cache.access(48 * 32)  # clean block whose mapping will change
+        outcome = cache.resize_to(cache.organization.full_config)
+        assert outcome.writeback_addresses == []
+        assert outcome.discarded_blocks == 1
+
+    def test_resize_to_current_config_is_a_noop(self):
+        cache = _sets_cache()
+        outcome = cache.resize_to(cache.current_config)
+        assert not outcome.changed
+        assert cache.resize_count == 0
+
+
+class TestSelectiveWaysResizing:
+    def test_downsizing_ways_keeps_set_mapping(self):
+        cache = _ways_cache()
+        cache.access(0x0)
+        cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        assert cache.associativity == 2
+        assert cache.num_sets == cache.geometry.num_sets
+        assert cache.access(0x0).hit
+
+    def test_downsizing_ways_writes_back_only_dirty_victims(self):
+        cache = _ways_cache()
+        # Fill one set with 4 blocks: two dirty, two clean.
+        stride = cache.geometry.num_sets * 32
+        for way in range(4):
+            cache.access(way * stride, is_write=(way < 2))
+        outcome = cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        assert len(outcome.writeback_addresses) + outcome.discarded_blocks == 2
+        assert cache.resident_blocks() == 2
+
+    def test_upsizing_ways_flushes_nothing(self):
+        cache = _ways_cache()
+        small = cache.organization.config_for_capacity(2 * KIB)
+        cache.resize_to(small)
+        cache.access(0x0, is_write=True)
+        outcome = cache.resize_to(cache.organization.full_config)
+        assert outcome.writeback_addresses == []
+        assert outcome.discarded_blocks == 0
+        assert cache.access(0x0).hit
+
+    def test_way_mask_tracks_enabled_ways(self):
+        cache = _ways_cache()
+        cache.resize_to(cache.organization.config_for_capacity(3 * KIB))
+        assert cache.way_mask.enabled_ways == 3
+        assert cache.associativity == 3
+
+
+class TestHybridResizing:
+    def test_hybrid_can_change_both_dimensions(self):
+        geometry = CacheGeometry(32 * KIB, 4)
+        cache = ResizableCache(geometry, HybridSetsAndWays(geometry))
+        cache.resize_to(cache.organization.config_for_capacity(6 * KIB))
+        assert cache.associativity == 3
+        assert cache.num_sets == 64
+        assert cache.current_capacity_bytes == 6 * KIB
+
+    def test_resizing_tag_bits_follow_organization(self):
+        geometry = CacheGeometry(32 * KIB, 4)
+        hybrid_cache = ResizableCache(geometry, HybridSetsAndWays(geometry))
+        ways_cache = ResizableCache(geometry, SelectiveWays(geometry))
+        assert hybrid_cache.resizing_tag_bits == 3
+        assert ways_cache.resizing_tag_bits == 0
+
+
+class TestAccounting:
+    def test_resize_counters_accumulate(self):
+        cache = _sets_cache()
+        for _ in range(3):
+            cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+            cache.resize_to(cache.organization.full_config)
+        assert cache.resize_count == 6
+
+    def test_flush_writebacks_counted_in_stats(self):
+        cache = _sets_cache()
+        for index in range(64):
+            cache.access(index * 32, is_write=True)
+        before = cache.stats.writebacks
+        outcome = cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        assert cache.stats.writebacks == before + len(outcome.writeback_addresses)
+        assert cache.flush_writebacks == len(outcome.writeback_addresses)
+
+    def test_reset_stats_clears_resize_counters(self):
+        cache = _sets_cache()
+        cache.resize_to(cache.organization.config_for_capacity(2 * KIB))
+        cache.reset_stats()
+        assert cache.resize_count == 0
+        assert cache.stats.accesses == 0
+
+    def test_flush_all_returns_dirty_addresses(self):
+        cache = _sets_cache()
+        cache.access(0x0, is_write=True)
+        cache.access(0x40)
+        dirty = cache.flush_all()
+        assert dirty == [0x0]
+        assert cache.resident_blocks() == 0

@@ -1,0 +1,68 @@
+"""Tests for the selective-sets organization."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.resizing.selective_sets import SelectiveSets
+
+
+class TestSizeSpectrum:
+    def test_four_way_cache_offers_powers_of_two(self, four_way_geometry):
+        # Section 2.1: a 32K 4-way selective-sets cache offers 32K, 16K, 8K, 4K.
+        organization = SelectiveSets(four_way_geometry)
+        assert organization.distinct_sizes == [32 * KIB, 16 * KIB, 8 * KIB, 4 * KIB]
+
+    def test_two_way_cache_reaches_two_kib(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        assert organization.distinct_sizes == [
+            32 * KIB,
+            16 * KIB,
+            8 * KIB,
+            4 * KIB,
+            2 * KIB,
+        ]
+
+    def test_sixteen_way_cache_is_granularity_limited(self):
+        # With one 1K subarray per way as the floor, a 16-way cache can only
+        # halve its sets once — the limitation Figure 4 attributes to
+        # selective-sets at high associativity.
+        organization = SelectiveSets(CacheGeometry(32 * KIB, 16))
+        assert organization.distinct_sizes == [32 * KIB, 16 * KIB]
+
+    def test_associativity_never_changes(self, four_way_geometry):
+        organization = SelectiveSets(four_way_geometry)
+        assert {config.ways for config in organization.configs} == {4}
+
+    def test_sets_are_powers_of_two(self, base_l1_geometry):
+        organization = SelectiveSets(base_l1_geometry)
+        for config in organization.configs:
+            assert config.sets & (config.sets - 1) == 0
+
+    def test_minimum_is_one_subarray_per_way(self, four_way_geometry):
+        organization = SelectiveSets(four_way_geometry)
+        smallest = organization.min_config
+        assert smallest.sets == four_way_geometry.min_sets
+        assert smallest.capacity_bytes == 4 * KIB
+
+
+class TestProperties:
+    def test_resizing_tag_bits_match_set_mask(self, base_l1_geometry):
+        # 512 -> 32 sets requires 4 extra tag bits.
+        assert SelectiveSets(base_l1_geometry).resizing_tag_bits == 4
+
+    def test_resizing_tag_bits_small_for_high_associativity(self):
+        assert SelectiveSets(CacheGeometry(32 * KIB, 16)).resizing_tag_bits == 1
+
+    @pytest.mark.parametrize(
+        "associativity,expected_count", [(2, 5), (4, 4), (8, 3), (16, 2)]
+    )
+    def test_offered_size_count_shrinks_with_associativity(self, associativity, expected_count):
+        organization = SelectiveSets(CacheGeometry(32 * KIB, associativity))
+        assert len(organization.configs) == expected_count
+
+    def test_larger_subarrays_reduce_the_spectrum(self):
+        coarse = SelectiveSets(CacheGeometry(32 * KIB, 2, subarray_bytes=4 * KIB))
+        fine = SelectiveSets(CacheGeometry(32 * KIB, 2, subarray_bytes=KIB))
+        assert len(coarse.configs) < len(fine.configs)
+        assert coarse.min_config.capacity_bytes == 8 * KIB

@@ -1,0 +1,56 @@
+"""Tests for the selective-ways organization."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.units import KIB
+from repro.resizing.selective_ways import SelectiveWays
+
+
+class TestSizeSpectrum:
+    def test_four_way_cache_offers_paper_sizes(self, four_way_geometry):
+        # Section 2.1: a 32K 4-way selective-ways cache offers 32K, 24K, 16K, 8K.
+        organization = SelectiveWays(four_way_geometry)
+        assert organization.distinct_sizes == [32 * KIB, 24 * KIB, 16 * KIB, 8 * KIB]
+
+    def test_two_way_cache_offers_two_sizes(self, base_l1_geometry):
+        organization = SelectiveWays(base_l1_geometry)
+        assert organization.distinct_sizes == [32 * KIB, 16 * KIB]
+
+    def test_sixteen_way_cache_has_fine_granularity(self):
+        organization = SelectiveWays(CacheGeometry(32 * KIB, 16))
+        sizes = organization.distinct_sizes
+        assert len(sizes) == 16
+        assert sizes[0] - sizes[1] == 2 * KIB  # 2K steps across the whole range
+
+    def test_granularity_is_constant(self, four_way_geometry):
+        organization = SelectiveWays(four_way_geometry)
+        sizes = organization.distinct_sizes
+        steps = {upper - lower for upper, lower in zip(sizes, sizes[1:])}
+        assert steps == {8 * KIB}
+
+    def test_number_of_sets_never_changes(self, four_way_geometry):
+        organization = SelectiveWays(four_way_geometry)
+        assert {config.sets for config in organization.configs} == {four_way_geometry.num_sets}
+
+    def test_associativity_decreases_down_the_ladder(self, four_way_geometry):
+        organization = SelectiveWays(four_way_geometry)
+        ways = [config.ways for config in organization.ladder()]
+        assert ways == [4, 3, 2, 1]
+
+
+class TestProperties:
+    def test_no_resizing_tag_bits(self, four_way_geometry):
+        assert SelectiveWays(four_way_geometry).resizing_tag_bits == 0
+
+    def test_minimum_size_is_one_way(self, four_way_geometry):
+        assert SelectiveWays(four_way_geometry).min_config.capacity_bytes == 8 * KIB
+
+    def test_direct_mapped_cache_offers_no_downsizing(self):
+        organization = SelectiveWays(CacheGeometry(16 * KIB, 1))
+        assert organization.distinct_sizes == [16 * KIB]
+
+    @pytest.mark.parametrize("associativity", [2, 4, 8, 16])
+    def test_number_of_configs_equals_associativity(self, associativity):
+        organization = SelectiveWays(CacheGeometry(32 * KIB, associativity))
+        assert len(organization.configs) == associativity

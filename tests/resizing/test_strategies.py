@@ -1,0 +1,67 @@
+"""Tests for the static and no-resizing strategies plus the strategy protocol."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ResizingError
+from repro.common.units import KIB
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.static_strategy import StaticResizing
+from repro.resizing.strategy import NoResizing, ResizingStrategy
+
+
+@pytest.fixture
+def organization(base_l1_geometry):
+    return SelectiveSets(base_l1_geometry)
+
+
+class TestBaseStrategy:
+    def test_unbound_strategy_raises_on_use(self):
+        strategy = ResizingStrategy()
+        with pytest.raises(RuntimeError):
+            _ = strategy.organization
+
+    def test_base_strategy_is_passive(self, organization):
+        strategy = ResizingStrategy()
+        strategy.bind(organization)
+        assert strategy.initial_config() is None
+        assert strategy.observe_interval(1000, 10, organization.full_config) is None
+        assert not strategy.is_dynamic
+
+
+class TestNoResizing:
+    def test_initial_config_is_full_size(self, organization):
+        strategy = NoResizing()
+        strategy.bind(organization)
+        assert strategy.initial_config() == organization.full_config
+
+    def test_never_resizes(self, organization):
+        strategy = NoResizing()
+        strategy.bind(organization)
+        assert strategy.observe_interval(10_000, 9_000, organization.full_config) is None
+
+
+class TestStaticResizing:
+    def test_initial_config_is_the_profiled_size(self, organization):
+        config = organization.config_for_capacity(8 * KIB)
+        strategy = StaticResizing(config)
+        strategy.bind(organization)
+        assert strategy.initial_config() == config
+        assert strategy.config == config
+
+    def test_never_reacts_to_intervals(self, organization):
+        config = organization.config_for_capacity(8 * KIB)
+        strategy = StaticResizing(config)
+        strategy.bind(organization)
+        assert strategy.observe_interval(1000, 999, config) is None
+        assert not strategy.is_dynamic
+
+    def test_bind_rejects_config_not_offered_by_organization(self, base_l1_geometry):
+        foreign_org = SelectiveSets(CacheGeometry(32 * KIB, 4))
+        config = foreign_org.config_for_capacity(4 * KIB)  # 4-way config
+        strategy = StaticResizing(config)
+        with pytest.raises(ResizingError):
+            strategy.bind(SelectiveSets(base_l1_geometry))
+
+    def test_name_used_in_reports(self, organization):
+        assert StaticResizing(organization.full_config).name == "static"

@@ -1,0 +1,58 @@
+"""Tests for the simulation result container."""
+
+import pytest
+
+from repro.metrics.breakdown import EnergyBreakdown
+from repro.sim.results import SimulationResult
+
+
+def _result(energy_total=100.0, cycles=1000.0, **overrides) -> SimulationResult:
+    result = SimulationResult(workload="test", core_kind="out-of-order-nonblocking")
+    result.energy = EnergyBreakdown(core=energy_total)
+    result.cycles = cycles
+    result.instructions = 2000
+    result.full_l1d_capacity = 32 * 1024
+    result.full_l1i_capacity = 32 * 1024
+    result.average_l1d_capacity = 32 * 1024
+    result.average_l1i_capacity = 32 * 1024
+    for name, value in overrides.items():
+        setattr(result, name, value)
+    return result
+
+
+def test_energy_delay_and_ipc():
+    result = _result()
+    assert result.energy_delay == pytest.approx(100.0 * 1000.0)
+    assert result.ipc == pytest.approx(2.0)
+
+
+def test_miss_ratios():
+    result = _result(l1d_accesses=1000, l1d_misses=50, l1i_accesses=400, l1i_misses=4)
+    assert result.l1d_miss_ratio == pytest.approx(0.05)
+    assert result.l1i_miss_ratio == pytest.approx(0.01)
+
+
+def test_energy_delay_reduction_vs_baseline():
+    baseline = _result(energy_total=100.0, cycles=1000.0)
+    better = _result(energy_total=80.0, cycles=1000.0)
+    assert better.energy_delay_reduction(baseline) == pytest.approx(20.0)
+    assert baseline.energy_delay_reduction(better) < 0
+
+
+def test_slowdown_vs_baseline():
+    baseline = _result(cycles=1000.0)
+    slower = _result(cycles=1030.0)
+    assert slower.slowdown_vs(baseline) == pytest.approx(0.03)
+
+
+def test_size_reductions():
+    result = _result(average_l1d_capacity=16 * 1024, average_l1i_capacity=8 * 1024)
+    assert result.l1d_size_reduction() == pytest.approx(50.0)
+    assert result.l1i_size_reduction() == pytest.approx(75.0)
+    assert result.combined_size_reduction() == pytest.approx(62.5)
+
+
+def test_summary_contains_headline_fields():
+    summary = _result().summary()
+    for key in ("workload", "cycles", "energy_delay", "ipc", "l1d_miss_ratio"):
+        assert key in summary

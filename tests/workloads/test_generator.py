@@ -1,0 +1,76 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.workloads.generator import CODE_BASE, DATA_BASE, WorkloadGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def gcc_trace() -> Trace:
+    return WorkloadGenerator(get_profile("gcc")).generate(12_000)
+
+
+class TestDeterminism:
+    def test_same_profile_and_seed_give_identical_traces(self):
+        first = WorkloadGenerator(get_profile("ammp")).generate(3_000)
+        second = WorkloadGenerator(get_profile("ammp")).generate(3_000)
+        assert first.records == second.records
+
+    def test_explicit_seed_overrides_profile_seed(self):
+        default = WorkloadGenerator(get_profile("ammp")).generate(2_000)
+        reseeded = WorkloadGenerator(get_profile("ammp"), seed=999).generate(2_000)
+        assert default.records != reseeded.records
+
+    def test_different_applications_differ(self):
+        ammp = WorkloadGenerator(get_profile("ammp")).generate(2_000)
+        swim = WorkloadGenerator(get_profile("swim")).generate(2_000)
+        assert ammp.records != swim.records
+
+
+class TestStreamShape:
+    def test_requested_length_is_honoured(self, gcc_trace):
+        assert len(gcc_trace) == 12_000
+
+    def test_memory_reference_fraction_matches_profile(self, gcc_trace):
+        profile = get_profile("gcc")
+        fraction = gcc_trace.memory_references / len(gcc_trace)
+        assert abs(fraction - profile.mem_ref_fraction) < 0.05
+
+    def test_branch_fraction_matches_profile(self, gcc_trace):
+        profile = get_profile("gcc")
+        fraction = gcc_trace.branches / len(gcc_trace)
+        assert abs(fraction - profile.branch_fraction) < 0.05
+
+    def test_store_fraction_matches_profile(self, gcc_trace):
+        profile = get_profile("gcc")
+        stores = sum(1 for r in gcc_trace.records if r.is_store)
+        fraction = stores / max(1, gcc_trace.memory_references)
+        assert abs(fraction - profile.store_fraction) < 0.07
+
+    def test_code_and_data_regions_are_disjoint(self, gcc_trace):
+        for record in gcc_trace.records[:3000]:
+            assert record.pc >= CODE_BASE
+            assert record.pc < DATA_BASE
+            if record.data_address is not None:
+                assert record.data_address >= DATA_BASE
+
+    def test_data_footprint_tracks_the_profile_working_set(self):
+        profile = get_profile("ammp")  # 3 KiB working set, no conflicts
+        trace = WorkloadGenerator(profile).generate(20_000)
+        blocks = {
+            record.data_address & ~31
+            for record in trace.records
+            if record.data_address is not None and record.data_address < 0x4000_0000
+        }
+        footprint = len(blocks) * 32
+        assert footprint <= profile.max_data_working_set * 1.05
+
+    def test_mlp_metadata_carried_on_the_trace(self, gcc_trace):
+        assert gcc_trace.memory_level_parallelism == get_profile("gcc").memory_level_parallelism
+
+    def test_taken_flag_only_set_for_branches(self, gcc_trace):
+        for record in gcc_trace.records[:3000]:
+            if record.taken:
+                assert record.is_branch

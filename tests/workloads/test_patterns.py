@@ -1,0 +1,85 @@
+"""Tests for the data/code reference patterns."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import DeterministicRng
+from repro.workloads.patterns import CONFLICT_STRIDE, ConflictGroupPattern, WorkingSetPattern
+
+
+class TestWorkingSetPattern:
+    def test_addresses_stay_within_the_working_set(self):
+        pattern = WorkingSetPattern(base_address=0x1000_0000, working_set_bytes=8 * 1024)
+        rng = DeterministicRng(1)
+        for _ in range(2000):
+            address = pattern.next_address(rng)
+            assert 0x1000_0000 <= address < 0x1000_0000 + 8 * 1024
+
+    def test_touches_most_of_the_working_set_eventually(self):
+        pattern = WorkingSetPattern(base_address=0, working_set_bytes=4 * 1024)
+        rng = DeterministicRng(2)
+        touched = {pattern.next_address(rng) // 32 for _ in range(20_000)}
+        assert len(touched) > 0.9 * pattern.num_blocks
+
+    def test_references_are_skewed_toward_the_hot_tier(self):
+        pattern = WorkingSetPattern(base_address=0, working_set_bytes=32 * 1024)
+        rng = DeterministicRng(3)
+        hot_limit = int(32 * 1024 * 0.10)
+        hits_in_hot_tier = sum(
+            1 for _ in range(10_000) if pattern.next_address(rng) < hot_limit
+        )
+        # The hot tier holds 10% of the data but should receive far more than
+        # 10% of the references (55% nominal for data tiers).
+        assert hits_in_hot_tier > 3_500
+
+    def test_code_tiers_are_hotter_than_data_tiers(self):
+        data = WorkingSetPattern(0, 32 * 1024, tiers=WorkingSetPattern.DATA_TIERS)
+        code = WorkingSetPattern(0, 32 * 1024, tiers=WorkingSetPattern.CODE_TIERS)
+        rng_data, rng_code = DeterministicRng(4), DeterministicRng(4)
+        hot_limit = int(32 * 1024 * 0.10)
+        data_hot = sum(1 for _ in range(8000) if data.next_address(rng_data) < hot_limit)
+        code_hot = sum(1 for _ in range(8000) if code.next_address(rng_code) < hot_limit)
+        assert code_hot > data_hot
+
+    def test_sequential_component_walks_forward(self):
+        pattern = WorkingSetPattern(0, 4 * 1024, sequential_fraction=1.0)
+        rng = DeterministicRng(5)
+        blocks = [pattern.next_address(rng) // 32 for _ in range(10)]
+        assert blocks == sorted(blocks)
+
+    def test_too_small_working_set_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkingSetPattern(0, working_set_bytes=16)
+
+    def test_invalid_sequential_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkingSetPattern(0, 4096, sequential_fraction=1.5)
+
+
+class TestConflictGroupPattern:
+    def test_addresses_are_spaced_by_the_conflict_stride(self):
+        pattern = ConflictGroupPattern(base_address=0x4000_0000, group_size=4)
+        assert pattern.addresses() == [
+            0x4000_0000 + i * CONFLICT_STRIDE for i in range(4)
+        ]
+
+    def test_round_robin_cycles_all_members(self):
+        pattern = ConflictGroupPattern(0, group_size=3, burst_length=1)
+        rng = DeterministicRng(6)
+        members = [pattern.next_address(rng) // CONFLICT_STRIDE for _ in range(9)]
+        assert sorted(set(members)) == [0, 1, 2]
+        # Round-robin: consecutive references never repeat a member.
+        assert all(a != b for a, b in zip(members, members[1:]))
+
+    def test_bursty_mode_dwells_on_members(self):
+        pattern = ConflictGroupPattern(0, group_size=4, burst_length=8)
+        rng = DeterministicRng(7)
+        members = [pattern.next_address(rng) // CONFLICT_STRIDE for _ in range(400)]
+        repeats = sum(1 for a, b in zip(members, members[1:]) if a == b)
+        assert repeats > 200
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConflictGroupPattern(0, group_size=0)
+        with pytest.raises(WorkloadError):
+            ConflictGroupPattern(0, group_size=2, burst_length=0)

@@ -1,0 +1,74 @@
+"""Tests for phase specifications and schedules."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.units import KIB
+from repro.workloads.phases import PhaseSchedule, PhaseSpec
+
+
+class TestPhaseSpec:
+    def test_defaults_are_valid(self):
+        phase = PhaseSpec(name="steady")
+        assert phase.data_working_set == 8 * KIB
+
+    def test_conflict_fraction_requires_a_group(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(name="bad", conflict_fraction=0.1, conflict_group_size=0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(name="bad", weight=0)
+
+    def test_tiny_working_set_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(name="bad", data_working_set=16)
+
+
+class TestSequentialSchedule:
+    def test_segments_cover_the_whole_run_in_order(self):
+        phases = (PhaseSpec(name="a", weight=1.0), PhaseSpec(name="b", weight=3.0))
+        schedule = PhaseSchedule(phases)
+        segments = list(schedule.segments(40_000))
+        assert segments[0][0] == 0
+        assert segments[-1][1] == 40_000
+        for (_, end_a, _), (start_b, _, _) in zip(segments, segments[1:]):
+            assert end_a == start_b
+
+    def test_segment_lengths_follow_weights(self):
+        phases = (PhaseSpec(name="a", weight=1.0), PhaseSpec(name="b", weight=3.0))
+        segments = list(PhaseSchedule(phases).segments(40_000))
+        lengths = {phase.name: end - start for start, end, phase in segments}
+        assert lengths["a"] == pytest.approx(10_000, abs=1)
+        assert lengths["b"] == pytest.approx(30_000, abs=1)
+
+    def test_single_phase_gets_everything(self):
+        segments = list(PhaseSchedule((PhaseSpec(name="only"),)).segments(5_000))
+        assert len(segments) == 1
+        assert segments[0][1] - segments[0][0] == 5_000
+
+
+class TestPeriodicSchedule:
+    def test_phases_repeat_every_period(self):
+        phases = (PhaseSpec(name="a"), PhaseSpec(name="b"))
+        schedule = PhaseSchedule(phases, periodic=True, period_instructions=10_000)
+        segments = list(schedule.segments(30_000))
+        names = [phase.name for _, _, phase in segments]
+        assert names == ["a", "b"] * 3
+        assert segments[-1][1] == 30_000
+
+    def test_partial_final_period_is_truncated(self):
+        phases = (PhaseSpec(name="a"), PhaseSpec(name="b"))
+        schedule = PhaseSchedule(phases, periodic=True, period_instructions=10_000)
+        segments = list(schedule.segments(15_000))
+        assert segments[-1][1] == 15_000
+
+    def test_is_multi_phase(self):
+        assert PhaseSchedule((PhaseSpec(name="a"), PhaseSpec(name="b"))).is_multi_phase
+        assert not PhaseSchedule((PhaseSpec(name="a"),)).is_multi_phase
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(())
+        with pytest.raises(WorkloadError):
+            PhaseSchedule((PhaseSpec(name="a"),)).segments(0).__next__()

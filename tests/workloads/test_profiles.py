@@ -1,0 +1,96 @@
+"""Tests for the twelve SPEC application profiles."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.units import KIB
+from repro.workloads.profiles import (
+    SPEC_APPLICATION_NAMES,
+    WorkloadProfile,
+    get_profile,
+    iter_profiles,
+)
+from repro.workloads.phases import PhaseSpec
+
+
+class TestRegistry:
+    def test_all_twelve_paper_applications_exist(self):
+        assert len(SPEC_APPLICATION_NAMES) == 12
+        expected = {
+            "ammp", "applu", "apsi", "compress", "gcc", "ijpeg",
+            "m88ksim", "su2cor", "swim", "tomcatv", "vortex", "vpr",
+        }
+        assert set(SPEC_APPLICATION_NAMES) == expected
+
+    def test_iter_profiles_follows_figure_order(self):
+        assert [profile.name for profile in iter_profiles()] == list(SPEC_APPLICATION_NAMES)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("mcf")
+
+    def test_every_profile_has_a_paper_motivated_description(self):
+        for profile in iter_profiles():
+            assert len(profile.description) > 40
+
+    def test_seeds_are_unique(self):
+        seeds = [profile.seed for profile in iter_profiles()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestPaperBehaviours:
+    def test_small_working_set_applications(self):
+        # "ammp, applu, and m88ksim ... require small cache sizes"
+        for name in ("ammp", "applu", "m88ksim"):
+            assert get_profile(name).max_data_working_set <= 4 * KIB
+
+    def test_swim_and_gcc_exceed_the_l1_capacity(self):
+        # swim's data working set and gcc/tomcatv's instruction working sets
+        # are larger than the 32K L1s, so they must not downsize.
+        assert get_profile("swim").max_data_working_set > 32 * KIB
+        assert get_profile("gcc").max_code_footprint > 32 * KIB
+        assert get_profile("tomcatv").max_code_footprint > 32 * KIB
+
+    def test_conflict_sensitive_applications_have_conflict_groups(self):
+        # The six d-cache applications the paper says benefit from
+        # selective-sets' associativity preservation.
+        for name in ("apsi", "gcc", "ijpeg", "su2cor", "vortex", "vpr"):
+            profile = get_profile(name)
+            assert any(phase.conflict_group_size >= 3 for phase in profile.phases), name
+
+    def test_periodic_applications_are_periodic(self):
+        # su2cor (d-cache) and applu/apsi/ijpeg (i-cache) show periodic
+        # working-set variation.
+        for name in ("su2cor", "applu", "apsi", "ijpeg"):
+            assert get_profile(name).periodic, name
+
+    def test_working_set_variation_applications_have_multiple_phases(self):
+        for name in ("compress", "gcc", "vortex", "vpr"):
+            assert get_profile(name).is_multi_phase, name
+
+    def test_constant_applications_have_a_single_phase(self):
+        for name in ("ammp", "m88ksim", "swim", "tomcatv"):
+            assert len(get_profile(name).phases) == 1, name
+
+    def test_compress_small_instruction_footprint(self):
+        assert get_profile("compress").max_code_footprint <= 4 * KIB
+
+
+class TestValidation:
+    def test_profile_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="empty", description="x", phases=())
+
+    def test_fractions_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(
+                name="bad", description="x",
+                phases=(PhaseSpec(name="p"),), mem_ref_fraction=1.5,
+            )
+
+    def test_mlp_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(
+                name="bad", description="x",
+                phases=(PhaseSpec(name="p"),), memory_level_parallelism=0.5,
+            )

@@ -1,0 +1,37 @@
+"""Tests for the trace container."""
+
+from repro.workloads.trace import InstructionRecord, Trace
+
+
+def _record(pc: int, data=None, store=False, branch=False, taken=False) -> InstructionRecord:
+    return InstructionRecord(pc, data, store, branch, taken)
+
+
+def test_len_and_iteration():
+    trace = Trace("t", [_record(0x400000), _record(0x400004)])
+    assert len(trace) == 2
+    assert [r.pc for r in trace] == [0x400000, 0x400004]
+
+
+def test_memory_references_and_branches():
+    records = [
+        _record(0x0, data=0x1000),
+        _record(0x4, branch=True, taken=True),
+        _record(0x8),
+    ]
+    trace = Trace("t", records)
+    assert trace.memory_references == 1
+    assert trace.branches == 1
+
+
+def test_slice_preserves_metadata():
+    trace = Trace("t", [_record(i * 4) for i in range(10)], memory_level_parallelism=3.0)
+    part = trace.slice(2, 5)
+    assert len(part) == 3
+    assert part.memory_level_parallelism == 3.0
+    assert part.records[0].pc == 8
+
+
+def test_from_records_accepts_iterables():
+    trace = Trace.from_records("gen", (_record(i) for i in range(5)))
+    assert len(trace) == 5
