@@ -88,7 +88,10 @@ def test_bench_ablation_slowdown_bound(benchmark, experiment_context):
     results = run_once(benchmark, sweep)
     print()
     for label, (reduction, worst_slowdown) in results.items():
-        print(f"{label:>14}: mean E*D reduction {reduction:5.1f}%, worst slowdown {worst_slowdown:5.3f}")
+        print(
+            f"{label:>14}: mean E*D reduction {reduction:5.1f}%, "
+            f"worst slowdown {worst_slowdown:5.3f}"
+        )
     # The bounded selection can never achieve a larger reduction than the
     # unbounded one, and must respect its slowdown ceiling.
     assert results["slowdown<=2%"][0] <= results["unbounded"][0] + 0.5

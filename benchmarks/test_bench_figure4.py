@@ -24,7 +24,8 @@ def test_bench_figure4(benchmark, experiment_context):
         )
         # ... and selective-ways wins at 8-way and 16-way.
         for associativity in (8, 16):
-            assert result.mean_reduction(target, SELECTIVE_WAYS, associativity) > result.mean_reduction(
+            ways_mean = result.mean_reduction(target, SELECTIVE_WAYS, associativity)
+            assert ways_mean > result.mean_reduction(
                 target, SELECTIVE_SETS, associativity
             )
         # Selective-ways improves monotonically with associativity (finer

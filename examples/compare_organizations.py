@@ -43,7 +43,10 @@ def main(application: str = "ijpeg", associativity: int = 4, n_instructions: int
 
     for target, title in ((DCACHE, "D-cache"), (ICACHE, "I-cache")):
         print(f"{title}:")
-        print(f"{'organization':<16}{'offered sizes':>8}{'chosen':>14}{'size red.':>12}{'E*D red.':>11}")
+        print(
+            f"{'organization':<16}{'offered sizes':>8}{'chosen':>14}"
+            f"{'size red.':>12}{'E*D red.':>11}"
+        )
         best_name, best_reduction = None, float("-inf")
         for organization in organizations:
             sweep = profile_static(

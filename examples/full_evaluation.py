@@ -2,46 +2,36 @@
 """Regenerate the paper's full evaluation section in one go.
 
 Runs every table and figure harness (Tables 1-2, Figures 4-9) over all
-twelve synthetic SPEC applications and prints the regenerated rows.  With
-the default 60k-instruction traces this takes several minutes; pass a larger
-instruction count for tighter numbers.
+twelve synthetic SPEC applications and prints the regenerated rows.  All
+simulations go through the parallel sweep engine, so worker processes and
+the on-disk job cache speed up both this run and any later re-run.
 
-Run with:  python examples/full_evaluation.py [instructions]
+Run with:  python examples/full_evaluation.py [instructions] [jobs] [cli flags...]
+
+(equivalent to ``python -m repro run-all --instructions N --jobs J``).  Any
+further arguments are passed to the CLI verbatim — in particular
+``--no-cache`` forces fresh simulation when the default ``.repro-cache``
+holds results from an older version of the code.
 """
 
 from __future__ import annotations
 
 import sys
-import time
+from typing import List, Optional
 
-from repro.experiments import figure4, figure5, figure6, figure7, figure8, figure9, table1, table2
-from repro.experiments.context import ExperimentContext
+from repro.__main__ import main as cli_main
 
 
-def main(n_instructions: int = 60_000) -> None:
-    context = ExperimentContext(n_instructions=n_instructions)
-    start = time.time()
-
-    sections = [
-        ("Table 1", lambda: table1.run()),
-        ("Table 2", lambda: table2.run(context)),
-        ("Figure 4", lambda: figure4.run(context)),
-        ("Figure 5", lambda: figure5.run(context)),
-        ("Figure 6", lambda: figure6.run(context)),
-        ("Figure 7", lambda: figure7.run(context)),
-        ("Figure 8", lambda: figure8.run(context)),
-        ("Figure 9", lambda: figure9.run(context)),
-    ]
-    for name, runner in sections:
-        result = runner()
-        elapsed = time.time() - start
-        print(f"\n{'=' * 72}\n{name}   [{elapsed:6.0f}s elapsed]\n{'=' * 72}")
-        print(result.format_table())
-
-    print(f"\nDone in {time.time() - start:.0f}s "
-          f"({n_instructions} instructions per application per configuration).")
+def main(n_instructions: int = 60_000, jobs: int = 1, extra: Optional[List[str]] = None) -> int:
+    argv = ["run-all", "--instructions", str(n_instructions), "--jobs", str(jobs)]
+    return cli_main(argv + (extra if extra is not None else []))
 
 
 if __name__ == "__main__":
-    count = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
-    main(count)
+    arguments = sys.argv[1:]
+    positionals: List[int] = []
+    while arguments and len(positionals) < 2 and not arguments[0].startswith("-"):
+        positionals.append(int(arguments.pop(0)))
+    count = positionals[0] if positionals else 60_000
+    workers = positionals[1] if len(positionals) > 1 else 1
+    sys.exit(main(count, workers, arguments))

@@ -26,7 +26,7 @@ from repro import (
     run_baseline,
     run_dynamic,
 )
-from repro.sim.sweep import DCACHE, ICACHE
+from repro.sim.sweep import DCACHE
 
 
 def main(application: str = "gcc", target: str = DCACHE, n_instructions: int = 60_000) -> None:

@@ -60,7 +60,16 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
+from repro.sim.runner import (
+    L1SetupSpec,
+    SimJob,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    register_organization,
+)
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.sweep import StaticProfile, profile_static, run_baseline, run_dynamic
 from repro.workloads.generator import WorkloadGenerator
@@ -121,6 +130,14 @@ __all__ = [
     "run_baseline",
     "profile_static",
     "run_dynamic",
+    # sweep engine
+    "SimJob",
+    "TraceSpec",
+    "StrategySpec",
+    "L1SetupSpec",
+    "SweepRunner",
+    "JobCache",
+    "register_organization",
     # workloads
     "WorkloadProfile",
     "WorkloadGenerator",

@@ -1,0 +1,216 @@
+"""``python -m repro`` — reproduce the paper's evaluation from the shell.
+
+Examples::
+
+    # One figure, four worker processes, cached under .repro-cache/
+    python -m repro run-figure figure4 --jobs 4
+
+    # The whole evaluation (Tables 1-2, Figures 4-9)
+    python -m repro run-all --jobs 8
+
+    # Quick smoke run: one application, short traces, no cache
+    python -m repro run-figure figure4 --jobs 2 --instructions 2000 \
+        --applications gcc --no-cache
+
+Because completed simulations are memoised in the job cache (``--cache-dir``,
+default ``.repro-cache``), a second invocation of any overlapping sweep only
+simulates what changed; a fully warm re-run performs zero new simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.common.errors import ReproError
+from repro.experiments import (
+    ExperimentContext,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+)
+from repro.sim.jobcache import JobCache
+from repro.sim.runner import SweepRunner
+from repro.workloads.profiles import get_profile
+
+#: Experiment registry: name -> module with run() returning a result object
+#: exposing rows() and format_table().  table1 is purely analytic (no
+#: simulations) and ignores the context.
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+}
+
+#: CLI default for the on-disk job cache location.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    """Parse CLI arguments (exposed separately for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures with the parallel sweep engine.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--jobs", "-j", type=int, default=1,
+            help="worker processes for the sweep engine (default: 1, serial)",
+        )
+        sub.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help=f"job-cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the on-disk job cache entirely",
+        )
+        sub.add_argument(
+            "--instructions", type=int, default=60_000,
+            help="trace length per application (default: 60000)",
+        )
+        sub.add_argument(
+            "--applications", default=None,
+            help="comma-separated application subset (default: all twelve)",
+        )
+        sub.add_argument(
+            "--output", default=None,
+            help="also write every experiment's rows to this JSON file",
+        )
+
+    run_figure = subparsers.add_parser(
+        "run-figure", help="regenerate one or more tables/figures"
+    )
+    run_figure.add_argument(
+        "figures", nargs="+", choices=sorted(EXPERIMENTS), metavar="FIGURE",
+        help=f"which experiments to run (choose from: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    add_common(run_figure)
+
+    run_all = subparsers.add_parser(
+        "run-all", help="regenerate the full evaluation (Tables 1-2, Figures 4-9)"
+    )
+    add_common(run_all)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    return parser.parse_args(argv)
+
+
+def experiment_names(args: argparse.Namespace) -> List[str]:
+    """The experiments an invocation asks for, in canonical order."""
+    if args.command == "run-all":
+        return list(EXPERIMENTS)
+    return list(dict.fromkeys(args.figures))  # de-duplicate, keep order
+
+
+def build_context(args: argparse.Namespace) -> ExperimentContext:
+    """Build the experiment context (runner, cache, applications) for a run."""
+    cache = None if args.no_cache else JobCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    applications = None
+    if args.applications:
+        applications = tuple(
+            name.strip() for name in args.applications.split(",") if name.strip()
+        )
+        for name in applications:
+            get_profile(name)  # typos fail in milliseconds, not mid-evaluation
+    return ExperimentContext(
+        n_instructions=args.instructions,
+        applications=applications,
+        runner=runner,
+    )
+
+
+def run_experiments(names: List[str], context: ExperimentContext, echo=print) -> Dict[str, object]:
+    """Run the named experiments against ``context``; returns result objects."""
+    results: Dict[str, object] = {}
+    for name in names:
+        module = EXPERIMENTS[name]
+        started = time.time()
+        if name == "table1":
+            result = module.run()  # analytic, simulation-free
+        else:
+            result = module.run(context)
+        elapsed = time.time() - started
+        echo(f"\n{'=' * 72}\n{name}   [{elapsed:.1f}s]\n{'=' * 72}")
+        echo(result.format_table())
+        results[name] = result
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = experiment_names(args)
+    if args.output:
+        # Fail fast on an unwritable output path instead of discarding a
+        # possibly hours-long evaluation at the final write.  The probe file
+        # is removed again so a later failure leaves no empty artifact.
+        existed = os.path.exists(args.output)
+        try:
+            with open(args.output, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write --output {args.output}: {exc}", file=sys.stderr)
+            return 2
+        if not existed:
+            try:
+                os.remove(args.output)
+            except OSError:
+                pass
+
+    started = time.time()
+    try:
+        context = build_context(args)
+        results = run_experiments(names, context)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+
+    runner = context.runner
+    cache_note = "disabled" if runner.cache is None else str(runner.cache.directory)
+    print(
+        f"\n{len(names)} experiment(s) in {elapsed:.1f}s with {runner.jobs} worker(s): "
+        f"{runner.simulate_count} simulated, {runner.cache_hits} served from cache "
+        f"(cache: {cache_note})"
+    )
+
+    if args.output:
+        payload = {name: result.rows() for name, result in results.items()}
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"error: cannot write --output {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"rows written to {args.output}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

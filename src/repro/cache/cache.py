@@ -30,7 +30,9 @@ class AccessResult:
 
     __slots__ = ("hit", "writeback_address", "filled")
 
-    def __init__(self, hit: bool, writeback_address: Optional[int] = None, filled: bool = False) -> None:
+    def __init__(
+        self, hit: bool, writeback_address: Optional[int] = None, filled: bool = False
+    ) -> None:
         self.hit = hit
         self.writeback_address = writeback_address
         self.filled = filled

@@ -89,7 +89,8 @@ class CacheHierarchy:
         l1_result = l1.access(address, is_write)
         if l1_result.hit:
             return HierarchyAccessOutcome(
-                l1_hit=True, l2_hit=None, latency=self._l1_hit_latency, l2_accesses=0, memory_accesses=0
+                l1_hit=True, l2_hit=None, latency=self._l1_hit_latency,
+                l2_accesses=0, memory_accesses=0,
             )
 
         l2_accesses = 1

@@ -70,7 +70,8 @@ class SubarrayMap:
         )
         enabled = subarrays_per_way * enabled_ways
         total = max(1, geometry.num_subarrays)
-        enabled = min(enabled, total) if enabled_ways == geometry.associativity and enabled_sets == geometry.num_sets else enabled
+        if enabled_ways == geometry.associativity and enabled_sets == geometry.num_sets:
+            enabled = min(enabled, total)
         enabled_bytes = enabled_ways * enabled_sets * geometry.block_bytes
         return SubarrayState(
             enabled_subarrays=enabled,

@@ -20,7 +20,9 @@ class WritebackBuffer:
 
     def __init__(self, num_entries: int) -> None:
         if num_entries < 1:
-            raise ConfigurationError(f"writeback buffer needs at least one entry, got {num_entries}")
+            raise ConfigurationError(
+                f"writeback buffer needs at least one entry, got {num_entries}"
+            )
         self.num_entries = num_entries
         self._pending: Deque[int] = deque()
         self.enqueued = 0

@@ -117,7 +117,9 @@ class CacheGeometry:
         """Number of tag bits for a given physical address width."""
         return address_bits - self.index_bits - self.offset_bits
 
-    def with_capacity(self, capacity_bytes: int, associativity: int | None = None) -> "CacheGeometry":
+    def with_capacity(
+        self, capacity_bytes: int, associativity: int | None = None
+    ) -> "CacheGeometry":
         """Return a copy of this geometry with a different capacity/associativity."""
         return replace(
             self,
@@ -252,7 +254,9 @@ class SystemConfig:
                 f"address width must be between 16 and 64 bits, got {self.address_bits}"
             )
 
-    def with_l1(self, *, l1d: CacheGeometry | None = None, l1i: CacheGeometry | None = None) -> "SystemConfig":
+    def with_l1(
+        self, *, l1d: CacheGeometry | None = None, l1i: CacheGeometry | None = None
+    ) -> "SystemConfig":
         """Return a copy with replacement L1 geometries."""
         return replace(
             self,
@@ -269,8 +273,10 @@ class SystemConfig:
         lines = [
             f"Issue/decode width      {self.core.issue_width} instrs per cycle",
             f"Core model              {self.core.kind.value}",
-            f"ROB / LSQ               {self.core.rob_entries} entries / {self.core.lsq_entries} entries",
-            f"writeback buffer / mshr {self.core.writeback_buffer_entries} entries / {self.core.mshr_entries} entries",
+            f"ROB / LSQ               {self.core.rob_entries} entries "
+            f"/ {self.core.lsq_entries} entries",
+            f"writeback buffer / mshr {self.core.writeback_buffer_entries} entries "
+            f"/ {self.core.mshr_entries} entries",
             f"Base L1 i-cache         {self.l1i.describe()}; {self.l1_timing.hit_latency} cycle",
             f"Base L1 d-cache         {self.l1d.describe()}; {self.l1_timing.hit_latency} cycle",
             f"L2 unified cache        {self.l2.geometry.describe()}; {self.l2.hit_latency} cycles",

@@ -37,7 +37,9 @@ class CacheEnergyModel:
         self._base_tag_bits = geometry.tag_bits(address_bits)
 
     # ------------------------------------------------------------- per access
-    def access_energy(self, state: SubarrayState, enabled_ways: int, is_write: bool = False) -> float:
+    def access_energy(
+        self, state: SubarrayState, enabled_ways: int, is_write: bool = False
+    ) -> float:
         """Energy of one access with the given enabled configuration."""
         tech = self.technology
         tag_bits = self._base_tag_bits + self.resizing_tag_bits

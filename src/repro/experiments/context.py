@@ -14,13 +14,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.config import CacheGeometry, CoreConfig, CoreKind, SystemConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.units import KIB
 from repro.cpu.timing import CoreTimingParameters
 from repro.energy.technology import TechnologyParameters
-from repro.resizing.hybrid import HybridSetsAndWays
 from repro.resizing.organization import ResizingOrganization
 from repro.sim.results import SimulationResult
+from repro.sim.runner import SweepRunner, TraceSpec, organization_class, resolve_trace
 from repro.sim.simulator import Simulator
 from repro.sim.sweep import (
     DCACHE,
@@ -30,22 +30,16 @@ from repro.sim.sweep import (
     run_baseline,
     run_dynamic,
 )
-from repro.resizing.selective_sets import SelectiveSets
-from repro.resizing.selective_ways import SelectiveWays
-from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.profiles import SPEC_APPLICATION_NAMES, get_profile
+from repro.workloads.profiles import SPEC_APPLICATION_NAMES
 from repro.workloads.trace import Trace
 
 #: Organization names accepted by :meth:`ExperimentContext.organization`.
+#: Resolution goes through the sweep engine's registry
+#: (:func:`repro.sim.runner.register_organization`), so custom organizations
+#: registered there are usable in experiments too.
 SELECTIVE_WAYS = "selective-ways"
 SELECTIVE_SETS = "selective-sets"
 HYBRID = "hybrid"
-
-_ORGANIZATIONS = {
-    SELECTIVE_WAYS: SelectiveWays,
-    SELECTIVE_SETS: SelectiveSets,
-    HYBRID: HybridSetsAndWays,
-}
 
 
 class ExperimentContext:
@@ -63,6 +57,7 @@ class ExperimentContext:
         applications: Optional[Iterable[str]] = None,
         technology: Optional[TechnologyParameters] = None,
         timing: Optional[CoreTimingParameters] = None,
+        runner: Optional[SweepRunner] = None,
     ) -> None:
         if n_instructions < 1_000:
             raise ConfigurationError("experiments need at least 1000 instructions")
@@ -78,8 +73,14 @@ class ExperimentContext:
         self.applications: Tuple[str, ...] = (
             tuple(applications) if applications is not None else SPEC_APPLICATION_NAMES
         )
+        if not self.applications:
+            raise ConfigurationError("experiments need at least one application")
         self.technology = technology if technology is not None else TechnologyParameters()
         self.timing = timing if timing is not None else CoreTimingParameters()
+        #: Every simulation the context performs goes through this runner, so
+        #: handing in a parallel and/or cache-backed SweepRunner accelerates
+        #: the whole evaluation without touching any experiment module.
+        self.runner = runner if runner is not None else SweepRunner()
 
         self._traces: Dict[str, Trace] = {}
         self._systems: Dict[Tuple[int, CoreKind], SystemConfig] = {}
@@ -91,13 +92,29 @@ class ExperimentContext:
 
     # ----------------------------------------------------------------- basics
     def trace(self, application: str) -> Trace:
-        """The (memoised) synthetic trace for one application."""
+        """The (memoised) synthetic trace for one application.
+
+        A per-context reference sits in front of the sweep engine's shared
+        per-process memo: materialisation is shared with the runner (no
+        duplicate copies), while the context keeps its own traces pinned so
+        the engine memo's LRU eviction can never force a regeneration (or
+        break identity) within one context's lifetime.
+        """
         cached = self._traces.get(application)
         if cached is None:
-            generator = WorkloadGenerator(get_profile(application))
-            cached = generator.generate(self.n_instructions)
+            cached = resolve_trace(self.trace_spec(application))
             self._traces[application] = cached
         return cached
+
+    def trace_spec(self, application: str) -> TraceSpec:
+        """Declarative spec for one application's trace.
+
+        Jobs carry this spec instead of the materialised trace, so submitting
+        them to worker processes costs a few bytes of pickling; each worker
+        regenerates (and memoises) the identical trace from the profile's
+        fixed seed.
+        """
+        return TraceSpec(application=application, n_instructions=self.n_instructions)
 
     def system(
         self,
@@ -132,12 +149,9 @@ class ExperimentContext:
         cached = self._organizations.get(key)
         if cached is None:
             try:
-                factory = _ORGANIZATIONS[name]
-            except KeyError as exc:
-                known = ", ".join(sorted(_ORGANIZATIONS))
-                raise ConfigurationError(
-                    f"unknown organization {name!r}; known organizations: {known}"
-                ) from exc
+                factory = organization_class(name)
+            except SimulationError as exc:
+                raise ConfigurationError(str(exc)) from exc
             cached = factory(CacheGeometry(self.l1_capacity_bytes, associativity))
             self._organizations[key] = cached
         return cached
@@ -155,9 +169,10 @@ class ExperimentContext:
         if cached is None:
             cached = run_baseline(
                 self.simulator(associativity, core_kind),
-                self.trace(application),
+                self.trace_spec(application),
                 interval_instructions=self.interval_instructions,
                 warmup_instructions=self.warmup_instructions,
+                runner=self.runner,
             )
             self._baselines[key] = cached
         return cached
@@ -176,13 +191,14 @@ class ExperimentContext:
         if cached is None:
             cached = profile_static(
                 self.simulator(associativity, core_kind),
-                self.trace(application),
+                self.trace_spec(application),
                 self.organization(organization_name, associativity),
                 target=target,
                 baseline=self.baseline(application, associativity, core_kind),
                 interval_instructions=self.interval_instructions,
                 warmup_instructions=self.warmup_instructions,
                 max_slowdown=self.max_slowdown,
+                runner=self.runner,
             )
             self._profiles[key] = cached
         return cached
@@ -208,13 +224,14 @@ class ExperimentContext:
             )
             cached = run_dynamic(
                 self.simulator(associativity, core_kind),
-                self.trace(application),
+                self.trace_spec(application),
                 self.organization(organization_name, associativity),
                 parameters,
                 target=target,
                 interval_instructions=self.interval_instructions,
                 warmup_instructions=self.warmup_instructions,
                 initial_config=profile.best_config,
+                runner=self.runner,
             )
             self._dynamic_runs[key] = cached
         return cached

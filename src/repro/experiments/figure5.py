@@ -10,7 +10,7 @@ for static selective-ways and selective-sets resizing — d-caches in panel
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.experiments.context import (
     D_CACHE,

@@ -69,7 +69,8 @@ class Figure6Result:
             lines.append("")
             lines.append(title)
             lines.append(
-                f"{'organization':<16}" + "".join(f"{assoc:>8}-way" for assoc in self.associativities)
+                f"{'organization':<16}"
+                + "".join(f"{assoc:>8}-way" for assoc in self.associativities)
             )
             for organization in ORGANIZATIONS:
                 cells = "".join(

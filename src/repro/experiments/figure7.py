@@ -64,7 +64,9 @@ class StrategyFigureResult:
         return StrategyComparison(
             application="AVG.",
             static_size_reduction=sum(r.static_size_reduction for r in rows) / count,
-            static_energy_delay_reduction=sum(r.static_energy_delay_reduction for r in rows) / count,
+            static_energy_delay_reduction=(
+                sum(r.static_energy_delay_reduction for r in rows) / count
+            ),
             dynamic_size_reduction=sum(r.dynamic_size_reduction for r in rows) / count,
             dynamic_energy_delay_reduction=sum(r.dynamic_energy_delay_reduction for r in rows)
             / count,
@@ -93,7 +95,8 @@ class StrategyFigureResult:
         lines = [f"{cache_name} static vs dynamic resizing ({self.organization}, 2-way)"]
         titles = {
             CoreKind.IN_ORDER_BLOCKING: "(a) In-order issue engine with blocking d-cache",
-            CoreKind.OUT_OF_ORDER_NONBLOCKING: "(b) Out-of-order issue engine with nonblocking d-cache",
+            CoreKind.OUT_OF_ORDER_NONBLOCKING:
+                "(b) Out-of-order issue engine with nonblocking d-cache",
         }
         for core_kind in self.panels:
             lines.append("")

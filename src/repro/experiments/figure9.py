@@ -63,8 +63,12 @@ class Figure9Result:
             dcache_size_reduction=sum(r.dcache_size_reduction for r in rows) / count,
             icache_size_reduction=sum(r.icache_size_reduction for r in rows) / count,
             both_size_reduction=sum(r.both_size_reduction for r in rows) / count,
-            dcache_energy_delay_reduction=sum(r.dcache_energy_delay_reduction for r in rows) / count,
-            icache_energy_delay_reduction=sum(r.icache_energy_delay_reduction for r in rows) / count,
+            dcache_energy_delay_reduction=(
+                sum(r.dcache_energy_delay_reduction for r in rows) / count
+            ),
+            icache_energy_delay_reduction=(
+                sum(r.icache_energy_delay_reduction for r in rows) / count
+            ),
             both_energy_delay_reduction=sum(r.both_energy_delay_reduction for r in rows) / count,
             both_slowdown=sum(r.both_slowdown for r in rows) / count,
         )
@@ -136,11 +140,12 @@ def run(
         # profiled best static size (how a deployment would combine them).
         both = run_with_setups(
             context.simulator(associativity),
-            context.trace(application),
+            context.trace_spec(application),
             d_setup=L1Setup(org, StaticResizing(d_profile.best_config)),
             i_setup=L1Setup(org, StaticResizing(i_profile.best_config)),
             interval_instructions=context.interval_instructions,
             warmup_instructions=context.warmup_instructions,
+            runner=context.runner,
         )
 
         # Size reductions follow the figure's normalisation: each cache's

@@ -38,7 +38,9 @@ class Table2Result:
         keys = next(iter(self.per_application_fractions.values())).keys()
         count = len(self.per_application_fractions)
         return {
-            key: sum(fractions[key] for fractions in self.per_application_fractions.values()) / count
+            key: sum(
+                fractions[key] for fractions in self.per_application_fractions.values()
+            ) / count
             for key in keys
         }
 
@@ -53,7 +55,9 @@ class Table2Result:
         for name, fractions in self.per_application_fractions.items():
             lines.append(
                 f"{name:<12}"
-                + "".join(f"{fractions[key]:>9.3f}" for key in ("l1d", "l1i", "l2", "memory", "core"))
+                + "".join(
+                    f"{fractions[key]:>9.3f}" for key in ("l1d", "l1i", "l2", "memory", "core")
+                )
             )
         mean = self.mean_fractions
         lines.append(

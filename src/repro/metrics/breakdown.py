@@ -61,3 +61,20 @@ class EnergyBreakdown:
             "core": self.core,
             "total": self.total,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EnergyBreakdown":
+        """Rebuild a breakdown from :meth:`as_dict` output.
+
+        The derived ``total`` key is ignored; every component key is
+        required — a missing component raises ``KeyError`` rather than
+        silently becoming zero energy, so corrupt cached results register
+        as cache misses instead of poisoning downstream metrics.
+        """
+        return cls(
+            l1d=float(payload["l1d"]),
+            l1i=float(payload["l1i"]),
+            l2=float(payload["l2"]),
+            memory=float(payload["memory"]),
+            core=float(payload["core"]),
+        )

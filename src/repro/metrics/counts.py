@@ -10,7 +10,7 @@ and unit testing straightforward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

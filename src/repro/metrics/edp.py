@@ -13,7 +13,9 @@ def energy_delay_product(energy: float, cycles: float) -> float:
     return energy * cycles
 
 
-def relative_energy_delay(energy: float, cycles: float, baseline_energy: float, baseline_cycles: float) -> float:
+def relative_energy_delay(
+    energy: float, cycles: float, baseline_energy: float, baseline_cycles: float
+) -> float:
     """Energy-delay of a configuration normalised to its baseline.
 
     Values below 1.0 mean the resizable configuration improves on the

@@ -102,13 +102,21 @@ class DynamicResizing(ResizingStrategy):
     def is_dynamic(self) -> bool:
         return True
 
+    @property
+    def requested_initial_config(self) -> Optional[SizeConfig]:
+        """The ``initial_config`` constructor argument, without the
+        bound-organization fallback :meth:`initial_config` applies."""
+        return self._initial_config
+
     def initial_config(self) -> Optional[SizeConfig]:
         if self._initial_config is not None:
             return self._initial_config
         return self.organization.full_config
 
     # ------------------------------------------------------------------- logic
-    def observe_interval(self, accesses: int, misses: int, current: SizeConfig) -> Optional[SizeConfig]:
+    def observe_interval(
+        self, accesses: int, misses: int, current: SizeConfig
+    ) -> Optional[SizeConfig]:
         """Accumulate counts; decide once a full sense interval has elapsed."""
         self._accumulated_accesses += accesses
         self._accumulated_misses += misses

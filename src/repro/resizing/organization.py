@@ -109,7 +109,8 @@ class ResizingOrganization:
         if config is None:
             offered = ", ".join(format_size(size) for size in self.distinct_sizes)
             raise ResizingError(
-                f"{self.name} does not offer {format_size(capacity_bytes)}; offered sizes: {offered}"
+                f"{self.name} does not offer {format_size(capacity_bytes)}; "
+                f"offered sizes: {offered}"
             )
         return config
 

@@ -19,7 +19,7 @@ the hardware proposals do.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.cache.cache import AccessResult, CacheStats
 from repro.cache.cache_set import CacheSet, make_selector
@@ -94,7 +94,9 @@ class ResizableCache:
         ]
         self._subarray_map = SubarrayMap(geometry)
         self.way_mask = WayMask(geometry.associativity)
-        self.set_mask = SetMask(geometry.num_sets, min_sets=min(c.sets for c in organization.configs))
+        self.set_mask = SetMask(
+            geometry.num_sets, min_sets=min(c.sets for c in organization.configs)
+        )
         self._current = organization.full_config
         self._mapper = AddressMapper(geometry.block_bytes, self._current.sets)
         self.stats = CacheStats()

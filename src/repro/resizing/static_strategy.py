@@ -45,6 +45,8 @@ class StaticResizing(ResizingStrategy):
     def initial_config(self) -> Optional[SizeConfig]:
         return self._config
 
-    def observe_interval(self, accesses: int, misses: int, current: SizeConfig) -> Optional[SizeConfig]:
+    def observe_interval(
+        self, accesses: int, misses: int, current: SizeConfig
+    ) -> Optional[SizeConfig]:
         """Static resizing never reacts to run-time behaviour."""
         return None

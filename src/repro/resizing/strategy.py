@@ -48,7 +48,9 @@ class ResizingStrategy:
         """Configuration to apply before the run starts (None = full size)."""
         return None
 
-    def observe_interval(self, accesses: int, misses: int, current: SizeConfig) -> Optional[SizeConfig]:
+    def observe_interval(
+        self, accesses: int, misses: int, current: SizeConfig
+    ) -> Optional[SizeConfig]:
         """Observe one sense interval; return a new configuration or None.
 
         Args:

@@ -1,9 +1,22 @@
 """Simulation driver: ties caches, cores, energy models and workloads together."""
 
+from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
+from repro.sim.runner import (
+    L1SetupSpec,
+    SimJob,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    execute_job,
+    job_fingerprint,
+    register_organization,
+    resolve_trace,
+)
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.sweep import (
     StaticProfile,
+    make_job,
     profile_static,
     run_baseline,
     run_dynamic,
@@ -19,4 +32,16 @@ __all__ = [
     "run_with_setups",
     "profile_static",
     "run_dynamic",
+    "make_job",
+    # sweep engine
+    "SimJob",
+    "TraceSpec",
+    "StrategySpec",
+    "L1SetupSpec",
+    "SweepRunner",
+    "JobCache",
+    "execute_job",
+    "job_fingerprint",
+    "register_organization",
+    "resolve_trace",
 ]

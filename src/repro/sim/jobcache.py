@@ -1,0 +1,139 @@
+"""On-disk memoisation of completed simulation jobs.
+
+A :class:`JobCache` maps a job *fingerprint* (a content hash over everything
+that influences a simulation's outcome — trace spec, system configuration,
+L1 setups, interval/warmup parameters, technology and timing constants; see
+:func:`repro.sim.runner.job_fingerprint`) to the :class:`SimulationResult`
+the job produced.  Re-running a sweep then only simulates jobs whose spec
+actually changed: perturbing any parameter changes the fingerprint and
+misses the cache, while an identical spec is served from disk without
+touching the simulator.
+
+Layout on disk (sharded by the first two fingerprint hex digits so that a
+full paper reproduction does not put thousands of files into one directory)::
+
+    <cache-dir>/
+        ab/
+            ab3f...e1.json          # one completed job
+        c0/
+            c04d...77.json
+
+Each entry file contains the format version, the fingerprint, a small
+human-readable description of the job (workload, cache setups) for
+debugging, and the full result.  Writes go through a per-process temporary
+file followed by an atomic :func:`os.replace`, so concurrent workers (or
+concurrent sweep processes sharing one cache directory) can never observe a
+half-written entry — the worst case is both simulating the same job and one
+harmlessly overwriting the other with an identical payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sim.results import SimulationResult
+
+#: Bump when the fingerprint inputs or the result schema change; entries
+#: written by other versions are treated as misses.
+CACHE_FORMAT_VERSION = 1
+
+
+class JobCache:
+    """A directory of completed simulation jobs keyed by fingerprint."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ paths
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ----------------------------------------------------------------- access
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``fingerprint``, or None on a miss.
+
+        Unreadable, truncated or foreign-version entries are treated as
+        misses rather than errors: the caller simply re-simulates and
+        overwrites them.
+        """
+        path = self._entry_path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                return None
+            if payload.get("fingerprint") != fingerprint:
+                return None
+            return SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self, fingerprint: str, result: SimulationResult, description: Optional[dict] = None
+    ) -> None:
+        """Persist ``result`` under ``fingerprint`` (atomically).
+
+        The cache is only a memo: a write failure (disk full, permissions)
+        is swallowed so the simulation result in hand still reaches the
+        caller — the job simply is not memoised.
+        """
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "job": description if description is not None else {},
+            "result": result.to_dict(),
+        }
+        try:
+            path = self._entry_path(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(path, payload)
+        except OSError:
+            pass
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    # ------------------------------------------------------------ maintenance
+    def _shards(self):
+        """Existing shard directories (empty if the cache dir was deleted)."""
+        try:
+            return [shard for shard in self.directory.iterdir() if shard.is_dir()]
+        except OSError:
+            return []
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for shard in self._shards() for entry in shard.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (and any orphaned atomic-write temp files left
+        by a killed process); returns how many entries were removed."""
+        removed = 0
+        for shard in self._shards():
+            for entry in shard.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for orphan in shard.glob("*.json.tmp.*"):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _atomic_write(path: Path, payload: dict) -> None:
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __repr__(self) -> str:
+        return f"JobCache({str(self.directory)!r})"

@@ -107,6 +107,68 @@ class SimulationResult:
         enabled = self.average_l1d_capacity + self.average_l1i_capacity
         return percent_reduction(enabled, full)
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Full, lossless export of the result (see :meth:`from_dict`).
+
+        Floats survive the JSON round-trip bit-exactly (``repr`` round-trips
+        Python floats), which is what lets the on-disk job cache hand back
+        results identical to a fresh simulation.
+        """
+        return {
+            "workload": self.workload,
+            "core_kind": self.core_kind,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "energy": self.energy.as_dict(),  # from_dict ignores the derived total
+            "l1d_label": self.l1d_label,
+            "l1i_label": self.l1i_label,
+            "l1d_accesses": self.l1d_accesses,
+            "l1d_misses": self.l1d_misses,
+            "l1i_accesses": self.l1i_accesses,
+            "l1i_misses": self.l1i_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "branch_mispredicts": self.branch_mispredicts,
+            "average_l1d_capacity": self.average_l1d_capacity,
+            "average_l1i_capacity": self.average_l1i_capacity,
+            "full_l1d_capacity": self.full_l1d_capacity,
+            "full_l1i_capacity": self.full_l1i_capacity,
+            "l1d_resizes": self.l1d_resizes,
+            "l1i_resizes": self.l1i_resizes,
+            "l1d_flush_writebacks": self.l1d_flush_writebacks,
+            "l1i_flush_writebacks": self.l1i_flush_writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result exported with :meth:`to_dict`."""
+        energy = EnergyBreakdown.from_dict(payload["energy"])
+        return cls(
+            workload=payload["workload"],
+            core_kind=payload["core_kind"],
+            instructions=int(payload["instructions"]),
+            cycles=float(payload["cycles"]),
+            energy=energy,
+            l1d_label=payload["l1d_label"],
+            l1i_label=payload["l1i_label"],
+            l1d_accesses=int(payload["l1d_accesses"]),
+            l1d_misses=int(payload["l1d_misses"]),
+            l1i_accesses=int(payload["l1i_accesses"]),
+            l1i_misses=int(payload["l1i_misses"]),
+            l2_accesses=int(payload["l2_accesses"]),
+            l2_misses=int(payload["l2_misses"]),
+            branch_mispredicts=int(payload["branch_mispredicts"]),
+            average_l1d_capacity=float(payload["average_l1d_capacity"]),
+            average_l1i_capacity=float(payload["average_l1i_capacity"]),
+            full_l1d_capacity=int(payload["full_l1d_capacity"]),
+            full_l1i_capacity=int(payload["full_l1i_capacity"]),
+            l1d_resizes=int(payload["l1d_resizes"]),
+            l1i_resizes=int(payload["l1i_resizes"]),
+            l1d_flush_writebacks=int(payload["l1d_flush_writebacks"]),
+            l1i_flush_writebacks=int(payload["l1i_flush_writebacks"]),
+        )
+
     def summary(self) -> dict:
         """Flat dictionary of the headline numbers (useful for reports/tests)."""
         return {

@@ -1,0 +1,688 @@
+"""The parallel sweep engine.
+
+Every simulation the repo performs — baselines, the per-configuration runs
+of a profiling sweep, dynamic-resizing runs, the joint d+i runs of
+Figure 9 — is expressed as a declarative, picklable :class:`SimJob`.  A
+:class:`SweepRunner` executes batches of jobs, fanning them out over a
+``multiprocessing`` pool when ``jobs > 1`` and running them inline when
+``jobs == 1`` (the inline path performs exactly the same arithmetic, so
+parallel and serial sweeps produce identical results), and memoises
+completed jobs in an on-disk :class:`repro.sim.jobcache.JobCache` so that
+re-running a sweep only simulates what changed.
+
+Design notes
+------------
+
+* **Jobs are specs, not live objects.**  A job names its trace
+  (:class:`TraceSpec`: application, instruction count, seed), its resizing
+  setup (:class:`L1SetupSpec`: organization *name* plus a
+  :class:`StrategySpec`), and carries the frozen configuration dataclasses
+  (:class:`SystemConfig`, :class:`TechnologyParameters`,
+  :class:`CoreTimingParameters`).  That makes jobs cheap to pickle, trivial
+  to content-hash for the cache, and reconstructible in any worker process.
+  Ad-hoc callers may embed a literal :class:`Trace` instead of a spec; such
+  jobs are fingerprinted by hashing the trace content.
+* **Determinism.**  All randomness lives in trace generation, and each job
+  resolves its own RNG seed from its spec (``TraceSpec.seed``, defaulting
+  to the workload profile's fixed seed).  Workers share no RNG state, so a
+  job's result is a pure function of its spec regardless of which process
+  runs it, in which order, or alongside which other jobs.
+* **Per-process memoisation.**  Workers memoise materialised traces in
+  ``_TRACE_MEMO``, a small LRU (traces are large, so old entries are
+  evicted).  Its multiprocessing safety comes from per-process ownership:
+  the memo is never shared across processes — each worker populates its own
+  copy after fork/spawn — and is only touched from the worker's single
+  job-executing thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import traceback
+import weakref
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.common.config import CacheGeometry, SystemConfig
+from repro.common.errors import SimulationError
+from repro.cpu.timing import CoreTimingParameters
+from repro.energy.technology import TechnologyParameters
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.organization import ResizingOrganization, SizeConfig
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+from repro.resizing.static_strategy import StaticResizing
+from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim.jobcache import JobCache
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import L1Setup, Simulator
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
+
+#: Fingerprint schema version; bump when the hashed fields change meaning.
+_FINGERPRINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Organization registry: job specs name organizations, workers rebuild them.
+# ---------------------------------------------------------------------------
+
+_ORGANIZATION_REGISTRY: Dict[str, Type[ResizingOrganization]] = {
+    SelectiveWays.name: SelectiveWays,
+    SelectiveSets.name: SelectiveSets,
+    HybridSetsAndWays.name: HybridSetsAndWays,
+}
+
+
+def register_organization(cls: Type[ResizingOrganization]) -> Type[ResizingOrganization]:
+    """Register a custom organization class so job specs can name it.
+
+    The class must be importable from a module — worker pools ship the
+    registry to each worker by pickling the class *by reference*, so classes
+    defined in ``__main__``-less scripts or interactively cannot cross
+    process boundaries — and must have a unique ``name``: re-registering a
+    *different* class under a taken name is rejected, because cached results
+    are keyed by organization name and silently swapping the class behind a
+    name would let stale results impersonate the new implementation.
+    Usable as a decorator.
+    """
+    existing = _ORGANIZATION_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise SimulationError(
+            f"organization name {cls.name!r} is already registered to "
+            f"{existing.__name__}; give {cls.__name__} a distinct name"
+        )
+    _ORGANIZATION_REGISTRY[cls.name] = cls
+    return cls
+
+
+def _install_registry(registry: Dict[str, Type[ResizingOrganization]]) -> None:
+    """Pool-worker initializer: adopt the parent process's registry.
+
+    Under the ``spawn``/``forkserver`` start methods a worker imports this
+    module fresh and would only know the three built-in organizations;
+    shipping the parent's registry (classes pickled by reference) restores
+    any custom registrations.  Under ``fork`` this is a harmless no-op
+    update with identical entries.
+    """
+    _ORGANIZATION_REGISTRY.update(registry)
+
+
+def organization_class(name: str) -> Type[ResizingOrganization]:
+    """Look up a registered organization class by name."""
+    try:
+        return _ORGANIZATION_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_ORGANIZATION_REGISTRY))
+        raise SimulationError(
+            f"unknown resizing organization {name!r}; registered organizations: {known} "
+            f"(use repro.sim.runner.register_organization for custom classes)"
+        ) from exc
+
+
+def require_registered(organization: ResizingOrganization) -> str:
+    """Return the organization's registry name, validating *class identity*.
+
+    Checking the name alone is not enough: a subclass that inherits ``name``
+    from a registered class would be silently rebuilt as the base class in
+    worker processes, simulating the wrong organization.  The class object
+    itself must be the registered one.
+    """
+    registered = organization_class(organization.name)
+    if registered is not type(organization):
+        raise SimulationError(
+            f"organization class {type(organization).__name__} is not registered under "
+            f"{organization.name!r} (that name resolves to {registered.__name__}); give the "
+            f"subclass its own name and register it with repro.sim.runner.register_organization"
+        )
+    return organization.name
+
+
+# ---------------------------------------------------------------------------
+# Job specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Names a synthetic trace without materialising it.
+
+    Attributes:
+        application: workload profile name (see :mod:`repro.workloads.profiles`).
+        n_instructions: trace length to generate.
+        seed: RNG seed override; None uses the profile's fixed seed, which
+            reproduces exactly the trace ``ExperimentContext`` has always
+            generated.
+    """
+
+    application: str
+    n_instructions: int
+    seed: Optional[int] = None
+
+    def materialize(self) -> Trace:
+        """Generate the trace this spec describes."""
+        generator = WorkloadGenerator(get_profile(self.application), seed=self.seed)
+        return generator.generate(self.n_instructions)
+
+
+#: Strategy spec kinds.
+STATIC = "static"
+DYNAMIC = "dynamic"
+NONE = "none"
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Declarative description of a resizing strategy.
+
+    ``config`` is the static configuration for ``kind == "static"`` and the
+    optional initial configuration for ``kind == "dynamic"``.
+    """
+
+    kind: str
+    config: Optional[SizeConfig] = None
+    miss_bound: float = 0.0
+    size_bound_bytes: int = 0
+    sense_interval_accesses: int = 16384
+    downsize_fraction: float = 1.0
+    settle_intervals: int = 2
+    reversal_backoff_intervals: int = 8
+
+    @classmethod
+    def static(cls, config: SizeConfig) -> "StrategySpec":
+        """Spec for :class:`StaticResizing` at ``config``."""
+        return cls(kind=STATIC, config=config)
+
+    @classmethod
+    def dynamic(
+        cls,
+        miss_bound: float,
+        size_bound_bytes: int,
+        sense_interval_accesses: int = 16384,
+        initial_config: Optional[SizeConfig] = None,
+        downsize_fraction: float = 1.0,
+        settle_intervals: int = 2,
+        reversal_backoff_intervals: int = 8,
+    ) -> "StrategySpec":
+        """Spec for :class:`DynamicResizing` with the given parameters."""
+        return cls(
+            kind=DYNAMIC,
+            config=initial_config,
+            miss_bound=miss_bound,
+            size_bound_bytes=size_bound_bytes,
+            sense_interval_accesses=sense_interval_accesses,
+            downsize_fraction=downsize_fraction,
+            settle_intervals=settle_intervals,
+            reversal_backoff_intervals=reversal_backoff_intervals,
+        )
+
+    @classmethod
+    def from_strategy(cls, strategy: ResizingStrategy) -> "StrategySpec":
+        """Convert a live strategy object into a spec.
+
+        Exact classes only — a subclass with overridden behaviour must not be
+        silently rebuilt as its base class in a worker, so it is rejected
+        here and (via :func:`repro.sim.sweep.run_with_setups`'s fallback)
+        runs in-process instead.
+        """
+        if type(strategy) is StaticResizing:
+            return cls.static(strategy.config)
+        if type(strategy) is DynamicResizing:
+            # The raw constructor argument, not initial_config(): the method
+            # falls back to the bound organization's full size, and specs
+            # must be convertible before any binding happens.
+            return cls.dynamic(
+                miss_bound=strategy.miss_bound,
+                size_bound_bytes=strategy.size_bound_bytes,
+                sense_interval_accesses=strategy.sense_interval_accesses,
+                initial_config=strategy.requested_initial_config,
+                downsize_fraction=strategy.downsize_fraction,
+                settle_intervals=strategy.settle_intervals,
+                reversal_backoff_intervals=strategy.reversal_backoff_intervals,
+            )
+        if type(strategy) is NoResizing:
+            return cls(kind=NONE)
+        raise SimulationError(
+            f"cannot express strategy {type(strategy).__name__} as a job spec; "
+            f"supported strategies (exact classes): StaticResizing, DynamicResizing, NoResizing"
+        )
+
+    def build(self) -> ResizingStrategy:
+        """Instantiate the strategy this spec describes."""
+        if self.kind == STATIC:
+            if self.config is None:
+                raise SimulationError("a static strategy spec requires a configuration")
+            return StaticResizing(self.config)
+        if self.kind == DYNAMIC:
+            return DynamicResizing(
+                miss_bound=self.miss_bound,
+                size_bound_bytes=self.size_bound_bytes,
+                sense_interval_accesses=self.sense_interval_accesses,
+                downsize_fraction=self.downsize_fraction,
+                settle_intervals=self.settle_intervals,
+                reversal_backoff_intervals=self.reversal_backoff_intervals,
+                initial_config=self.config,
+            )
+        if self.kind == NONE:
+            return NoResizing()
+        raise SimulationError(f"unknown strategy spec kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class L1SetupSpec:
+    """Declarative counterpart of :class:`repro.sim.simulator.L1Setup`.
+
+    ``organization`` is a registered organization *name*; the worker rebuilds
+    the organization on the target cache's geometry, so the spec stays a few
+    bytes regardless of the organization's config lattice.  ``geometry``,
+    when set, pins the geometry the organization was built on: building the
+    spec against a different cache geometry then raises, preserving the
+    mismatch guard a live :class:`L1Setup` enforces.
+    """
+
+    organization: Optional[str] = None
+    strategy: Optional[StrategySpec] = None
+    geometry: Optional[CacheGeometry] = None
+
+    @classmethod
+    def fixed(cls) -> "L1SetupSpec":
+        """Spec for the conventional, non-resizable cache."""
+        return cls()
+
+    @classmethod
+    def from_setup(cls, setup: Optional[L1Setup]) -> "L1SetupSpec":
+        """Convert a live :class:`L1Setup` into a spec."""
+        if setup is None or setup.organization is None:
+            return cls()
+        name = require_registered(setup.organization)
+        strategy = None if setup.strategy is None else StrategySpec.from_strategy(setup.strategy)
+        return cls(organization=name, strategy=strategy, geometry=setup.organization.geometry)
+
+    def build(self, geometry: CacheGeometry) -> L1Setup:
+        """Instantiate the :class:`L1Setup` for a cache of ``geometry``."""
+        if self.organization is None:
+            if self.strategy is not None:
+                # Mirror L1Setup's own guard instead of silently simulating
+                # a full-size fixed cache with the strategy dropped.
+                raise SimulationError("a resizing strategy requires a resizing organization")
+            return L1Setup()
+        if self.geometry is not None and self.geometry != geometry:
+            raise SimulationError(
+                f"organization geometry {self.geometry.describe()} does not match the "
+                f"target cache geometry {geometry.describe()}"
+            )
+        organization = organization_class(self.organization)(geometry)
+        strategy = self.strategy.build() if self.strategy is not None else None
+        return L1Setup(organization=organization, strategy=strategy)
+
+
+@dataclass
+class SimJob:
+    """One complete, self-contained simulation: spec in, result out."""
+
+    trace: Union[TraceSpec, Trace]
+    system: SystemConfig = field(default_factory=SystemConfig)
+    d_setup: L1SetupSpec = field(default_factory=L1SetupSpec)
+    i_setup: L1SetupSpec = field(default_factory=L1SetupSpec)
+    interval_instructions: int = 1500
+    warmup_instructions: int = 0
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    timing: CoreTimingParameters = field(default_factory=CoreTimingParameters)
+
+    def fingerprint(self) -> str:
+        """Content hash over everything that influences this job's result."""
+        return job_fingerprint(self)
+
+    def describe(self) -> dict:
+        """Small human-readable summary (stored in cache entries)."""
+        if isinstance(self.trace, Trace):
+            workload = f"{self.trace.name} ({len(self.trace)} instructions, inline)"
+        else:
+            workload = f"{self.trace.application} ({self.trace.n_instructions} instructions)"
+        return {
+            "workload": workload,
+            "core": self.system.core.kind.value,
+            "d_setup": _describe_setup(self.d_setup),
+            "i_setup": _describe_setup(self.i_setup),
+            "interval_instructions": self.interval_instructions,
+            "warmup_instructions": self.warmup_instructions,
+        }
+
+
+def _describe_setup(spec: L1SetupSpec) -> str:
+    if spec.organization is None:
+        return "fixed"
+    strategy = spec.strategy.kind if spec.strategy is not None else "none"
+    label = f"{spec.organization}/{strategy}"
+    if spec.strategy is not None and spec.strategy.config is not None:
+        label += f"@{spec.strategy.config.label}"
+    return label
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+#: Content digests of inline traces, keyed weakly by the trace object.
+#: Hashing 60k records costs tens of milliseconds; a profiling sweep submits
+#: the same Trace object in every ladder job, so the digest is computed once
+#: per object instead of once per job.  (Traces are treated as immutable
+#: once submitted — the same assumption the simulator itself makes.)
+_TRACE_DIGEST_MEMO: "weakref.WeakKeyDictionary[Trace, str]" = weakref.WeakKeyDictionary()
+
+
+def _trace_digest(trace: Trace) -> str:
+    cached = _TRACE_DIGEST_MEMO.get(trace)
+    if cached is None:
+        digest = hashlib.sha256()
+        digest.update(trace.name.encode("utf-8"))
+        digest.update(repr(trace.memory_level_parallelism).encode("ascii"))
+        for record in trace.records:
+            digest.update(repr(tuple(record)).encode("ascii"))
+        cached = digest.hexdigest()
+        _TRACE_DIGEST_MEMO[trace] = cached
+    return cached
+
+
+def _canonical(value):
+    """Reduce a spec component to JSON-serialisable canonical form."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, Trace):
+        return {"__trace__": _trace_digest(value)}
+    if isinstance(value, L1SetupSpec) and value.organization is not None:
+        # Bind the name to the class it currently resolves to, so replacing
+        # the registered class behind a name changes the fingerprint instead
+        # of serving results simulated by the old class.
+        cls = organization_class(value.organization)
+        canonical = {"__organization_class__": f"{cls.__module__}.{cls.__qualname__}"}
+        for spec_field in fields(value):
+            canonical[spec_field.name] = _canonical(getattr(value, spec_field.name))
+        return canonical
+    if is_dataclass(value) and not isinstance(value, type):
+        canonical = {"__type__": type(value).__name__}
+        for spec_field in fields(value):
+            canonical[spec_field.name] = _canonical(getattr(value, spec_field.name))
+        return canonical
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, float):
+        # repr round-trips floats exactly, so distinct values never collide.
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise SimulationError(f"cannot fingerprint job component of type {type(value).__name__}")
+
+
+#: Lazily computed digest of the package's own source files (see
+#: :func:`_source_digest`); per-process, so one hash pass per interpreter.
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def _source_digest() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Mixing this into job fingerprints makes stale caches *mechanically*
+    impossible: editing any simulation source changes the digest, so every
+    cached result computed by the old code misses.  The cost is mild
+    over-invalidation (editing e.g. an experiment harness also invalidates)
+    and one ~milliseconds hash pass per process.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+        from pathlib import Path
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode("utf-8"))
+            digest.update(source.read_bytes())
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def job_fingerprint(job: SimJob) -> str:
+    """Hex SHA-256 fingerprint of a job spec.
+
+    Two jobs share a fingerprint iff every parameter that influences the
+    simulation outcome is identical: the trace (spec fields, or content for
+    inline traces), the full :class:`SystemConfig` (geometries, core, L2,
+    memory), both L1 setup specs, interval/warmup lengths, and the
+    technology and timing constants.
+
+    The package version *and* a digest of the package's source files are
+    mixed in, so any change to simulation logic fails safe: a stale cache
+    misses instead of reproducing the old numbers.
+    """
+    from repro import __version__  # deferred: repro.__init__ imports this module
+
+    payload = json.dumps(
+        {
+            "version": _FINGERPRINT_VERSION,
+            "repro_version": __version__,
+            "source": _source_digest(),
+            "job": _canonical(job),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Job execution (runs in worker processes; must stay module-level picklable)
+# ---------------------------------------------------------------------------
+
+#: Per-process memo of materialised traces keyed by TraceSpec fields, with
+#: LRU eviction (a 60k-record trace is tens of MB; an unbounded memo would
+#: grow for the process lifetime as contexts with different trace lengths
+#: come and go).  Values are never mutated after insertion and the memo is
+#: never shared between processes (each worker owns its own copy), so no
+#: locking is needed under either fork or spawn start methods.
+_TRACE_MEMO: Dict[Tuple[str, int, Optional[int]], Trace] = {}
+_TRACE_MEMO_MAX = 16
+
+
+def resolve_trace(trace: Union[TraceSpec, Trace]) -> Trace:
+    if isinstance(trace, Trace):
+        return trace
+    key = (trace.application, trace.n_instructions, trace.seed)
+    cached = _TRACE_MEMO.pop(key, None)
+    if cached is None:
+        cached = trace.materialize()
+    _TRACE_MEMO[key] = cached  # re-insert at the back: most recently used
+    while len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+        _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+    return cached
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Run one job to completion (the worker entry point).
+
+    Everything is rebuilt from the spec — trace, simulator, setups — so the
+    result is a pure function of the job and is identical whether executed
+    inline, in a forked worker, or in a spawned worker.
+    """
+    trace = resolve_trace(job.trace)
+    simulator = Simulator(job.system, job.technology, job.timing)
+    return simulator.run(
+        trace,
+        d_setup=job.d_setup.build(job.system.l1d),
+        i_setup=job.i_setup.build(job.system.l1i),
+        interval_instructions=job.interval_instructions,
+        warmup_instructions=job.warmup_instructions,
+    )
+
+
+class _JobFailure:
+    """Wraps a worker-side exception so sibling results are not lost.
+
+    If a worker raised directly, ``imap_unordered`` would surface the
+    exception mid-iteration and any completed results still queued behind it
+    would be dropped before the runner could cache them.  The formatted
+    worker traceback rides along (pickling strips ``__traceback__``) so the
+    re-raise still shows where inside the simulation the failure happened.
+    """
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+        self.worker_traceback = traceback.format_exc()
+
+
+def _execute_indexed(indexed_job: "Tuple[int, SimJob]"):
+    """Pool entry point that tags each result with its batch position, so the
+    runner can consume completions out of order."""
+    position, job = indexed_job
+    try:
+        return position, execute_job(job)
+    except Exception as exc:
+        return position, _JobFailure(exc)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes batches of :class:`SimJob` with parallelism and caching.
+
+    Args:
+        jobs: worker-process count.  1 (the default) executes inline in the
+            calling process with zero multiprocessing overhead; results are
+            identical either way.
+        cache: optional :class:`JobCache`; completed jobs are persisted and
+            identical future jobs are served from disk.
+        mp_start_method: ``multiprocessing`` start method ("fork", "spawn",
+            "forkserver"); None uses the platform default.
+
+    Attributes:
+        simulate_count: jobs actually simulated by this runner (cache misses).
+        cache_hits / cache_misses: cache lookup statistics.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[JobCache] = None,
+        mp_start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise SimulationError(f"worker count must be at least 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.mp_start_method = mp_start_method
+        self.simulate_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # One pool for the runner's whole lifetime: workers keep their trace
+        # memos warm across batches, so a sweep's trace is generated once per
+        # worker instead of once per batch.  The registry snapshot the pool
+        # was created with detects late register_organization calls.
+        self._pool = None
+        self._pool_registry: Dict[str, Type[ResizingOrganization]] = {}
+
+    # -------------------------------------------------------------- execution
+    def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        """Execute ``jobs`` and return their results in input order."""
+        jobs = list(jobs)
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        pending: List[Tuple[int, SimJob, Optional[str]]] = []
+
+        for index, job in enumerate(jobs):
+            fingerprint = None
+            if self.cache is not None:
+                fingerprint = job.fingerprint()
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results[index] = cached
+                    continue
+                self.cache_misses += 1
+            pending.append((index, job, fingerprint))
+
+        # Completions are consumed (and cached) one at a time, in whatever
+        # order they finish; a failing job is collected rather than raised
+        # mid-iteration, so every sibling simulation that completes is still
+        # cached — a warm restart resumes instead of starting over.  The
+        # first failure is re-raised once the batch has drained.
+        first_failure: Optional[_JobFailure] = None
+        for position, outcome in self._execute([job for _, job, _ in pending]):
+            if isinstance(outcome, _JobFailure):
+                if first_failure is None:
+                    first_failure = outcome
+                continue
+            index, job, fingerprint = pending[position]
+            self.simulate_count += 1
+            if self.cache is not None and fingerprint is not None:
+                self.cache.put(fingerprint, outcome, description=job.describe())
+            results[index] = outcome
+        if first_failure is not None:
+            raise first_failure.error from RuntimeError(
+                f"job failed in a sweep worker:\n{first_failure.worker_traceback}"
+            )
+
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def run_one(self, job: SimJob) -> SimulationResult:
+        """Execute a single job (through the cache, without a pool)."""
+        return self.run([job])[0]
+
+    def _execute(self, pending: List[SimJob]):
+        """Yield (position, result) pairs as jobs complete (any order)."""
+        indexed = list(enumerate(pending))
+        if self.jobs <= 1 or len(pending) <= 1:
+            return (_execute_indexed(item) for item in indexed)
+        return self._get_pool().imap_unordered(_execute_indexed, indexed, chunksize=1)
+
+    def _get_pool(self):
+        # A pool whose workers predate a register_organization call would
+        # reject jobs naming the new class; recreate it on a stale snapshot.
+        if self._pool is not None and self._pool_registry != _ORGANIZATION_REGISTRY:
+            self.close()
+        if self._pool is None:
+            context = multiprocessing.get_context(self.mp_start_method)
+            self._pool_registry = dict(_ORGANIZATION_REGISTRY)
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=_install_registry,
+                initargs=(self._pool_registry,),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the runner stays usable —
+        a later batch simply starts a fresh pool)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        cache = "none" if self.cache is None else str(self.cache.directory)
+        return (
+            f"SweepRunner(jobs={self.jobs}, cache={cache}, "
+            f"simulated={self.simulate_count}, hits={self.cache_hits})"
+        )

@@ -37,7 +37,24 @@ from repro.resizing.strategy import ResizingStrategy
 from repro.sim.results import SimulationResult
 from repro.workloads.trace import Trace
 
-_BLOCK_MASK_CACHE = {}
+#: Per-process memo of fetch-block masks keyed by block size.
+#:
+#: Invariant (required for multiprocessing safety): the memo is append-only,
+#: its values are immutable ints, and it is never shared between processes —
+#: under ``fork`` each sweep worker inherits a snapshot and then diverges,
+#: under ``spawn`` each worker starts empty.  Entries are never removed or
+#: rewritten, so a stale read can at worst recompute a value that is equal
+#: by construction.  Do not clear or mutate entries in place.
+_BLOCK_MASK_CACHE: dict = {}
+
+
+def _block_mask(block_bytes: int) -> int:
+    """The address mask selecting the fetch block for ``block_bytes`` blocks."""
+    mask = _BLOCK_MASK_CACHE.get(block_bytes)
+    if mask is None:
+        mask = ~(block_bytes - 1)
+        _BLOCK_MASK_CACHE[block_bytes] = mask
+    return mask
 
 
 class L1Setup:
@@ -218,7 +235,7 @@ class Simulator:
             full_l1i_capacity=system.l1i.capacity_bytes,
         )
 
-        block_mask = ~(system.l1i.block_bytes - 1)
+        block_mask = _block_mask(system.l1i.block_bytes)
         data_access = hierarchy.data_access
         instruction_fetch = hierarchy.instruction_fetch
         predict = predictor.predict_and_update

@@ -3,17 +3,23 @@
 Static resizing needs one profiling run per offered configuration (the paper
 extracts static sizes "offline through profiling"), and the dynamic
 framework's miss-bound / size-bound are derived from the same profile.  The
-functions here run those sweeps on top of :class:`repro.sim.simulator.Simulator`
-and return the structures the experiments consume.
+functions here express those sweeps as batches of :class:`repro.sim.runner.SimJob`
+and execute them through a :class:`repro.sim.runner.SweepRunner`, so a
+profiling sweep parallelises across the organization's whole resizing ladder
+(and hits the on-disk job cache) when the caller provides a configured
+runner.  Without one, a serial, uncached runner is used and the behaviour —
+including every computed value — is identical to calling
+:meth:`repro.sim.simulator.Simulator.run` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import SimulationError
 from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.organization import ResizingOrganization, SizeConfig
 from repro.resizing.profiler import (
     DynamicParameters,
@@ -21,8 +27,16 @@ from repro.resizing.profiler import (
     derive_dynamic_parameters,
     select_static_config,
 )
-from repro.resizing.static_strategy import StaticResizing
 from repro.sim.results import SimulationResult
+from repro.sim.runner import (
+    L1SetupSpec,
+    SimJob,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    require_registered,
+    resolve_trace,
+)
 from repro.sim.simulator import L1Setup, Simulator
 from repro.workloads.trace import Trace
 
@@ -30,48 +44,134 @@ from repro.workloads.trace import Trace
 DCACHE = "dcache"
 ICACHE = "icache"
 
+#: A sweep accepts either a materialised trace or a declarative spec.
+TraceLike = Union[Trace, TraceSpec]
+SetupLike = Union[L1Setup, L1SetupSpec, None]
 
-def _setups_for(target: str, setup: L1Setup):
-    """Return (d_setup, i_setup) with ``setup`` applied to the targeted cache."""
+
+def _apply_to_target(target: str, setup, empty):
+    """Return (d, i) with ``setup`` on the targeted cache and ``empty`` on the other."""
     if target == DCACHE:
-        return setup, L1Setup()
+        return setup, empty
     if target == ICACHE:
-        return L1Setup(), setup
+        return empty, setup
     raise SimulationError(f"unknown resizing target {target!r}; use 'dcache' or 'icache'")
+
+
+def _specs_for(target: str, spec: L1SetupSpec) -> Tuple[L1SetupSpec, L1SetupSpec]:
+    """(d_spec, i_spec) with ``spec`` applied to the targeted cache."""
+    return _apply_to_target(target, spec, L1SetupSpec())
+
+
+def _as_setup_spec(setup: SetupLike) -> L1SetupSpec:
+    if setup is None:
+        return L1SetupSpec()
+    if isinstance(setup, L1SetupSpec):
+        return setup
+    return L1SetupSpec.from_setup(setup)
+
+
+def _default_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    return runner if runner is not None else SweepRunner()
+
+
+def make_job(
+    simulator: Simulator,
+    trace: TraceLike,
+    d_setup: SetupLike = None,
+    i_setup: SetupLike = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> SimJob:
+    """Build the :class:`SimJob` equivalent of one ``simulator.run(...)`` call.
+
+    Prefer a :class:`TraceSpec` over a materialised :class:`Trace` when the
+    job will run on a parallel runner: an inline trace is pickled into every
+    job that carries it (a 60k-record trace is several MB per job), whereas
+    a spec is a few bytes and each worker materialises it once.
+    """
+    return SimJob(
+        trace=trace,
+        system=simulator.system,
+        d_setup=_as_setup_spec(d_setup),
+        i_setup=_as_setup_spec(i_setup),
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        technology=simulator.technology,
+        timing=simulator.timing,
+    )
 
 
 def run_baseline(
     simulator: Simulator,
-    trace: Trace,
+    trace: TraceLike,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> SimulationResult:
     """Run the non-resizable baseline (both L1 caches fixed at full size)."""
-    return simulator.run(
+    job = make_job(
+        simulator,
         trace,
-        d_setup=L1Setup(),
-        i_setup=L1Setup(),
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
     )
+    return _default_runner(runner).run_one(job)
 
 
 def run_with_setups(
     simulator: Simulator,
-    trace: Trace,
-    d_setup: Optional[L1Setup] = None,
-    i_setup: Optional[L1Setup] = None,
+    trace: TraceLike,
+    d_setup: SetupLike = None,
+    i_setup: SetupLike = None,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> SimulationResult:
-    """Run an arbitrary combination of L1 setups."""
-    return simulator.run(
-        trace,
-        d_setup=d_setup,
-        i_setup=i_setup,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-    )
+    """Run an arbitrary combination of L1 setups.
+
+    Setups that cannot be expressed as job specs (a custom strategy class, an
+    unregistered organization) are still supported: they run directly in this
+    process, exactly as before the sweep engine existed, bypassing the
+    runner's pool and cache (which both require declarative, picklable jobs).
+
+    Note that for the built-in strategy classes the run executes from a spec
+    (a fresh instance, possibly in a worker process), so counters on a live
+    strategy object the caller passed in (e.g. ``DynamicResizing.upsizes``)
+    are *not* updated; pass a strategy subclass to force the in-process
+    path when instrumenting a run that way.
+    """
+    try:
+        job = make_job(
+            simulator,
+            trace,
+            d_setup=d_setup,
+            i_setup=i_setup,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    except SimulationError:
+        return simulator.run(
+            resolve_trace(trace),  # shares the runner's per-process trace memo
+            d_setup=_as_live_setup(d_setup, simulator, "l1d"),
+            i_setup=_as_live_setup(i_setup, simulator, "l1i"),
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    return _default_runner(runner).run_one(job)
+
+
+def _as_live_setup(setup: SetupLike, simulator: Simulator, cache: str) -> Optional[L1Setup]:
+    """Materialise a setup argument into the L1Setup the simulator consumes."""
+    if setup is None or isinstance(setup, L1Setup):
+        return setup
+    geometry = simulator.system.l1d if cache == "l1d" else simulator.system.l1i
+    return setup.build(geometry)
+
+
+def _live_setups_for(target: str, setup: L1Setup) -> Tuple[Optional[L1Setup], Optional[L1Setup]]:
+    """(d_setup, i_setup) with the live ``setup`` applied to the targeted cache."""
+    return _apply_to_target(target, setup, None)
 
 
 @dataclass
@@ -125,72 +225,121 @@ class StaticProfile:
         )
 
 
+def _append_point(profile: StaticProfile, target: str, config, result: SimulationResult) -> None:
+    """Record one profiled configuration's result (shared by both sweep paths)."""
+    if target == DCACHE:
+        accesses, misses = result.l1d_accesses, result.l1d_misses
+    else:
+        accesses, misses = result.l1i_accesses, result.l1i_misses
+    profile.points.append(
+        ProfilePoint(
+            config=config,
+            energy=result.energy.total,
+            cycles=result.cycles,
+            l1_accesses=accesses,
+            l1_misses=misses,
+        )
+    )
+    profile.results[config] = result
+
+
 def profile_static(
     simulator: Simulator,
-    trace: Trace,
+    trace: TraceLike,
     organization: ResizingOrganization,
     target: str = DCACHE,
     baseline: Optional[SimulationResult] = None,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
     max_slowdown: Optional[float] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> StaticProfile:
     """Profile every size on the organization's resizing ladder.
 
+    The whole ladder (plus the baseline, when not supplied) is submitted to
+    the runner as one batch, so with a parallel runner every candidate
+    configuration simulates concurrently.
+
     Args:
         simulator: configured simulator (system, technology, timing).
-        trace: the application trace (reused unchanged for every candidate).
-        organization: the resizing organization to evaluate.
+        trace: the application trace — a :class:`Trace`, or a
+            :class:`TraceSpec` that each worker materialises on demand
+            (reused unchanged for every candidate).
+        organization: the resizing organization to evaluate.  Its class must
+            be registered with the runner's organization registry (the three
+            paper organizations are; see
+            :func:`repro.sim.runner.register_organization`).
         target: ``"dcache"`` or ``"icache"`` — which L1 is resized.
         baseline: a pre-computed non-resizable baseline run (computed here
             when omitted).
         max_slowdown: optional bound on tolerated slowdown when picking the
             best static configuration.
+        runner: sweep runner to execute through (serial/uncached if omitted).
     """
-    if baseline is None:
-        baseline = run_baseline(
-            simulator, trace, interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
+    try:
+        require_registered(organization)
+    except SimulationError:
+        # Unregistered organization class: simulate directly in this process
+        # (the pre-engine behaviour), bypassing the pool and cache, which
+        # both need declarative job specs.
+        return _profile_static_direct(
+            simulator, trace, organization, target, baseline,
+            interval_instructions, warmup_instructions, max_slowdown,
         )
+    runner = _default_runner(runner)
+    ladder = organization.ladder()
+
+    jobs: List[SimJob] = []
+    if baseline is None:
+        jobs.append(
+            make_job(
+                simulator,
+                trace,
+                interval_instructions=interval_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+        )
+    for config in ladder:
+        spec = L1SetupSpec(
+            organization=organization.name,
+            strategy=StrategySpec.static(config),
+            geometry=organization.geometry,
+        )
+        d_spec, i_spec = _specs_for(target, spec)
+        jobs.append(
+            make_job(
+                simulator,
+                trace,
+                d_setup=d_spec,
+                i_setup=i_spec,
+                interval_instructions=interval_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+        )
+
+    outcomes = runner.run(jobs)
+    if baseline is None:
+        baseline = outcomes[0]
+        outcomes = outcomes[1:]
+
     profile = StaticProfile(
         organization=organization, target=target, baseline=baseline, max_slowdown=max_slowdown
     )
-    for config in organization.ladder():
-        setup = L1Setup(organization=organization, strategy=StaticResizing(config))
-        d_setup, i_setup = _setups_for(target, setup)
-        result = simulator.run(
-            trace,
-            d_setup=d_setup,
-            i_setup=i_setup,
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
-        )
-        if target == DCACHE:
-            accesses, misses = result.l1d_accesses, result.l1d_misses
-        else:
-            accesses, misses = result.l1i_accesses, result.l1i_misses
-        profile.points.append(
-            ProfilePoint(
-                config=config,
-                energy=result.energy.total,
-                cycles=result.cycles,
-                l1_accesses=accesses,
-                l1_misses=misses,
-            )
-        )
-        profile.results[config] = result
+    for config, result in zip(ladder, outcomes):
+        _append_point(profile, target, config, result)
     return profile
 
 
 def run_dynamic(
     simulator: Simulator,
-    trace: Trace,
+    trace: TraceLike,
     organization: ResizingOrganization,
     parameters: DynamicParameters,
     target: str = DCACHE,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
     initial_config=None,
+    runner: Optional[SweepRunner] = None,
 ) -> SimulationResult:
     """Run the miss-ratio based dynamic strategy with profiled parameters.
 
@@ -198,18 +347,76 @@ def run_dynamic(
     statically profiled size, since the dynamic parameters come from the same
     profiling pass); the controller is free to move away from it immediately.
     """
-    strategy = DynamicResizing(
-        miss_bound=parameters.miss_bound,
-        size_bound_bytes=parameters.size_bound_bytes,
-        sense_interval_accesses=parameters.sense_interval_accesses,
-        initial_config=initial_config,
+    try:
+        require_registered(organization)
+    except SimulationError:
+        strategy = DynamicResizing(
+            miss_bound=parameters.miss_bound,
+            size_bound_bytes=parameters.size_bound_bytes,
+            sense_interval_accesses=parameters.sense_interval_accesses,
+            initial_config=initial_config,
+        )
+        d_setup, i_setup = _live_setups_for(target, L1Setup(organization, strategy))
+        return simulator.run(
+            resolve_trace(trace),
+            d_setup=d_setup,
+            i_setup=i_setup,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    spec = L1SetupSpec(
+        organization=organization.name,
+        geometry=organization.geometry,
+        strategy=StrategySpec.dynamic(
+            miss_bound=parameters.miss_bound,
+            size_bound_bytes=parameters.size_bound_bytes,
+            sense_interval_accesses=parameters.sense_interval_accesses,
+            initial_config=initial_config,
+        ),
     )
-    setup = L1Setup(organization=organization, strategy=strategy)
-    d_setup, i_setup = _setups_for(target, setup)
-    return simulator.run(
+    d_spec, i_spec = _specs_for(target, spec)
+    job = make_job(
+        simulator,
         trace,
-        d_setup=d_setup,
-        i_setup=i_setup,
+        d_setup=d_spec,
+        i_setup=i_spec,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
     )
+    return _default_runner(runner).run_one(job)
+
+
+def _profile_static_direct(
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    target: str,
+    baseline: Optional[SimulationResult],
+    interval_instructions: int,
+    warmup_instructions: int,
+    max_slowdown: Optional[float],
+) -> StaticProfile:
+    """In-process profiling sweep for organizations the spec layer cannot name."""
+    trace_obj = resolve_trace(trace)
+    _live_setups_for(target, L1Setup())  # validate the target up front
+    if baseline is None:
+        baseline = simulator.run(
+            trace_obj,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    profile = StaticProfile(
+        organization=organization, target=target, baseline=baseline, max_slowdown=max_slowdown
+    )
+    for config in organization.ladder():
+        setup = L1Setup(organization=organization, strategy=StaticResizing(config))
+        d_setup, i_setup = _live_setups_for(target, setup)
+        result = simulator.run(
+            trace_obj,
+            d_setup=d_setup,
+            i_setup=i_setup,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        _append_point(profile, target, config, result)
+    return profile

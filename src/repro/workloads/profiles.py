@@ -15,7 +15,7 @@ Table 2, since that is the geometry every experiment resizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 from repro.common.errors import WorkloadError

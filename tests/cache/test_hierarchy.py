@@ -4,7 +4,6 @@ import pytest
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheHierarchy
-from repro.common.config import SystemConfig
 
 
 @pytest.fixture

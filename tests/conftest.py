@@ -18,7 +18,9 @@ from repro.workloads.profiles import get_profile
 @pytest.fixture
 def small_geometry() -> CacheGeometry:
     """A 4 KiB 2-way cache with 1 KiB subarrays (small but realistic)."""
-    return CacheGeometry(capacity_bytes=4 * KIB, associativity=2, block_bytes=32, subarray_bytes=KIB)
+    return CacheGeometry(
+        capacity_bytes=4 * KIB, associativity=2, block_bytes=32, subarray_bytes=KIB
+    )
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import CoreKind, SystemConfig
+from repro.common.config import CoreKind
 from repro.common.errors import ConfigurationError
 from repro.cpu.core_model import make_core_model
 from repro.cpu.inorder import InOrderCore

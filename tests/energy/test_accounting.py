@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cache.subarray import SubarrayMap
-from repro.common.config import SystemConfig
 from repro.energy.accounting import EnergyAccountant
 from repro.metrics.counts import IntervalCounts
 

@@ -93,7 +93,9 @@ class TestCycleEnergy:
 
 class TestL2Energy:
     def test_l2_energy_scales_with_accesses(self, technology):
-        model = L2EnergyModel(CacheGeometry(512 * KIB, 4, block_bytes=64, subarray_bytes=4 * KIB), technology)
+        model = L2EnergyModel(
+            CacheGeometry(512 * KIB, 4, block_bytes=64, subarray_bytes=4 * KIB), technology
+        )
         low = model.interval_energy(accesses=10, cycles=1000)
         high = model.interval_energy(accesses=100, cycles=1000)
         assert high - low == pytest.approx(90 * technology.l2_access_energy)

@@ -1,0 +1,122 @@
+"""Tests for the ``python -m repro`` CLI and end-to-end sweep caching.
+
+The warm-cache test is the acceptance check for the sweep engine: a full
+``run-all`` against a warm job cache must perform **zero** new simulations,
+and must reproduce the cold run's outputs exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import (
+    EXPERIMENTS,
+    build_context,
+    experiment_names,
+    main,
+    parse_args,
+    run_experiments,
+)
+
+#: Tiny-but-valid evaluation: one application, short traces.
+TINY = ["--instructions", "1500", "--applications", "gcc"]
+
+
+def tiny_args(command, cache_dir, *extra):
+    return parse_args([command, *extra, *TINY, "--cache-dir", str(cache_dir)])
+
+
+class TestArgs:
+    def test_run_figure_requires_known_names(self, capsys):
+        with pytest.raises(SystemExit):
+            parse_args(["run-figure", "figure99"])
+
+    def test_run_all_selects_every_experiment(self, tmp_path):
+        args = tiny_args("run-all", tmp_path / "cache")
+        assert experiment_names(args) == list(EXPERIMENTS)
+
+    def test_run_figure_deduplicates(self, tmp_path):
+        args = parse_args(["run-figure", "table2", "figure4", "table2", *TINY])
+        assert experiment_names(args) == ["table2", "figure4"]
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "table1" in out
+
+
+class TestMain:
+    def test_run_figure_writes_output_json(self, tmp_path, capsys):
+        output = tmp_path / "rows.json"
+        code = main(
+            ["run-figure", "table2", *TINY, "--no-cache", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload) == {"table2"}
+        assert payload["table2"]  # non-empty rows
+        out = capsys.readouterr().out
+        assert "1 simulated" in out
+
+    def test_unwritable_output_fails_before_running(self, tmp_path, capsys):
+        code = main(
+            ["run-figure", "table2", *TINY, "--no-cache",
+             "--output", str(tmp_path / "no" / "such" / "dir" / "rows.json")]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "cannot write --output" in captured.err
+        # Failed fast: no experiment output was produced first.
+        assert "table2" not in captured.out
+
+    def test_parallel_flag_produces_identical_rows(self, tmp_path):
+        outputs = {}
+        for jobs in ("1", "2"):
+            output = tmp_path / f"rows-{jobs}.json"
+            main(
+                ["run-figure", "figure4", *TINY, "--no-cache",
+                 "--jobs", jobs, "--output", str(output)]
+            )
+            outputs[jobs] = output.read_text()
+        assert outputs["1"] == outputs["2"]
+
+
+class TestWarmCacheAcceptance:
+    def test_run_all_second_invocation_simulates_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+
+        cold_args = tiny_args("run-all", cache_dir)
+        cold_context = build_context(cold_args)
+        sink = lambda *args, **kwargs: None  # noqa: E731 - silence table output
+        cold = run_experiments(experiment_names(cold_args), cold_context, echo=sink)
+        assert cold_context.runner.simulate_count > 0
+        assert cold_context.runner.cache_hits == 0
+
+        warm_args = tiny_args("run-all", cache_dir)
+        warm_context = build_context(warm_args)
+        warm = run_experiments(experiment_names(warm_args), warm_context, echo=sink)
+        # The acceptance criterion: a warm cache means zero new simulations.
+        assert warm_context.runner.simulate_count == 0
+        assert warm_context.runner.cache_hits == cold_context.runner.simulate_count
+
+        # And the outputs are identical, figure by figure, byte for byte.
+        for name in EXPERIMENTS:
+            assert cold[name].format_table() == warm[name].format_table()
+            assert cold[name].rows() == warm[name].rows()
+
+    def test_cache_invalidates_on_parameter_change(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sink = lambda *args, **kwargs: None  # noqa: E731
+
+        first = build_context(tiny_args("run-figure", cache_dir, "table2"))
+        run_experiments(["table2"], first, echo=sink)
+
+        # Longer traces -> different job fingerprints -> full re-simulation.
+        changed_args = parse_args(
+            ["run-figure", "table2", "--instructions", "2500",
+             "--applications", "gcc", "--cache-dir", str(cache_dir)]
+        )
+        changed = build_context(changed_args)
+        run_experiments(["table2"], changed, echo=sink)
+        assert changed.runner.cache_hits == 0
+        assert changed.runner.simulate_count == first.runner.simulate_count

@@ -10,7 +10,6 @@ from repro.common.config import CoreKind
 from repro.experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
 from repro.experiments.context import (
     D_CACHE,
-    HYBRID,
     I_CACHE,
     SELECTIVE_SETS,
     SELECTIVE_WAYS,

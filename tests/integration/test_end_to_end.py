@@ -52,7 +52,9 @@ def test_all_three_organizations_run_end_to_end(environment):
         reductions[organization.name] = profile.energy_delay_reduction()
     # The hybrid's size spectrum is a superset of both, so it cannot do
     # meaningfully worse than either basic organization.
-    assert reductions["hybrid"] >= max(reductions["selective-ways"], reductions["selective-sets"]) - 1.0
+    assert reductions["hybrid"] >= (
+        max(reductions["selective-ways"], reductions["selective-sets"]) - 1.0
+    )
 
 
 def test_energy_accounting_is_internally_consistent(environment):
@@ -74,8 +76,12 @@ def test_resizing_both_caches_is_roughly_additive(environment):
     i_org = SelectiveSets(system.l1i)
     d_cfg = d_org.config_for_capacity(4 * 1024)
     i_cfg = i_org.config_for_capacity(8 * 1024)
-    d_only = simulator.run(trace, d_setup=L1Setup(d_org, StaticResizing(d_cfg)), warmup_instructions=1_000)
-    i_only = simulator.run(trace, i_setup=L1Setup(i_org, StaticResizing(i_cfg)), warmup_instructions=1_000)
+    d_only = simulator.run(
+        trace, d_setup=L1Setup(d_org, StaticResizing(d_cfg)), warmup_instructions=1_000
+    )
+    i_only = simulator.run(
+        trace, i_setup=L1Setup(i_org, StaticResizing(i_cfg)), warmup_instructions=1_000
+    )
     both = simulator.run(
         trace,
         d_setup=L1Setup(d_org, StaticResizing(d_cfg)),
@@ -92,6 +98,8 @@ def test_dynamic_strategy_runs_through_public_api(environment):
     strategy = DynamicResizing(
         miss_bound=25.0, size_bound_bytes=2 * 1024, sense_interval_accesses=512,
     )
-    result = simulator.run(trace, d_setup=L1Setup(organization, strategy), warmup_instructions=1_000)
+    result = simulator.run(
+        trace, d_setup=L1Setup(organization, strategy), warmup_instructions=1_000
+    )
     assert result.average_l1d_capacity <= result.full_l1d_capacity
     assert result.energy.total > 0

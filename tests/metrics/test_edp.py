@@ -15,7 +15,9 @@ def test_energy_delay_product():
 
 
 def test_relative_energy_delay_below_one_means_improvement():
-    relative = relative_energy_delay(energy=8.0, cycles=10.0, baseline_energy=10.0, baseline_cycles=10.0)
+    relative = relative_energy_delay(
+        energy=8.0, cycles=10.0, baseline_energy=10.0, baseline_cycles=10.0
+    )
     assert relative == pytest.approx(0.8)
 
 

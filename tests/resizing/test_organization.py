@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.common.config import CacheGeometry
 from repro.common.errors import ResizingError
 from repro.common.units import KIB
-from repro.resizing.organization import SizeConfig, make_config
+from repro.resizing.organization import make_config
 from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 

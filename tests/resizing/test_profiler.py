@@ -12,7 +12,9 @@ from repro.resizing.profiler import (
 )
 
 
-def _point(capacity_kib: int, energy: float, cycles: float, miss_ratio: float = 0.01) -> ProfilePoint:
+def _point(
+    capacity_kib: int, energy: float, cycles: float, miss_ratio: float = 0.01
+) -> ProfilePoint:
     accesses = 100_000
     return ProfilePoint(
         config=make_config(2, capacity_kib * KIB // (2 * 32), 32),

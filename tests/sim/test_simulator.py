@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import CoreConfig, CoreKind, SystemConfig
+from repro.common.config import CoreKind
 from repro.common.errors import SimulationError
 from repro.resizing.dynamic_strategy import DynamicResizing
 from repro.resizing.selective_sets import SelectiveSets
@@ -79,7 +79,9 @@ class TestResizableRuns:
         baseline = simulator.run(short_trace)
         resized = simulator.run(
             short_trace,
-            d_setup=L1Setup(organization, StaticResizing(organization.config_for_capacity(8 * 1024))),
+            d_setup=L1Setup(
+                organization, StaticResizing(organization.config_for_capacity(8 * 1024))
+            ),
         )
         assert resized.energy.l1d < baseline.energy.l1d
         assert resized.average_l1d_capacity == pytest.approx(8 * 1024)
@@ -92,7 +94,9 @@ class TestResizableRuns:
         baseline = simulator.run(short_trace)
         resized = simulator.run(
             short_trace,
-            i_setup=L1Setup(organization, StaticResizing(organization.config_for_capacity(8 * 1024))),
+            i_setup=L1Setup(
+                organization, StaticResizing(organization.config_for_capacity(8 * 1024))
+            ),
         )
         assert resized.energy.l1i < baseline.energy.l1i
         assert resized.l1d_accesses == baseline.l1d_accesses

@@ -73,7 +73,9 @@ class TestStaticProfile:
 
 
 class TestDynamicRunner:
-    def test_dynamic_run_produces_resizes_or_matches_static(self, sweep, simulator_module, trace_module):
+    def test_dynamic_run_produces_resizes_or_matches_static(
+        self, sweep, simulator_module, trace_module
+    ):
         organization, baseline, profile = sweep
         parameters = profile.dynamic_parameters(sense_interval_accesses=512)
         result = run_dynamic(
@@ -91,7 +93,9 @@ class TestDynamicRunner:
                 simulator_module, trace_module, organization, parameters, target="l3cache"
             )
 
-    def test_icache_target_resizes_the_icache(self, base_system_module, simulator_module, trace_module):
+    def test_icache_target_resizes_the_icache(
+        self, base_system_module, simulator_module, trace_module
+    ):
         organization = SelectiveSets(base_system_module.l1i)
         profile = profile_static(
             simulator_module, trace_module, organization, target=ICACHE, warmup_instructions=800
