@@ -7,7 +7,12 @@ and the i-cache and reports which one wins and why (the size each settles
 on tells the story — granularity vs associativity preservation vs minimum
 size).
 
-Run with:  python examples/compare_organizations.py [application] [associativity]
+All six profiling ladders (2 caches x 3 organizations) plus the baseline
+are *enqueued first* via the deferred-submission API and executed as one
+batch, so with ``jobs > 1`` every candidate configuration of every
+organization simulates concurrently instead of one ladder at a time.
+
+Run with:  python examples/compare_organizations.py [application] [associativity] [jobs]
 """
 
 from __future__ import annotations
@@ -20,51 +25,69 @@ from repro import (
     SelectiveSets,
     SelectiveWays,
     Simulator,
+    SweepRunner,
     SystemConfig,
-    WorkloadGenerator,
-    get_profile,
-    profile_static,
-    run_baseline,
+    TraceSpec,
+    submit_baseline,
+    submit_profile_static,
 )
 from repro.common.units import KIB
 from repro.sim.sweep import DCACHE, ICACHE
 
 
-def main(application: str = "ijpeg", associativity: int = 4, n_instructions: int = 60_000) -> None:
+def main(
+    application: str = "ijpeg",
+    associativity: int = 4,
+    n_instructions: int = 60_000,
+    jobs: int = 1,
+) -> None:
     geometry = CacheGeometry(32 * KIB, associativity)
     system = SystemConfig().with_l1(l1d=geometry, l1i=geometry)
     simulator = Simulator(system)
-    trace = WorkloadGenerator(get_profile(application)).generate(n_instructions)
+    trace = TraceSpec(application, n_instructions)
     warmup = n_instructions // 10
-    baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
-
-    print(f"{application} on a 32K {associativity}-way resizable L1 pair\n")
     organizations = [SelectiveWays(geometry), SelectiveSets(geometry), HybridSetsAndWays(geometry)]
 
-    for target, title in ((DCACHE, "D-cache"), (ICACHE, "I-cache")):
-        print(f"{title}:")
-        print(
-            f"{'organization':<16}{'offered sizes':>8}{'chosen':>14}"
-            f"{'size red.':>12}{'E*D red.':>11}"
-        )
-        best_name, best_reduction = None, float("-inf")
-        for organization in organizations:
-            sweep = profile_static(
-                simulator, trace, organization, target=target,
+    with SweepRunner(jobs=jobs) as runner:
+        # Phase 1: enqueue everything — nothing simulates yet.
+        baseline = submit_baseline(runner, simulator, trace, warmup_instructions=warmup)
+        profiles = {
+            (target, organization.name): submit_profile_static(
+                runner, simulator, trace, organization, target=target,
                 baseline=baseline, warmup_instructions=warmup,
             )
-            reduction = sweep.energy_delay_reduction()
-            if reduction > best_reduction:
-                best_name, best_reduction = organization.name, reduction
+            for target in (DCACHE, ICACHE)
+            for organization in organizations
+        }
+        # Phase 2: one drain executes the whole job set as a single batch.
+        runner.drain()
+
+        print(f"{application} on a 32K {associativity}-way resizable L1 pair")
+        print(f"({runner.simulate_count} simulations, {runner.jobs} worker(s), "
+              f"{runner.pool_batches} pool batch(es))\n")
+
+        for target, title in ((DCACHE, "D-cache"), (ICACHE, "I-cache")):
+            print(f"{title}:")
             print(
-                f"{organization.name:<16}{len(organization.distinct_sizes):>8}"
-                f"{sweep.best_config.label:>14}{sweep.size_reduction():>11.1f}%"
-                f"{reduction:>10.1f}%"
+                f"{'organization':<16}{'offered sizes':>8}{'chosen':>14}"
+                f"{'size red.':>12}{'E*D red.':>11}"
             )
-        print(f"  -> best organization for the {title.lower()}: {best_name}\n")
+            best_name, best_reduction = None, float("-inf")
+            for organization in organizations:
+                sweep = profiles[(target, organization.name)].result()
+                reduction = sweep.energy_delay_reduction()
+                if reduction > best_reduction:
+                    best_name, best_reduction = organization.name, reduction
+                print(
+                    f"{organization.name:<16}{len(organization.distinct_sizes):>8}"
+                    f"{sweep.best_config.label:>14}{sweep.size_reduction():>11.1f}%"
+                    f"{reduction:>10.1f}%"
+                )
+            print(f"  -> best organization for the {title.lower()}: {best_name}\n")
 
 
 if __name__ == "__main__":
     app = sys.argv[1] if len(sys.argv) > 1 else "ijpeg"
     assoc = int(sys.argv[2]) if len(sys.argv) > 2 else 4
-    main(app, assoc)
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    main(app, assoc, jobs=workers)

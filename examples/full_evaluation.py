@@ -2,9 +2,13 @@
 """Regenerate the paper's full evaluation section in one go.
 
 Runs every table and figure harness (Tables 1-2, Figures 4-9) over all
-twelve synthetic SPEC applications and prints the regenerated rows.  All
-simulations go through the parallel sweep engine, so worker processes and
-the on-disk job cache speed up both this run and any later re-run.
+twelve synthetic SPEC applications and prints the regenerated rows.  The
+CLI lays the whole evaluation out through the deferred-submission job
+graph first — every profiling ladder and baseline in phase 1, every
+dynamic and combined run (deferred on its profiles) in phase 2 — and the
+worker pool executes each phase as a single batch, so ``jobs > 1`` scales
+across the entire figure set; the on-disk job cache then makes any later
+re-run free.
 
 Run with:  python examples/full_evaluation.py [instructions] [jobs] [cli flags...]
 

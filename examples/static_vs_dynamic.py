@@ -7,7 +7,13 @@ based dynamic controller — on both the in-order/blocking and the
 out-of-order/non-blocking cores — and prints how much of the resizing
 opportunity each strategy captures.
 
-Run with:  python examples/static_vs_dynamic.py [application] [dcache|icache]
+The whole job graph is laid out up front through the deferred-submission
+API: both cores' baselines and profiling ladders are enqueued as concrete
+jobs, and each dynamic run — whose miss-bound derives from its profile —
+is enqueued as a *deferred* job on top.  A single drain then executes
+phase 1 (ladders) and phase 2 (dynamic runs) as one pool batch each.
+
+Run with:  python examples/static_vs_dynamic.py [application] [dcache|icache] [jobs]
 """
 
 from __future__ import annotations
@@ -19,60 +25,84 @@ from repro import (
     CoreKind,
     SelectiveSets,
     Simulator,
+    SweepRunner,
     SystemConfig,
-    WorkloadGenerator,
-    get_profile,
-    profile_static,
-    run_baseline,
-    run_dynamic,
+    TraceSpec,
+    submit_baseline,
+    submit_dynamic,
+    submit_profile_static,
 )
 from repro.sim.sweep import DCACHE
 
 
-def main(application: str = "gcc", target: str = DCACHE, n_instructions: int = 60_000) -> None:
-    trace = WorkloadGenerator(get_profile(application)).generate(n_instructions)
+def main(
+    application: str = "gcc",
+    target: str = DCACHE,
+    n_instructions: int = 60_000,
+    jobs: int = 1,
+) -> None:
+    trace = TraceSpec(application, n_instructions)
     warmup = n_instructions // 10
+    kinds = (CoreKind.IN_ORDER_BLOCKING, CoreKind.OUT_OF_ORDER_NONBLOCKING)
 
-    print(f"{application}: static vs dynamic resizing of the {target}\n")
-    for kind in (CoreKind.IN_ORDER_BLOCKING, CoreKind.OUT_OF_ORDER_NONBLOCKING):
-        system = SystemConfig(core=CoreConfig(kind=kind))
-        simulator = Simulator(system)
-        organization = SelectiveSets(system.l1d if target == DCACHE else system.l1i)
+    with SweepRunner(jobs=jobs) as runner:
+        # Phase 1+2 enqueue: baselines and ladders are concrete jobs, each
+        # dynamic run is deferred on its profile.  Nothing simulates yet.
+        plans = {}
+        for kind in kinds:
+            system = SystemConfig(core=CoreConfig(kind=kind))
+            simulator = Simulator(system)
+            organization = SelectiveSets(system.l1d if target == DCACHE else system.l1i)
+            baseline = submit_baseline(runner, simulator, trace, warmup_instructions=warmup)
+            profile = submit_profile_static(
+                runner, simulator, trace, organization, target=target,
+                baseline=baseline, warmup_instructions=warmup,
+            )
+            dynamic = submit_dynamic(
+                runner, simulator, trace, organization, profile, target=target,
+                warmup_instructions=warmup, sense_interval_accesses=1024,
+            )
+            plans[kind] = (baseline, profile, dynamic)
+        runner.drain()  # ladders in pool batch 1, dynamic runs in batch 2
 
-        baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
-        sweep = profile_static(
-            simulator, trace, organization, target=target,
-            baseline=baseline, warmup_instructions=warmup,
-        )
-        parameters = sweep.dynamic_parameters(sense_interval_accesses=1024)
-        dynamic = run_dynamic(
-            simulator, trace, organization, parameters, target=target,
-            warmup_instructions=warmup, initial_config=sweep.best_config,
-        )
+        print(f"{application}: static vs dynamic resizing of the {target} "
+              f"({runner.simulate_count} simulations, {runner.pool_batches} pool batch(es))\n")
+        for kind in kinds:
+            baseline_future, profile_future, dynamic_future = plans[kind]
+            baseline = baseline_future.result()
+            sweep = profile_future.result()
+            dynamic = dynamic_future.result()
+            # Re-derive the profiled parameters for display; the deferred
+            # dynamic job was built from these exact values.
+            parameters = sweep.dynamic_parameters(sense_interval_accesses=1024)
 
-        if target == DCACHE:
-            dynamic_size = dynamic.l1d_size_reduction()
-        else:
-            dynamic_size = dynamic.l1i_size_reduction()
+            if target == DCACHE:
+                dynamic_size = dynamic.l1d_size_reduction()
+            else:
+                dynamic_size = dynamic.l1i_size_reduction()
 
-        print(f"{kind.value}")
-        print(f"  baseline            : {baseline.cycles:10.0f} cycles, IPC {baseline.ipc:.2f}")
-        print(
-            f"  static  ({sweep.best_config.label:>10}): "
-            f"E*D reduction {sweep.energy_delay_reduction():6.1f}%, "
-            f"size reduction {sweep.size_reduction():5.1f}%, "
-            f"slowdown {sweep.best_result.slowdown_vs(baseline) * 100:4.1f}%"
-        )
-        print(
-            f"  dynamic (miss-bound {parameters.miss_bound:5.1f}): "
-            f"E*D reduction {dynamic.energy_delay_reduction(baseline):6.1f}%, "
-            f"size reduction {dynamic_size:5.1f}%, "
-            f"resizes {dynamic.l1d_resizes + dynamic.l1i_resizes}"
-        )
-        print()
+            print(f"{kind.value}")
+            print(
+                f"  baseline            : {baseline.cycles:10.0f} cycles, "
+                f"IPC {baseline.ipc:.2f}"
+            )
+            print(
+                f"  static  ({sweep.best_config.label:>10}): "
+                f"E*D reduction {sweep.energy_delay_reduction():6.1f}%, "
+                f"size reduction {sweep.size_reduction():5.1f}%, "
+                f"slowdown {sweep.best_result.slowdown_vs(baseline) * 100:4.1f}%"
+            )
+            print(
+                f"  dynamic (miss-bound {parameters.miss_bound:5.1f}): "
+                f"E*D reduction {dynamic.energy_delay_reduction(baseline):6.1f}%, "
+                f"size reduction {dynamic_size:5.1f}%, "
+                f"resizes {dynamic.l1d_resizes + dynamic.l1i_resizes}"
+            )
+            print()
 
 
 if __name__ == "__main__":
     app = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     which = sys.argv[2] if len(sys.argv) > 2 else DCACHE
-    main(app, which)
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    main(app, which, jobs=workers)

@@ -60,6 +60,7 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
@@ -71,7 +72,17 @@ from repro.sim.runner import (
     register_organization,
 )
 from repro.sim.simulator import L1Setup, Simulator
-from repro.sim.sweep import StaticProfile, profile_static, run_baseline, run_dynamic
+from repro.sim.sweep import (
+    StaticProfile,
+    StaticProfileFuture,
+    profile_static,
+    run_baseline,
+    run_dynamic,
+    submit_baseline,
+    submit_dynamic,
+    submit_profile_static,
+    submit_with_setups,
+)
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import (
     SPEC_APPLICATION_NAMES,
@@ -138,6 +149,13 @@ __all__ = [
     "SweepRunner",
     "JobCache",
     "register_organization",
+    # deferred-submission job graph
+    "SimFuture",
+    "StaticProfileFuture",
+    "submit_baseline",
+    "submit_with_setups",
+    "submit_profile_static",
+    "submit_dynamic",
     # workloads
     "WorkloadProfile",
     "WorkloadGenerator",

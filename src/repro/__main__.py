@@ -12,6 +12,16 @@ Examples::
     python -m repro run-figure figure4 --jobs 2 --instructions 2000 \
         --applications gcc --no-cache
 
+    # Gate pytest-benchmark results against the committed perf baseline
+    python -m repro bench-compare benchmark-results.json
+
+Experiments execute through the two-phase pipeline: every module first
+*enqueues* its whole job set on the shared sweep runner (profiling ladders
+and baselines as concrete jobs, dynamic/combined runs as deferred jobs
+depending on their profiles), then one drain executes the entire graph in
+dependency waves — each wave a single pool batch — so ``--jobs N`` scales
+across the whole evaluation.
+
 Because completed simulations are memoised in the job cache (``--cache-dir``,
 default ``.repro-cache``), a second invocation of any overlapping sweep only
 simulates what changed; a fully warm re-run performs zero new simulations.
@@ -26,6 +36,13 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.benchgate import (
+    DEFAULT_TOLERANCE,
+    compare_benchmarks,
+    load_baseline,
+    load_benchmark_means,
+    write_baseline,
+)
 from repro.common.errors import ReproError
 from repro.experiments import (
     ExperimentContext,
@@ -110,7 +127,58 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
 
     subparsers.add_parser("list", help="list the available experiments")
 
+    bench = subparsers.add_parser(
+        "bench-compare",
+        help="gate pytest-benchmark results against the committed perf baseline",
+    )
+    bench.add_argument(
+        "results", help="pytest-benchmark JSON output (--benchmark-json=...)"
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="committed baseline file (default: benchmarks/baseline.json)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"relative slowdown tolerated before failing "
+             f"(default: {DEFAULT_TOLERANCE:.2f} = ±{DEFAULT_TOLERANCE:.0%})",
+    )
+    bench.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from these results instead of gating",
+    )
+    bench.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw means without dividing out the suite-wide "
+             "hardware-speed factor (the median measured/baseline ratio)",
+    )
+    bench.add_argument(
+        "--max-scale", type=float, default=None,
+        help="widest hardware-speed factor normalization may absorb before "
+             "the gate fails outright (default: 4.0)",
+    )
+
     return parser.parse_args(argv)
+
+
+def bench_compare(args: argparse.Namespace) -> int:
+    """The ``bench-compare`` subcommand: gate results or refresh the baseline."""
+    try:
+        means = load_benchmark_means(args.results)
+        if args.update:
+            write_baseline(args.baseline, means)
+            print(f"baseline {args.baseline} updated with {len(means)} benchmark(s)")
+            return 0
+        extra = {} if args.max_scale is None else {"max_scale": args.max_scale}
+        comparison = compare_benchmarks(
+            means, load_baseline(args.baseline),
+            tolerance=args.tolerance, normalize=not args.absolute, **extra,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(comparison.format_report())
+    return 0 if comparison.ok else 1
 
 
 def experiment_names(args: argparse.Namespace) -> List[str]:
@@ -138,8 +206,39 @@ def build_context(args: argparse.Namespace) -> ExperimentContext:
     )
 
 
+def prepare_experiments(names: List[str], context: ExperimentContext, echo=print) -> None:
+    """Lay out the whole evaluation, then execute it as dependency waves.
+
+    Every named experiment enqueues its full job set on the context's
+    runner — profiling ladders and baselines as concrete jobs (phase 1),
+    dynamic and combined runs as deferred jobs depending on their profiles
+    (phase 2) — before a single simulation starts.  One drain then executes
+    phase 1 as one pool batch and phase 2 as another, so ``run-all --jobs
+    N`` parallelises across the *entire* figure set instead of one ladder
+    at a time.
+    """
+    started = time.time()
+    for name in names:
+        module = EXPERIMENTS[name]
+        prepare = getattr(module, "prepare", None)
+        if prepare is not None:
+            prepare(context)
+    runner = context.runner
+    echo(
+        f"two-phase pipeline: {runner.pending_count} profile/baseline job(s) in phase 1, "
+        f"{runner.deferred_count} dependent job(s) in phase 2 "
+        f"({runner.cache_hits} already served from cache)"
+    )
+    context.drain()
+    echo(
+        f"drained in {time.time() - started:.1f}s: {runner.simulate_count} simulated "
+        f"across {runner.pool_batches} pool batch(es) on {runner.jobs} worker(s)"
+    )
+
+
 def run_experiments(names: List[str], context: ExperimentContext, echo=print) -> Dict[str, object]:
     """Run the named experiments against ``context``; returns result objects."""
+    prepare_experiments(names, context, echo=echo)
     results: Dict[str, object] = {}
     for name in names:
         module = EXPERIMENTS[name]
@@ -163,6 +262,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    if args.command == "bench-compare":
+        return bench_compare(args)
 
     names = experiment_names(args)
     if args.output:
@@ -196,7 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"\n{len(names)} experiment(s) in {elapsed:.1f}s with {runner.jobs} worker(s): "
         f"{runner.simulate_count} simulated, {runner.cache_hits} served from cache "
-        f"(cache: {cache_note})"
+        f"(cache: {cache_note}), {runner.pool_batches} pool batch(es), "
+        f"{runner.inline_executions} inline"
     )
 
     if args.output:

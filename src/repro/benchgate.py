@@ -1,0 +1,286 @@
+"""Benchmark perf-regression gate (``python -m repro bench-compare``).
+
+CI runs the benchmark smoke suite with ``pytest-benchmark`` and feeds the
+resulting JSON through :func:`compare_benchmarks` against the committed
+baseline (``benchmarks/baseline.json``).  A benchmark whose mean wall time
+exceeds its baseline by more than the tolerance fails the build; faster
+runs and new benchmarks are reported but never fail.  The baseline is
+refreshed with ``bench-compare --update`` (typically after a deliberate
+perf-affecting change, committing the new JSON alongside it).
+
+Wall-clock means vary across runner hardware, so the gate is deliberately
+insensitive to machine speed: measured means are first *normalized* by the
+median measured/baseline ratio across the suite (a uniformly slower or
+faster host moves every benchmark by the same factor, which the median
+absorbs), and the remaining per-benchmark deviation is compared against a
+generous tolerance (±25 % by default).  The gate therefore catches
+step-function regressions in individual benchmarks (an accidentally
+quadratic path, a lost cache) rather than hardware drift or single-digit
+noise.  Normalization needs at least :data:`MIN_NORMALIZE_SAMPLES`
+above-floor benchmarks to estimate the hardware factor — below that (and
+with ``--absolute``) raw means are compared directly.
+
+The deliberate blind spot: a regression that slows *every* benchmark by
+the same factor is indistinguishable from slower hardware, so moderate
+uniform slowdowns pass the normalized gate.  Two backstops bound the
+damage: the scale itself is printed in every report (a suite-wide jump is
+visible in CI logs), and a scale outside ``[1/max_scale, max_scale]``
+(``--max-scale``, default 4x) fails the gate outright — no plausible
+runner-hardware delta explains an order-of-magnitude shift, so it is
+treated as either a global regression or a stale baseline needing an
+explicit ``--update``.  Suspected uniform regressions can always be
+checked with ``--absolute`` on known hardware.
+
+The baseline file is this module's own minimal format — *not* a raw
+pytest-benchmark report — so it diffs cleanly in review::
+
+    {
+      "version": 1,
+      "note": "...how to regenerate...",
+      "benchmarks": {"test_bench_figure4": 12.345, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.common.errors import ReproError
+
+#: Baseline file schema version.
+BASELINE_VERSION = 1
+
+#: Default relative tolerance before a slower mean counts as a regression.
+DEFAULT_TOLERANCE = 0.25
+
+#: Benchmarks faster than this (baseline and measured) are never gated:
+#: relative noise on sub-50ms timings dwarfs any real signal, and a memoised
+#: figure that resolves from the shared context in microseconds must not
+#: fail CI because the runner was busy for one scheduler tick.
+MIN_GATED_SECONDS = 0.05
+
+#: Minimum above-floor benchmarks required before the median ratio is
+#: trusted as a hardware-speed estimate.  With fewer samples the median is
+#: dominated by the very benchmarks being gated (one regressed benchmark
+#: out of one would normalize itself away), so raw means are compared.
+MIN_NORMALIZE_SAMPLES = 3
+
+#: Largest hardware-speed factor normalization will silently absorb; a
+#: median ratio outside [1/DEFAULT_MAX_SCALE, DEFAULT_MAX_SCALE] fails the
+#: gate (global regression, or a baseline from wildly different hardware
+#: that needs an explicit --update).
+DEFAULT_MAX_SCALE = 4.0
+
+
+class BenchGateError(ReproError):
+    """Unreadable or malformed benchmark/baseline input."""
+
+
+def load_benchmark_means(path: Union[str, Path]) -> Dict[str, float]:
+    """Extract {benchmark name: mean seconds} from a pytest-benchmark JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BenchGateError(f"cannot read benchmark results {path}: {exc}") from exc
+    try:
+        entries = payload["benchmarks"]
+        means = {entry["name"]: float(entry["stats"]["mean"]) for entry in entries}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BenchGateError(
+            f"{path} does not look like pytest-benchmark JSON output: {exc}"
+        ) from exc
+    if not means:
+        raise BenchGateError(f"{path} contains zero benchmarks; nothing to compare")
+    return means
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, float]:
+    """Read a committed baseline file into {benchmark name: mean seconds}."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BenchGateError(f"cannot read baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise BenchGateError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}; regenerate it with bench-compare --update"
+        )
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise BenchGateError(f"baseline {path} has no 'benchmarks' mapping")
+    try:
+        return {str(name): float(mean) for name, mean in benchmarks.items()}
+    except (TypeError, ValueError) as exc:
+        raise BenchGateError(f"baseline {path} has a non-numeric mean: {exc}") from exc
+
+
+def write_baseline(path: Union[str, Path], means: Dict[str, float]) -> None:
+    """Write ``means`` as a fresh baseline file (sorted, review-friendly)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Benchmark wall-time baseline for the CI perf gate.  Regenerate with: "
+            "PYTHONPATH=src python -m pytest benchmarks/ -q "
+            "--benchmark-json=results.json && "
+            "PYTHONPATH=src python -m repro bench-compare results.json --update "
+            "(run with the same REPRO_BENCH_INSTRUCTIONS CI uses)."
+        ),
+        "benchmarks": {name: round(mean, 6) for name, mean in sorted(means.items())},
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        raise BenchGateError(f"cannot write baseline {path}: {exc}") from exc
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of gating one results file against one baseline."""
+
+    tolerance: float
+    #: Hardware-speed factor divided out of every measured mean before
+    #: gating (1.0 when normalization was disabled or under-sampled).
+    scale: float = 1.0
+    #: Set when the scale itself fell outside the trusted band — the gate
+    #: fails regardless of per-benchmark classifications.
+    scale_out_of_bounds: bool = False
+    #: name -> (baseline mean, measured mean) for means above tolerance.
+    regressions: Dict[str, tuple] = field(default_factory=dict)
+    #: name -> (baseline mean, measured mean) for means below -tolerance.
+    improvements: Dict[str, tuple] = field(default_factory=dict)
+    #: name -> (baseline mean, measured mean) for means within tolerance.
+    stable: Dict[str, tuple] = field(default_factory=dict)
+    #: benchmarks present in the results but absent from the baseline.
+    new: List[str] = field(default_factory=list)
+    #: benchmarks present in the baseline but absent from the results.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and nothing silently disappeared.
+
+        A benchmark missing from the results fails the gate too: deleting
+        (or failing to collect) the slow benchmark must not read as a perf
+        win.  So does a hardware scale outside the trusted band — a
+        suite-wide order-of-magnitude shift is a global regression or a
+        stale baseline, never normal runner drift.
+        """
+        return not self.regressions and not self.missing and not self.scale_out_of_bounds
+
+    def format_report(self) -> str:
+        """Human-readable gate report, worst news first."""
+        lines = [
+            f"benchmark gate: tolerance ±{self.tolerance * 100:.0f}%, "
+            f"hardware scale {self.scale:.3f}x "
+            f"({len(self.stable)} stable, {len(self.improvements)} faster, "
+            f"{len(self.regressions)} regressed, {len(self.new)} new, "
+            f"{len(self.missing)} missing)"
+        ]
+
+        def _rows(mapping: Dict[str, tuple], verdict: str) -> None:
+            # max() guards the ratio against a baseline mean that rounded
+            # to exactly zero (sub-microsecond benchmark).
+            for name, (base, measured) in sorted(
+                mapping.items(),
+                key=lambda item: item[1][1] / max(item[1][0], 1e-9),
+                reverse=True,
+            ):
+                delta = (measured - base) / max(base, 1e-9) * 100.0
+                lines.append(
+                    f"  {verdict:<10} {name}: {base:.3f}s -> {measured:.3f}s ({delta:+.1f}%)"
+                )
+
+        if self.scale_out_of_bounds:
+            lines.append(
+                f"  SCALE      suite-wide factor {self.scale:.2f}x is outside the trusted "
+                f"band — global regression, or a stale baseline (refresh with --update)"
+            )
+        _rows(self.regressions, "REGRESSED")
+        for name in self.missing:
+            lines.append(f"  MISSING    {name}: present in baseline, absent from results")
+        _rows(self.improvements, "faster")
+        _rows(self.stable, "ok")
+        for name in sorted(self.new):
+            lines.append(f"  new        {name}: not in baseline (add via --update)")
+        lines.append("gate PASSED" if self.ok else "gate FAILED")
+        return "\n".join(lines)
+
+
+def _hardware_scale(results: Dict[str, float], baseline: Dict[str, float]) -> float:
+    """Median measured/baseline ratio over the above-floor benchmarks.
+
+    A different host moves every benchmark by roughly the same factor; the
+    median estimates that factor robustly (a single regressed benchmark
+    barely shifts it in a suite of several).  Returns 1.0 when fewer than
+    :data:`MIN_NORMALIZE_SAMPLES` benchmarks qualify — with that few, the
+    gated benchmarks would dominate their own normalizer.
+    """
+    ratios = sorted(
+        results[name] / max(base, 1e-9)
+        for name, base in baseline.items()
+        if name in results
+        and base >= MIN_GATED_SECONDS
+        and results[name] >= MIN_GATED_SECONDS
+    )
+    if len(ratios) < MIN_NORMALIZE_SAMPLES:
+        return 1.0
+    middle = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[middle]
+    return (ratios[middle - 1] + ratios[middle]) / 2.0
+
+
+def compare_benchmarks(
+    results: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    normalize: bool = True,
+    max_scale: float = DEFAULT_MAX_SCALE,
+) -> BenchComparison:
+    """Classify every benchmark mean against its baseline.
+
+    With ``normalize`` (the default) every measured mean is first divided
+    by the suite-wide hardware factor (see :func:`_hardware_scale`), so a
+    uniformly slower or faster host gates clean and only *relative* shape
+    changes fail; a factor outside ``[1/max_scale, max_scale]`` is never
+    absorbed and fails the gate itself.  ``tolerance`` is relative: a
+    (normalized) mean above ``baseline * (1 + tolerance)`` is a
+    regression, below ``baseline * (1 - tolerance)`` an improvement, and
+    anything between is stable.  The reported per-benchmark means are the
+    normalized ones, so the printed deltas match the gate's decisions.
+    """
+    if tolerance < 0:
+        raise BenchGateError(f"tolerance must be non-negative, got {tolerance}")
+    if max_scale < 1.0:
+        raise BenchGateError(f"max scale must be at least 1.0, got {max_scale}")
+    scale = _hardware_scale(results, baseline) if normalize else 1.0
+    comparison = BenchComparison(tolerance=tolerance, scale=scale)
+    if not (1.0 / max_scale <= scale <= max_scale):
+        # Do not normalize by a factor we refuse to trust: gate the raw
+        # means so the report shows the real deltas behind the failure.
+        comparison.scale_out_of_bounds = True
+        scale = 1.0
+    for name, base in baseline.items():
+        raw = results.get(name)
+        if raw is None:
+            comparison.missing.append(name)
+            continue
+        measured = raw / scale
+        if base < MIN_GATED_SECONDS and measured < MIN_GATED_SECONDS:
+            comparison.stable[name] = (base, measured)
+        elif measured > base * (1.0 + tolerance):
+            comparison.regressions[name] = (base, measured)
+        elif measured < base * (1.0 - tolerance):
+            comparison.improvements[name] = (base, measured)
+        else:
+            comparison.stable[name] = (base, measured)
+    comparison.missing.sort()
+    comparison.new = sorted(set(results) - set(baseline))
+    return comparison

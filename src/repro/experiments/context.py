@@ -7,6 +7,16 @@ keyed by the parameters that actually influence them.  Figures 4, 5 and 6
 share profiling sweeps, and Figure 9 reuses Figure 7/8's static choices, so
 running the whole evaluation in one process costs far less than the sum of
 its parts.
+
+The memoised units are *futures*, not results: ``baseline_future`` /
+``profile_future`` / ``dynamic_future`` / ``joint_static_future`` enqueue
+jobs on the context's :class:`repro.sim.runner.SweepRunner` without
+executing anything, so an experiment module can lay out its whole figure —
+and ``run-all`` the whole evaluation — before the first simulation starts.
+The eager accessors (``baseline``, ``static_profile``, ``dynamic_run``,
+``joint_static_run``) resolve the same futures, draining the runner on
+first use, so call sites keep their historical shape and both paths
+produce byte-identical numbers.
 """
 
 from __future__ import annotations
@@ -19,16 +29,26 @@ from repro.common.units import KIB
 from repro.cpu.timing import CoreTimingParameters
 from repro.energy.technology import TechnologyParameters
 from repro.resizing.organization import ResizingOrganization
+from repro.sim.future import SimFuture
 from repro.sim.results import SimulationResult
-from repro.sim.runner import SweepRunner, TraceSpec, organization_class, resolve_trace
+from repro.sim.runner import (
+    L1SetupSpec,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    organization_class,
+    resolve_trace,
+)
 from repro.sim.simulator import Simulator
 from repro.sim.sweep import (
     DCACHE,
     ICACHE,
     StaticProfile,
-    profile_static,
-    run_baseline,
-    run_dynamic,
+    StaticProfileFuture,
+    make_job,
+    submit_baseline,
+    submit_dynamic,
+    submit_profile_static,
 )
 from repro.workloads.profiles import SPEC_APPLICATION_NAMES
 from repro.workloads.trace import Trace
@@ -86,9 +106,12 @@ class ExperimentContext:
         self._systems: Dict[Tuple[int, CoreKind], SystemConfig] = {}
         self._simulators: Dict[Tuple[int, CoreKind], Simulator] = {}
         self._organizations: Dict[Tuple[str, int], ResizingOrganization] = {}
-        self._baselines: Dict[Tuple[str, int, CoreKind], SimulationResult] = {}
-        self._profiles: Dict[Tuple[str, str, str, int, CoreKind], StaticProfile] = {}
-        self._dynamic_runs: Dict[Tuple[str, str, str, int, CoreKind], SimulationResult] = {}
+        # Memoised *futures*: enqueued once, shared by every figure that
+        # names the same (application, organization, target, assoc, core).
+        self._baselines: Dict[Tuple[str, int, CoreKind], SimFuture] = {}
+        self._profiles: Dict[Tuple[str, str, str, int, CoreKind], StaticProfileFuture] = {}
+        self._dynamic_runs: Dict[Tuple[str, str, str, int, CoreKind], SimFuture] = {}
+        self._joint_runs: Dict[Tuple[str, str, int], SimFuture] = {}
 
     # ----------------------------------------------------------------- basics
     def trace(self, application: str) -> Trace:
@@ -156,6 +179,147 @@ class ExperimentContext:
             self._organizations[key] = cached
         return cached
 
+    # -------------------------------------------------- deferred submissions
+    def baseline_future(
+        self,
+        application: str,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> SimFuture:
+        """Enqueue (once) the non-resizable baseline run; nothing executes yet."""
+        key = (application, associativity, core_kind)
+        cached = self._baselines.get(key)
+        if cached is None:
+            cached = submit_baseline(
+                self.runner,
+                self.simulator(associativity, core_kind),
+                self.trace_spec(application),
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+            )
+            self._baselines[key] = cached
+        return cached
+
+    def profile_future(
+        self,
+        application: str,
+        organization_name: str,
+        target: str = DCACHE,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> StaticProfileFuture:
+        """Enqueue (once) a whole profiling ladder; nothing executes yet."""
+        key = (application, organization_name, target, associativity, core_kind)
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = submit_profile_static(
+                self.runner,
+                self.simulator(associativity, core_kind),
+                self.trace_spec(application),
+                self.organization(organization_name, associativity),
+                target=target,
+                baseline=self.baseline_future(application, associativity, core_kind),
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+                max_slowdown=self.max_slowdown,
+            )
+            self._profiles[key] = cached
+        return cached
+
+    def dynamic_future(
+        self,
+        application: str,
+        organization_name: str,
+        target: str = DCACHE,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> SimFuture:
+        """Enqueue (once) the dynamic run derived from the matching profile.
+
+        The job is *deferred*: its miss-bound/size-bound parameters and
+        initial configuration come from the profiling ladder's results, so
+        the runner builds it only after the profile's wave completes —
+        profile and dynamic runs for every application still fit in one
+        drain of two pool batches.
+        """
+        key = (application, organization_name, target, associativity, core_kind)
+        cached = self._dynamic_runs.get(key)
+        if cached is None:
+            cached = submit_dynamic(
+                self.runner,
+                self.simulator(associativity, core_kind),
+                self.trace_spec(application),
+                self.organization(organization_name, associativity),
+                self.profile_future(
+                    application, organization_name, target, associativity, core_kind
+                ),
+                target=target,
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+                sense_interval_accesses=self.sense_interval_accesses,
+                miss_bound_factor=self.miss_bound_factor,
+            )
+            self._dynamic_runs[key] = cached
+        return cached
+
+    def joint_static_future(
+        self,
+        application: str,
+        organization_name: str,
+        associativity: int = 2,
+    ) -> SimFuture:
+        """Enqueue (once) the Figure-9 joint run: d- and i-cache resized
+        together, each statically fixed at its individually profiled best
+        size.  Deferred on both profiles, since the best sizes are not known
+        until their ladders resolve."""
+        key = (application, organization_name, associativity)
+        cached = self._joint_runs.get(key)
+        if cached is None:
+            d_profile = self.profile_future(
+                application, organization_name, DCACHE, associativity
+            )
+            i_profile = self.profile_future(
+                application, organization_name, ICACHE, associativity
+            )
+            organization = self.organization(organization_name, associativity)
+            simulator = self.simulator(associativity)
+            trace = self.trace_spec(application)
+
+            def builder():
+                d_spec = L1SetupSpec(
+                    organization=organization.name,
+                    geometry=organization.geometry,
+                    strategy=StrategySpec.static(d_profile.result().best_config),
+                )
+                i_spec = L1SetupSpec(
+                    organization=organization.name,
+                    geometry=organization.geometry,
+                    strategy=StrategySpec.static(i_profile.result().best_config),
+                )
+                return make_job(
+                    simulator,
+                    trace,
+                    d_setup=d_spec,
+                    i_setup=i_spec,
+                    interval_instructions=self.interval_instructions,
+                    warmup_instructions=self.warmup_instructions,
+                )
+
+            cached = self.runner.submit_deferred(
+                builder,
+                d_profile.dependencies + i_profile.dependencies,
+                label=f"joint:{application}",
+            )
+            self._joint_runs[key] = cached
+        return cached
+
+    def drain(self) -> None:
+        """Execute every enqueued job now (dependency waves, one pool batch
+        each).  Purely an optimisation point — eager accessors drain on
+        demand — that lets a harness separate 'lay out the evaluation' from
+        'run it'."""
+        self.runner.drain()
+
     # ------------------------------------------------------------------- runs
     def baseline(
         self,
@@ -164,18 +328,7 @@ class ExperimentContext:
         core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
     ) -> SimulationResult:
         """The non-resizable baseline run for (application, associativity, core)."""
-        key = (application, associativity, core_kind)
-        cached = self._baselines.get(key)
-        if cached is None:
-            cached = run_baseline(
-                self.simulator(associativity, core_kind),
-                self.trace_spec(application),
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
-                runner=self.runner,
-            )
-            self._baselines[key] = cached
-        return cached
+        return self.baseline_future(application, associativity, core_kind).result()
 
     def static_profile(
         self,
@@ -186,22 +339,9 @@ class ExperimentContext:
         core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
     ) -> StaticProfile:
         """Profiling sweep of one organization on one cache of one application."""
-        key = (application, organization_name, target, associativity, core_kind)
-        cached = self._profiles.get(key)
-        if cached is None:
-            cached = profile_static(
-                self.simulator(associativity, core_kind),
-                self.trace_spec(application),
-                self.organization(organization_name, associativity),
-                target=target,
-                baseline=self.baseline(application, associativity, core_kind),
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
-                max_slowdown=self.max_slowdown,
-                runner=self.runner,
-            )
-            self._profiles[key] = cached
-        return cached
+        return self.profile_future(
+            application, organization_name, target, associativity, core_kind
+        ).result()
 
     def dynamic_run(
         self,
@@ -212,29 +352,20 @@ class ExperimentContext:
         core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
     ) -> SimulationResult:
         """Miss-ratio-based dynamic resizing run with profiled parameters."""
-        key = (application, organization_name, target, associativity, core_kind)
-        cached = self._dynamic_runs.get(key)
-        if cached is None:
-            profile = self.static_profile(
-                application, organization_name, target, associativity, core_kind
-            )
-            parameters = profile.dynamic_parameters(
-                sense_interval_accesses=self.sense_interval_accesses,
-                miss_bound_factor=self.miss_bound_factor,
-            )
-            cached = run_dynamic(
-                self.simulator(associativity, core_kind),
-                self.trace_spec(application),
-                self.organization(organization_name, associativity),
-                parameters,
-                target=target,
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
-                initial_config=profile.best_config,
-                runner=self.runner,
-            )
-            self._dynamic_runs[key] = cached
-        return cached
+        return self.dynamic_future(
+            application, organization_name, target, associativity, core_kind
+        ).result()
+
+    def joint_static_run(
+        self,
+        application: str,
+        organization_name: str,
+        associativity: int = 2,
+    ) -> SimulationResult:
+        """The Figure-9 joint d+i static run (both caches at profiled best)."""
+        return self.joint_static_future(
+            application, organization_name, associativity
+        ).result()
 
     # ------------------------------------------------------------- convenience
     def mean_over_applications(self, values: List[float]) -> float:

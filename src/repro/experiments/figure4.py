@@ -84,9 +84,27 @@ class Figure4Result:
         return "\n".join(lines)
 
 
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue every simulation Figure 4 needs without executing any.
+
+    Phase 1 of the two-phase pipeline: all profiling ladders (and their
+    baselines) for every (associativity, cache, organization, application)
+    combination land on the context's runner as pending jobs, so one drain
+    executes the whole figure as a single pool batch.
+    """
+    for associativity in ASSOCIATIVITIES:
+        for target in (D_CACHE, I_CACHE):
+            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
+                for application in context.applications:
+                    context.profile_future(
+                        application, organization, target=target, associativity=associativity
+                    )
+
+
 def run(context: ExperimentContext | None = None) -> Figure4Result:
     """Regenerate Figure 4 (both panels) with the context's parameters."""
     context = context if context is not None else ExperimentContext()
+    prepare(context)  # batch everything; the first result() drains the pool
     result = Figure4Result()
     for associativity in ASSOCIATIVITIES:
         for target in (D_CACHE, I_CACHE):

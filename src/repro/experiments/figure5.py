@@ -106,9 +106,20 @@ class Figure5Result:
         return "\n".join(lines)
 
 
+def prepare(context: ExperimentContext, associativity: int = 4) -> None:
+    """Enqueue every profiling ladder Figure 5 needs (phase 1, no execution)."""
+    for target in (D_CACHE, I_CACHE):
+        for application in context.applications:
+            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
+                context.profile_future(
+                    application, organization, target=target, associativity=associativity
+                )
+
+
 def run(context: ExperimentContext | None = None, associativity: int = 4) -> Figure5Result:
     """Regenerate Figure 5 (default: the paper's 4-way configuration)."""
     context = context if context is not None else ExperimentContext()
+    prepare(context, associativity)  # batch everything before resolving
     result = Figure5Result(associativity=associativity)
     for target in (D_CACHE, I_CACHE):
         panel = result.panel(target)

@@ -81,9 +81,25 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue every profiling ladder Figure 6 needs (phase 1, no execution).
+
+    Extends Figure 4's job set with the hybrid organization; the shared
+    context memo means overlapping ladders are enqueued exactly once.
+    """
+    for associativity in ASSOCIATIVITIES:
+        for target in (D_CACHE, I_CACHE):
+            for organization in ORGANIZATIONS:
+                for application in context.applications:
+                    context.profile_future(
+                        application, organization, target=target, associativity=associativity
+                    )
+
+
 def run(context: ExperimentContext | None = None) -> Figure6Result:
     """Regenerate Figure 6 (both panels) with the context's parameters."""
     context = context if context is not None else ExperimentContext()
+    prepare(context)  # batch everything; the first result() drains the pool
     result = Figure6Result()
     for associativity in ASSOCIATIVITIES:
         for target in (D_CACHE, I_CACHE):

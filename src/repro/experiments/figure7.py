@@ -115,6 +115,40 @@ class StrategyFigureResult:
         return "\n".join(lines)
 
 
+def _prepare_strategies(
+    context: ExperimentContext,
+    target: str,
+    associativity: int,
+    organization: str,
+) -> None:
+    """Enqueue everything Figures 7/8 need, for both core types.
+
+    Profiling ladders and baselines are concrete jobs (phase 1); the
+    dynamic runs are deferred on their profiles (phase 2), since their
+    miss-bound parameters derive from the ladder's results.  One drain
+    executes both waves as two pool batches.
+    """
+    for core_kind in CORE_KINDS:
+        for application in context.applications:
+            context.profile_future(
+                application, organization, target=target,
+                associativity=associativity, core_kind=core_kind,
+            )
+            context.dynamic_future(
+                application, organization, target=target,
+                associativity=associativity, core_kind=core_kind,
+            )
+
+
+def prepare(
+    context: ExperimentContext,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> None:
+    """Enqueue every simulation Figure 7 needs without executing any."""
+    _prepare_strategies(context, D_CACHE, associativity, organization)
+
+
 def _compare_strategies(
     context: ExperimentContext,
     target: str,
@@ -122,6 +156,7 @@ def _compare_strategies(
     organization: str,
 ) -> StrategyFigureResult:
     """Shared implementation for Figures 7 and 8."""
+    _prepare_strategies(context, target, associativity, organization)
     result = StrategyFigureResult(target=target, organization=organization)
     for core_kind in CORE_KINDS:
         rows: List[StrategyComparison] = []

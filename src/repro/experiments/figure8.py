@@ -11,9 +11,23 @@ aggressive and nearly matches it.
 from __future__ import annotations
 
 from repro.experiments.context import I_CACHE, SELECTIVE_SETS, ExperimentContext
-from repro.experiments.figure7 import StrategyComparison, StrategyFigureResult, _compare_strategies
+from repro.experiments.figure7 import (
+    StrategyComparison,
+    StrategyFigureResult,
+    _compare_strategies,
+    _prepare_strategies,
+)
 
-__all__ = ["StrategyComparison", "StrategyFigureResult", "run"]
+__all__ = ["StrategyComparison", "StrategyFigureResult", "prepare", "run"]
+
+
+def prepare(
+    context: ExperimentContext,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> None:
+    """Enqueue every simulation Figure 8 needs without executing any."""
+    _prepare_strategies(context, I_CACHE, associativity, organization)
 
 
 def run(

@@ -17,9 +17,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.experiments.context import D_CACHE, I_CACHE, SELECTIVE_SETS, ExperimentContext
-from repro.resizing.static_strategy import StaticResizing
-from repro.sim.simulator import L1Setup
-from repro.sim.sweep import run_with_setups
 
 
 @dataclass
@@ -118,6 +115,21 @@ class Figure9Result:
         return "\n".join(lines)
 
 
+def prepare(
+    context: ExperimentContext,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> None:
+    """Enqueue every simulation Figure 9 needs without executing any.
+
+    The d- and i-cache profiling ladders are concrete jobs (phase 1); each
+    application's combined d+i run is deferred on both of its profiles
+    (phase 2), since it fixes each cache at the profiled best size.
+    """
+    for application in context.applications:
+        context.joint_static_future(application, organization, associativity)
+
+
 def run(
     context: Optional[ExperimentContext] = None,
     associativity: int = 2,
@@ -125,8 +137,8 @@ def run(
 ) -> Figure9Result:
     """Regenerate Figure 9 (static selective-sets on the base system by default)."""
     context = context if context is not None else ExperimentContext()
+    prepare(context, associativity, organization)  # batch before resolving
     result = Figure9Result(organization=organization, associativity=associativity)
-    org = context.organization(organization, associativity)
     for application in context.applications:
         baseline = context.baseline(application, associativity)
         d_profile = context.static_profile(
@@ -138,15 +150,7 @@ def run(
 
         # Resize both caches simultaneously, each at its individually
         # profiled best static size (how a deployment would combine them).
-        both = run_with_setups(
-            context.simulator(associativity),
-            context.trace_spec(application),
-            d_setup=L1Setup(org, StaticResizing(d_profile.best_config)),
-            i_setup=L1Setup(org, StaticResizing(i_profile.best_config)),
-            interval_instructions=context.interval_instructions,
-            warmup_instructions=context.warmup_instructions,
-            runner=context.runner,
-        )
+        both = context.joint_static_run(application, organization, associativity)
 
         # Size reductions follow the figure's normalisation: each cache's
         # enabled size over the *sum* of the two base capacities.

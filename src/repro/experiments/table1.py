@@ -61,6 +61,11 @@ class Table1Result:
         return "\n".join(lines)
 
 
+def prepare(context=None) -> None:
+    """Table 1 is analytic — nothing to enqueue.  Present so the two-phase
+    harness can treat every experiment module uniformly."""
+
+
 def run(
     capacity_bytes: int = 32 * KIB,
     associativity: int = 4,

@@ -67,9 +67,16 @@ class Table2Result:
         return "\n".join(lines)
 
 
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue the baseline run of every application (phase 1, no execution)."""
+    for application in context.applications:
+        context.baseline_future(application, associativity=2)
+
+
 def run(context: ExperimentContext | None = None) -> Table2Result:
     """Describe the base configuration and measure its energy breakdown."""
     context = context if context is not None else ExperimentContext()
+    prepare(context)  # batch all baselines before resolving any
     system = context.system(associativity=2)
     fractions: Dict[str, Dict[str, float]] = {}
     for application in context.applications:

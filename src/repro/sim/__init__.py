@@ -1,5 +1,6 @@
 """Simulation driver: ties caches, cores, energy models and workloads together."""
 
+from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
@@ -16,11 +17,16 @@ from repro.sim.runner import (
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.sweep import (
     StaticProfile,
+    StaticProfileFuture,
     make_job,
     profile_static,
     run_baseline,
     run_dynamic,
     run_with_setups,
+    submit_baseline,
+    submit_dynamic,
+    submit_profile_static,
+    submit_with_setups,
 )
 
 __all__ = [
@@ -44,4 +50,11 @@ __all__ = [
     "job_fingerprint",
     "register_organization",
     "resolve_trace",
+    # deferred-submission job graph
+    "SimFuture",
+    "StaticProfileFuture",
+    "submit_baseline",
+    "submit_with_setups",
+    "submit_profile_static",
+    "submit_dynamic",
 ]

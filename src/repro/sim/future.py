@@ -1,0 +1,125 @@
+"""Futures for the deferred-submission job graph.
+
+:meth:`repro.sim.runner.SweepRunner.submit` returns a :class:`SimFuture`
+instead of executing the job on the spot.  Submissions accumulate in the
+runner until something forces resolution — :meth:`SimFuture.result`,
+:meth:`SweepRunner.gather` or an explicit :meth:`SweepRunner.drain` — at
+which point *everything* pending executes as a small number of pool batches
+(one per dependency wave) rather than one pool round-trip per job.  That is
+what lets an entire evaluation (every baseline, every profiling ladder,
+every dynamic and combined run, across all applications) flow through the
+worker pool as two batches instead of hundreds of single-job submissions.
+
+A future resolves in one of three ways:
+
+* **from the cache** at submit time (the job's fingerprint hit the on-disk
+  :class:`repro.sim.jobcache.JobCache`, or an identical job was already
+  submitted to this runner — duplicate submissions share one future);
+* **from a batch** the runner executed;
+* **as a failure**, when the job raised in a worker (the worker traceback
+  is preserved) or a dependency it was deferred on failed.
+
+Deferred jobs (:meth:`SweepRunner.submit_deferred`) do not even exist as
+:class:`repro.sim.runner.SimJob` specs yet: they carry a builder callable
+plus the futures it depends on, and the runner invokes the builder only
+once every dependency has resolved — this is how a dynamic-resizing run,
+whose miss-bound/size-bound parameters are *derived from* the profiling
+ladder's results, can be enqueued in the same breath as the ladder itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.sim.results import SimulationResult
+    from repro.sim.runner import SweepRunner
+
+#: Future lifecycle states.
+PENDING = "pending"
+RESOLVED = "resolved"
+FAILED = "failed"
+
+
+class SimFuture:
+    """Handle to a simulation that may not have executed yet.
+
+    Futures are created by the runner; user code only reads them.  Calling
+    :meth:`result` on a pending future drains the owning runner — every job
+    submitted so far (including jobs this one does not depend on) executes
+    first, so interleaving ``submit`` and ``result`` calls degrades to the
+    old one-batch-per-call behaviour while batching everything remains the
+    fast path.
+    """
+
+    __slots__ = ("_runner", "_state", "_value", "_error", "_worker_traceback", "label")
+
+    def __init__(self, runner: "SweepRunner", label: str = "") -> None:
+        self._runner = runner
+        self._state = PENDING
+        self._value: Optional["SimulationResult"] = None
+        self._error: Optional[BaseException] = None
+        self._worker_traceback: Optional[str] = None
+        self.label = label
+
+    # ------------------------------------------------------------------ state
+    def done(self) -> bool:
+        """True once the future has resolved or failed (never blocks)."""
+        return self._state != PENDING
+
+    def failed(self) -> bool:
+        """True when the job (or a dependency it was deferred on) failed."""
+        return self._state == FAILED
+
+    def result(self) -> "SimulationResult":
+        """The simulation result, draining the owning runner if needed."""
+        if self._state == PENDING:
+            self._runner.drain()
+        if self._state == FAILED:
+            assert self._error is not None
+            if self._worker_traceback:
+                raise self._error from RuntimeError(
+                    f"job failed in a sweep worker:\n{self._worker_traceback}"
+                )
+            raise self._error
+        if self._state == PENDING:  # drain() returned without touching us
+            raise SimulationError(
+                f"future {self.label or id(self)} was not resolved by drain(); "
+                f"it belongs to a different runner or its runner was discarded"
+            )
+        return self._value  # type: ignore[return-value]
+
+    def exception(self) -> Optional[BaseException]:
+        """The job's exception (draining first), or None if it succeeded.
+
+        Raises (same as :meth:`result`) when the drain cannot resolve this
+        future at all — a still-pending future must not read as success.
+        """
+        if self._state == PENDING:
+            self._runner.drain()
+        if self._state == PENDING:
+            raise SimulationError(
+                f"future {self.label or id(self)} was not resolved by drain(); "
+                f"it belongs to a different runner or its runner was discarded"
+            )
+        return self._error
+
+    # ------------------------------------------- resolution (runner-internal)
+    def _resolve(self, value: "SimulationResult") -> None:
+        if self._state != PENDING:
+            raise SimulationError("future resolved twice")
+        self._state = RESOLVED
+        self._value = value
+
+    def _fail(self, error: BaseException, worker_traceback: Optional[str] = None) -> None:
+        if self._state != PENDING:
+            raise SimulationError("future resolved twice")
+        self._state = FAILED
+        self._error = error
+        self._worker_traceback = worker_traceback
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return f"SimFuture({self._state}{label})"

@@ -10,6 +10,15 @@ parallel and serial sweeps produce identical results), and memoises
 completed jobs in an on-disk :class:`repro.sim.jobcache.JobCache` so that
 re-running a sweep only simulates what changed.
 
+Jobs can also be *deferred*: :meth:`SweepRunner.submit` enqueues a job and
+returns a :class:`repro.sim.future.SimFuture` immediately, and
+:meth:`SweepRunner.submit_deferred` enqueues a job that cannot even be
+built yet because its parameters derive from other jobs' results (a
+dynamic-resizing run derives its miss-bound from the profiling ladder).
+:meth:`SweepRunner.drain` then executes the whole accumulated graph in
+dependency waves, each wave one pool batch, which is how a full evaluation
+reaches the pool as two batches instead of hundreds of single-job calls.
+
 Design notes
 ------------
 
@@ -44,7 +53,7 @@ import traceback
 import weakref
 from dataclasses import dataclass, field, fields, is_dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.common.config import CacheGeometry, SystemConfig
 from repro.common.errors import SimulationError
@@ -57,6 +66,7 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import L1Setup, Simulator
@@ -553,6 +563,28 @@ def _execute_indexed(indexed_job: "Tuple[int, SimJob]"):
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class _PendingEntry:
+    """A concrete job awaiting execution, plus every future tied to it.
+
+    Duplicate submissions (same fingerprint) share one entry; all attached
+    futures resolve together when the entry's job completes.
+    """
+
+    job: SimJob
+    fingerprint: Optional[str]
+    futures: List[SimFuture]
+
+
+@dataclass
+class _DeferredEntry:
+    """A job that can only be built once its dependencies have resolved."""
+
+    builder: Callable[[], SimJob]
+    deps: Tuple[SimFuture, ...]
+    future: SimFuture
+
+
 class SweepRunner:
     """Executes batches of :class:`SimJob` with parallelism and caching.
 
@@ -567,7 +599,12 @@ class SweepRunner:
 
     Attributes:
         simulate_count: jobs actually simulated by this runner (cache misses).
-        cache_hits / cache_misses: cache lookup statistics.
+        cache_hits / cache_misses: on-disk cache lookup statistics.
+        dedup_hits: submissions served by an identical job already submitted
+            to this runner (in-memory, counted separately from disk hits).
+        pool_batches: how many batches were dispatched to the worker pool.
+        inline_executions: jobs executed inline in this process (always zero
+            when ``jobs > 1`` — every simulation goes through the pool then).
     """
 
     def __init__(
@@ -584,64 +621,269 @@ class SweepRunner:
         self.simulate_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.dedup_hits = 0
+        self.pool_batches = 0
+        self.inline_executions = 0
         # One pool for the runner's whole lifetime: workers keep their trace
         # memos warm across batches, so a sweep's trace is generated once per
         # worker instead of once per batch.  The registry snapshot the pool
         # was created with detects late register_organization calls.
         self._pool = None
         self._pool_registry: Dict[str, Type[ResizingOrganization]] = {}
+        # Deferred-submission state: concrete jobs awaiting the next drain,
+        # builder-form jobs awaiting their dependencies, and an in-memory
+        # memo of every future this runner ever created (keyed by job
+        # fingerprint) so duplicate submissions share one execution.
+        self._pending: List[_PendingEntry] = []
+        self._deferred: List[_DeferredEntry] = []
+        self._memo: Dict[str, SimFuture] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------- submission
+    def submit(self, job: SimJob, label: str = "") -> SimFuture:
+        """Enqueue ``job`` and return its future without executing anything.
+
+        The job joins the runner's pending batch; it executes on the next
+        :meth:`drain` (or transitively via any future's ``result()``).
+        Resolution can happen immediately: an on-disk cache hit, or a
+        duplicate of a job already submitted to this runner (same
+        fingerprint), returns the already-known future — duplicates within
+        a batch simulate exactly once.
+        """
+        fingerprint = self._try_fingerprint(job)
+        if fingerprint is not None:
+            existing = self._memo.get(fingerprint)
+            # Failures are NOT memoised across submissions: resubmitting a
+            # job that failed retries it (the condition may have been
+            # transient or since-fixed), exactly as repeated run() calls
+            # always re-executed.  _enqueue overwrites the stale entry.
+            if existing is not None and not existing.failed():
+                self.dedup_hits += 1
+                return existing
+        future = SimFuture(self, label=label)
+        self._enqueue(job, fingerprint, future)
+        return future
+
+    def submit_deferred(
+        self,
+        builder: Callable[[], SimJob],
+        deps: Iterable[SimFuture],
+        label: str = "",
+    ) -> SimFuture:
+        """Enqueue a job whose spec depends on other jobs' results.
+
+        ``builder`` is called with no arguments once every future in
+        ``deps`` has resolved; it reads the dependency results (via their
+        ``result()``, which is then free) and returns the concrete
+        :class:`SimJob`.  The returned future resolves when that job does.
+        A failed dependency propagates: the deferred future fails with the
+        dependency's original exception without the builder ever running.
+
+        This is what lets a dynamic-resizing run — whose miss-bound and
+        size-bound parameters are derived from a profiling ladder — be
+        enqueued in the same phase as the ladder itself; :meth:`drain`
+        executes the ladder in wave one and the dynamic run in wave two.
+        """
+        future = SimFuture(self, label=label)
+        self._deferred.append(_DeferredEntry(builder, tuple(deps), future))
+        return future
 
     # -------------------------------------------------------------- execution
     def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
-        """Execute ``jobs`` and return their results in input order."""
-        jobs = list(jobs)
-        results: List[Optional[SimulationResult]] = [None] * len(jobs)
-        pending: List[Tuple[int, SimJob, Optional[str]]] = []
+        """Execute ``jobs`` and return their results in input order.
 
-        for index, job in enumerate(jobs):
-            fingerprint = None
+        Implemented on top of :meth:`submit` + :meth:`gather`, so batches
+        enjoy the same dedup/caching as deferred submissions.  Any failure
+        is re-raised only after the whole batch has drained, so every
+        completed sibling result is already persisted to the cache.
+        """
+        return self.gather([self.submit(job) for job in jobs])
+
+    def run_one(self, job: SimJob) -> SimulationResult:
+        """Execute a single job (through the cache and dedup memo)."""
+        return self.run([job])[0]
+
+    def gather(self, futures: Iterable[SimFuture]) -> List[SimulationResult]:
+        """Drain the runner and return the futures' results, in input order.
+
+        Futures may be gathered in any order relative to submission, and a
+        future may appear in several gathers.  The first failed future's
+        exception is re-raised (with the worker traceback chained) after
+        the drain completes, so sibling results are cached first.
+        """
+        futures = list(futures)
+        self.drain()
+        for future in futures:
+            if future.failed():
+                future.result()  # raises with the worker traceback chained
+        return [future.result() for future in futures]
+
+    def drain(self) -> None:
+        """Execute everything submitted so far, in dependency waves.
+
+        Each wave sends every currently-buildable job to the pool as one
+        batch; results then unlock deferred jobs whose dependencies just
+        resolved, forming the next wave.  A profile→dynamic graph therefore
+        drains in exactly two pool batches regardless of how many
+        applications it spans.  Idempotent: draining an empty runner is a
+        no-op.
+
+        Not reentrant: a deferred builder that reads a future it did not
+        declare in its deps would recurse into this method; the guard
+        converts that into a descriptive per-future failure instead of a
+        RecursionError (see :meth:`submit_deferred`).
+        """
+        if self._draining:
+            raise SimulationError(
+                "drain() re-entered while a drain is already in progress — a deferred "
+                "builder resolved a future it did not declare as a dependency; list "
+                "every future the builder reads in submit_deferred(deps=...)"
+            )
+        self._draining = True
+        try:
+            self._drain_waves()
+        finally:
+            self._draining = False
+
+    def _drain_waves(self) -> None:
+        while True:
+            self._build_ready_deferred()
+            if not self._pending:
+                if self._deferred:
+                    # Only deferred jobs remain and none became buildable:
+                    # their dependencies belong to another runner or form a
+                    # cycle.  Fail them so result() reports the problem.
+                    stuck, self._deferred = self._deferred, []
+                    for entry in stuck:
+                        entry.future._fail(
+                            SimulationError(
+                                f"deferred job {entry.future.label or '<unlabelled>'} depends "
+                                f"on futures this runner will never resolve (dependency "
+                                f"cycle, or a future from a different runner)"
+                            )
+                        )
+                return
+            batch, self._pending = self._pending, []
+            self._run_batch(batch)
+
+    @property
+    def pending_count(self) -> int:
+        """Concrete jobs queued for the next drain (dedup already applied)."""
+        return len(self._pending)
+
+    @property
+    def deferred_count(self) -> int:
+        """Builder-form jobs still waiting on dependencies."""
+        return len(self._deferred)
+
+    # --------------------------------------------------------------- internals
+    def _try_fingerprint(self, job: SimJob) -> Optional[str]:
+        """Fingerprint ``job``, or None for jobs the spec layer cannot hash
+        (those skip dedup and caching but still execute)."""
+        try:
+            return job.fingerprint()
+        except SimulationError:
+            return None
+
+    def _enqueue(self, job: SimJob, fingerprint: Optional[str], future: SimFuture) -> None:
+        """Register a fresh future for ``job``: resolve from the on-disk
+        cache when possible, otherwise append to the pending batch."""
+        if fingerprint is not None:
+            self._memo[fingerprint] = future
             if self.cache is not None:
-                fingerprint = job.fingerprint()
                 cached = self.cache.get(fingerprint)
                 if cached is not None:
                     self.cache_hits += 1
-                    results[index] = cached
-                    continue
+                    future._resolve(cached)
+                    return
                 self.cache_misses += 1
-            pending.append((index, job, fingerprint))
+        self._pending.append(_PendingEntry(job, fingerprint, [future]))
 
-        # Completions are consumed (and cached) one at a time, in whatever
-        # order they finish; a failing job is collected rather than raised
-        # mid-iteration, so every sibling simulation that completes is still
-        # cached — a warm restart resumes instead of starting over.  The
-        # first failure is re-raised once the batch has drained.
-        first_failure: Optional[_JobFailure] = None
-        for position, outcome in self._execute([job for _, job, _ in pending]):
+    def _build_ready_deferred(self) -> None:
+        """Turn every deferred job whose dependencies resolved into a
+        concrete pending job (looping, since a build can unlock others)."""
+        progress = True
+        while progress and self._deferred:
+            progress = False
+            remaining: List[_DeferredEntry] = []
+            for entry in self._deferred:
+                failed_dep = next((dep for dep in entry.deps if dep.failed()), None)
+                if failed_dep is not None:
+                    # Propagate the dependency's original exception so the
+                    # root cause surfaces wherever the result is awaited.
+                    entry.future._fail(failed_dep._error, failed_dep._worker_traceback)
+                    progress = True
+                    continue
+                if all(dep.done() for dep in entry.deps):
+                    try:
+                        job = entry.builder()
+                    except Exception as exc:
+                        entry.future._fail(exc)
+                    else:
+                        self._attach_built_job(job, entry.future)
+                    progress = True
+                else:
+                    remaining.append(entry)
+            self._deferred = remaining
+
+    def _attach_built_job(self, job: SimJob, future: SimFuture) -> None:
+        """Enqueue a builder-produced job, aliasing onto an identical job's
+        future when one already exists (the deferred future must resolve in
+        lockstep with it rather than simulate again)."""
+        fingerprint = self._try_fingerprint(job)
+        if fingerprint is not None:
+            existing = self._memo.get(fingerprint)
+            # A failed memo entry is not aliased onto (mirrors submit):
+            # fall through and enqueue a fresh attempt instead.
+            if existing is not None and existing is not future and not existing.failed():
+                self.dedup_hits += 1
+                if existing.done():
+                    future._resolve(existing.result())
+                    return
+                for entry in self._pending:
+                    if entry.fingerprint == fingerprint:
+                        entry.futures.append(future)
+                        return
+                # The memoised future is pending yet has no pending entry
+                # (it was itself deferred and not built yet); run our copy
+                # independently rather than risk a resolution deadlock.
+                self._pending.append(_PendingEntry(job, None, [future]))
+                return
+        self._enqueue(job, fingerprint, future)
+
+    def _run_batch(self, batch: List[_PendingEntry]) -> None:
+        """Execute one wave of entries as a single (pool) batch.
+
+        Completions are consumed (and cached) one at a time, in whatever
+        order they finish; a failing job marks its futures failed rather
+        than raising mid-iteration, so every sibling simulation that
+        completes is still cached — a warm restart resumes instead of
+        starting over.
+        """
+        for position, outcome in self._execute([entry.job for entry in batch]):
+            entry = batch[position]
             if isinstance(outcome, _JobFailure):
-                if first_failure is None:
-                    first_failure = outcome
+                for future in entry.futures:
+                    future._fail(outcome.error, outcome.worker_traceback)
                 continue
-            index, job, fingerprint = pending[position]
             self.simulate_count += 1
-            if self.cache is not None and fingerprint is not None:
-                self.cache.put(fingerprint, outcome, description=job.describe())
-            results[index] = outcome
-        if first_failure is not None:
-            raise first_failure.error from RuntimeError(
-                f"job failed in a sweep worker:\n{first_failure.worker_traceback}"
-            )
-
-        return results  # type: ignore[return-value]  # every slot is filled
-
-    def run_one(self, job: SimJob) -> SimulationResult:
-        """Execute a single job (through the cache, without a pool)."""
-        return self.run([job])[0]
+            if self.cache is not None and entry.fingerprint is not None:
+                self.cache.put(entry.fingerprint, outcome, description=entry.job.describe())
+            for future in entry.futures:
+                future._resolve(outcome)
 
     def _execute(self, pending: List[SimJob]):
-        """Yield (position, result) pairs as jobs complete (any order)."""
+        """Yield (position, result) pairs as jobs complete (any order).
+
+        With ``jobs > 1`` every batch — even a single-job one — goes
+        through the pool, so parallel runs perform zero inline executions;
+        with ``jobs == 1`` everything runs inline in this process.
+        """
         indexed = list(enumerate(pending))
-        if self.jobs <= 1 or len(pending) <= 1:
+        if self.jobs <= 1:
+            self.inline_executions += len(indexed)
             return (_execute_indexed(item) for item in indexed)
+        self.pool_batches += 1
         return self._get_pool().imap_unordered(_execute_indexed, indexed, chunksize=1)
 
     def _get_pool(self):
@@ -684,5 +926,6 @@ class SweepRunner:
         cache = "none" if self.cache is None else str(self.cache.directory)
         return (
             f"SweepRunner(jobs={self.jobs}, cache={cache}, "
-            f"simulated={self.simulate_count}, hits={self.cache_hits})"
+            f"simulated={self.simulate_count}, hits={self.cache_hits}, "
+            f"pending={self.pending_count}, deferred={self.deferred_count})"
         )

@@ -10,6 +10,20 @@ profiling sweep parallelises across the organization's whole resizing ladder
 runner.  Without one, a serial, uncached runner is used and the behaviour —
 including every computed value — is identical to calling
 :meth:`repro.sim.simulator.Simulator.run` directly.
+
+Two shapes of API live here:
+
+* **Eager** (``run_baseline``, ``profile_static``, ``run_dynamic``,
+  ``run_with_setups``): submit and resolve immediately — the historical
+  call-and-return interface.
+* **Deferred** (``submit_baseline``, ``submit_profile_static``,
+  ``submit_dynamic``, ``submit_with_setups``): enqueue jobs on the runner
+  and return futures, so a caller can lay out an *entire evaluation* —
+  every application's profiling ladder, then every baseline/dynamic/joint
+  run — before a single simulation starts, and the runner executes the
+  whole graph as a couple of pool batches.  The eager functions are thin
+  wrappers over the deferred ones, so both paths compute byte-identical
+  results.
 """
 
 from __future__ import annotations
@@ -27,6 +41,7 @@ from repro.resizing.profiler import (
     derive_dynamic_parameters,
     select_static_config,
 )
+from repro.sim.future import SimFuture
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
     L1SetupSpec,
@@ -102,6 +117,23 @@ def make_job(
     )
 
 
+def submit_baseline(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> SimFuture:
+    """Enqueue the non-resizable baseline and return its future."""
+    job = make_job(
+        simulator,
+        trace,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+    )
+    return runner.submit(job, label=_job_label("baseline", trace))
+
+
 def run_baseline(
     simulator: Simulator,
     trace: TraceLike,
@@ -110,13 +142,45 @@ def run_baseline(
     runner: Optional[SweepRunner] = None,
 ) -> SimulationResult:
     """Run the non-resizable baseline (both L1 caches fixed at full size)."""
-    job = make_job(
+    return submit_baseline(
+        _default_runner(runner),
         simulator,
         trace,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
+    ).result()
+
+
+def _job_label(kind: str, trace: TraceLike) -> str:
+    name = trace.name if isinstance(trace, Trace) else trace.application
+    return f"{kind}:{name}"
+
+
+def submit_with_setups(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    d_setup: SetupLike = None,
+    i_setup: SetupLike = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> SimFuture:
+    """Enqueue an arbitrary combination of L1 setups and return its future.
+
+    Unlike :func:`run_with_setups` there is no in-process fallback: the
+    setups must be expressible as job specs (registered organizations,
+    built-in strategy classes), because a deferred job has to be picklable
+    for whichever worker eventually executes it.
+    """
+    job = make_job(
+        simulator,
+        trace,
+        d_setup=d_setup,
+        i_setup=i_setup,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
     )
-    return _default_runner(runner).run_one(job)
+    return runner.submit(job, label=_job_label("setups", trace))
 
 
 def run_with_setups(
@@ -142,7 +206,8 @@ def run_with_setups(
     path when instrumenting a run that way.
     """
     try:
-        job = make_job(
+        future = submit_with_setups(
+            _default_runner(runner),
             simulator,
             trace,
             d_setup=d_setup,
@@ -158,7 +223,7 @@ def run_with_setups(
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
         )
-    return _default_runner(runner).run_one(job)
+    return future.result()
 
 
 def _as_live_setup(setup: SetupLike, simulator: Simulator, cache: str) -> Optional[L1Setup]:
@@ -243,6 +308,119 @@ def _append_point(profile: StaticProfile, target: str, config, result: Simulatio
     profile.results[config] = result
 
 
+@dataclass
+class StaticProfileFuture:
+    """A profiling sweep whose ladder runs have been enqueued, not resolved.
+
+    Mirrors :class:`StaticProfile` one level earlier: the baseline and one
+    future per ladder configuration are submitted to the runner, and
+    :meth:`result` assembles the :class:`StaticProfile` once they resolve
+    (draining the runner on first call; memoised afterwards).  The
+    :attr:`dependencies` list feeds :meth:`SweepRunner.submit_deferred`, so
+    downstream jobs — a dynamic run whose parameters derive from this
+    profile — can be enqueued *before* the ladder has simulated.
+    """
+
+    organization: ResizingOrganization
+    target: str
+    baseline: Union[SimFuture, SimulationResult]
+    ladder: List[SizeConfig]
+    futures: List[SimFuture]
+    max_slowdown: Optional[float] = None
+    _profile: Optional[StaticProfile] = None
+
+    def done(self) -> bool:
+        """True once every underlying simulation has resolved."""
+        baseline_done = not isinstance(self.baseline, SimFuture) or self.baseline.done()
+        return baseline_done and all(future.done() for future in self.futures)
+
+    @property
+    def dependencies(self) -> List[SimFuture]:
+        """The futures a job deferred on this profile must wait for."""
+        deps = list(self.futures)
+        if isinstance(self.baseline, SimFuture):
+            deps.append(self.baseline)
+        return deps
+
+    def result(self) -> StaticProfile:
+        """Resolve (draining the runner if needed) into a StaticProfile."""
+        if self._profile is None:
+            baseline = (
+                self.baseline.result()
+                if isinstance(self.baseline, SimFuture)
+                else self.baseline
+            )
+            profile = StaticProfile(
+                organization=self.organization,
+                target=self.target,
+                baseline=baseline,
+                max_slowdown=self.max_slowdown,
+            )
+            for config, future in zip(self.ladder, self.futures):
+                _append_point(profile, self.target, config, future.result())
+            self._profile = profile
+        return self._profile
+
+
+def submit_profile_static(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    target: str = DCACHE,
+    baseline: Union[SimFuture, SimulationResult, None] = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    max_slowdown: Optional[float] = None,
+) -> StaticProfileFuture:
+    """Enqueue a whole profiling ladder and return its profile future.
+
+    ``baseline`` may be an already-resolved result, a future from an
+    earlier submission (shared across profiles of the same application), or
+    None to enqueue the baseline alongside the ladder.  Nothing executes
+    until the runner drains; the organization must be registered (the
+    deferred path has no in-process fallback — use :func:`profile_static`
+    for unregistered classes).
+    """
+    require_registered(organization)
+    ladder = organization.ladder()
+    if baseline is None:
+        baseline = submit_baseline(
+            runner,
+            simulator,
+            trace,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+    futures: List[SimFuture] = []
+    for config in ladder:
+        spec = L1SetupSpec(
+            organization=organization.name,
+            strategy=StrategySpec.static(config),
+            geometry=organization.geometry,
+        )
+        d_spec, i_spec = _specs_for(target, spec)
+        job = make_job(
+            simulator,
+            trace,
+            d_setup=d_spec,
+            i_setup=i_spec,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        futures.append(
+            runner.submit(job, label=f"{_job_label('profile', trace)}@{config.label}")
+        )
+    return StaticProfileFuture(
+        organization=organization,
+        target=target,
+        baseline=baseline,
+        ladder=ladder,
+        futures=futures,
+        max_slowdown=max_slowdown,
+    )
+
+
 def profile_static(
     simulator: Simulator,
     trace: TraceLike,
@@ -286,48 +464,92 @@ def profile_static(
             simulator, trace, organization, target, baseline,
             interval_instructions, warmup_instructions, max_slowdown,
         )
-    runner = _default_runner(runner)
-    ladder = organization.ladder()
+    return submit_profile_static(
+        _default_runner(runner),
+        simulator,
+        trace,
+        organization,
+        target=target,
+        baseline=baseline,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        max_slowdown=max_slowdown,
+    ).result()
 
-    jobs: List[SimJob] = []
-    if baseline is None:
-        jobs.append(
-            make_job(
-                simulator,
-                trace,
-                interval_instructions=interval_instructions,
-                warmup_instructions=warmup_instructions,
-            )
-        )
-    for config in ladder:
-        spec = L1SetupSpec(
-            organization=organization.name,
-            strategy=StrategySpec.static(config),
-            geometry=organization.geometry,
-        )
-        d_spec, i_spec = _specs_for(target, spec)
-        jobs.append(
-            make_job(
-                simulator,
-                trace,
-                d_setup=d_spec,
-                i_setup=i_spec,
-                interval_instructions=interval_instructions,
-                warmup_instructions=warmup_instructions,
-            )
-        )
 
-    outcomes = runner.run(jobs)
-    if baseline is None:
-        baseline = outcomes[0]
-        outcomes = outcomes[1:]
-
-    profile = StaticProfile(
-        organization=organization, target=target, baseline=baseline, max_slowdown=max_slowdown
+def _dynamic_job(
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    parameters: DynamicParameters,
+    target: str,
+    interval_instructions: int,
+    warmup_instructions: int,
+    initial_config,
+) -> SimJob:
+    """The SimJob for one dynamic-resizing run (shared by both API shapes)."""
+    spec = L1SetupSpec(
+        organization=organization.name,
+        geometry=organization.geometry,
+        strategy=StrategySpec.dynamic(
+            miss_bound=parameters.miss_bound,
+            size_bound_bytes=parameters.size_bound_bytes,
+            sense_interval_accesses=parameters.sense_interval_accesses,
+            initial_config=initial_config,
+        ),
     )
-    for config, result in zip(ladder, outcomes):
-        _append_point(profile, target, config, result)
-    return profile
+    d_spec, i_spec = _specs_for(target, spec)
+    return make_job(
+        simulator,
+        trace,
+        d_setup=d_spec,
+        i_setup=i_spec,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+    )
+
+
+def submit_dynamic(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    profile: StaticProfileFuture,
+    target: str = DCACHE,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    sense_interval_accesses: int = 2048,
+    miss_bound_factor: float = 1.5,
+    start_at_best_config: bool = True,
+) -> SimFuture:
+    """Enqueue a dynamic run whose parameters derive from a pending profile.
+
+    The dynamic job cannot be built yet — its miss-bound and size-bound come
+    from the profiling ladder's results — so it is submitted as a *deferred*
+    job depending on the profile's futures: the runner executes the ladder
+    in one wave, derives the parameters, and runs the dynamic job in the
+    next, all within a single :meth:`SweepRunner.drain`.
+
+    ``start_at_best_config`` starts the cache at the statically profiled
+    size (the shape every experiment uses); pass False to start full-size.
+    """
+    require_registered(organization)
+
+    def builder() -> SimJob:
+        resolved = profile.result()  # dependencies guarantee this is free
+        parameters = resolved.dynamic_parameters(
+            sense_interval_accesses=sense_interval_accesses,
+            miss_bound_factor=miss_bound_factor,
+        )
+        initial_config = resolved.best_config if start_at_best_config else None
+        return _dynamic_job(
+            simulator, trace, organization, parameters,
+            target, interval_instructions, warmup_instructions, initial_config,
+        )
+
+    return runner.submit_deferred(
+        builder, profile.dependencies, label=_job_label("dynamic", trace)
+    )
 
 
 def run_dynamic(
@@ -364,26 +586,11 @@ def run_dynamic(
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
         )
-    spec = L1SetupSpec(
-        organization=organization.name,
-        geometry=organization.geometry,
-        strategy=StrategySpec.dynamic(
-            miss_bound=parameters.miss_bound,
-            size_bound_bytes=parameters.size_bound_bytes,
-            sense_interval_accesses=parameters.sense_interval_accesses,
-            initial_config=initial_config,
-        ),
+    job = _dynamic_job(
+        simulator, trace, organization, parameters,
+        target, interval_instructions, warmup_instructions, initial_config,
     )
-    d_spec, i_spec = _specs_for(target, spec)
-    job = make_job(
-        simulator,
-        trace,
-        d_setup=d_spec,
-        i_setup=i_spec,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-    )
-    return _default_runner(runner).run_one(job)
+    return _default_runner(runner).submit(job, label=_job_label("dynamic", trace)).result()
 
 
 def _profile_static_direct(

@@ -1,0 +1,253 @@
+"""Tests for the CI perf-regression gate (`python -m repro bench-compare`).
+
+The ISSUE-2 acceptance criterion: CI must fail on a synthetic benchmark
+regression, verified here by perturbing the baseline JSON and asserting a
+non-zero exit code.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.benchgate import (
+    BenchGateError,
+    MIN_GATED_SECONDS,
+    compare_benchmarks,
+    load_baseline,
+    load_benchmark_means,
+    write_baseline,
+)
+
+
+def pytest_benchmark_payload(means):
+    """A minimal but schema-faithful pytest-benchmark JSON document."""
+    return {
+        "machine_info": {"cpu": "test"},
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean, "stddev": 0.0, "rounds": 1}}
+            for name, mean in means.items()
+        ],
+    }
+
+
+@pytest.fixture
+def results_file(tmp_path):
+    def write(means, name="results.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(pytest_benchmark_payload(means)))
+        return str(path)
+
+    return write
+
+
+@pytest.fixture
+def baseline_file(tmp_path):
+    def write(means, name="baseline.json"):
+        path = tmp_path / name
+        write_baseline(path, means)
+        return str(path)
+
+    return write
+
+
+class TestCompare:
+    def test_classification(self):
+        comparison = compare_benchmarks(
+            results={"stable": 1.0, "faster": 0.5, "slower": 2.0, "brand_new": 1.0},
+            baseline={"stable": 1.1, "faster": 1.0, "slower": 1.0, "gone": 1.0},
+            tolerance=0.25,
+        )
+        assert set(comparison.stable) == {"stable"}
+        assert set(comparison.improvements) == {"faster"}
+        assert set(comparison.regressions) == {"slower"}
+        assert comparison.new == ["brand_new"]
+        assert comparison.missing == ["gone"]
+        assert not comparison.ok  # regression + missing both fail
+
+    def test_sub_floor_benchmarks_never_regress(self):
+        # An 8x blowup on a millisecond benchmark is scheduler noise, not a
+        # perf signal; both sides under the floor are always stable.
+        tiny = MIN_GATED_SECONDS / 10.0
+        comparison = compare_benchmarks(
+            results={"tiny": tiny * 8}, baseline={"tiny": tiny}, tolerance=0.25
+        )
+        assert comparison.ok
+        assert set(comparison.stable) == {"tiny"}
+
+    def test_crossing_the_floor_is_gated(self):
+        comparison = compare_benchmarks(
+            results={"grew": MIN_GATED_SECONDS * 10},
+            baseline={"grew": MIN_GATED_SECONDS * 2},
+            tolerance=0.25,
+        )
+        assert set(comparison.regressions) == {"grew"}
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(BenchGateError):
+            compare_benchmarks({"a": 1.0}, {"a": 1.0}, tolerance=-0.1)
+
+    def test_uniform_hardware_slowdown_gates_clean(self):
+        # A 2x-slower host shifts every benchmark identically; the median
+        # ratio absorbs it and nothing regresses.
+        baseline = {f"bench{i}": 1.0 + i * 0.1 for i in range(5)}
+        results = {name: mean * 2.0 for name, mean in baseline.items()}
+        comparison = compare_benchmarks(results, baseline, tolerance=0.25)
+        assert comparison.ok
+        assert comparison.scale == pytest.approx(2.0)
+        assert len(comparison.stable) == 5
+
+    def test_single_spike_survives_normalization(self):
+        baseline = {f"bench{i}": 1.0 for i in range(5)}
+        results = dict.fromkeys(baseline, 1.0)
+        results["bench3"] = 3.0
+        comparison = compare_benchmarks(results, baseline)
+        assert set(comparison.regressions) == {"bench3"}
+
+    def test_too_few_samples_disable_normalization(self):
+        # With fewer benchmarks than MIN_NORMALIZE_SAMPLES the regressed
+        # benchmark would dominate its own normalizer; raw means gate.
+        comparison = compare_benchmarks({"only": 2.0}, {"only": 1.0})
+        assert comparison.scale == 1.0
+        assert set(comparison.regressions) == {"only"}
+
+    def test_suite_wide_blowup_beyond_max_scale_fails(self):
+        # Normalization must not absorb an order-of-magnitude uniform
+        # regression: the scale leaves the trusted band and the gate
+        # fails on the RAW deltas.
+        baseline = {f"bench{i}": 1.0 for i in range(5)}
+        results = dict.fromkeys(baseline, 6.0)  # 6x > DEFAULT_MAX_SCALE
+        comparison = compare_benchmarks(results, baseline)
+        assert not comparison.ok
+        assert comparison.scale_out_of_bounds
+        assert len(comparison.regressions) == 5  # raw means gated
+        assert "SCALE" in comparison.format_report()
+        # A wider explicit band waves the same uniform shift through.
+        assert compare_benchmarks(results, baseline, max_scale=8.0).ok
+
+    def test_bad_max_scale_rejected(self):
+        with pytest.raises(BenchGateError):
+            compare_benchmarks({"a": 1.0}, {"a": 1.0}, max_scale=0.5)
+
+    def test_absolute_mode_disables_normalization(self):
+        baseline = {f"bench{i}": 1.0 for i in range(5)}
+        results = dict.fromkeys(baseline, 2.0)
+        assert compare_benchmarks(results, baseline).ok
+        absolute = compare_benchmarks(results, baseline, normalize=False)
+        assert len(absolute.regressions) == 5
+        assert absolute.scale == 1.0
+
+    def test_report_mentions_verdicts(self):
+        comparison = compare_benchmarks(
+            results={"slow": 2.0, "ok": 1.0}, baseline={"slow": 1.0, "ok": 1.0}
+        )
+        report = comparison.format_report()
+        assert "REGRESSED" in report and "gate FAILED" in report
+        assert "slow" in report
+
+
+class TestRoundTrip:
+    def test_baseline_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, {"b": 2.5, "a": 1.25})
+        assert load_baseline(path) == {"a": 1.25, "b": 2.5}
+
+    def test_results_parser_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "pytest-benchmark"}))
+        with pytest.raises(BenchGateError):
+            load_benchmark_means(str(bad))
+
+    def test_foreign_version_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "benchmarks": {"a": 1.0}}))
+        with pytest.raises(BenchGateError, match="version"):
+            load_baseline(path)
+
+
+class TestCliGate:
+    MEANS = {"test_bench_figure4": 10.0, "test_bench_table2": 0.5}
+
+    def test_gate_passes_on_matching_baseline(self, results_file, baseline_file, capsys):
+        code = main(
+            ["bench-compare", results_file(self.MEANS),
+             "--baseline", baseline_file(self.MEANS)]
+        )
+        assert code == 0
+        assert "gate PASSED" in capsys.readouterr().out
+
+    def test_gate_fails_on_perturbed_baseline(self, results_file, baseline_file, capsys):
+        # The acceptance check: shrink one baseline mean so today's (same)
+        # measurement reads as a >25% regression -> CI exit code 1.
+        perturbed = dict(self.MEANS, test_bench_figure4=self.MEANS["test_bench_figure4"] / 2)
+        code = main(
+            ["bench-compare", results_file(self.MEANS),
+             "--baseline", baseline_file(perturbed)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "gate FAILED" in out
+
+    def test_gate_fails_on_missing_benchmark(self, results_file, baseline_file):
+        shrunk = {"test_bench_figure4": 10.0}
+        code = main(
+            ["bench-compare", results_file(shrunk),
+             "--baseline", baseline_file(self.MEANS)]
+        )
+        assert code == 1  # losing a benchmark must not read as a win
+
+    def test_wider_tolerance_waves_the_same_delta_through(
+        self, results_file, baseline_file
+    ):
+        perturbed = dict(self.MEANS, test_bench_figure4=7.0)  # ~43% slower
+        args = ["bench-compare", results_file(self.MEANS),
+                "--baseline", baseline_file(perturbed)]
+        assert main(args) == 1
+        assert main([*args, "--tolerance", "0.60"]) == 0
+
+    def test_update_rewrites_baseline(self, results_file, tmp_path, capsys):
+        target = tmp_path / "fresh-baseline.json"
+        code = main(
+            ["bench-compare", results_file(self.MEANS),
+             "--baseline", str(target), "--update"]
+        )
+        assert code == 0
+        assert load_baseline(target) == self.MEANS
+        # And the freshly written baseline gates its own results cleanly.
+        assert main(
+            ["bench-compare", results_file(self.MEANS), "--baseline", str(target)]
+        ) == 0
+
+    def test_unreadable_results_exit_2(self, tmp_path, capsys):
+        code = main(
+            ["bench-compare", str(tmp_path / "missing.json"),
+             "--baseline", str(tmp_path / "missing-too.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_baseline_update_exit_2(self, results_file, tmp_path, capsys):
+        code = main(
+            ["bench-compare", results_file(self.MEANS), "--update",
+             "--baseline", str(tmp_path / "no" / "such" / "dir" / "baseline.json")]
+        )
+        assert code == 2  # BenchGateError, not a raw OSError traceback
+        assert "cannot write baseline" in capsys.readouterr().err
+
+
+def test_committed_baseline_is_loadable_and_covers_the_suite():
+    """The baseline shipped in the repo must parse and track every benchmark
+    module present under benchmarks/ (one mean per test function there)."""
+    import pathlib
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    baseline = load_baseline(repo_root / "benchmarks" / "baseline.json")
+    assert baseline, "committed baseline must not be empty"
+    covered = {name.split("[")[0] for name in baseline}
+    # Every figure/table benchmark file contributes its gated mean (the
+    # ablations file groups several test_bench_ablation_* functions).
+    for path in (repo_root / "benchmarks").glob("test_bench_*.py"):
+        prefix = path.stem.rstrip("s")  # test_bench_ablations -> _ablation
+        assert any(name.startswith(prefix) for name in covered), (
+            f"{path.stem} not represented in baseline"
+        )

@@ -1,0 +1,126 @@
+"""Acceptance tests for the two-phase (deferred-submission) evaluation.
+
+The ISSUE-2 acceptance criterion: ``run-all --jobs N`` must push *every*
+simulation — baselines, profiling ladders, dynamic runs, figure9's
+combined runs — through the worker pool in at most two batches per phase,
+with zero inline executions when ``jobs > 1``, and the results must be
+byte-identical to a serial ``--jobs 1`` run.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import (
+    EXPERIMENTS,
+    build_context,
+    experiment_names,
+    main,
+    parse_args,
+    prepare_experiments,
+    run_experiments,
+)
+
+#: Tiny-but-complete evaluation: one application, short traces.
+TINY = ["--instructions", "1500", "--applications", "gcc"]
+
+_SINK = lambda *args, **kwargs: None  # noqa: E731 - silence table output
+
+
+def tiny_context(jobs: int):
+    return build_context(parse_args(["run-all", *TINY, "--no-cache", "--jobs", str(jobs)]))
+
+
+class TestTwoPhasePipeline:
+    def test_prepare_enqueues_both_phases_without_executing(self):
+        context = tiny_context(jobs=1)
+        for name in EXPERIMENTS:
+            prepare = getattr(EXPERIMENTS[name], "prepare", None)
+            if prepare is not None:
+                prepare(context)
+        runner = context.runner
+        assert runner.simulate_count == 0
+        # Phase 1: every profiling ladder + every baseline, as concrete jobs.
+        assert runner.pending_count > 0
+        # Phase 2: dynamic runs (figures 7/8, two cores each) and figure9's
+        # combined run, all deferred on their profiles.
+        assert runner.deferred_count == 5
+        runner.drain()
+        assert runner.pending_count == 0
+        assert runner.deferred_count == 0
+        assert runner.simulate_count > 0
+
+    def test_parallel_run_all_uses_two_pool_batches_and_no_inline(self):
+        context = tiny_context(jobs=2)
+        names = list(EXPERIMENTS)
+        results = run_experiments(names, context, echo=_SINK)
+        runner = context.runner
+        assert set(results) == set(EXPERIMENTS)
+        # Every simulation went through the pool: profiles/baselines in one
+        # batch, profile-dependent jobs in a second.  Nothing ran inline.
+        assert runner.simulate_count > 0
+        assert runner.pool_batches <= 2
+        assert runner.inline_executions == 0
+
+    def test_experiments_add_no_simulations_after_the_drain(self):
+        context = tiny_context(jobs=1)
+        names = experiment_names(parse_args(["run-all", *TINY, "--no-cache"]))
+        prepare_experiments(names, context, echo=_SINK)
+        simulated = context.runner.simulate_count
+        run_experiments(names, context, echo=_SINK)
+        # The figure harnesses only *consume* already-resolved futures.
+        assert context.runner.simulate_count == simulated
+
+    @pytest.mark.parametrize("second_jobs", [2])
+    def test_batched_parallel_rows_byte_identical_to_serial(self, tmp_path, second_jobs):
+        payloads = {}
+        for jobs in (1, second_jobs):
+            output = tmp_path / f"rows-{jobs}.json"
+            code = main(
+                ["run-all", *TINY, "--no-cache", "--jobs", str(jobs),
+                 "--output", str(output)]
+            )
+            assert code == 0
+            payloads[jobs] = output.read_bytes()
+        assert payloads[1] == payloads[second_jobs]
+
+    def test_run_figure_single_module_still_batches(self, capsys):
+        # A lone figure (with dynamic runs) must also flow through the
+        # two-phase pipeline rather than submitting jobs one at a time.
+        context = build_context(
+            parse_args(["run-figure", "figure7", *TINY, "--no-cache", "--jobs", "2"])
+        )
+        run_experiments(["figure7"], context, echo=_SINK)
+        assert context.runner.pool_batches <= 2
+        assert context.runner.inline_executions == 0
+
+    def test_prepare_phase_is_reported(self, capsys):
+        code = main(["run-figure", "table2", *TINY, "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "two-phase pipeline" in out
+        assert "phase 1" in out and "phase 2" in out
+
+
+def test_warm_cache_still_free_through_the_batched_path(tmp_path):
+    """A warm job cache resolves futures at submit time: the second run-all
+    performs zero simulations and zero pool batches."""
+    cache_dir = tmp_path / "cache"
+    args = ["run-all", *TINY, "--cache-dir", str(cache_dir), "--jobs", "1"]
+
+    cold = build_context(parse_args(args))
+    cold_rows = {
+        name: result.rows()
+        for name, result in run_experiments(list(EXPERIMENTS), cold, echo=_SINK).items()
+    }
+    assert cold.runner.simulate_count > 0
+
+    warm = build_context(parse_args(args))
+    warm_rows = {
+        name: result.rows()
+        for name, result in run_experiments(list(EXPERIMENTS), warm, echo=_SINK).items()
+    }
+    assert warm.runner.simulate_count == 0
+    assert warm.runner.pool_batches == 0
+    assert warm.runner.inline_executions == 0
+    assert json.dumps(cold_rows, sort_keys=True) == json.dumps(warm_rows, sort_keys=True)
