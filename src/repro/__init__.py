@@ -60,6 +60,14 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim.engine import (
+    DEFAULT_ENGINE,
+    ColumnarEngine,
+    ReferenceEngine,
+    ReplayEngine,
+    available_engines,
+    register_engine,
+)
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
@@ -70,8 +78,10 @@ from repro.sim.runner import (
     SweepRunner,
     TraceSpec,
     register_organization,
+    set_trace_cache,
 )
 from repro.sim.simulator import L1Setup, Simulator
+from repro.sim.tracecache import TraceCache
 from repro.sim.sweep import (
     StaticProfile,
     StaticProfileFuture,
@@ -149,6 +159,16 @@ __all__ = [
     "SweepRunner",
     "JobCache",
     "register_organization",
+    # replay engines
+    "ReplayEngine",
+    "ReferenceEngine",
+    "ColumnarEngine",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "register_engine",
+    # trace cache
+    "TraceCache",
+    "set_trace_cache",
     # deferred-submission job graph
     "SimFuture",
     "StaticProfileFuture",

@@ -12,6 +12,10 @@ Examples::
     python -m repro run-figure figure4 --jobs 2 --instructions 2000 \
         --applications gcc --no-cache
 
+    # Replay through the historical per-record loop instead of the
+    # columnar fast path (results are bit-identical either way)
+    python -m repro run-figure figure4 --engine reference
+
     # Gate pytest-benchmark results against the committed perf baseline
     python -m repro bench-compare benchmark-results.json
 
@@ -25,6 +29,9 @@ across the whole evaluation.
 Because completed simulations are memoised in the job cache (``--cache-dir``,
 default ``.repro-cache``), a second invocation of any overlapping sweep only
 simulates what changed; a fully warm re-run performs zero new simulations.
+Generated traces are memoised alongside under ``<cache-dir>/traces`` in the
+binary trace format, so warm runs skip trace generation too; ``--no-cache``
+bypasses both memos.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.benchgate import (
     write_baseline,
 )
 from repro.common.errors import ReproError
+from repro.sim.engine import DEFAULT_ENGINE, available_engines
 from repro.experiments import (
     ExperimentContext,
     figure4,
@@ -56,7 +64,7 @@ from repro.experiments import (
     table2,
 )
 from repro.sim.jobcache import JobCache
-from repro.sim.runner import SweepRunner
+from repro.sim.runner import SweepRunner, set_trace_cache
 from repro.workloads.profiles import get_profile
 
 #: Experiment registry: name -> module with run() returning a result object
@@ -92,11 +100,19 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         )
         sub.add_argument(
             "--cache-dir", default=DEFAULT_CACHE_DIR,
-            help=f"job-cache directory (default: {DEFAULT_CACHE_DIR})",
+            help=f"cache directory: completed jobs at its top level, generated "
+                 f"traces (binary trace format) under traces/ (default: {DEFAULT_CACHE_DIR})",
         )
         sub.add_argument(
             "--no-cache", action="store_true",
-            help="disable the on-disk job cache entirely",
+            help="disable the on-disk caches entirely (both the job-result "
+                 "cache and the generated-trace memo)",
+        )
+        sub.add_argument(
+            "--engine", choices=available_engines(), default=None,
+            help=f"replay engine for the simulator hot loop (default: "
+                 f"{DEFAULT_ENGINE}); engines are bit-identical, the choice "
+                 f"only affects speed",
         )
         sub.add_argument(
             "--instructions", type=int, default=60_000,
@@ -189,9 +205,17 @@ def experiment_names(args: argparse.Namespace) -> List[str]:
 
 
 def build_context(args: argparse.Namespace) -> ExperimentContext:
-    """Build the experiment context (runner, cache, applications) for a run."""
-    cache = None if args.no_cache else JobCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    """Build the experiment context (runner, caches, applications) for a run."""
+    if args.no_cache:
+        cache = None
+        # Clear any process-level trace memo too: --no-cache means *no*
+        # on-disk state is consulted or written, traces included.
+        set_trace_cache(None)
+        trace_cache = None
+    else:
+        cache = JobCache(args.cache_dir)
+        trace_cache = os.path.join(args.cache_dir, "traces")
+    runner = SweepRunner(jobs=args.jobs, cache=cache, trace_cache=trace_cache)
     applications = None
     if args.applications:
         applications = tuple(
@@ -203,6 +227,7 @@ def build_context(args: argparse.Namespace) -> ExperimentContext:
         n_instructions=args.instructions,
         applications=applications,
         runner=runner,
+        engine=args.engine,
     )
 
 
@@ -259,8 +284,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parse_args(argv)
 
     if args.command == "list":
+        print("experiments (run-figure FIGURE / run-all):")
         for name in EXPERIMENTS:
-            print(name)
+            print(f"  {name}")
+        print("replay engines (--engine NAME; bit-identical results, speed only):")
+        for name in available_engines():
+            suffix = "  [default]" if name == DEFAULT_ENGINE else ""
+            print(f"  {name}{suffix}")
+        print(
+            "caches: completed jobs live in --cache-dir, generated traces in\n"
+            "  --cache-dir/traces (binary trace format); --no-cache disables both"
+        )
         return 0
 
     if args.command == "bench-compare":

@@ -78,6 +78,7 @@ class ExperimentContext:
         technology: Optional[TechnologyParameters] = None,
         timing: Optional[CoreTimingParameters] = None,
         runner: Optional[SweepRunner] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if n_instructions < 1_000:
             raise ConfigurationError("experiments need at least 1000 instructions")
@@ -97,6 +98,10 @@ class ExperimentContext:
             raise ConfigurationError("experiments need at least one application")
         self.technology = technology if technology is not None else TechnologyParameters()
         self.timing = timing if timing is not None else CoreTimingParameters()
+        #: Replay engine every simulation of this context uses (None = the
+        #: package default).  Engines are bit-identical, so this only
+        #: affects speed; it reaches jobs through the memoised simulators.
+        self.engine = engine
         #: Every simulation the context performs goes through this runner, so
         #: handing in a parallel and/or cache-backed SweepRunner accelerates
         #: the whole evaluation without touching any experiment module.
@@ -162,7 +167,12 @@ class ExperimentContext:
         key = (associativity, core_kind)
         cached = self._simulators.get(key)
         if cached is None:
-            cached = Simulator(self.system(associativity, core_kind), self.technology, self.timing)
+            cached = Simulator(
+                self.system(associativity, core_kind),
+                self.technology,
+                self.timing,
+                engine=self.engine,
+            )
             self._simulators[key] = cached
         return cached
 

@@ -1,5 +1,14 @@
 """Simulation driver: ties caches, cores, energy models and workloads together."""
 
+from repro.sim.engine import (
+    DEFAULT_ENGINE,
+    ColumnarEngine,
+    ReferenceEngine,
+    ReplayEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
@@ -10,11 +19,14 @@ from repro.sim.runner import (
     SweepRunner,
     TraceSpec,
     execute_job,
+    get_trace_cache,
     job_fingerprint,
     register_organization,
     resolve_trace,
+    set_trace_cache,
 )
 from repro.sim.simulator import L1Setup, Simulator
+from repro.sim.tracecache import TraceCache
 from repro.sim.sweep import (
     StaticProfile,
     StaticProfileFuture,
@@ -57,4 +69,16 @@ __all__ = [
     "submit_with_setups",
     "submit_profile_static",
     "submit_dynamic",
+    # replay engines
+    "ReplayEngine",
+    "ReferenceEngine",
+    "ColumnarEngine",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    # trace cache
+    "TraceCache",
+    "set_trace_cache",
+    "get_trace_cache",
 ]

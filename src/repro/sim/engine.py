@@ -1,0 +1,477 @@
+"""Pluggable replay engines: the simulator's per-instruction hot loop.
+
+:class:`repro.sim.simulator.Simulator` is split into a thin orchestration
+shell (build the caches, hierarchy, timing and energy models; aggregate the
+final result) and a *replay engine* that owns the only per-instruction code
+in the project.  Engines are interchangeable and must be **bit-identical**:
+for any trace and setup, every engine produces exactly the same
+:class:`~repro.sim.results.SimulationResult` (``to_dict()`` equality is
+enforced by the cross-engine equivalence suite in
+``tests/sim/test_engines.py`` and ``tests/properties/test_property_engines.py``).
+
+Two engines ship:
+
+* :class:`ReferenceEngine` — the historical per-record loop: iterate the
+  trace's row view, unpack one :class:`InstructionRecord` per instruction.
+  Kept as the executable specification the fast path is checked against.
+* :class:`ColumnarEngine` (the default) — replays straight from the trace's
+  structure-of-arrays columns.  Each interval is pre-decoded *once* into a
+  flat operation stream (fetch-block-change detection, branch direction,
+  memory-op extraction with the store bit resolved), so the execute loop
+  touches only instructions that actually reach the caches or the branch
+  predictor and never materialises a record object.  Instructions with no
+  event (no new fetch block, no branch, no memory reference — typically
+  around half the stream) cost one flag test instead of a full loop body.
+
+Engine selection: ``Simulator(engine=...)`` / ``Simulator.run(engine=...)``
+accept an engine name or instance; :class:`~repro.sim.runner.SimJob` carries
+the name so sweeps replay with the engine the caller chose (CLI:
+``--engine {reference,columnar}``).  Custom engines register with
+:func:`register_engine`.
+
+Interval semantics live in :class:`ReplayContext.close_interval`, shared by
+every engine, so timing/energy aggregation, warmup accounting and resizing
+decisions cannot drift between implementations — an engine only decides how
+to walk the trace and feed the caches/predictor in program order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Type, Union
+
+from repro.common.errors import SimulationError
+from repro.metrics.counts import IntervalCounts
+from repro.workloads.trace import (
+    FLAG_BRANCH,
+    FLAG_MEM,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    Trace,
+)
+
+#: Operation codes of the columnar engine's decoded per-interval op stream.
+#: The stream is a flat list alternating ``code, operand``: the operand is
+#: the fetch/branch PC or the data address.
+_OP_FETCH = 0
+_OP_BRANCH_TAKEN = 1
+_OP_BRANCH_NOT_TAKEN = 2
+_OP_LOAD = 3
+_OP_STORE = 4
+
+
+class ReplayContext:
+    """Everything an engine needs to replay one run, plus interval closing.
+
+    Built by the simulator shell per run.  Engines mutate :attr:`counts`
+    (the open interval's accumulator), keep :attr:`total_seen` current, and
+    call :meth:`close_interval` at every interval boundary; the context owns
+    the timing/energy aggregation, warmup bookkeeping and resizing decisions
+    so those are identical across engines by construction.
+    """
+
+    __slots__ = (
+        "hierarchy", "predictor", "core_model", "accountant",
+        "d_runtime", "i_runtime", "result",
+        "interval_instructions", "warmup_instructions", "block_mask", "mlp",
+        "counts", "total_seen", "measured_instructions", "measured_cycles",
+    )
+
+    def __init__(
+        self,
+        hierarchy,
+        predictor,
+        core_model,
+        accountant,
+        d_runtime,
+        i_runtime,
+        result,
+        interval_instructions: int,
+        warmup_instructions: int,
+        block_mask: int,
+        memory_level_parallelism: float,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.core_model = core_model
+        self.accountant = accountant
+        self.d_runtime = d_runtime
+        self.i_runtime = i_runtime
+        self.result = result
+        self.interval_instructions = interval_instructions
+        self.warmup_instructions = warmup_instructions
+        self.block_mask = block_mask
+        self.mlp = memory_level_parallelism
+        self.counts = IntervalCounts(memory_level_parallelism=memory_level_parallelism)
+        self.total_seen = 0
+        self.measured_instructions = 0
+        self.measured_cycles = 0.0
+
+    def close_interval(self, final: bool = False) -> None:
+        """Close the open interval: timing, energy, warmup, resizing.
+
+        Mirrors the pre-split ``Simulator.run`` inner function exactly: a
+        non-final close lets each L1's strategy observe the interval and
+        charges any resulting flush writebacks to the *next* interval; the
+        final close only aggregates.
+        """
+        counts = self.counts
+        if counts.instructions == 0:
+            return
+        d_runtime, i_runtime, result = self.d_runtime, self.i_runtime, self.result
+        cycles = self.core_model.interval_cycles(counts)
+        breakdown = self.accountant.interval_breakdown(
+            counts,
+            cycles,
+            l1d_state=d_runtime.subarray_state,
+            l1d_ways=d_runtime.enabled_ways,
+            l1i_state=i_runtime.subarray_state,
+            l1i_ways=i_runtime.enabled_ways,
+        )
+        in_warmup = self.total_seen <= self.warmup_instructions
+        if not in_warmup:
+            self.measured_instructions += counts.instructions
+            self.measured_cycles += cycles
+            result.energy.add(breakdown)
+            result.l1d_accesses += counts.l1d_accesses
+            result.l1d_misses += counts.l1d_misses
+            result.l1i_accesses += counts.l1i_accesses
+            result.l1i_misses += counts.l1i_misses
+            result.l2_accesses += counts.l2_accesses
+            result.l2_misses += counts.memory_accesses
+            result.branch_mispredicts += counts.branch_mispredicts
+            d_runtime.capacity_weight += d_runtime.current_capacity * counts.instructions
+            i_runtime.capacity_weight += i_runtime.current_capacity * counts.instructions
+
+        if not final:
+            d_flush = d_runtime.observe_interval(
+                self.hierarchy, counts.l1d_accesses, counts.l1d_misses
+            )
+            i_flush = i_runtime.observe_interval(
+                self.hierarchy, counts.l1i_accesses, counts.l1i_misses
+            )
+            counts = IntervalCounts(memory_level_parallelism=self.mlp)
+            self.counts = counts
+            if d_flush or i_flush:
+                counts.resize_flush_writebacks = d_flush + i_flush
+                counts.l2_accesses += d_flush + i_flush
+
+
+class ReplayEngine(ABC):
+    """Strategy interface for the simulator's per-instruction replay loop."""
+
+    #: Registry name; also what :class:`~repro.sim.runner.SimJob` records.
+    name: str = ""
+
+    @abstractmethod
+    def replay(self, trace: Trace, ctx: ReplayContext) -> None:
+        """Replay ``trace`` through ``ctx``'s hierarchy and predictor.
+
+        Contract: feed every L1i fetch, branch and data access in program
+        order, keep ``ctx.counts``/``ctx.total_seen`` current, call
+        ``ctx.close_interval()`` after every ``ctx.interval_instructions``
+        instructions and ``ctx.close_interval(final=True)`` once at the end.
+        """
+
+
+class ReferenceEngine(ReplayEngine):
+    """The historical per-record loop, kept as the executable specification.
+
+    Iterates the trace's row-compatibility view, so it exercises exactly
+    the code path (and arithmetic) the project shipped before the columnar
+    refactor; the equivalence suite pins :class:`ColumnarEngine` to it.
+    """
+
+    name = "reference"
+
+    def replay(self, trace: Trace, ctx: ReplayContext) -> None:
+        interval_instructions = ctx.interval_instructions
+        block_mask = ctx.block_mask
+        data_access = ctx.hierarchy.data_access
+        instruction_fetch = ctx.hierarchy.instruction_fetch
+        predict = ctx.predictor.predict_and_update
+
+        counts = ctx.counts
+        last_fetch_block = -1
+        instructions_in_interval = 0
+        total_seen = 0
+
+        for record in trace.records:
+            pc, data_address, is_store, is_branch, taken = record
+            counts.instructions += 1
+            total_seen += 1
+
+            fetch_block = pc & block_mask
+            if fetch_block != last_fetch_block:
+                last_fetch_block = fetch_block
+                outcome = instruction_fetch(pc)
+                counts.l1i_accesses += 1
+                if not outcome.l1_hit:
+                    counts.l1i_misses += 1
+                    counts.l2_accesses += outcome.l2_accesses
+                    counts.memory_accesses += outcome.memory_accesses
+                    counts.l1i_memory_accesses += outcome.memory_accesses
+
+            if is_branch:
+                counts.branches += 1
+                if predict(pc, taken):
+                    counts.branch_mispredicts += 1
+
+            if data_address is not None:
+                outcome = data_access(data_address, is_store)
+                counts.l1d_accesses += 1
+                if is_store:
+                    counts.l1d_stores += 1
+                if not outcome.l1_hit:
+                    counts.l1d_misses += 1
+                    counts.l2_accesses += outcome.l2_accesses
+                    counts.memory_accesses += outcome.memory_accesses
+                    counts.l1d_memory_accesses += outcome.memory_accesses
+                    if outcome.l2_accesses > 1:
+                        counts.l1d_writebacks += outcome.l2_accesses - 1
+
+            instructions_in_interval += 1
+            if instructions_in_interval >= interval_instructions:
+                ctx.total_seen = total_seen
+                ctx.close_interval()
+                counts = ctx.counts
+                instructions_in_interval = 0
+
+        ctx.total_seen = total_seen
+        ctx.close_interval(final=True)
+
+
+class ColumnarEngine(ReplayEngine):
+    """Replay straight from the trace columns, one decoded interval at a time.
+
+    Per interval the decode pass reads the pc/flag/address columns exactly
+    once (``memoryview`` slice → ``tolist``, a C-level copy into unboxed
+    list indexing) and emits a flat op stream of only the events that touch
+    simulator state, in program order: fetch-block changes, branches with
+    their direction pre-resolved, memory ops with the store bit
+    pre-resolved.  Pure counting (instructions, branch/store/access totals)
+    is summed during the decode, so the execute loop is a tight dispatch
+    over pre-extracted locals with zero per-instruction object churn.
+    """
+
+    name = "columnar"
+
+    def replay(self, trace: Trace, ctx: ReplayContext) -> None:
+        pc_column, address_column, flag_column = trace.columns()
+        pc_view = memoryview(pc_column)
+        address_view = memoryview(address_column)
+        flag_view = memoryview(flag_column)
+
+        n = len(trace)
+        interval_instructions = ctx.interval_instructions
+        block_mask = ctx.block_mask
+        data_access = ctx.hierarchy.data_access
+        instruction_fetch = ctx.hierarchy.instruction_fetch
+        predict = ctx.predictor.predict_and_update
+
+        branch_flag, mem_flag = FLAG_BRANCH, FLAG_MEM
+        store_flag, taken_flag = FLAG_STORE, FLAG_TAKEN
+        op_fetch, op_load, op_store = _OP_FETCH, _OP_LOAD, _OP_STORE
+        op_taken, op_not_taken = _OP_BRANCH_TAKEN, _OP_BRANCH_NOT_TAKEN
+
+        last_fetch_block = -1
+        total_seen = 0
+        position = 0
+        while position < n:
+            stop = position + interval_instructions
+            if stop > n:
+                stop = n
+            chunk = stop - position
+            pcs = pc_view[position:stop].tolist()
+            flags = flag_view[position:stop].tolist()
+            addresses = address_view[position:stop].tolist()
+            position = stop
+
+            # Decode pass: one linear scan of the columns emits the op
+            # stream and the event totals for this interval.
+            ops = []
+            append = ops.append
+            branches = 0
+            memory_refs = 0
+            stores = 0
+            for k in range(chunk):
+                pc = pcs[k]
+                fetch_block = pc & block_mask
+                if fetch_block != last_fetch_block:
+                    last_fetch_block = fetch_block
+                    append(op_fetch)
+                    append(pc)
+                flag = flags[k]
+                if flag:
+                    if flag & branch_flag:
+                        branches += 1
+                        append(op_taken if flag & taken_flag else op_not_taken)
+                        append(pc)
+                    if flag & mem_flag:
+                        memory_refs += 1
+                        if flag & store_flag:
+                            stores += 1
+                            append(op_store)
+                        else:
+                            append(op_load)
+                        append(addresses[k])
+
+            counts = ctx.counts
+            counts.instructions += chunk
+            counts.branches += branches
+            counts.l1d_accesses += memory_refs
+            counts.l1d_stores += stores
+            total_seen += chunk
+
+            # Execute pass: drive the caches and predictor in program order,
+            # accumulating miss statistics in locals, flushed once per chunk.
+            l1i_accesses = 0
+            l1i_misses = 0
+            l1i_memory = 0
+            l1d_misses = 0
+            l1d_memory = 0
+            l1d_writebacks = 0
+            l2_accesses = 0
+            memory_accesses = 0
+            branch_mispredicts = 0
+            index = 0
+            op_count = len(ops)
+            while index < op_count:
+                code = ops[index]
+                operand = ops[index + 1]
+                index += 2
+                if code == op_fetch:
+                    outcome = instruction_fetch(operand)
+                    l1i_accesses += 1
+                    if not outcome.l1_hit:
+                        l1i_misses += 1
+                        l2_accesses += outcome.l2_accesses
+                        transfers = outcome.memory_accesses
+                        memory_accesses += transfers
+                        l1i_memory += transfers
+                elif code == op_load:
+                    outcome = data_access(operand, False)
+                    if not outcome.l1_hit:
+                        l1d_misses += 1
+                        fills = outcome.l2_accesses
+                        l2_accesses += fills
+                        transfers = outcome.memory_accesses
+                        memory_accesses += transfers
+                        l1d_memory += transfers
+                        if fills > 1:
+                            l1d_writebacks += fills - 1
+                elif code == op_store:
+                    outcome = data_access(operand, True)
+                    if not outcome.l1_hit:
+                        l1d_misses += 1
+                        fills = outcome.l2_accesses
+                        l2_accesses += fills
+                        transfers = outcome.memory_accesses
+                        memory_accesses += transfers
+                        l1d_memory += transfers
+                        if fills > 1:
+                            l1d_writebacks += fills - 1
+                else:
+                    if predict(operand, code == op_taken):
+                        branch_mispredicts += 1
+
+            counts.l1i_accesses += l1i_accesses
+            counts.l1i_misses += l1i_misses
+            counts.l1i_memory_accesses += l1i_memory
+            counts.l1d_misses += l1d_misses
+            counts.l1d_memory_accesses += l1d_memory
+            counts.l1d_writebacks += l1d_writebacks
+            counts.l2_accesses += l2_accesses
+            counts.memory_accesses += memory_accesses
+            counts.branch_mispredicts += branch_mispredicts
+
+            if chunk == interval_instructions:
+                ctx.total_seen = total_seen
+                ctx.close_interval()
+
+        ctx.total_seen = total_seen
+        ctx.close_interval(final=True)
+
+
+# ---------------------------------------------------------------------------
+# Engine registry
+# ---------------------------------------------------------------------------
+
+#: The engine used when neither the simulator nor the job names one.
+DEFAULT_ENGINE = "columnar"
+
+_ENGINE_REGISTRY: Dict[str, Type[ReplayEngine]] = {
+    ReferenceEngine.name: ReferenceEngine,
+    ColumnarEngine.name: ColumnarEngine,
+}
+
+
+def register_engine(cls: Type[ReplayEngine]) -> Type[ReplayEngine]:
+    """Register a custom replay engine class under its ``name``.
+
+    Same contract as organization registration: the name must be unique
+    (re-registering a *different* class under a taken name is rejected,
+    since jobs and CLI flags select engines by name), and the class must be
+    importable for worker processes to rebuild it.  Usable as a decorator.
+    """
+    if not cls.name:
+        raise SimulationError(f"engine class {cls.__name__} must define a non-empty name")
+    existing = _ENGINE_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise SimulationError(
+            f"engine name {cls.name!r} is already registered to {existing.__name__}; "
+            f"give {cls.__name__} a distinct name"
+        )
+    _ENGINE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines():
+    """Sorted names of every registered replay engine."""
+    return sorted(_ENGINE_REGISTRY)
+
+
+def engine_name(engine: Union[str, ReplayEngine, None]) -> Union[str, None]:
+    """The registry name for an engine argument (None stays None).
+
+    Validates like :func:`repro.sim.runner.require_registered` does for
+    organizations: an instance whose class is not the one registered under
+    its name is rejected, because a job spec carries only the name and a
+    worker would silently rebuild the registered class instead.
+    """
+    if engine is None:
+        return None
+    if isinstance(engine, str):
+        get_engine(engine)  # raises on unknown names
+        return engine
+    if isinstance(engine, ReplayEngine):
+        registered = _ENGINE_REGISTRY.get(engine.name)
+        if registered is not type(engine):
+            raise SimulationError(
+                f"engine class {type(engine).__name__} is not registered under "
+                f"{engine.name!r}; register it with repro.sim.engine.register_engine"
+            )
+        return engine.name
+    raise SimulationError(
+        f"engine must be a name or a ReplayEngine instance, got {type(engine).__name__}"
+    )
+
+
+def get_engine(engine: Union[str, ReplayEngine, None] = None) -> ReplayEngine:
+    """Resolve an engine argument (name, instance, or None for the default)."""
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if isinstance(engine, ReplayEngine):
+        return engine
+    if isinstance(engine, str):
+        cls = _ENGINE_REGISTRY.get(engine)
+        if cls is None:
+            known = ", ".join(available_engines())
+            raise SimulationError(
+                f"unknown replay engine {engine!r}; available engines: {known} "
+                f"(use repro.sim.engine.register_engine for custom classes)"
+            )
+        return cls()
+    raise SimulationError(
+        f"engine must be a name or a ReplayEngine instance, got {type(engine).__name__}"
+    )

@@ -70,12 +70,15 @@ from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import L1Setup, Simulator
+from repro.sim.tracecache import TraceCache
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
 
 #: Fingerprint schema version; bump when the hashed fields change meaning.
-_FINGERPRINT_VERSION = 1
+#: v2: inline traces are digested from their raw column buffers and the
+#: ``engine`` field is deliberately excluded (engines are bit-identical).
+_FINGERPRINT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -111,16 +114,24 @@ def register_organization(cls: Type[ResizingOrganization]) -> Type[ResizingOrgan
     return cls
 
 
-def _install_registry(registry: Dict[str, Type[ResizingOrganization]]) -> None:
-    """Pool-worker initializer: adopt the parent process's registry.
+def _install_worker_state(
+    registry: Dict[str, Type[ResizingOrganization]],
+    trace_cache_dir: Optional[str],
+) -> None:
+    """Pool-worker initializer: adopt the parent process's registry and
+    on-disk trace cache.
 
     Under the ``spawn``/``forkserver`` start methods a worker imports this
     module fresh and would only know the three built-in organizations;
     shipping the parent's registry (classes pickled by reference) restores
     any custom registrations.  Under ``fork`` this is a harmless no-op
-    update with identical entries.
+    update with identical entries.  The trace cache is shipped as a
+    directory path (the cache object itself holds no state worth pickling),
+    so workers materialising a :class:`TraceSpec` share the parent's
+    on-disk trace memo.
     """
     _ORGANIZATION_REGISTRY.update(registry)
+    set_trace_cache(trace_cache_dir)
 
 
 def organization_class(name: str) -> Type[ResizingOrganization]:
@@ -333,7 +344,15 @@ class L1SetupSpec:
 
 @dataclass
 class SimJob:
-    """One complete, self-contained simulation: spec in, result out."""
+    """One complete, self-contained simulation: spec in, result out.
+
+    ``engine`` names the replay engine the executing process should use
+    (None = package default).  It is the one field *excluded* from the
+    job fingerprint: engines are bit-identical by contract (enforced by
+    the cross-engine equivalence suite), so a result computed by either
+    engine may serve a job requesting the other — switching ``--engine``
+    never invalidates the on-disk cache.
+    """
 
     trace: Union[TraceSpec, Trace]
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -343,6 +362,7 @@ class SimJob:
     warmup_instructions: int = 0
     technology: TechnologyParameters = field(default_factory=TechnologyParameters)
     timing: CoreTimingParameters = field(default_factory=CoreTimingParameters)
+    engine: Optional[str] = None
 
     def fingerprint(self) -> str:
         """Content hash over everything that influences this job's result."""
@@ -380,22 +400,19 @@ def _describe_setup(spec: L1SetupSpec) -> str:
 
 
 #: Content digests of inline traces, keyed weakly by the trace object.
-#: Hashing 60k records costs tens of milliseconds; a profiling sweep submits
-#: the same Trace object in every ladder job, so the digest is computed once
-#: per object instead of once per job.  (Traces are treated as immutable
-#: once submitted — the same assumption the simulator itself makes.)
+#: Digesting now hashes the trace's raw column buffers (flat ``array``
+#: bytes) instead of one repr per record — ~100x cheaper — but a profiling
+#: sweep still submits the same Trace object in every ladder job, so the
+#: digest is additionally computed once per object instead of once per job.
+#: (Traces are treated as immutable once submitted — the same assumption
+#: the simulator itself makes.)
 _TRACE_DIGEST_MEMO: "weakref.WeakKeyDictionary[Trace, str]" = weakref.WeakKeyDictionary()
 
 
 def _trace_digest(trace: Trace) -> str:
     cached = _TRACE_DIGEST_MEMO.get(trace)
     if cached is None:
-        digest = hashlib.sha256()
-        digest.update(trace.name.encode("utf-8"))
-        digest.update(repr(trace.memory_level_parallelism).encode("ascii"))
-        for record in trace.records:
-            digest.update(repr(tuple(record)).encode("ascii"))
-        cached = digest.hexdigest()
+        cached = trace.content_digest()
         _TRACE_DIGEST_MEMO[trace] = cached
     return cached
 
@@ -413,6 +430,15 @@ def _canonical(value):
         cls = organization_class(value.organization)
         canonical = {"__organization_class__": f"{cls.__module__}.{cls.__qualname__}"}
         for spec_field in fields(value):
+            canonical[spec_field.name] = _canonical(getattr(value, spec_field.name))
+        return canonical
+    if isinstance(value, SimJob):
+        canonical = {"__type__": "SimJob"}
+        for spec_field in fields(value):
+            # `engine` is excluded by design: engines are bit-identical, so
+            # the cache serves results across engine choices (see SimJob).
+            if spec_field.name == "engine":
+                continue
             canonical[spec_field.name] = _canonical(getattr(value, spec_field.name))
         return canonical
     if is_dataclass(value) and not isinstance(value, type):
@@ -501,6 +527,26 @@ def job_fingerprint(job: SimJob) -> str:
 _TRACE_MEMO: Dict[Tuple[str, int, Optional[int]], Trace] = {}
 _TRACE_MEMO_MAX = 16
 
+#: Process-level on-disk trace memo consulted by :func:`resolve_trace` when
+#: the in-memory memo misses.  Configured with :func:`set_trace_cache`
+#: (directly, by a :class:`SweepRunner`, or by the pool-worker initializer);
+#: None disables disk memoisation of traces.
+_TRACE_CACHE: Optional[TraceCache] = None
+
+
+def set_trace_cache(cache: Union[TraceCache, str, None]) -> Optional[TraceCache]:
+    """Install (or clear, with None) the process-level on-disk trace cache."""
+    global _TRACE_CACHE
+    if cache is not None and not isinstance(cache, TraceCache):
+        cache = TraceCache(cache)
+    _TRACE_CACHE = cache
+    return cache
+
+
+def get_trace_cache() -> Optional[TraceCache]:
+    """The process-level on-disk trace cache, or None when disabled."""
+    return _TRACE_CACHE
+
 
 def resolve_trace(trace: Union[TraceSpec, Trace]) -> Trace:
     if isinstance(trace, Trace):
@@ -508,7 +554,14 @@ def resolve_trace(trace: Union[TraceSpec, Trace]) -> Trace:
     key = (trace.application, trace.n_instructions, trace.seed)
     cached = _TRACE_MEMO.pop(key, None)
     if cached is None:
-        cached = trace.materialize()
+        disk = _TRACE_CACHE
+        if disk is not None:
+            cached = disk.get(trace)
+            if cached is None:
+                cached = trace.materialize()
+                disk.put(trace, cached)
+        else:
+            cached = trace.materialize()
     _TRACE_MEMO[key] = cached  # re-insert at the back: most recently used
     while len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
         _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
@@ -520,10 +573,11 @@ def execute_job(job: SimJob) -> SimulationResult:
 
     Everything is rebuilt from the spec — trace, simulator, setups — so the
     result is a pure function of the job and is identical whether executed
-    inline, in a forked worker, or in a spawned worker.
+    inline, in a forked worker, or in a spawned worker (and, per the
+    engine contract, whichever replay engine the job names).
     """
     trace = resolve_trace(job.trace)
-    simulator = Simulator(job.system, job.technology, job.timing)
+    simulator = Simulator(job.system, job.technology, job.timing, engine=job.engine)
     return simulator.run(
         trace,
         d_setup=job.d_setup.build(job.system.l1d),
@@ -594,6 +648,11 @@ class SweepRunner:
             identical either way.
         cache: optional :class:`JobCache`; completed jobs are persisted and
             identical future jobs are served from disk.
+        trace_cache: optional :class:`TraceCache` (or directory path) for
+            memoising *generated traces* on disk.  Installed as the
+            process-level trace cache (see :func:`set_trace_cache`) and
+            shipped to pool workers; None keeps whatever the process has
+            configured (usually nothing).
         mp_start_method: ``multiprocessing`` start method ("fork", "spawn",
             "forkserver"); None uses the platform default.
 
@@ -611,12 +670,18 @@ class SweepRunner:
         self,
         jobs: int = 1,
         cache: Optional[JobCache] = None,
+        trace_cache: Union[TraceCache, str, None] = None,
         mp_start_method: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise SimulationError(f"worker count must be at least 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        if trace_cache is not None:
+            set_trace_cache(trace_cache)
+        # Snapshot the process-level cache so the pool initializer ships the
+        # same directory whether it was configured here or beforehand.
+        self.trace_cache = get_trace_cache()
         self.mp_start_method = mp_start_method
         self.simulate_count = 0
         self.cache_hits = 0
@@ -882,9 +947,27 @@ class SweepRunner:
         indexed = list(enumerate(pending))
         if self.jobs <= 1:
             self.inline_executions += len(indexed)
-            return (_execute_indexed(item) for item in indexed)
+            return self._execute_inline(indexed)
         self.pool_batches += 1
         return self._get_pool().imap_unordered(_execute_indexed, indexed, chunksize=1)
+
+    def _execute_inline(self, indexed):
+        """Inline execution pins this runner's trace-cache snapshot.
+
+        The on-disk trace memo is process-global, so a runner constructed
+        later with a different ``trace_cache`` would otherwise silently
+        redirect this runner's trace reads/writes mid-life.  Pinning the
+        snapshot for the batch (and restoring afterwards) keeps every
+        execution of a runner — inline or pooled — on the cache it was
+        built with.
+        """
+        previous = get_trace_cache()
+        set_trace_cache(self.trace_cache)
+        try:
+            for item in indexed:
+                yield _execute_indexed(item)
+        finally:
+            set_trace_cache(previous)
 
     def _get_pool(self):
         # A pool whose workers predate a register_organization call would
@@ -894,10 +977,13 @@ class SweepRunner:
         if self._pool is None:
             context = multiprocessing.get_context(self.mp_start_method)
             self._pool_registry = dict(_ORGANIZATION_REGISTRY)
+            trace_cache_dir = (
+                None if self.trace_cache is None else str(self.trace_cache.directory)
+            )
             self._pool = context.Pool(
                 processes=self.jobs,
-                initializer=_install_registry,
-                initargs=(self._pool_registry,),
+                initializer=_install_worker_state,
+                initargs=(self._pool_registry, trace_cache_dir),
             )
         return self._pool
 

@@ -1,4 +1,4 @@
-"""The trace-driven processor simulator.
+"""The trace-driven processor simulator (orchestration shell).
 
 The simulator replays a :class:`repro.workloads.trace.Trace` against a
 two-level cache hierarchy, chops execution into fixed-length instruction
@@ -13,11 +13,18 @@ intervals, and for each interval
 Resizing flushes are routed into the L2 and charged to the following
 interval, so the energy and delay costs of resizing the paper discusses in
 Section 3 are all accounted for.
+
+The per-instruction loop itself lives in :mod:`repro.sim.engine`: the shell
+here builds the run (caches, hierarchy, models, result aggregation) and a
+pluggable :class:`~repro.sim.engine.ReplayEngine` walks the trace.  All
+engines are bit-identical; ``engine="reference"`` selects the historical
+per-record loop, ``engine="columnar"`` (the default) the structure-of-arrays
+fast path.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheHierarchy
@@ -30,12 +37,16 @@ from repro.cpu.core_model import make_core_model
 from repro.cpu.timing import CoreTimingParameters
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.technology import TechnologyParameters
-from repro.metrics.counts import IntervalCounts
 from repro.resizing.organization import ResizingOrganization
 from repro.resizing.resizable_cache import ResizableCache
 from repro.resizing.strategy import ResizingStrategy
+from repro.sim.engine import ReplayContext, ReplayEngine, get_engine
 from repro.sim.results import SimulationResult
 from repro.workloads.trace import Trace
+
+#: Engine arguments the simulator accepts: a registry name, a live engine,
+#: or None for the session default (see :data:`repro.sim.engine.DEFAULT_ENGINE`).
+EngineLike = Union[str, ReplayEngine, None]
 
 #: Per-process memo of fetch-block masks keyed by block size.
 #:
@@ -176,10 +187,16 @@ class Simulator:
         system: Optional[SystemConfig] = None,
         technology: Optional[TechnologyParameters] = None,
         timing: Optional[CoreTimingParameters] = None,
+        engine: EngineLike = None,
     ) -> None:
         self.system = system if system is not None else SystemConfig()
         self.technology = technology if technology is not None else TechnologyParameters()
         self.timing = timing if timing is not None else CoreTimingParameters()
+        #: Default replay engine for this simulator's runs (name, instance,
+        #: or None for the package default).  Validated eagerly so a typo
+        #: fails at construction, not mid-sweep.
+        self.engine = engine
+        get_engine(engine)
 
     def run(
         self,
@@ -188,6 +205,7 @@ class Simulator:
         i_setup: Optional[L1Setup] = None,
         interval_instructions: int = 1500,
         warmup_instructions: int = 0,
+        engine: EngineLike = None,
     ) -> SimulationResult:
         """Simulate ``trace`` and return the aggregated result.
 
@@ -199,11 +217,16 @@ class Simulator:
             warmup_instructions: leading instructions excluded from the
                 reported statistics (they still warm the caches and drive
                 resizing decisions).
+            engine: replay engine override for this run (name or instance);
+                None uses the simulator's engine, which itself defaults to
+                the package default.  All engines are bit-identical — the
+                choice affects speed only.
         """
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
         if interval_instructions < 1:
             raise SimulationError("interval length must be at least one instruction")
+        replay_engine = get_engine(engine if engine is not None else self.engine)
 
         system = self.system
         d_setup = d_setup if d_setup is not None else L1Setup()
@@ -235,105 +258,30 @@ class Simulator:
             full_l1i_capacity=system.l1i.capacity_bytes,
         )
 
-        block_mask = _block_mask(system.l1i.block_bytes)
-        data_access = hierarchy.data_access
-        instruction_fetch = hierarchy.instruction_fetch
-        predict = predictor.predict_and_update
-        mlp = trace.memory_level_parallelism
+        context = ReplayContext(
+            hierarchy=hierarchy,
+            predictor=predictor,
+            core_model=core_model,
+            accountant=accountant,
+            d_runtime=d_runtime,
+            i_runtime=i_runtime,
+            result=result,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+            block_mask=_block_mask(system.l1i.block_bytes),
+            memory_level_parallelism=trace.memory_level_parallelism,
+        )
+        replay_engine.replay(trace, context)
 
-        counts = IntervalCounts(memory_level_parallelism=mlp)
-        measured_instructions = 0
-        measured_cycles = 0.0
-        last_fetch_block = -1
-        instructions_in_interval = 0
-        total_seen = 0
-
-        def close_interval(final: bool = False) -> None:
-            nonlocal counts, instructions_in_interval, measured_instructions, measured_cycles
-            if counts.instructions == 0:
-                return
-            cycles = core_model.interval_cycles(counts)
-            breakdown = accountant.interval_breakdown(
-                counts,
-                cycles,
-                l1d_state=d_runtime.subarray_state,
-                l1d_ways=d_runtime.enabled_ways,
-                l1i_state=i_runtime.subarray_state,
-                l1i_ways=i_runtime.enabled_ways,
+        result.instructions = context.measured_instructions
+        result.cycles = context.measured_cycles
+        if context.measured_instructions > 0:
+            result.average_l1d_capacity = (
+                d_runtime.capacity_weight / context.measured_instructions
             )
-            in_warmup = total_seen <= warmup_instructions
-            if not in_warmup:
-                measured_instructions += counts.instructions
-                measured_cycles += cycles
-                result.energy.add(breakdown)
-                result.l1d_accesses += counts.l1d_accesses
-                result.l1d_misses += counts.l1d_misses
-                result.l1i_accesses += counts.l1i_accesses
-                result.l1i_misses += counts.l1i_misses
-                result.l2_accesses += counts.l2_accesses
-                result.l2_misses += counts.memory_accesses
-                result.branch_mispredicts += counts.branch_mispredicts
-                d_runtime.capacity_weight += d_runtime.current_capacity * counts.instructions
-                i_runtime.capacity_weight += i_runtime.current_capacity * counts.instructions
-
-            if not final:
-                d_flush = d_runtime.observe_interval(
-                    hierarchy, counts.l1d_accesses, counts.l1d_misses
-                )
-                i_flush = i_runtime.observe_interval(
-                    hierarchy, counts.l1i_accesses, counts.l1i_misses
-                )
-                counts = IntervalCounts(memory_level_parallelism=mlp)
-                if d_flush or i_flush:
-                    counts.resize_flush_writebacks = d_flush + i_flush
-                    counts.l2_accesses += d_flush + i_flush
-            instructions_in_interval = 0
-
-        for record in trace.records:
-            pc, data_address, is_store, is_branch, taken = record
-            counts.instructions += 1
-            total_seen += 1
-
-            fetch_block = pc & block_mask
-            if fetch_block != last_fetch_block:
-                last_fetch_block = fetch_block
-                outcome = instruction_fetch(pc)
-                counts.l1i_accesses += 1
-                if not outcome.l1_hit:
-                    counts.l1i_misses += 1
-                    counts.l2_accesses += outcome.l2_accesses
-                    counts.memory_accesses += outcome.memory_accesses
-                    counts.l1i_memory_accesses += outcome.memory_accesses
-
-            if is_branch:
-                counts.branches += 1
-                if predict(pc, taken):
-                    counts.branch_mispredicts += 1
-
-            if data_address is not None:
-                outcome = data_access(data_address, is_store)
-                counts.l1d_accesses += 1
-                if is_store:
-                    counts.l1d_stores += 1
-                if not outcome.l1_hit:
-                    counts.l1d_misses += 1
-                    counts.l2_accesses += outcome.l2_accesses
-                    counts.memory_accesses += outcome.memory_accesses
-                    counts.l1d_memory_accesses += outcome.memory_accesses
-                    if outcome.l2_accesses > 1:
-                        counts.l1d_writebacks += outcome.l2_accesses - 1
-
-            instructions_in_interval += 1
-            if instructions_in_interval >= interval_instructions:
-                close_interval()
-
-        close_interval(final=True)
-
-        result.instructions = measured_instructions
-        result.cycles = measured_cycles
-        if measured_instructions > 0:
-            result.average_l1d_capacity = d_runtime.capacity_weight / measured_instructions
-            result.average_l1i_capacity = i_runtime.capacity_weight / measured_instructions
+            result.average_l1i_capacity = (
+                i_runtime.capacity_weight / context.measured_instructions
+            )
         if d_runtime.is_resizable:
             result.l1d_resizes = l1d.resize_count
             result.l1d_flush_writebacks = l1d.flush_writebacks

@@ -41,6 +41,7 @@ from repro.resizing.profiler import (
     derive_dynamic_parameters,
     select_static_config,
 )
+from repro.sim.engine import engine_name
 from repro.sim.future import SimFuture
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
@@ -104,6 +105,10 @@ def make_job(
     job will run on a parallel runner: an inline trace is pickled into every
     job that carries it (a 60k-record trace is several MB per job), whereas
     a spec is a few bytes and each worker materialises it once.
+
+    The simulator's replay-engine choice rides along by name, so a sweep
+    replays with the engine the caller configured regardless of which
+    worker process executes each job.
     """
     return SimJob(
         trace=trace,
@@ -114,6 +119,7 @@ def make_job(
         warmup_instructions=warmup_instructions,
         technology=simulator.technology,
         timing=simulator.timing,
+        engine=engine_name(simulator.engine),
     )
 
 

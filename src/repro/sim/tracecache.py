@@ -1,0 +1,121 @@
+"""On-disk memoisation of generated traces.
+
+Trace generation is deterministic but not free — at paper scale (tens of
+millions of instructions) it rivals the simulations themselves — so, like
+completed jobs in :class:`repro.sim.jobcache.JobCache`, generated traces are
+memoised on disk in the binary trace format
+(:meth:`repro.workloads.trace.Trace.save`).  Entries are keyed by a content
+fingerprint of the :class:`~repro.sim.runner.TraceSpec` (application,
+instruction count, seed) mixed with the package source digest, so editing
+any generator code invalidates every cached trace mechanically, exactly as
+job fingerprints invalidate cached results.
+
+Layout mirrors the job cache (sharded by the first two fingerprint digits)::
+
+    <cache-dir>/
+        ab/ab3f...e1.trace      # one generated trace, binary format
+        c0/c04d...77.trace
+
+Writes are atomic (temp file + ``os.replace``), reads treat unreadable or
+corrupt entries as misses, and the cache is only ever a memo: every failure
+path falls back to regenerating the trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.common.errors import ReproError
+from repro.workloads.trace import TRACE_FORMAT_VERSION, Trace
+
+#: Bump when the key inputs or the entry layout change; entries written by
+#: other versions simply miss (their keys differ).
+TRACE_CACHE_VERSION = 1
+
+
+class TraceCache:
+    """A directory of generated traces keyed by trace-spec fingerprint."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------- keys
+    @staticmethod
+    def key_for(spec) -> str:
+        """Hex fingerprint of a :class:`~repro.sim.runner.TraceSpec`.
+
+        Mixes in the package source digest (the same one job fingerprints
+        use), so a change to the generator — or anything else in the
+        package — regenerates instead of serving a stale trace.
+        """
+        from repro.sim.runner import _source_digest  # deferred: runner imports us
+
+        payload = json.dumps(
+            {
+                "version": TRACE_CACHE_VERSION,
+                "trace_format": TRACE_FORMAT_VERSION,
+                "source": _source_digest(),
+                "application": spec.application,
+                "n_instructions": spec.n_instructions,
+                "seed": spec.seed,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.trace"
+
+    # ----------------------------------------------------------------- access
+    def get(self, spec) -> Optional[Trace]:
+        """The cached trace for ``spec``, or None on any kind of miss."""
+        path = self._entry_path(self.key_for(spec))
+        try:
+            trace = Trace.load(str(path))
+        except (OSError, ValueError, ReproError):
+            # ValueError covers decode/struct-level corruption an entry
+            # could still smuggle past the format checks; any unreadable
+            # entry is a miss, never a crash.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, spec, trace: Trace) -> None:
+        """Persist ``trace`` under ``spec``'s key (atomically, best-effort).
+
+        A write failure is swallowed: the trace in hand still reaches the
+        caller, it simply is not memoised.
+        """
+        try:
+            path = self._entry_path(self.key_for(spec))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            with open(tmp, "wb") as handle:
+                trace._write(handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def __contains__(self, spec) -> bool:
+        return self._entry_path(self.key_for(spec)).is_file()
+
+    # ------------------------------------------------------------ maintenance
+    def __len__(self) -> int:
+        """Number of trace entries currently on disk."""
+        try:
+            shards = [shard for shard in self.directory.iterdir() if shard.is_dir()]
+        except OSError:
+            return 0
+        return sum(1 for shard in shards for _ in shard.glob("*.trace"))
+
+    def __repr__(self) -> str:
+        return f"TraceCache({str(self.directory)!r})"

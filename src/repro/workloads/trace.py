@@ -1,4 +1,4 @@
-"""Trace record types.
+"""Columnar (structure-of-arrays) trace storage.
 
 A trace is the unit the simulator consumes: a sequence of per-instruction
 records plus the workload-level metadata (memory-level parallelism) the
@@ -6,15 +6,70 @@ out-of-order timing model needs.  Traces are independent of any cache
 configuration, so one materialised trace is reused across every candidate
 configuration of a profiling sweep — that is what makes the design-space
 sweeps in :mod:`repro.experiments` affordable.
+
+Storage layout
+--------------
+
+Instead of one Python object per instruction, a :class:`Trace` holds three
+parallel columns in compact :mod:`array` buffers:
+
+=================  ========  =================================================
+column             typecode  contents
+=================  ========  =================================================
+``pc``             ``Q``     byte address of each instruction
+``data_address``   ``Q``     byte address of the load/store (0 when none)
+``flags``          ``B``     :data:`FLAG_MEM` / :data:`FLAG_STORE` /
+                             :data:`FLAG_BRANCH` / :data:`FLAG_TAKEN` bits
+=================  ========  =================================================
+
+A 60k-instruction trace is therefore ~1 MB of flat buffers rather than
+hundreds of thousands of boxed ints and tuples, :meth:`Trace.slice` is a
+zero-copy window (``memoryview``) onto the parent's buffers, content
+digests hash the raw bytes, and the whole trace round-trips through a small
+binary file format (:meth:`Trace.save` / :meth:`Trace.load`) so generated
+traces can be memoised on disk like simulation results.
+
+The row-oriented view is still available for compatibility: iterating a
+trace (or its :attr:`Trace.records` sequence view) yields
+:class:`InstructionRecord` tuples materialised on the fly, and the
+constructor accepts any iterable of records.  The simulator's fast path
+(:class:`repro.sim.engine.ColumnarEngine`) bypasses the view and replays
+straight from the columns.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional
+import hashlib
+import io
+import struct
+import sys
+from array import array
+from typing import BinaryIO, Iterable, Iterator, NamedTuple, Optional, Union
+
+from repro.common.errors import WorkloadError
+
+#: Flag bits of the ``flags`` column (one byte per instruction).
+FLAG_MEM = 0x1  #: the instruction carries a data access (load or store)
+FLAG_STORE = 0x2  #: the data access is a store
+FLAG_BRANCH = 0x4  #: the instruction is a conditional branch or jump
+FLAG_TAKEN = 0x8  #: branch outcome (meaningful only with FLAG_BRANCH)
+
+#: Array typecodes of the three columns.
+PC_TYPECODE = "Q"
+ADDRESS_TYPECODE = "Q"
+FLAG_TYPECODE = "B"
+
+#: A column is either an owning buffer or a zero-copy window onto one.
+Column = Union[array, memoryview]
+
+#: Binary trace file format (see :meth:`Trace.save`).
+TRACE_MAGIC = b"RTRC"
+TRACE_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHcdQI")  # magic, version, byteorder, mlp, count, name length
 
 
 class InstructionRecord(NamedTuple):
-    """One dynamic instruction.
+    """One dynamic instruction (the row-oriented compatibility view).
 
     Attributes:
         pc: byte address of the instruction.
@@ -31,50 +86,379 @@ class InstructionRecord(NamedTuple):
     is_branch: bool
     taken: bool
 
+    def flags(self) -> int:
+        """This record's flag bits as stored in the trace's flag column."""
+        flags = 0
+        if self.data_address is not None:
+            flags |= FLAG_MEM
+        if self.is_store:
+            flags |= FLAG_STORE
+        if self.is_branch:
+            flags |= FLAG_BRANCH
+        if self.taken:
+            flags |= FLAG_TAKEN
+        return flags
+
+
+def _record_from_columns(pc: int, address: int, flags: int) -> InstructionRecord:
+    """Materialise one row of the columns as an :class:`InstructionRecord`."""
+    return InstructionRecord(
+        pc,
+        address if flags & FLAG_MEM else None,
+        bool(flags & FLAG_STORE),
+        bool(flags & FLAG_BRANCH),
+        bool(flags & FLAG_TAKEN),
+    )
+
+
+class TraceRecords:
+    """Read-only sequence view that materialises :class:`InstructionRecord` rows.
+
+    Kept deliberately cheap: indexing or iterating builds records on demand
+    from the parent trace's columns; equality between two views compares the
+    underlying column bytes (fast path) instead of boxing every row.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "Trace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __getitem__(self, index):
+        trace = self._trace
+        if isinstance(index, slice):
+            rng = range(*index.indices(len(trace)))
+            pcs, addresses, flags = trace.columns()
+            return [
+                _record_from_columns(pcs[i], addresses[i], flags[i]) for i in rng
+            ]
+        if index < 0:
+            index += len(trace)
+        if not 0 <= index < len(trace):
+            raise IndexError("trace record index out of range")
+        pcs, addresses, flags = trace.columns()
+        return _record_from_columns(pcs[index], addresses[index], flags[index])
+
+    def __iter__(self) -> Iterator[InstructionRecord]:
+        pcs, addresses, flags = self._trace.columns()
+        for pc, address, flag in zip(pcs, addresses, flags):
+            yield _record_from_columns(pc, address, flag)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceRecords):
+            mine, theirs = self._trace, other._trace
+            if mine is theirs:
+                return True
+            return all(
+                a.tobytes() == b.tobytes()
+                for a, b in zip(mine.columns(), theirs.columns())
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TraceRecords({self._trace.name}, {len(self)} records)"
+
 
 class Trace:
     """A materialised instruction trace with workload metadata."""
 
+    __slots__ = ("name", "memory_level_parallelism", "_pc", "_address", "_flags",
+                 "_memory_references", "_branches", "__weakref__")
+
     def __init__(
         self,
         name: str,
-        records: List[InstructionRecord],
+        records: Iterable[InstructionRecord] = (),
         memory_level_parallelism: float = 1.0,
     ) -> None:
         self.name = name
-        self.records = records
         self.memory_level_parallelism = memory_level_parallelism
+        pcs = array(PC_TYPECODE)
+        addresses = array(ADDRESS_TYPECODE)
+        flags = array(FLAG_TYPECODE)
+        pc_append, address_append, flag_append = pcs.append, addresses.append, flags.append
+        for record in records:
+            pc, data_address, is_store, is_branch, taken = record
+            bits = 0
+            address = 0
+            if data_address is not None:
+                bits = FLAG_MEM
+                address = data_address
+            if is_store:
+                bits |= FLAG_STORE
+            if is_branch:
+                bits |= FLAG_BRANCH
+            if taken:
+                bits |= FLAG_TAKEN
+            pc_append(pc)
+            address_append(address)
+            flag_append(bits)
+        self._pc: Column = pcs
+        self._address: Column = addresses
+        self._flags: Column = flags
+        self._memory_references: Optional[int] = None
+        self._branches: Optional[int] = None
 
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self):
-        return iter(self.records)
-
-    @property
-    def memory_references(self) -> int:
-        """Number of instructions that carry a data access."""
-        return sum(1 for record in self.records if record.data_address is not None)
-
-    @property
-    def branches(self) -> int:
-        """Number of branch instructions in the trace."""
-        return sum(1 for record in self.records if record.is_branch)
-
-    def slice(self, start: int, stop: int) -> "Trace":
-        """Return a sub-trace covering ``records[start:stop]``."""
-        return Trace(
-            name=f"{self.name}[{start}:{stop}]",
-            records=self.records[start:stop],
-            memory_level_parallelism=self.memory_level_parallelism,
-        )
-
+    # ------------------------------------------------------------ construction
     @classmethod
     def from_records(
         cls, name: str, records: Iterable[InstructionRecord], memory_level_parallelism: float = 1.0
     ) -> "Trace":
         """Build a trace from any iterable of records."""
-        return cls(name, list(records), memory_level_parallelism)
+        return cls(name, records, memory_level_parallelism)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        pcs: Column,
+        addresses: Column,
+        flags: Column,
+        memory_level_parallelism: float = 1.0,
+    ) -> "Trace":
+        """Adopt pre-built columns without copying.
+
+        ``pcs`` and ``addresses`` must be ``array('Q')`` buffers (or
+        memoryviews of such buffers), ``flags`` an ``array('B')``, and all
+        three the same length.  The columns are adopted by reference — the
+        caller must not mutate them afterwards (traces are immutable once
+        built, the same assumption the simulator and the job fingerprints
+        make).
+        """
+        lengths = {len(pcs), len(addresses), len(flags)}
+        if len(lengths) > 1:
+            raise WorkloadError(
+                f"trace columns disagree on length: pc={len(pcs)}, "
+                f"address={len(addresses)}, flags={len(flags)}"
+            )
+        for column, typecode, label in (
+            (pcs, PC_TYPECODE, "pc"),
+            (addresses, ADDRESS_TYPECODE, "data_address"),
+            (flags, FLAG_TYPECODE, "flags"),
+        ):
+            if isinstance(column, array):
+                ok = column.typecode == typecode
+            elif isinstance(column, memoryview):
+                ok = column.format == typecode
+            else:
+                ok = False
+            if not ok:
+                raise WorkloadError(
+                    f"trace column {label!r} must be an array('{typecode}') or a "
+                    f"memoryview of one, got {type(column).__name__}"
+                )
+        trace = cls.__new__(cls)
+        trace.name = name
+        trace.memory_level_parallelism = memory_level_parallelism
+        trace._pc = pcs
+        trace._address = addresses
+        trace._flags = flags
+        trace._memory_references = None
+        trace._branches = None
+        return trace
+
+    # ----------------------------------------------------------------- columns
+    def columns(self):
+        """The (pc, data_address, flags) columns, in that order.
+
+        Returned objects are the trace's own buffers (arrays, or memoryviews
+        for sliced traces); treat them as read-only.
+        """
+        return self._pc, self._address, self._flags
+
+    def column_bytes(self):
+        """Raw (native-endian) bytes of the (pc, data_address, flags) columns."""
+        return (
+            self._pc.tobytes(),
+            self._address.tobytes(),
+            self._flags.tobytes(),
+        )
+
+    # ------------------------------------------------------------ sequence API
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    def __iter__(self) -> Iterator[InstructionRecord]:
+        return iter(self.records)
+
+    @property
+    def records(self) -> TraceRecords:
+        """Row-oriented view of the trace (yields :class:`InstructionRecord`)."""
+        return TraceRecords(self)
+
+    # ------------------------------------------------------- cached statistics
+    @property
+    def memory_references(self) -> int:
+        """Number of instructions that carry a data access (cached)."""
+        if self._memory_references is None:
+            self._memory_references = sum(
+                1 for flag in self._flags if flag & FLAG_MEM
+            )
+        return self._memory_references
+
+    @property
+    def branches(self) -> int:
+        """Number of branch instructions in the trace (cached)."""
+        if self._branches is None:
+            self._branches = sum(1 for flag in self._flags if flag & FLAG_BRANCH)
+        return self._branches
+
+    # ------------------------------------------------------------------ slicing
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a zero-copy sub-trace covering rows ``[start:stop]``.
+
+        The sub-trace shares the parent's buffers through memoryviews, so
+        slicing a million-instruction trace costs O(1) regardless of the
+        window size (and keeps the parent's buffers alive).
+        """
+        return Trace.from_columns(
+            name=f"{self.name}[{start}:{stop}]",
+            pcs=memoryview(self._pc)[start:stop],
+            addresses=memoryview(self._address)[start:stop],
+            flags=memoryview(self._flags)[start:stop],
+            memory_level_parallelism=self.memory_level_parallelism,
+        )
+
+    # --------------------------------------------------------------- fingerprint
+    def content_digest(self) -> str:
+        """Hex SHA-256 over the trace's identity: name, MLP and raw columns.
+
+        Used by the sweep engine to fingerprint inline traces; hashing the
+        flat buffers is two orders of magnitude cheaper than hashing one
+        repr per record.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(repr(self.memory_level_parallelism).encode("ascii"))
+        for chunk in self.column_bytes():
+            digest.update(chunk)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------- binary format
+    def save(self, path_or_file: Union[str, "BinaryIO"]) -> None:
+        """Write the trace to ``path_or_file`` in the binary trace format.
+
+        Layout: a fixed little-endian header (magic, format version, host
+        byte order, MLP, instruction count, name length) followed by the
+        UTF-8 name and the three raw column buffers back to back.  Column
+        bytes are written in host byte order; :meth:`load` byte-swaps when
+        reading a foreign-endian file, so the format is portable.
+        """
+        if isinstance(path_or_file, (str, bytes)) or hasattr(path_or_file, "__fspath__"):
+            with open(path_or_file, "wb") as handle:
+                self._write(handle)
+        else:
+            self._write(path_or_file)
+
+    def _write(self, handle: "BinaryIO") -> None:
+        name_bytes = self.name.encode("utf-8")
+        handle.write(
+            _HEADER.pack(
+                TRACE_MAGIC,
+                TRACE_FORMAT_VERSION,
+                b"<" if sys.byteorder == "little" else b">",
+                self.memory_level_parallelism,
+                len(self),
+                len(name_bytes),
+            )
+        )
+        handle.write(name_bytes)
+        for chunk in self.column_bytes():
+            handle.write(chunk)
+
+    @classmethod
+    def load(cls, path_or_file: Union[str, "BinaryIO"]) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        Raises :class:`~repro.common.errors.WorkloadError` on a foreign,
+        truncated or corrupt file — callers memoising traces on disk treat
+        that as a cache miss and regenerate.
+        """
+        if isinstance(path_or_file, (str, bytes)) or hasattr(path_or_file, "__fspath__"):
+            with open(path_or_file, "rb") as handle:
+                return cls._read(handle)
+        return cls._read(path_or_file)
+
+    @classmethod
+    def _read(cls, handle: "BinaryIO") -> "Trace":
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise WorkloadError("truncated trace file (short header)")
+        magic, version, byteorder, mlp, count, name_length = _HEADER.unpack(header)
+        if magic != TRACE_MAGIC:
+            raise WorkloadError(f"not a trace file (bad magic {magic!r})")
+        if version != TRACE_FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported trace format version {version} "
+                f"(this build reads version {TRACE_FORMAT_VERSION})"
+            )
+        name_bytes = handle.read(name_length)
+        if len(name_bytes) != name_length:
+            raise WorkloadError("truncated trace file (short name)")
+        try:
+            name = name_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WorkloadError(f"corrupt trace file (undecodable name): {exc}") from exc
+        foreign_order = byteorder != (b"<" if sys.byteorder == "little" else b">")
+
+        def read_column(typecode: str) -> array:
+            column = array(typecode)
+            expected = count * column.itemsize
+            payload = handle.read(expected)
+            if len(payload) != expected:
+                raise WorkloadError("truncated trace file (short column)")
+            column.frombytes(payload)
+            if foreign_order and column.itemsize > 1:
+                column.byteswap()
+            return column
+
+        pcs = read_column(PC_TYPECODE)
+        addresses = read_column(ADDRESS_TYPECODE)
+        flags = read_column(FLAG_TYPECODE)
+        if handle.read(1):
+            raise WorkloadError("corrupt trace file (trailing bytes)")
+        return cls.from_columns(
+            name=name,
+            pcs=pcs,
+            addresses=addresses,
+            flags=flags,
+            memory_level_parallelism=mlp,
+        )
+
+    def to_bytes(self) -> bytes:
+        """The trace serialised in the binary trace format."""
+        buffer = io.BytesIO()
+        self._write(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Trace":
+        """Deserialise a trace produced by :meth:`to_bytes`."""
+        return cls._read(io.BytesIO(payload))
+
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self):
+        # Memoryview windows are not picklable; serialising through the
+        # binary format both fixes that and compacts a sliced trace into
+        # owning buffers on the other side.
+        return {"payload": self.to_bytes()}
+
+    def __setstate__(self, state) -> None:
+        other = Trace.from_bytes(state["payload"])
+        self.name = other.name
+        self.memory_level_parallelism = other.memory_level_parallelism
+        self._pc = other._pc
+        self._address = other._address
+        self._flags = other._flags
+        self._memory_references = None
+        self._branches = None
 
     def __repr__(self) -> str:
-        return f"Trace({self.name}, {len(self.records)} instructions)"
+        return f"Trace({self.name}, {len(self)} instructions)"

@@ -15,6 +15,20 @@ from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import get_profile
 
 
+@pytest.fixture(autouse=True)
+def _reset_process_trace_cache():
+    """Keep the process-level on-disk trace memo from leaking between tests.
+
+    ``build_context``/``SweepRunner(trace_cache=...)`` install a
+    process-global trace cache; a later test would otherwise silently write
+    trace files into an earlier test's (possibly deleted) tmp directory.
+    """
+    yield
+    from repro.sim.runner import set_trace_cache
+
+    set_trace_cache(None)
+
+
 @pytest.fixture
 def small_geometry() -> CacheGeometry:
     """A 4 KiB 2-way cache with 1 KiB subarrays (small but realistic)."""

@@ -43,6 +43,22 @@ class TestArgs:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "figure4" in out and "table1" in out
+        # The listing documents the replay engines and the cache layout.
+        assert "columnar" in out and "reference" in out
+        assert "--engine" in out and "--no-cache" in out
+
+    def test_engine_flag_parses_and_rejects_unknown(self, capsys):
+        assert parse_args(["run-all", "--engine", "reference"]).engine == "reference"
+        assert parse_args(["run-all"]).engine is None
+        with pytest.raises(SystemExit):
+            parse_args(["run-all", "--engine", "vectorized"])
+
+    def test_run_figure_help_documents_engine_and_trace_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            parse_args(["run-figure", "--help"])
+        out = capsys.readouterr().out
+        assert "--engine" in out and "columnar" in out
+        assert "traces" in out  # the trace-memo side of --cache-dir
 
 
 class TestMain:
@@ -79,6 +95,46 @@ class TestMain:
             )
             outputs[jobs] = output.read_text()
         assert outputs["1"] == outputs["2"]
+
+    def test_engines_produce_identical_rows(self, tmp_path):
+        """The CLI-level cross-engine acceptance check (uncached)."""
+        outputs = {}
+        for engine in ("reference", "columnar"):
+            output = tmp_path / f"rows-{engine}.json"
+            main(
+                ["run-figure", "figure4", *TINY, "--no-cache",
+                 "--engine", engine, "--output", str(output)]
+            )
+            outputs[engine] = output.read_text()
+        assert outputs["reference"] == outputs["columnar"]
+
+
+class TestTraceCacheWiring:
+    def test_cache_dir_hosts_the_trace_memo(self, tmp_path):
+        from repro.sim.runner import _TRACE_MEMO
+
+        _TRACE_MEMO.clear()  # force materialisation so the disk memo is written
+        cache_dir = tmp_path / "cache"
+        context = build_context(tiny_args("run-figure", cache_dir, "table2"))
+        sink = lambda *args, **kwargs: None  # noqa: E731
+        run_experiments(["table2"], context, echo=sink)
+        trace_dir = cache_dir / "traces"
+        assert trace_dir.is_dir()
+        assert list(trace_dir.glob("*/*.trace"))
+
+    def test_no_cache_bypasses_the_trace_memo_too(self, tmp_path, monkeypatch):
+        from repro.sim import runner as runner_module
+
+        # Even with a process-level trace cache left over from earlier work,
+        # --no-cache must clear it: no trace may be read from or written to
+        # disk during the run.
+        leftover = tmp_path / "leftover"
+        runner_module.set_trace_cache(str(leftover))
+        monkeypatch.chdir(tmp_path)
+        assert main(["run-figure", "table2", *TINY, "--no-cache"]) == 0
+        assert runner_module.get_trace_cache() is None
+        assert not list(leftover.glob("*/*.trace"))
+        assert not (tmp_path / ".repro-cache").exists()
 
 
 class TestWarmCacheAcceptance:

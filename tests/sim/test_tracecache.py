@@ -1,0 +1,136 @@
+"""Tests for the on-disk trace cache and its resolve_trace wiring."""
+
+import pytest
+
+from repro.sim.runner import (
+    SweepRunner,
+    TraceSpec,
+    _TRACE_MEMO,
+    get_trace_cache,
+    resolve_trace,
+    set_trace_cache,
+)
+from repro.sim.tracecache import TraceCache
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_state():
+    """Each test starts with no process-level trace cache and a cold memo."""
+    _TRACE_MEMO.clear()
+    set_trace_cache(None)
+    yield
+    _TRACE_MEMO.clear()
+    set_trace_cache(None)
+
+
+class TestTraceCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces")
+        spec = TraceSpec("gcc", 2_000)
+        trace = spec.materialize()
+        assert cache.get(spec) is None
+        cache.put(spec, trace)
+        loaded = cache.get(spec)
+        assert loaded is not None
+        assert loaded.records == trace.records
+        assert loaded.name == trace.name
+        assert len(cache) == 1
+        assert spec in cache
+
+    def test_distinct_specs_have_distinct_keys(self):
+        base = TraceCache.key_for(TraceSpec("gcc", 2_000))
+        assert base != TraceCache.key_for(TraceSpec("swim", 2_000))
+        assert base != TraceCache.key_for(TraceSpec("gcc", 2_001))
+        assert base != TraceCache.key_for(TraceSpec("gcc", 2_000, seed=7))
+        assert base == TraceCache.key_for(TraceSpec("gcc", 2_000))
+
+    def test_corrupt_entries_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        spec = TraceSpec("gcc", 1_500)
+        cache.put(spec, spec.materialize())
+        entry = cache._entry_path(cache.key_for(spec))
+        entry.write_bytes(b"garbage")
+        assert cache.get(spec) is None
+        assert cache.misses == 1
+
+    def test_truncated_entries_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        spec = TraceSpec("gcc", 1_500)
+        cache.put(spec, spec.materialize())
+        entry = cache._entry_path(cache.key_for(spec))
+        entry.write_bytes(entry.read_bytes()[:-20])
+        assert cache.get(spec) is None
+
+    def test_corrupt_name_region_misses(self, tmp_path):
+        from repro.workloads.trace import _HEADER
+
+        cache = TraceCache(tmp_path)
+        spec = TraceSpec("gcc", 1_500)
+        cache.put(spec, spec.materialize())
+        entry = cache._entry_path(cache.key_for(spec))
+        payload = bytearray(entry.read_bytes())
+        payload[_HEADER.size] = 0xFF  # undecodable UTF-8 in the name bytes
+        entry.write_bytes(bytes(payload))
+        assert cache.get(spec) is None  # a miss, not a crash
+
+    def test_runner_inline_execution_pins_its_own_trace_cache(self, tmp_path):
+        """A later runner's trace_cache must not redirect an earlier one."""
+        from repro.common.config import SystemConfig
+        from repro.sim.runner import SimJob
+
+        first = SweepRunner(trace_cache=str(tmp_path / "first"))
+        SweepRunner(trace_cache=str(tmp_path / "second"))  # steals the global
+        _TRACE_MEMO.clear()
+        first.run_one(SimJob(trace=TraceSpec("gcc", 1_500), system=SystemConfig()))
+        assert list((tmp_path / "first").glob("*/*.trace"))
+        assert not list((tmp_path / "second").glob("*/*.trace"))
+        # The batch-scoped pin restored the process-level cache afterwards.
+        assert get_trace_cache().directory == tmp_path / "second"
+
+
+class TestResolveTraceWiring:
+    def test_resolve_populates_the_disk_cache(self, tmp_path):
+        cache = set_trace_cache(str(tmp_path / "traces"))
+        spec = TraceSpec("gcc", 2_000)
+        trace = resolve_trace(spec)
+        assert len(cache) == 1
+        assert cache.get(spec).records == trace.records
+
+    def test_resolve_loads_from_disk_instead_of_regenerating(self, tmp_path, monkeypatch):
+        cache = set_trace_cache(str(tmp_path / "traces"))
+        spec = TraceSpec("gcc", 2_000)
+        original = resolve_trace(spec)
+        _TRACE_MEMO.clear()  # force past the in-memory memo
+
+        def boom(self):
+            raise AssertionError("trace regenerated despite a warm disk cache")
+
+        monkeypatch.setattr(TraceSpec, "materialize", boom)
+        reloaded = resolve_trace(spec)
+        assert reloaded.records == original.records
+        assert cache.hits == 1
+
+    def test_no_cache_configured_never_touches_disk(self, tmp_path):
+        spec = TraceSpec("gcc", 1_500)
+        resolve_trace(spec)
+        assert get_trace_cache() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_runner_snapshots_the_process_cache(self, tmp_path):
+        runner = SweepRunner(trace_cache=str(tmp_path / "tc"))
+        assert runner.trace_cache is get_trace_cache()
+        assert runner.trace_cache.directory == tmp_path / "tc"
+        # A later runner without its own cache inherits the process one.
+        assert SweepRunner().trace_cache is runner.trace_cache
+        # Clearing the process cache detaches future runners.
+        set_trace_cache(None)
+        assert SweepRunner().trace_cache is None
+
+    def test_inline_trace_bypasses_every_cache(self, tmp_path):
+        cache = set_trace_cache(str(tmp_path / "traces"))
+        trace = TraceSpec("gcc", 1_500).materialize()
+        _TRACE_MEMO.clear()
+        cache.hits = cache.misses = 0
+        assert resolve_trace(trace) is trace
+        assert cache.hits == 0 and cache.misses == 0
+        assert len(_TRACE_MEMO) == 0

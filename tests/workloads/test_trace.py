@@ -1,10 +1,33 @@
-"""Tests for the trace container."""
+"""Tests for the columnar trace container."""
 
-from repro.workloads.trace import InstructionRecord, Trace
+import pickle
+from array import array
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.trace import (
+    FLAG_BRANCH,
+    FLAG_MEM,
+    InstructionRecord,
+    Trace,
+)
 
 
 def _record(pc: int, data=None, store=False, branch=False, taken=False) -> InstructionRecord:
     return InstructionRecord(pc, data, store, branch, taken)
+
+
+def _mixed_trace(name="mixed", mlp=2.0) -> Trace:
+    records = [
+        _record(0x400000, data=0x1000),
+        _record(0x400004, branch=True, taken=True),
+        _record(0x400008),
+        _record(0x40000C, data=0x2000, store=True),
+        _record(0x400010, branch=True),
+        _record(0x400014, data=0x0),  # address 0 is still a memory reference
+    ]
+    return Trace(name, records, memory_level_parallelism=mlp)
 
 
 def test_len_and_iteration():
@@ -35,3 +58,181 @@ def test_slice_preserves_metadata():
 def test_from_records_accepts_iterables():
     trace = Trace.from_records("gen", (_record(i) for i in range(5)))
     assert len(trace) == 5
+
+
+class TestColumnarStorage:
+    def test_round_trips_records_through_columns(self):
+        trace = _mixed_trace()
+        expected = [
+            _record(0x400000, data=0x1000),
+            _record(0x400004, branch=True, taken=True),
+            _record(0x400008),
+            _record(0x40000C, data=0x2000, store=True),
+            _record(0x400010, branch=True),
+            _record(0x400014, data=0x0),
+        ]
+        assert list(trace) == expected
+        assert list(trace.records) == expected
+        assert trace.records[3] == expected[3]
+        assert trace.records[-1] == expected[-1]
+
+    def test_zero_address_memory_reference_is_preserved(self):
+        trace = Trace("t", [_record(0x0, data=0x0)])
+        assert trace.records[0].data_address == 0
+        assert trace.memory_references == 1
+
+    def test_records_view_equality(self):
+        first, second = _mixed_trace(), _mixed_trace()
+        assert first.records == second.records
+        different = Trace("t", [_record(0x400000)])
+        assert first.records != different.records
+
+    def test_records_view_slicing_and_bounds(self):
+        trace = _mixed_trace()
+        window = trace.records[1:3]
+        assert [r.pc for r in window] == [0x400004, 0x400008]
+        with pytest.raises(IndexError):
+            trace.records[len(trace)]
+
+    def test_from_columns_rejects_mismatched_lengths(self):
+        with pytest.raises(WorkloadError):
+            Trace.from_columns("t", array("Q", [1, 2]), array("Q", [0]), array("B", [0, 0]))
+
+    def test_from_columns_rejects_wrong_typecodes(self):
+        with pytest.raises(WorkloadError):
+            Trace.from_columns("t", array("I", [1]), array("Q", [0]), array("B", [0]))
+
+    def test_non_canonical_flag_combinations_survive(self):
+        # A store bit without a memory reference (never generated, but legal
+        # in a hand-built record) must round-trip through the flag column.
+        odd = _record(0x10, data=None, store=True, taken=True)
+        trace = Trace("odd", [odd])
+        assert trace.records[0] == odd
+
+
+class TestCachedStatistics:
+    def test_memory_references_and_branches_are_cached(self):
+        trace = _mixed_trace()
+        assert trace.memory_references == 3
+        assert trace.branches == 2
+        # Second read must serve the memoised value, not re-scan.
+        assert trace._memory_references == 3
+        assert trace._branches == 2
+        assert trace.memory_references == 3
+        assert trace.branches == 2
+
+    def test_cached_statistics_survive_slice(self):
+        trace = _mixed_trace()
+        assert trace.memory_references == 3  # prime the parent's cache
+        part = trace.slice(0, 2)
+        assert part.memory_references == 1
+        assert part.branches == 1
+        # The parent's cache is untouched by the slice's own counts.
+        assert trace.memory_references == 3
+        assert trace.branches == 2
+
+    def test_cached_statistics_survive_from_records(self):
+        trace = Trace.from_records("gen", iter(_mixed_trace().records))
+        assert trace.memory_references == 3
+        assert trace.branches == 2
+        assert trace.memory_references == 3
+
+
+class TestSlicing:
+    def test_slice_is_zero_copy(self):
+        trace = _mixed_trace()
+        part = trace.slice(1, 4)
+        parent_pc, _, _ = trace.columns()
+        part_pc, _, _ = part.columns()
+        assert isinstance(part_pc, memoryview)
+        assert part_pc.obj is parent_pc  # a window, not a copy
+        assert len(part) == 3
+
+    def test_slice_of_slice(self):
+        part = _mixed_trace().slice(1, 5).slice(1, 3)
+        assert [r.pc for r in part] == [0x400008, 0x40000C]
+
+    def test_sliced_trace_replays_like_a_copy(self):
+        trace = _mixed_trace()
+        part = trace.slice(2, 5)
+        assert list(part) == trace.records[2:5]
+
+
+class TestBinaryFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        trace = _mixed_trace(mlp=3.5)
+        path = tmp_path / "trace.bin"
+        trace.save(str(path))
+        loaded = Trace.load(str(path))
+        assert loaded.name == trace.name
+        assert loaded.memory_level_parallelism == trace.memory_level_parallelism
+        assert loaded.records == trace.records
+        assert loaded.content_digest() == trace.content_digest()
+
+    def test_bytes_round_trip_compacts_slices(self):
+        part = _mixed_trace().slice(1, 4)
+        rebuilt = Trace.from_bytes(part.to_bytes())
+        assert rebuilt.records == part.records
+        assert isinstance(rebuilt.columns()[0], array)  # owning buffers again
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(WorkloadError):
+            Trace.load(str(path))
+
+    def test_load_rejects_truncation(self, tmp_path):
+        payload = _mixed_trace().to_bytes()
+        path = tmp_path / "short.bin"
+        path.write_bytes(payload[:-5])
+        with pytest.raises(WorkloadError):
+            Trace.load(str(path))
+
+    def test_load_rejects_trailing_bytes(self, tmp_path):
+        payload = _mixed_trace().to_bytes()
+        path = tmp_path / "long.bin"
+        path.write_bytes(payload + b"x")
+        with pytest.raises(WorkloadError):
+            Trace.load(str(path))
+
+    def test_load_rejects_undecodable_name(self, tmp_path):
+        from repro.workloads.trace import _HEADER
+
+        payload = bytearray(_mixed_trace().to_bytes())
+        payload[_HEADER.size] = 0xFF  # first name byte: invalid UTF-8 start
+        path = tmp_path / "badname.bin"
+        path.write_bytes(bytes(payload))
+        # Must surface as the documented corruption error (a WorkloadError),
+        # never as a raw UnicodeDecodeError that would crash cache readers.
+        with pytest.raises(WorkloadError, match="undecodable name"):
+            Trace.load(str(path))
+
+
+class TestPickling:
+    def test_pickle_round_trip(self):
+        trace = _mixed_trace()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.records == trace.records
+        assert clone.name == trace.name
+        assert clone.memory_level_parallelism == trace.memory_level_parallelism
+
+    def test_pickle_of_sliced_trace(self):
+        part = _mixed_trace().slice(1, 4)
+        clone = pickle.loads(pickle.dumps(part))
+        assert clone.records == part.records
+
+
+class TestContentDigest:
+    def test_digest_distinguishes_content(self):
+        base = _mixed_trace()
+        assert base.content_digest() == _mixed_trace().content_digest()
+        assert base.content_digest() != _mixed_trace(name="other").content_digest()
+        assert base.content_digest() != _mixed_trace(mlp=1.0).content_digest()
+        shifted = Trace("mixed", list(base.records)[1:], memory_level_parallelism=2.0)
+        assert base.content_digest() != shifted.content_digest()
+
+    def test_flag_columns_matter(self):
+        taken = Trace("t", [_record(0x4, branch=True, taken=True)])
+        not_taken = Trace("t", [_record(0x4, branch=True, taken=False)])
+        assert taken.content_digest() != not_taken.content_digest()
+        assert FLAG_MEM != FLAG_BRANCH  # sanity: distinct bit assignments
