@@ -1,0 +1,126 @@
+"""Microbenchmarks for the packed-outcome cache kernel.
+
+The replay benchmarks (``test_bench_replay.py``) time whole simulator runs;
+these time the memory-hierarchy kernel itself — the L1-hit fast path, the
+miss+writeback path and a full L1→L2→memory hierarchy access — so the perf
+gate watches the per-access cost that every profiling ladder, static sweep
+and dynamic run multiplies by millions.  A regression in ``access_packed``
+(a reintroduced allocation, a lost hoisted local) shows up here first,
+un-diluted by trace decode or interval bookkeeping.
+
+Loop sizes are fixed (not ``REPRO_BENCH_INSTRUCTIONS``): the workload must
+be identical everywhere for the committed ``benchmarks/baseline.json`` means
+to be comparable, and each loop is sized to clear the bench-compare gate's
+sub-50ms noise floor on CI hardware.
+"""
+
+from __future__ import annotations
+
+from bench_utils import bench_instructions  # noqa: F401  (keeps sys.path bootstrap)
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import SystemConfig
+
+#: Accesses per timed round.  ~0.15-0.5s per round on 2020s hardware:
+#: comfortably above the bench-compare 50ms floor, small enough for CI.
+HIT_LOOP_ACCESSES = 400_000
+MISS_LOOP_ACCESSES = 150_000
+HIERARCHY_ACCESSES = 150_000
+
+
+def _bench(benchmark, function, *args):
+    result = benchmark.pedantic(function, args=args, rounds=3, iterations=1, warmup_rounds=1)
+    return result
+
+
+def _hit_loop(cache, addresses):
+    access = cache.access_packed
+    for address in addresses:
+        access(address, False)
+    return cache.stats.hits
+
+
+def test_bench_cache_l1_hit(benchmark):
+    """The L1-hit fast path: resident working set, 100% hits after warmup."""
+    system = SystemConfig()
+    cache = Cache(system.l1d, name="l1d")
+    block = system.l1d.block_bytes
+    resident = 64  # blocks; well inside a 32 KiB cache
+    addresses = [(i % resident) * block for i in range(HIT_LOOP_ACCESSES)]
+    for address in addresses[:resident]:
+        cache.access_packed(address, False)
+    hits = _bench(benchmark, _hit_loop, cache, addresses)
+    benchmark.extra_info["accesses_per_second"] = round(
+        HIT_LOOP_ACCESSES / benchmark.stats.stats.mean
+    )
+    assert hits > 0
+
+
+def _miss_loop(cache, addresses):
+    access = cache.access_packed
+    writebacks = 0
+    for address in addresses:
+        writebacks += access(address, True) >> 2 & 1
+    return writebacks
+
+
+def test_bench_cache_miss_writeback(benchmark):
+    """The worst-case L1 path: every store misses and evicts a dirty victim."""
+    system = SystemConfig()
+    cache = Cache(system.l1d, name="l1d")
+    geometry = system.l1d
+    stride = geometry.num_sets * geometry.block_bytes
+    conflict_depth = geometry.associativity + 1  # one more than the ways
+    addresses = [
+        (i % conflict_depth) * stride for i in range(MISS_LOOP_ACCESSES)
+    ]
+    for address in addresses[:conflict_depth]:  # warm up to steady-state thrash
+        cache.access_packed(address, True)
+    writebacks = _bench(benchmark, _miss_loop, cache, addresses)
+    benchmark.extra_info["accesses_per_second"] = round(
+        MISS_LOOP_ACCESSES / benchmark.stats.stats.mean
+    )
+    assert writebacks > 0  # the loop really is exercising the writeback path
+
+
+def _hierarchy_loop(hierarchy, operations):
+    data_access = hierarchy.data_access_packed
+    instruction_fetch = hierarchy.instruction_fetch_packed
+    l1_hits = 0
+    for kind, address in operations:
+        if kind:
+            l1_hits += data_access(address, kind == 2) & 1
+        else:
+            l1_hits += instruction_fetch(address) & 1
+    return l1_hits
+
+
+def test_bench_hierarchy_access(benchmark):
+    """A full-hierarchy mix: fetches plus loads/stores, hits and misses.
+
+    The address stream walks a working set about twice the L1 size, so a
+    steady fraction of accesses fall through to the L2 (and occasionally
+    memory) — the realistic blend the replay loop produces.
+    """
+    system = SystemConfig()
+    hierarchy = CacheHierarchy(
+        system,
+        l1i=Cache(system.l1i, name="l1i"),
+        l1d=Cache(system.l1d, name="l1d"),
+    )
+    block = system.l1d.block_bytes
+    data_span = (2 * system.l1d.capacity_bytes) // block  # blocks
+    operations = []
+    for i in range(HIERARCHY_ACCESSES):
+        kind = i % 3  # 0 = fetch, 1 = load, 2 = store
+        if kind == 0:
+            address = 0x40_0000 + (i % 512) * 4  # tight code loop
+        else:
+            address = ((i * 7) % data_span) * block  # strided data walk
+        operations.append((kind, address))
+    l1_hits = _bench(benchmark, _hierarchy_loop, hierarchy, operations)
+    benchmark.extra_info["accesses_per_second"] = round(
+        HIERARCHY_ACCESSES / benchmark.stats.stats.mean
+    )
+    assert 0 < l1_hits

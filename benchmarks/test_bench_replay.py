@@ -11,9 +11,12 @@ The trace length is fixed (not ``REPRO_BENCH_INSTRUCTIONS``) so the
 measured loop is the same workload everywhere; the committed baseline means
 in ``benchmarks/baseline.json`` gate both engines, and
 ``test_columnar_faster_than_reference`` loosely asserts the speedup the
-columnar engine exists to provide (>=1.2x on the same host, a conservative
-floor well under the ~1.4x it measures on an idle machine — CI containers
-are noisy and single-core).
+columnar engine exists to provide (>=1.5x on the same host since the
+packed-outcome cache kernel landed, a conservative floor well under the
+~2.3x it measures on an idle machine — CI containers are noisy and
+single-core).  ``test_columnar_beats_pr3_baseline`` additionally pins the
+packed kernel's end-to-end win against the frozen PR-3 columnar time,
+normalizing out host speed through the reference engine.
 """
 
 from __future__ import annotations
@@ -33,7 +36,16 @@ from repro.sim.simulator import Simulator
 REPLAY_INSTRUCTIONS = 30_000
 
 #: Loose speedup floor asserted for the columnar engine (see module docstring).
-MIN_SPEEDUP = 1.2
+MIN_SPEEDUP = 1.5
+
+#: Best-of-three wall times for this fixed workload as measured at PR 3
+#: (pre-packed-kernel), frozen here as the yardstick for the kernel's
+#: end-to-end win.  Both engines were measured on the same host, so the
+#: reference entry doubles as that host's speed calibration.
+PR3_BASELINE_SECONDS = {"reference": 0.0746, "columnar": 0.0524}
+
+#: Required end-to-end columnar speedup over the PR-3 columnar baseline.
+MIN_KERNEL_SPEEDUP_VS_PR3 = 1.25
 
 
 @pytest.fixture(scope="module")
@@ -103,4 +115,48 @@ def test_columnar_faster_than_reference(replay_trace):
     raise AssertionError(
         f"columnar engine stayed under {MIN_SPEEDUP}x the reference engine in "
         f"{len(speedups)} attempts: " + ", ".join(f"{s:.2f}x" for s in speedups)
+    )
+
+
+def _measure_pr3_speedup(trace):
+    """Columnar speedup vs the frozen PR-3 columnar time, host-normalized.
+
+    The host's speed relative to the PR-3 measurement machine is estimated
+    from the reference engine (whose baseline was taken in the same PR-3
+    session); dividing it out makes the assertion portable across CI
+    hardware.  The estimate is conservative: the reference engine itself
+    got ~15% faster from the packed kernel's wrapper path, which *deflates*
+    the computed speedup, so clearing the floor here under-reports the
+    real end-to-end win.
+    """
+    reference_times = []
+    columnar_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        _replay(trace, "reference")
+        reference_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        _replay(trace, "columnar")
+        columnar_times.append(time.perf_counter() - started)
+    hardware_factor = min(reference_times) / PR3_BASELINE_SECONDS["reference"]
+    normalized_columnar = min(columnar_times) / hardware_factor
+    return PR3_BASELINE_SECONDS["columnar"] / normalized_columnar
+
+
+def test_columnar_beats_pr3_baseline(replay_trace):
+    """The packed kernel must hold >=1.25x end-to-end over the PR-3 columnar
+    engine (ISSUE 4's acceptance floor; ~1.6x measured after normalization,
+    ~1.9x raw on the PR-3 measurement host).  Same noise protocol as the
+    cross-engine test: three independent attempts, any one clearing the
+    floor passes.
+    """
+    speedups = []
+    for _ in range(3):
+        speedups.append(_measure_pr3_speedup(replay_trace))
+        if speedups[-1] >= MIN_KERNEL_SPEEDUP_VS_PR3:
+            return
+    raise AssertionError(
+        f"columnar engine stayed under {MIN_KERNEL_SPEEDUP_VS_PR3}x the frozen "
+        f"PR-3 baseline in {len(speedups)} attempts: "
+        + ", ".join(f"{s:.2f}x" for s in speedups)
     )

@@ -126,6 +126,13 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
             "--output", default=None,
             help="also write every experiment's rows to this JSON file",
         )
+        sub.add_argument(
+            "--profile", action="store_true",
+            help="run the evaluation under cProfile and print the top-20 "
+                 "cumulative-time functions (most useful with --jobs 1 "
+                 "--no-cache: worker processes and cache hits are invisible "
+                 "to the parent's profile)",
+        )
 
     run_figure = subparsers.add_parser(
         "run-figure", help="regenerate one or more tables/figures"
@@ -319,13 +326,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 pass
 
     started = time.time()
+    profiler = None
+    if args.profile:
+        # Profile the whole prepare-and-drain pipeline (simulations, trace
+        # generation, result assembly) so future perf work can read the next
+        # bottleneck straight off the report instead of ad-hoc scripts.
+        import cProfile
+
+        if args.jobs > 1:
+            print(
+                "--profile note: with --jobs > 1 the simulations run in worker "
+                "processes and will not appear in this profile; use --jobs 1.",
+                file=sys.stderr,
+            )
+        profiler = cProfile.Profile()
     try:
         context = build_context(args)
-        results = run_experiments(names, context)
+        if profiler is not None:
+            profiler.enable()
+            try:
+                results = run_experiments(names, context)
+            finally:
+                profiler.disable()
+        else:
+            results = run_experiments(names, context)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.time() - started
+
+    if profiler is not None:
+        import pstats
+
+        print(f"\n{'=' * 72}\ncProfile: top 20 by cumulative time\n{'=' * 72}")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats("cumulative").print_stats(20)
 
     runner = context.runner
     cache_note = "disabled" if runner.cache is None else str(runner.cache.directory)

@@ -4,21 +4,79 @@
 directly and the resizable L1 caches (:mod:`repro.resizing.resizable_cache`)
 share its sets, blocks and replacement machinery while adding enable/disable
 masks on top.
+
+Architecture note — the packed-outcome kernel
+---------------------------------------------
+The per-access hot path is :meth:`Cache.access_packed`: an allocation-free
+integer kernel.  Set state is packed (``tag -> block_address << 1 | dirty``
+ints, see :mod:`repro.cache.cache_set`), the tag/index split is done with
+shift/mask locals hoisted at construction time, and the outcome of an access
+is returned as one packed int (bit layout below) instead of an
+:class:`AccessResult` — zero heap allocations per access, hit or miss.
+
+Packed access-outcome bit layout (``PACKED_*`` constants)::
+
+    bit 0   PACKED_HIT              1 = hit, 0 = miss
+    bit 1   PACKED_FILLED           1 = a block was allocated (every miss;
+                                    write-allocate)
+    bit 2   PACKED_WRITEBACK_VALID  1 = a dirty victim was evicted
+    bit 3+  victim's block-aligned address (valid only when bit 2 is set)
+
+:meth:`Cache.access` is a thin wrapper that decodes the packed int into the
+historical :class:`AccessResult`; everything off the hot path (tests, the
+resize/flush machinery, external callers) keeps the object API and stays
+bit-identical by construction.  To add a new cache type that plugs into
+:class:`repro.cache.hierarchy.CacheHierarchy`, implement ``access_packed``
+with this bit layout (plus ``stats``/``flush_all``); ``access`` can be
+``unpack_access_result(self.access_packed(...))``.  A cache that only
+implements the object API still works — the hierarchy adapts it — it is
+just slower.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cache.cache_set import CacheSet, make_selector
+from repro.cache.cache_set import CacheSet, make_selector, selector_seed
 from repro.cache.replacement import ReplacementPolicy
 from repro.common.config import CacheGeometry
-from repro.mem.address import AddressMapper, block_address
-from repro.mem.block import CacheBlock
+from repro.mem.address import AddressMapper
+
+#: Packed access-outcome bits (see the module docstring for the layout).
+PACKED_HIT = 0b001
+PACKED_FILLED = 0b010
+PACKED_WRITEBACK_VALID = 0b100
+PACKED_WRITEBACK_SHIFT = 3
+
+#: The two outcomes with no writeback address, precomputed.
+PACKED_HIT_RESULT = PACKED_HIT
+PACKED_MISS_RESULT = PACKED_FILLED
+
+
+def pack_access_result(
+    hit: bool, writeback_address: Optional[int] = None, filled: bool = False
+) -> int:
+    """Encode an access outcome into the packed-int representation."""
+    packed = (PACKED_HIT if hit else 0) | (PACKED_FILLED if filled else 0)
+    if writeback_address is not None:
+        packed |= PACKED_WRITEBACK_VALID | (writeback_address << PACKED_WRITEBACK_SHIFT)
+    return packed
+
+
+def unpack_access_result(packed: int) -> "AccessResult":
+    """Decode a packed access outcome into an :class:`AccessResult`."""
+    if packed & PACKED_HIT:
+        return AccessResult(hit=True)
+    writeback = None
+    if packed & PACKED_WRITEBACK_VALID:
+        writeback = packed >> PACKED_WRITEBACK_SHIFT
+    return AccessResult(
+        hit=False, writeback_address=writeback, filled=bool(packed & PACKED_FILLED)
+    )
 
 
 class AccessResult:
-    """Outcome of a single cache access.
+    """Outcome of a single cache access (object view of the packed outcome).
 
     Attributes:
         hit: True when the access hit in the cache.
@@ -104,20 +162,31 @@ class Cache:
         self.geometry = geometry
         self.name = name
         self.replacement = ReplacementPolicy.parse(replacement)
-        self._selector = make_selector(self.replacement)
+        # Per-cache seed: two caches (l1i/l1d/l2) never share one victim
+        # stream under RANDOM replacement.
+        self._selector = make_selector(self.replacement, seed=selector_seed(name))
         self._mapper = AddressMapper(geometry.block_bytes, geometry.num_sets)
         self._sets: List[CacheSet] = [
             CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
         ]
         self.stats = CacheStats()
+        # Kernel locals: the tag/index split as plain shift/mask ints, the
+        # per-set packed dicts as a flat list (dict objects are stable for
+        # the cache's lifetime), and the replacement mode flags.
+        self._offset_bits, self._index_bits, self._set_mask = self._mapper.shift_mask()
+        self._ways = geometry.associativity
+        self._set_blocks = [cache_set.packed_storage() for cache_set in self._sets]
+        self._refresh_on_hit = self._selector.refreshes_on_hit
+        self._random_victims = self.replacement is ReplacementPolicy.RANDOM
 
     # ------------------------------------------------------------------ access
-    def access(self, address: int, is_write: bool = False) -> AccessResult:
-        """Perform a load or store access.
+    def access_packed(self, address: int, is_write: bool = False) -> int:
+        """Allocation-free access kernel; returns a packed outcome int.
 
-        On a miss the block is allocated immediately (write-allocate); if a
-        dirty victim is displaced its block address is reported in the
-        result so the caller can forward the writeback to the next level.
+        Same semantics as :meth:`access` (write-allocate, immediate fill on
+        miss, dirty victim reported for writeback) with the outcome encoded
+        in the ``PACKED_*`` bit layout — no objects are created, hit or
+        miss.
         """
         stats = self.stats
         stats.accesses += 1
@@ -126,14 +195,21 @@ class Cache:
         else:
             stats.reads += 1
 
-        tag, index = self._mapper.split(address)
-        cache_set = self._sets[index]
-        block = cache_set.lookup(tag)
-        if block is not None:
+        block = address >> self._offset_bits
+        tag = block >> self._index_bits
+        blocks = self._set_blocks[block & self._set_mask]
+        packed = blocks.get(tag)
+        if packed is not None:
             stats.hits += 1
             if is_write:
-                block.dirty = True
-            return AccessResult(hit=True)
+                packed |= 1
+                if self._refresh_on_hit:
+                    del blocks[tag]
+                blocks[tag] = packed
+            elif self._refresh_on_hit:
+                del blocks[tag]
+                blocks[tag] = packed
+            return PACKED_HIT_RESULT
 
         stats.misses += 1
         if is_write:
@@ -141,41 +217,62 @@ class Cache:
         else:
             stats.read_misses += 1
 
-        new_block = CacheBlock(block_address(address, self.geometry.block_bytes), dirty=is_write)
-        victim = cache_set.fill(tag, new_block)
+        victim = None
+        if len(blocks) >= self._ways:
+            if self._random_victims:
+                victim_tag = self._selector.choose_victim(blocks)
+            else:
+                victim_tag = next(iter(blocks))
+            victim = blocks.pop(victim_tag)
+        # block << offset_bits is the block-aligned address; the packed
+        # block representation is (block_address << 1) | dirty.
+        blocks[tag] = (block << (self._offset_bits + 1)) | (1 if is_write else 0)
         stats.fills += 1
-        writeback_address = None
-        if victim is not None and victim.dirty:
+        if victim is not None and victim & 1:
             stats.writebacks += 1
-            writeback_address = victim.address
-        return AccessResult(hit=False, writeback_address=writeback_address, filled=True)
+            return (
+                PACKED_FILLED
+                | PACKED_WRITEBACK_VALID
+                | ((victim >> 1) << PACKED_WRITEBACK_SHIFT)
+            )
+        return PACKED_MISS_RESULT
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform a load or store access (object wrapper over the kernel).
+
+        On a miss the block is allocated immediately (write-allocate); if a
+        dirty victim is displaced its block address is reported in the
+        result so the caller can forward the writeback to the next level.
+        """
+        return unpack_access_result(self.access_packed(address, is_write))
 
     def probe(self, address: int) -> bool:
         """Return True when ``address`` is resident, without updating any state."""
         tag, index = self._mapper.split(address)
-        return self._sets[index].probe(tag) is not None
+        return tag in self._set_blocks[index]
 
     def invalidate(self, address: int) -> Optional[int]:
         """Invalidate a block; returns its address if it was dirty (needs writeback)."""
         tag, index = self._mapper.split(address)
-        victim = self._sets[index].invalidate(tag)
+        victim = self._sets[index].invalidate_packed(tag)
         if victim is None:
             return None
         self.stats.invalidations += 1
-        if victim.dirty:
+        if victim & 1:
             self.stats.writebacks += 1
-            return victim.address
+            return victim >> 1
         return None
 
     def flush_all(self) -> List[int]:
         """Invalidate the whole cache; returns addresses of dirty blocks written back."""
         dirty_addresses: List[int] = []
+        stats = self.stats
         for cache_set in self._sets:
-            for block in cache_set.drain():
-                self.stats.invalidations += 1
-                if block.dirty:
-                    self.stats.writebacks += 1
-                    dirty_addresses.append(block.address)
+            for packed in cache_set.drain_packed():
+                stats.invalidations += 1
+                if packed & 1:
+                    stats.writebacks += 1
+                    dirty_addresses.append(packed >> 1)
         return dirty_addresses
 
     # ------------------------------------------------------------ introspection
@@ -196,7 +293,7 @@ class Cache:
 
     def resident_blocks(self) -> int:
         """Total number of valid blocks currently resident."""
-        return sum(cache_set.occupancy for cache_set in self._sets)
+        return sum(len(blocks) for blocks in self._set_blocks)
 
     def reset_stats(self) -> None:
         """Zero all counters without touching cache contents."""

@@ -7,21 +7,103 @@ hide it depending on the core configuration.
 
 Any object exposing the :class:`repro.cache.cache.Cache` access interface
 (``access``, ``flush_all``, ``stats``) can serve as an L1, which is how the
-resizable caches plug in without the hierarchy knowing about resizing.
+resizable caches plug in without the hierarchy knowing about resizing.  An
+L1 that additionally implements the packed kernel (``access_packed`` with
+the :mod:`repro.cache.cache` bit layout) is driven allocation-free; one that
+only has the object API is adapted automatically (correct, just slower).
+
+Architecture note — the packed-outcome kernel
+---------------------------------------------
+:meth:`CacheHierarchy.data_access_packed` and
+:meth:`CacheHierarchy.instruction_fetch_packed` are the hot path: they route
+one access through L1 → L2 → memory using only packed ints (the L1/L2
+kernels return packed access outcomes; victim writebacks are forwarded as
+plain block-address ints) and encode the whole outcome in a single int —
+zero allocations per access, including misses.
+
+Packed hierarchy-outcome bit layout (``HIER_*`` constants)::
+
+    bit 0    HIER_L1_HIT         1 = the access hit in its L1
+    bit 1    HIER_L2_CONSULTED   1 = the L2 was accessed (any L1 miss)
+    bit 2    HIER_L2_HIT         valid only when bit 1 is set
+    bits 3-5 l2_accesses         L2 accesses performed (fill + writeback)
+    bits 6-8 memory_accesses     main-memory block transfers performed
+    bits 9+  latency             total cycles seen by the instruction
+
+:meth:`data_access` / :meth:`instruction_fetch` are thin wrappers decoding
+the packed int into the historical :class:`HierarchyAccessOutcome`, so the
+reference engine, the timing tests and external callers stay bit-identical
+by construction.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.cache.cache import Cache
+from repro.cache.cache import (
+    PACKED_FILLED,
+    PACKED_HIT,
+    PACKED_WRITEBACK_SHIFT,
+    PACKED_WRITEBACK_VALID,
+    Cache,
+)
 from repro.cache.writeback_buffer import WritebackBuffer
 from repro.common.config import SystemConfig
 from repro.mem.main_memory import MainMemory
 
+#: Packed hierarchy-outcome bits (see the module docstring for the layout).
+HIER_L1_HIT = 0b001
+HIER_L2_CONSULTED = 0b010
+HIER_L2_HIT = 0b100
+HIER_L2_ACCESSES_SHIFT = 3
+HIER_MEM_ACCESSES_SHIFT = 6
+HIER_COUNT_MASK = 0b111
+HIER_LATENCY_SHIFT = 9
+
+
+def unpack_hierarchy_outcome(packed: int) -> "HierarchyAccessOutcome":
+    """Decode a packed hierarchy outcome into a :class:`HierarchyAccessOutcome`."""
+    l2_hit: Optional[bool] = None
+    if packed & HIER_L2_CONSULTED:
+        l2_hit = bool(packed & HIER_L2_HIT)
+    return HierarchyAccessOutcome(
+        l1_hit=bool(packed & HIER_L1_HIT),
+        l2_hit=l2_hit,
+        latency=packed >> HIER_LATENCY_SHIFT,
+        l2_accesses=(packed >> HIER_L2_ACCESSES_SHIFT) & HIER_COUNT_MASK,
+        memory_accesses=(packed >> HIER_MEM_ACCESSES_SHIFT) & HIER_COUNT_MASK,
+    )
+
+
+def _packed_l1_adapter(l1):
+    """A packed access callable for any L1 (native kernel or adapted).
+
+    Caches with the packed kernel hand back their bound ``access_packed``
+    directly; object-API-only caches get a closure that re-encodes their
+    :class:`~repro.cache.cache.AccessResult` into the packed layout.
+    """
+    access_packed = getattr(l1, "access_packed", None)
+    if access_packed is not None:
+        return access_packed
+
+    def adapted(address: int, is_write: bool, _access=l1.access) -> int:
+        result = _access(address, is_write)
+        if result.hit:
+            return PACKED_HIT
+        packed = PACKED_FILLED if result.filled else 0
+        if result.writeback_address is not None:
+            packed |= PACKED_WRITEBACK_VALID | (
+                result.writeback_address << PACKED_WRITEBACK_SHIFT
+            )
+        return packed
+
+    return adapted
+
 
 class HierarchyAccessOutcome:
     """Result of one instruction-fetch or data access through the hierarchy.
+
+    Object view of the packed hierarchy outcome (see the module docstring).
 
     Attributes:
         l1_hit: True when the access hit in its L1 cache.
@@ -75,55 +157,75 @@ class CacheHierarchy:
         self._l2_hit_latency = config.l2.hit_latency
         self._l1_block = config.l1d.block_bytes
         self._l2_block = config.l2.geometry.block_bytes
+        # Kernel locals: bound packed L1 accessors, the L1-hit outcome as a
+        # ready-made constant, and the shared L1+L2 hit latency term.
+        self._l1d_packed = _packed_l1_adapter(l1d)
+        self._l1i_packed = _packed_l1_adapter(l1i)
+        self._l2_packed = self.l2.access_packed
+        self._packed_l1_hit = HIER_L1_HIT | (self._l1_hit_latency << HIER_LATENCY_SHIFT)
+        self._l1_l2_latency = self._l1_hit_latency + self._l2_hit_latency
 
     # ------------------------------------------------------------------ access
-    def data_access(self, address: int, is_write: bool) -> HierarchyAccessOutcome:
-        """Perform a load or store through L1d, L2 and memory as needed."""
-        return self._access(self.l1d, address, is_write)
+    def data_access_packed(self, address: int, is_write: bool) -> int:
+        """Load/store through L1d, L2 and memory; returns a packed outcome."""
+        l1_packed = self._l1d_packed(address, is_write)
+        if l1_packed & 1:
+            return self._packed_l1_hit
+        return self._miss_packed(l1_packed, address)
 
-    def instruction_fetch(self, address: int) -> HierarchyAccessOutcome:
-        """Perform an instruction fetch through L1i, L2 and memory as needed."""
-        return self._access(self.l1i, address, is_write=False)
+    def instruction_fetch_packed(self, address: int) -> int:
+        """Instruction fetch through L1i, L2 and memory; returns a packed outcome."""
+        l1_packed = self._l1i_packed(address, False)
+        if l1_packed & 1:
+            return self._packed_l1_hit
+        return self._miss_packed(l1_packed, address)
 
-    def _access(self, l1, address: int, is_write: bool) -> HierarchyAccessOutcome:
-        l1_result = l1.access(address, is_write)
-        if l1_result.hit:
-            return HierarchyAccessOutcome(
-                l1_hit=True, l2_hit=None, latency=self._l1_hit_latency,
-                l2_accesses=0, memory_accesses=0,
-            )
-
+    def _miss_packed(self, l1_packed: int, address: int) -> int:
+        """Shared L1-miss path: fill from L2, spill the dirty victim into L2."""
         l2_accesses = 1
         memory_accesses = 0
         # Fill from L2 (the L2 sees a read for the missing block).
-        l2_result = self.l2.access(address, is_write=False)
-        latency = self._l1_hit_latency + self._l2_hit_latency
-        if not l2_result.hit:
-            memory_accesses += 1
+        l2_packed = self._l2_packed(address, False)
+        latency = self._l1_l2_latency
+        if l2_packed & 1:
+            hit_bits = HIER_L2_CONSULTED | HIER_L2_HIT
+        else:
+            hit_bits = HIER_L2_CONSULTED
+            memory_accesses = 1
             latency += self.memory.read_block(address, self._l2_block)
-        if l2_result.writeback_address is not None:
+        if l2_packed & PACKED_WRITEBACK_VALID:
             memory_accesses += 1
-            self.memory.write_block(l2_result.writeback_address, self._l2_block)
+            self.memory.write_block(l2_packed >> PACKED_WRITEBACK_SHIFT, self._l2_block)
 
         # A dirty L1 victim goes through the write-back buffer into L2.
-        if l1_result.writeback_address is not None:
-            self.writeback_buffer.push(l1_result.writeback_address)
-            l2_accesses += 1
-            wb_result = self.l2.access(l1_result.writeback_address, is_write=True)
-            if not wb_result.hit:
+        if l1_packed & PACKED_WRITEBACK_VALID:
+            writeback_address = l1_packed >> PACKED_WRITEBACK_SHIFT
+            self.writeback_buffer.push(writeback_address)
+            l2_accesses = 2
+            wb_packed = self._l2_packed(writeback_address, True)
+            if not wb_packed & 1:
                 memory_accesses += 1
-                self.memory.read_block(l1_result.writeback_address, self._l2_block)
-            if wb_result.writeback_address is not None:
+                self.memory.read_block(writeback_address, self._l2_block)
+            if wb_packed & PACKED_WRITEBACK_VALID:
                 memory_accesses += 1
-                self.memory.write_block(wb_result.writeback_address, self._l2_block)
+                self.memory.write_block(
+                    wb_packed >> PACKED_WRITEBACK_SHIFT, self._l2_block
+                )
 
-        return HierarchyAccessOutcome(
-            l1_hit=False,
-            l2_hit=l2_result.hit,
-            latency=latency,
-            l2_accesses=l2_accesses,
-            memory_accesses=memory_accesses,
+        return (
+            hit_bits
+            | (l2_accesses << HIER_L2_ACCESSES_SHIFT)
+            | (memory_accesses << HIER_MEM_ACCESSES_SHIFT)
+            | (latency << HIER_LATENCY_SHIFT)
         )
+
+    def data_access(self, address: int, is_write: bool) -> HierarchyAccessOutcome:
+        """Perform a load or store through L1d, L2 and memory as needed."""
+        return unpack_hierarchy_outcome(self.data_access_packed(address, is_write))
+
+    def instruction_fetch(self, address: int) -> HierarchyAccessOutcome:
+        """Perform an instruction fetch through L1i, L2 and memory as needed."""
+        return unpack_hierarchy_outcome(self.instruction_fetch_packed(address))
 
     # --------------------------------------------------------------- writebacks
     def absorb_l1_writebacks(self, block_addresses: Iterable[int]) -> int:
@@ -134,14 +236,15 @@ class CacheHierarchy:
         energy.
         """
         l2_accesses = 0
+        l2_packed_access = self._l2_packed
         for block_address in block_addresses:
             self.writeback_buffer.push(block_address)
             l2_accesses += 1
-            result = self.l2.access(block_address, is_write=True)
-            if not result.hit:
+            packed = l2_packed_access(block_address, True)
+            if not packed & 1:
                 self.memory.read_block(block_address, self._l2_block)
-            if result.writeback_address is not None:
-                self.memory.write_block(result.writeback_address, self._l2_block)
+            if packed & PACKED_WRITEBACK_VALID:
+                self.memory.write_block(packed >> PACKED_WRITEBACK_SHIFT, self._l2_block)
         return l2_accesses
 
     # ------------------------------------------------------------ introspection

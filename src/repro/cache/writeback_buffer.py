@@ -16,7 +16,14 @@ from repro.common.errors import ConfigurationError
 
 
 class WritebackBuffer:
-    """A FIFO of pending writebacks with overflow accounting."""
+    """A FIFO of pending writebacks with overflow accounting.
+
+    ``push`` sits on the hierarchy kernel's L1-miss path, so the buffer
+    keeps plain-int counters and slotted attributes — pushing an entry
+    allocates nothing.
+    """
+
+    __slots__ = ("num_entries", "_pending", "enqueued", "drained", "overflows")
 
     def __init__(self, num_entries: int) -> None:
         if num_entries < 1:

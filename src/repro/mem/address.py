@@ -52,6 +52,15 @@ class AddressMapper:
         block = address >> self._offset_bits
         return block >> self._index_bits, block & self._set_mask
 
+    def shift_mask(self) -> tuple:
+        """Return ``(offset_bits, index_bits, set_mask)`` for hot-path hoisting.
+
+        The cache kernels copy these into plain locals/attributes once so
+        the per-access tag/index split is two shifts and a mask with no
+        method call; the triple fully determines :meth:`split`.
+        """
+        return self._offset_bits, self._index_bits, self._set_mask
+
     def set_index(self, address: int) -> int:
         """Return only the set index for an address."""
         return (address >> self._offset_bits) & self._set_mask

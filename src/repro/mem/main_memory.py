@@ -14,18 +14,30 @@ from repro.common.stats import StatGroup
 class MainMemory:
     """Terminal level of the memory hierarchy."""
 
+    __slots__ = ("config", "stats", "_reads", "_writes", "_bytes_transferred", "_latencies")
+
     def __init__(self, config: MemoryConfig | None = None) -> None:
         self.config = config if config is not None else MemoryConfig()
         self.stats = StatGroup("main_memory")
         self._reads = self.stats.counter("reads")
         self._writes = self.stats.counter("writes")
         self._bytes_transferred = self.stats.counter("bytes_transferred")
+        # Per-block-size latency memo: block sizes are fixed per hierarchy,
+        # so the latency arithmetic runs once per size instead of per miss.
+        self._latencies: dict = {}
+
+    def _latency(self, block_bytes: int) -> int:
+        latency = self._latencies.get(block_bytes)
+        if latency is None:
+            latency = self.config.access_latency(block_bytes)
+            self._latencies[block_bytes] = latency
+        return latency
 
     def read_block(self, address: int, block_bytes: int) -> int:
         """Service a block fill from memory; returns the latency in cycles."""
-        self._reads.increment()
-        self._bytes_transferred.increment(block_bytes)
-        return self.config.access_latency(block_bytes)
+        self._reads.value += 1
+        self._bytes_transferred.value += block_bytes
+        return self._latency(block_bytes)
 
     def write_block(self, address: int, block_bytes: int) -> int:
         """Service a writeback to memory; returns the latency in cycles.
@@ -34,9 +46,9 @@ class MainMemory:
         processor; callers typically ignore the returned latency but the
         access is still counted for energy purposes.
         """
-        self._writes.increment()
-        self._bytes_transferred.increment(block_bytes)
-        return self.config.access_latency(block_bytes)
+        self._writes.value += 1
+        self._bytes_transferred.value += block_bytes
+        return self._latency(block_bytes)
 
     @property
     def total_accesses(self) -> int:

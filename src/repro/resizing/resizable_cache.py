@@ -15,20 +15,36 @@ Section 2.1:
 The physical arrays are always allocated at the full geometry; resizing only
 changes which portion the index/way masks allow the cache to use, exactly as
 the hardware proposals do.
+
+The per-access hot path is :meth:`access_packed` — the same allocation-free
+packed-int kernel as :class:`~repro.cache.cache.Cache` (same ``PACKED_*``
+outcome bit layout, packed ``tag -> block_address << 1 | dirty`` set state),
+with the tag/index shift/mask locals re-derived on every resize instead of
+being fixed at construction.  The duplicated kernel body is deliberate: a
+shared helper would put a Python call frame back on every access, which is
+exactly the cost this kernel exists to remove.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.cache.cache import AccessResult, CacheStats
-from repro.cache.cache_set import CacheSet, make_selector
+from repro.cache.cache import (
+    PACKED_FILLED,
+    PACKED_HIT_RESULT,
+    PACKED_MISS_RESULT,
+    PACKED_WRITEBACK_SHIFT,
+    PACKED_WRITEBACK_VALID,
+    AccessResult,
+    CacheStats,
+    unpack_access_result,
+)
+from repro.cache.cache_set import CacheSet, make_selector, selector_seed
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.subarray import SubarrayMap, SubarrayState
 from repro.common.config import CacheGeometry
 from repro.common.errors import ResizingError
-from repro.mem.address import AddressMapper, block_address
-from repro.mem.block import CacheBlock
+from repro.mem.address import AddressMapper
 from repro.resizing.masks import SetMask, WayMask
 from repro.resizing.organization import ResizingOrganization, SizeConfig
 
@@ -88,7 +104,7 @@ class ResizableCache:
         self.organization = organization
         self.name = name
         self.replacement = ReplacementPolicy.parse(replacement)
-        self._selector = make_selector(self.replacement)
+        self._selector = make_selector(self.replacement, seed=selector_seed(name))
         self._sets: List[CacheSet] = [
             CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
         ]
@@ -103,10 +119,26 @@ class ResizableCache:
         self.resize_count = 0
         self.flush_writebacks = 0
         self.flushed_blocks = 0
+        # Kernel locals (see Cache.__init__); re-derived by resize_to when
+        # the enabled index width or associativity changes.
+        self._set_blocks = [cache_set.packed_storage() for cache_set in self._sets]
+        self._refresh_on_hit = self._selector.refreshes_on_hit
+        self._random_victims = self.replacement is ReplacementPolicy.RANDOM
+        self._refresh_kernel_locals()
+
+    def _refresh_kernel_locals(self) -> None:
+        """Re-derive the shift/mask/capacity locals from the current config."""
+        self._offset_bits, self._index_bits, self._set_mask_bits = self._mapper.shift_mask()
+        self._ways = self._current.ways
 
     # ------------------------------------------------------------------ access
-    def access(self, address: int, is_write: bool = False) -> AccessResult:
-        """Perform a load or store access against the enabled portion."""
+    def access_packed(self, address: int, is_write: bool = False) -> int:
+        """Allocation-free access kernel against the enabled portion.
+
+        Identical bit layout and semantics as
+        :meth:`repro.cache.cache.Cache.access_packed`; only the shift/mask
+        locals track the currently enabled configuration.
+        """
         stats = self.stats
         stats.accesses += 1
         if is_write:
@@ -114,14 +146,21 @@ class ResizableCache:
         else:
             stats.reads += 1
 
-        tag, index = self._mapper.split(address)
-        cache_set = self._sets[index]
-        block = cache_set.lookup(tag)
-        if block is not None:
+        block = address >> self._offset_bits
+        tag = block >> self._index_bits
+        blocks = self._set_blocks[block & self._set_mask_bits]
+        packed = blocks.get(tag)
+        if packed is not None:
             stats.hits += 1
             if is_write:
-                block.dirty = True
-            return AccessResult(hit=True)
+                packed |= 1
+                if self._refresh_on_hit:
+                    del blocks[tag]
+                blocks[tag] = packed
+            elif self._refresh_on_hit:
+                del blocks[tag]
+                blocks[tag] = packed
+            return PACKED_HIT_RESULT
 
         stats.misses += 1
         if is_write:
@@ -129,29 +168,43 @@ class ResizableCache:
         else:
             stats.read_misses += 1
 
-        new_block = CacheBlock(block_address(address, self.geometry.block_bytes), dirty=is_write)
-        victim = cache_set.fill(tag, new_block)
+        victim = None
+        if len(blocks) >= self._ways:
+            if self._random_victims:
+                victim_tag = self._selector.choose_victim(blocks)
+            else:
+                victim_tag = next(iter(blocks))
+            victim = blocks.pop(victim_tag)
+        blocks[tag] = (block << (self._offset_bits + 1)) | (1 if is_write else 0)
         stats.fills += 1
-        writeback_address = None
-        if victim is not None and victim.dirty:
+        if victim is not None and victim & 1:
             stats.writebacks += 1
-            writeback_address = victim.address
-        return AccessResult(hit=False, writeback_address=writeback_address, filled=True)
+            return (
+                PACKED_FILLED
+                | PACKED_WRITEBACK_VALID
+                | ((victim >> 1) << PACKED_WRITEBACK_SHIFT)
+            )
+        return PACKED_MISS_RESULT
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform a load or store access (object wrapper over the kernel)."""
+        return unpack_access_result(self.access_packed(address, is_write))
 
     def probe(self, address: int) -> bool:
         """Return True when ``address`` is resident, without updating LRU state."""
         tag, index = self._mapper.split(address)
-        return self._sets[index].probe(tag) is not None
+        return tag in self._set_blocks[index]
 
     def flush_all(self) -> List[int]:
         """Invalidate every enabled block; returns dirty block addresses."""
         dirty: List[int] = []
+        stats = self.stats
         for cache_set in self._sets:
-            for block in cache_set.drain():
-                self.stats.invalidations += 1
-                if block.dirty:
-                    self.stats.writebacks += 1
-                    dirty.append(block.address)
+            for packed in cache_set.drain_packed():
+                stats.invalidations += 1
+                if packed & 1:
+                    stats.writebacks += 1
+                    dirty.append(packed >> 1)
         return dirty
 
     # ------------------------------------------------------------------ resize
@@ -175,9 +228,9 @@ class ResizableCache:
         if new_sets < old_sets:
             # Disabling sets: every block in a disabled set leaves the cache.
             for index in range(new_sets, old_sets):
-                for block in self._sets[index].drain():
-                    if block.dirty:
-                        writebacks.append(block.address)
+                for packed in self._sets[index].drain_packed():
+                    if packed & 1:
+                        writebacks.append(packed >> 1)
                     else:
                         discarded += 1
         elif new_sets > old_sets:
@@ -188,24 +241,24 @@ class ResizableCache:
                 cache_set = self._sets[index]
                 stale_tags = [
                     tag
-                    for tag, block in cache_set.residents()
-                    if new_mapper.set_index(block.address) != index
+                    for tag, packed in cache_set.residents_packed()
+                    if new_mapper.set_index(packed >> 1) != index
                 ]
                 for tag in stale_tags:
-                    block = cache_set.invalidate(tag)
-                    if block is None:
+                    packed = cache_set.invalidate_packed(tag)
+                    if packed is None:
                         continue
-                    if block.dirty:
-                        writebacks.append(block.address)
+                    if packed & 1:
+                        writebacks.append(packed >> 1)
                     else:
                         discarded += 1
 
         # Adjust associativity on every physical set (disabled sets are empty).
         if target.ways != previous.ways:
             for cache_set in self._sets:
-                for block in cache_set.set_capacity(target.ways):
-                    if block.dirty:
-                        writebacks.append(block.address)
+                for packed in cache_set.set_capacity_packed(target.ways):
+                    if packed & 1:
+                        writebacks.append(packed >> 1)
                     else:
                         discarded += 1
 
@@ -213,6 +266,7 @@ class ResizableCache:
         self._mapper = AddressMapper(self.geometry.block_bytes, new_sets)
         self.way_mask.set_enabled(target.ways)
         self.set_mask.set_enabled(new_sets)
+        self._refresh_kernel_locals()
 
         self.resize_count += 1
         self.flush_writebacks += len(writebacks)
@@ -259,7 +313,7 @@ class ResizableCache:
 
     def resident_blocks(self) -> int:
         """Total number of valid blocks currently resident."""
-        return sum(cache_set.occupancy for cache_set in self._sets)
+        return sum(len(blocks) for blocks in self._set_blocks)
 
     def reset_stats(self) -> None:
         """Zero all access and resize counters without touching contents."""

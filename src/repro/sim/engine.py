@@ -22,6 +22,11 @@ Two engines ship:
   predictor and never materialises a record object.  Instructions with no
   event (no new fetch block, no branch, no memory reference — typically
   around half the stream) cost one flag test instead of a full loop body.
+  The dispatch loop drives the hierarchy through its allocation-free packed
+  kernel (``data_access_packed`` / ``instruction_fetch_packed``, see
+  :mod:`repro.cache.hierarchy`) and decodes the packed outcome ints with
+  bit ops, so a replayed memory access allocates nothing end to end; the
+  reference engine keeps exercising the object-returning wrapper path.
 
 Engine selection: ``Simulator(engine=...)`` / ``Simulator.run(engine=...)``
 accept an engine name or instance; :class:`~repro.sim.runner.SimJob` carries
@@ -40,6 +45,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Type, Union
 
+from repro.cache.hierarchy import (
+    HIER_COUNT_MASK,
+    HIER_L2_ACCESSES_SHIFT,
+    HIER_MEM_ACCESSES_SHIFT,
+)
 from repro.common.errors import SimulationError
 from repro.metrics.counts import IntervalCounts
 from repro.workloads.trace import (
@@ -251,7 +261,9 @@ class ColumnarEngine(ReplayEngine):
     their direction pre-resolved, memory ops with the store bit
     pre-resolved.  Pure counting (instructions, branch/store/access totals)
     is summed during the decode, so the execute loop is a tight dispatch
-    over pre-extracted locals with zero per-instruction object churn.
+    over pre-extracted locals with zero per-instruction object churn: cache
+    events go through the hierarchy's packed-int kernel and each outcome is
+    decoded with shift-and-mask ops, allocating nothing even on misses.
     """
 
     name = "columnar"
@@ -265,9 +277,11 @@ class ColumnarEngine(ReplayEngine):
         n = len(trace)
         interval_instructions = ctx.interval_instructions
         block_mask = ctx.block_mask
-        data_access = ctx.hierarchy.data_access
-        instruction_fetch = ctx.hierarchy.instruction_fetch
+        data_access = ctx.hierarchy.data_access_packed
+        instruction_fetch = ctx.hierarchy.instruction_fetch_packed
         predict = ctx.predictor.predict_and_update
+        l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+        count_mask = HIER_COUNT_MASK
 
         branch_flag, mem_flag = FLAG_BRANCH, FLAG_MEM
         store_flag, taken_flag = FLAG_STORE, FLAG_TAKEN
@@ -341,32 +355,32 @@ class ColumnarEngine(ReplayEngine):
                 operand = ops[index + 1]
                 index += 2
                 if code == op_fetch:
-                    outcome = instruction_fetch(operand)
+                    packed = instruction_fetch(operand)
                     l1i_accesses += 1
-                    if not outcome.l1_hit:
+                    if not packed & 1:
                         l1i_misses += 1
-                        l2_accesses += outcome.l2_accesses
-                        transfers = outcome.memory_accesses
+                        l2_accesses += (packed >> l2a_shift) & count_mask
+                        transfers = (packed >> mem_shift) & count_mask
                         memory_accesses += transfers
                         l1i_memory += transfers
                 elif code == op_load:
-                    outcome = data_access(operand, False)
-                    if not outcome.l1_hit:
+                    packed = data_access(operand, False)
+                    if not packed & 1:
                         l1d_misses += 1
-                        fills = outcome.l2_accesses
+                        fills = (packed >> l2a_shift) & count_mask
                         l2_accesses += fills
-                        transfers = outcome.memory_accesses
+                        transfers = (packed >> mem_shift) & count_mask
                         memory_accesses += transfers
                         l1d_memory += transfers
                         if fills > 1:
                             l1d_writebacks += fills - 1
                 elif code == op_store:
-                    outcome = data_access(operand, True)
-                    if not outcome.l1_hit:
+                    packed = data_access(operand, True)
+                    if not packed & 1:
                         l1d_misses += 1
-                        fills = outcome.l2_accesses
+                        fills = (packed >> l2a_shift) & count_mask
                         l2_accesses += fills
-                        transfers = outcome.memory_accesses
+                        transfers = (packed >> mem_shift) & count_mask
                         memory_accesses += transfers
                         l1d_memory += transfers
                         if fills > 1:
