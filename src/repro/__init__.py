@@ -71,8 +71,10 @@ from repro.sim.engine import (
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
+from repro.sim.ladder import LadderEngine, run_fused
 from repro.sim.runner import (
     L1SetupSpec,
+    LadderJob,
     SimJob,
     StrategySpec,
     SweepRunner,
@@ -83,6 +85,9 @@ from repro.sim.runner import (
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.tracecache import TraceCache
 from repro.sim.sweep import (
+    FUSED,
+    LADDER_MODES,
+    PER_CONFIG,
     StaticProfile,
     StaticProfileFuture,
     profile_static,
@@ -176,6 +181,13 @@ __all__ = [
     "submit_with_setups",
     "submit_profile_static",
     "submit_dynamic",
+    # fused ladder replay
+    "LadderEngine",
+    "LadderJob",
+    "run_fused",
+    "FUSED",
+    "PER_CONFIG",
+    "LADDER_MODES",
     # workloads
     "WorkloadProfile",
     "WorkloadGenerator",

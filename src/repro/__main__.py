@@ -16,6 +16,10 @@ Examples::
     # columnar fast path (results are bit-identical either way)
     python -m repro run-figure figure4 --engine reference
 
+    # Debug a profiling ladder one configuration at a time instead of the
+    # fused single-pass default (results are bit-identical either way)
+    python -m repro run-figure figure4 --ladder-mode per-config
+
     # Gate pytest-benchmark results against the committed perf baseline
     python -m repro bench-compare benchmark-results.json
 
@@ -52,6 +56,7 @@ from repro.benchgate import (
 )
 from repro.common.errors import ReproError
 from repro.sim.engine import DEFAULT_ENGINE, available_engines
+from repro.sim.sweep import FUSED, LADDER_MODES, PER_CONFIG
 from repro.experiments import (
     ExperimentContext,
     figure4,
@@ -113,6 +118,15 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
             help=f"replay engine for the simulator hot loop (default: "
                  f"{DEFAULT_ENGINE}); engines are bit-identical, the choice "
                  f"only affects speed",
+        )
+        sub.add_argument(
+            "--ladder-mode", choices=LADDER_MODES, default=FUSED,
+            help=f"how profiling ladders execute (default: {FUSED}): "
+                 f"'{FUSED}' decodes each trace once and feeds every rung "
+                 f"of the ladder in one fused pass; '{PER_CONFIG}' submits "
+                 f"one job per configuration (the debugging path, and the "
+                 f"one that honours --engine inside ladders).  Results are "
+                 f"bit-identical and both modes share the job cache",
         )
         sub.add_argument(
             "--instructions", type=int, default=60_000,
@@ -235,6 +249,7 @@ def build_context(args: argparse.Namespace) -> ExperimentContext:
         applications=applications,
         runner=runner,
         engine=args.engine,
+        ladder_mode=args.ladder_mode,
     )
 
 
@@ -257,7 +272,8 @@ def prepare_experiments(names: List[str], context: ExperimentContext, echo=print
             prepare(context)
     runner = context.runner
     echo(
-        f"two-phase pipeline: {runner.pending_count} profile/baseline job(s) in phase 1, "
+        f"two-phase pipeline: {runner.pending_count} profile/baseline execution(s) in "
+        f"phase 1 ({runner.fused_rungs} ladder rung(s) riding fused passes), "
         f"{runner.deferred_count} dependent job(s) in phase 2 "
         f"({runner.cache_hits} already served from cache)"
     )
@@ -298,6 +314,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_engines():
             suffix = "  [default]" if name == DEFAULT_ENGINE else ""
             print(f"  {name}{suffix}")
+        print("ladder modes (--ladder-mode NAME; bit-identical results, speed only):")
+        for name in LADDER_MODES:
+            if name == FUSED:
+                print(f"  {name}  [default]  one trace pass feeds a whole profiling ladder")
+            else:
+                print(f"  {name}  one job per ladder configuration (debugging path)")
         print(
             "caches: completed jobs live in --cache-dir, generated traces in\n"
             "  --cache-dir/traces (binary trace format); --no-cache disables both"
@@ -367,7 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"\n{len(names)} experiment(s) in {elapsed:.1f}s with {runner.jobs} worker(s): "
         f"{runner.simulate_count} simulated, {runner.cache_hits} served from cache "
         f"(cache: {cache_note}), {runner.pool_batches} pool batch(es), "
-        f"{runner.inline_executions} inline"
+        f"{runner.inline_executions} inline, {runner.fused_rungs} ladder rung(s) fused"
     )
 
     if args.output:

@@ -34,6 +34,16 @@ Packed hierarchy-outcome bit layout (``HIER_*`` constants)::
 the packed int into the historical :class:`HierarchyAccessOutcome`, so the
 reference engine, the timing tests and external callers stay bit-identical
 by construction.
+
+The fused ladder engine (:mod:`repro.sim.ladder`) composes the same access
+out of its two halves directly: it calls the bound L1 kernels
+(``_l1i_packed`` / ``_l1d_packed``) and the shared miss-fill path
+(``_miss_packed``) separately, so it can resolve a configuration-invariant
+L1 once for a whole ladder of hierarchies while each rung still performs
+its own L2/memory fills.  Treat those attributes as a stable intra-package
+contract: ``packed = _l1x_packed(addr, is_write)`` then, on a miss,
+``_miss_packed(packed, addr)`` must remain exactly equivalent to one
+``*_packed`` wrapper call.
 """
 
 from __future__ import annotations

@@ -42,9 +42,11 @@ from repro.sim.runner import (
 from repro.sim.simulator import Simulator
 from repro.sim.sweep import (
     DCACHE,
+    FUSED,
     ICACHE,
     StaticProfile,
     StaticProfileFuture,
+    require_ladder_mode,
     make_job,
     submit_baseline,
     submit_dynamic,
@@ -79,6 +81,7 @@ class ExperimentContext:
         timing: Optional[CoreTimingParameters] = None,
         runner: Optional[SweepRunner] = None,
         engine: Optional[str] = None,
+        ladder_mode: str = FUSED,
     ) -> None:
         if n_instructions < 1_000:
             raise ConfigurationError("experiments need at least 1000 instructions")
@@ -102,6 +105,13 @@ class ExperimentContext:
         #: package default).  Engines are bit-identical, so this only
         #: affects speed; it reaches jobs through the memoised simulators.
         self.engine = engine
+        #: How profiling ladders execute: ``"fused"`` (default — one trace
+        #: pass feeds every rung, see :mod:`repro.sim.ladder`) or
+        #: ``"per-config"`` (one job per rung).  Bit-identical either way.
+        try:
+            self.ladder_mode = require_ladder_mode(ladder_mode)
+        except SimulationError as exc:
+            raise ConfigurationError(str(exc)) from exc
         #: Every simulation the context performs goes through this runner, so
         #: handing in a parallel and/or cache-backed SweepRunner accelerates
         #: the whole evaluation without touching any experiment module.
@@ -232,6 +242,7 @@ class ExperimentContext:
                 interval_instructions=self.interval_instructions,
                 warmup_instructions=self.warmup_instructions,
                 max_slowdown=self.max_slowdown,
+                ladder_mode=self.ladder_mode,
             )
             self._profiles[key] = cached
         return cached

@@ -11,14 +11,17 @@ from repro.sim.engine import (
 )
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
+from repro.sim.ladder import LadderEngine, run_fused
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
     L1SetupSpec,
+    LadderJob,
     SimJob,
     StrategySpec,
     SweepRunner,
     TraceSpec,
     execute_job,
+    execute_ladder_job,
     get_trace_cache,
     job_fingerprint,
     register_organization,
@@ -28,6 +31,9 @@ from repro.sim.runner import (
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.tracecache import TraceCache
 from repro.sim.sweep import (
+    FUSED,
+    LADDER_MODES,
+    PER_CONFIG,
     StaticProfile,
     StaticProfileFuture,
     make_job,
@@ -69,6 +75,14 @@ __all__ = [
     "submit_with_setups",
     "submit_profile_static",
     "submit_dynamic",
+    # fused ladder replay
+    "LadderEngine",
+    "LadderJob",
+    "execute_ladder_job",
+    "run_fused",
+    "FUSED",
+    "PER_CONFIG",
+    "LADDER_MODES",
     # replay engines
     "ReplayEngine",
     "ReferenceEngine",

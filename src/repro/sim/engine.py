@@ -16,17 +16,27 @@ Two engines ship:
   Kept as the executable specification the fast path is checked against.
 * :class:`ColumnarEngine` (the default) — replays straight from the trace's
   structure-of-arrays columns.  Each interval is pre-decoded *once* into a
-  flat operation stream (fetch-block-change detection, branch direction,
-  memory-op extraction with the store bit resolved), so the execute loop
-  touches only instructions that actually reach the caches or the branch
-  predictor and never materialises a record object.  Instructions with no
-  event (no new fetch block, no branch, no memory reference — typically
-  around half the stream) cost one flag test instead of a full loop body.
-  The dispatch loop drives the hierarchy through its allocation-free packed
-  kernel (``data_access_packed`` / ``instruction_fetch_packed``, see
-  :mod:`repro.cache.hierarchy`) and decodes the packed outcome ints with
-  bit ops, so a replayed memory access allocates nothing end to end; the
-  reference engine keeps exercising the object-returning wrapper path.
+  flat cache-operation stream (fetch-block-change detection, memory-op
+  extraction with the store bit resolved), so the execute loop touches only
+  instructions that actually reach the caches and never materialises a
+  record object.  Branches are resolved *during* the decode — the branch
+  predictor shares no state with the caches, so predicting while decoding
+  is bit-identical to predicting in program-order between cache events —
+  which keeps branch events out of the dispatch stream entirely.
+  Instructions with no event (no new fetch block, no branch, no memory
+  reference — typically around half the stream) cost one flag test instead
+  of a full loop body.  The dispatch loop drives the hierarchy through its
+  allocation-free packed kernel (``data_access_packed`` /
+  ``instruction_fetch_packed``, see :mod:`repro.cache.hierarchy`) and
+  decodes the packed outcome ints with bit ops, so a replayed memory access
+  allocates nothing end to end; the reference engine keeps exercising the
+  object-returning wrapper path.
+
+The decode and dispatch passes are exposed as module-level helpers
+(:func:`decode_interval`, :func:`dispatch_cache_ops`) because the fused
+multi-configuration ladder engine (:mod:`repro.sim.ladder`) reuses them:
+one decode pass feeds K per-configuration dispatch loops, which is exactly
+why the cache-only op stream exists as a separate artifact.
 
 Engine selection: ``Simulator(engine=...)`` / ``Simulator.run(engine=...)``
 accept an engine name or instance; :class:`~repro.sim.runner.SimJob` carries
@@ -60,14 +70,118 @@ from repro.workloads.trace import (
     Trace,
 )
 
-#: Operation codes of the columnar engine's decoded per-interval op stream.
-#: The stream is a flat list alternating ``code, operand``: the operand is
-#: the fetch/branch PC or the data address.
+#: Operation codes of the decoded per-interval cache-op stream.  The stream
+#: is a flat list alternating ``code, operand``: the operand is the fetch PC
+#: or the data address.  Branches never enter the stream — they are resolved
+#: during the decode pass (see :func:`decode_interval`).
 _OP_FETCH = 0
-_OP_BRANCH_TAKEN = 1
-_OP_BRANCH_NOT_TAKEN = 2
-_OP_LOAD = 3
-_OP_STORE = 4
+_OP_LOAD = 1
+_OP_STORE = 2
+
+
+def decode_interval(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict):
+    """Decode one interval's columns into a cache-op stream plus totals.
+
+    One linear scan over ``chunk`` unboxed column entries emits, in program
+    order, only the events that touch cache state — fetch-block changes and
+    memory ops with the store bit resolved — and resolves every branch
+    against ``predict`` (a bound ``predict_and_update``) on the spot.
+    Folding prediction into the decode is safe because the predictor and
+    the caches share no state: per-interval totals are what the interval
+    accounting consumes, and those are order-independent between the two
+    machines.  Crucially it also means the returned op stream is *pure
+    cache work*, so a fused ladder replay can run this decode (and the
+    predictor) once and re-dispatch the stream to K cache hierarchies.
+
+    Returns ``(ops, last_fetch_block, branches, branch_mispredicts,
+    memory_refs, stores)``; ``last_fetch_block`` threads the fetch-block
+    dedup state across interval boundaries.
+    """
+    ops = []
+    append = ops.append
+    branches = 0
+    branch_mispredicts = 0
+    memory_refs = 0
+    stores = 0
+    branch_flag, mem_flag = FLAG_BRANCH, FLAG_MEM
+    store_flag, taken_flag = FLAG_STORE, FLAG_TAKEN
+    op_fetch, op_load, op_store = _OP_FETCH, _OP_LOAD, _OP_STORE
+    for k in range(chunk):
+        pc = pcs[k]
+        fetch_block = pc & block_mask
+        if fetch_block != last_fetch_block:
+            last_fetch_block = fetch_block
+            append(op_fetch)
+            append(pc)
+        flag = flags[k]
+        if flag:
+            if flag & branch_flag:
+                branches += 1
+                if predict(pc, True if flag & taken_flag else False):
+                    branch_mispredicts += 1
+            if flag & mem_flag:
+                if flag & store_flag:
+                    stores += 1
+                    append(op_store)
+                else:
+                    append(op_load)
+                memory_refs += 1
+                append(addresses[k])
+    return ops, last_fetch_block, branches, branch_mispredicts, memory_refs, stores
+
+
+def dispatch_cache_ops(ops, instruction_fetch, data_access):
+    """Drive one hierarchy through a decoded cache-op stream, in order.
+
+    ``instruction_fetch`` / ``data_access`` are the hierarchy's bound packed
+    kernels; every outcome is decoded with shift-and-mask ops so the loop
+    allocates nothing per access, including on misses.  Returns the interval
+    miss statistics as a flat tuple ``(l1i_accesses, l1i_misses,
+    l1i_memory, l1d_misses, l1d_memory, l1d_writebacks, l2_accesses,
+    memory_accesses)`` — one tuple per interval, accumulated into
+    :class:`~repro.metrics.counts.IntervalCounts` by the caller.  The fused
+    ladder engine calls this once per configuration per interval on the
+    same op stream.
+    """
+    l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+    count_mask = HIER_COUNT_MASK
+    op_fetch, op_load = _OP_FETCH, _OP_LOAD
+    l1i_accesses = 0
+    l1i_misses = 0
+    l1i_memory = 0
+    l1d_misses = 0
+    l1d_memory = 0
+    l1d_writebacks = 0
+    l2_accesses = 0
+    memory_accesses = 0
+    stream = iter(ops)
+    for code in stream:
+        operand = next(stream)
+        if code == op_fetch:
+            packed = instruction_fetch(operand)
+            l1i_accesses += 1
+            if not packed & 1:
+                l1i_misses += 1
+                l2_accesses += (packed >> l2a_shift) & count_mask
+                transfers = (packed >> mem_shift) & count_mask
+                memory_accesses += transfers
+                l1i_memory += transfers
+        else:
+            packed = data_access(operand, code != op_load)
+            if not packed & 1:
+                l1d_misses += 1
+                fills = (packed >> l2a_shift) & count_mask
+                l2_accesses += fills
+                transfers = (packed >> mem_shift) & count_mask
+                memory_accesses += transfers
+                l1d_memory += transfers
+                if fills > 1:
+                    l1d_writebacks += fills - 1
+    return (
+        l1i_accesses, l1i_misses, l1i_memory,
+        l1d_misses, l1d_memory, l1d_writebacks,
+        l2_accesses, memory_accesses,
+    )
 
 
 class ReplayContext:
@@ -254,13 +368,14 @@ class ReferenceEngine(ReplayEngine):
 class ColumnarEngine(ReplayEngine):
     """Replay straight from the trace columns, one decoded interval at a time.
 
-    Per interval the decode pass reads the pc/flag/address columns exactly
-    once (``memoryview`` slice → ``tolist``, a C-level copy into unboxed
-    list indexing) and emits a flat op stream of only the events that touch
-    simulator state, in program order: fetch-block changes, branches with
-    their direction pre-resolved, memory ops with the store bit
-    pre-resolved.  Pure counting (instructions, branch/store/access totals)
-    is summed during the decode, so the execute loop is a tight dispatch
+    Per interval the decode pass (:func:`decode_interval`) reads the
+    pc/flag/address columns exactly once (``memoryview`` slice → ``tolist``,
+    a C-level copy into unboxed list indexing), resolves every branch
+    against the predictor, and emits a flat op stream of only the events
+    that touch *cache* state, in program order: fetch-block changes and
+    memory ops with the store bit pre-resolved.  Pure counting
+    (instructions, branch/store/access totals) is summed during the decode,
+    so the execute pass (:func:`dispatch_cache_ops`) is a tight dispatch
     over pre-extracted locals with zero per-instruction object churn: cache
     events go through the hierarchy's packed-int kernel and each outcome is
     decoded with shift-and-mask ops, allocating nothing even on misses.
@@ -280,13 +395,8 @@ class ColumnarEngine(ReplayEngine):
         data_access = ctx.hierarchy.data_access_packed
         instruction_fetch = ctx.hierarchy.instruction_fetch_packed
         predict = ctx.predictor.predict_and_update
-        l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
-        count_mask = HIER_COUNT_MASK
-
-        branch_flag, mem_flag = FLAG_BRANCH, FLAG_MEM
-        store_flag, taken_flag = FLAG_STORE, FLAG_TAKEN
-        op_fetch, op_load, op_store = _OP_FETCH, _OP_LOAD, _OP_STORE
-        op_taken, op_not_taken = _OP_BRANCH_TAKEN, _OP_BRANCH_NOT_TAKEN
+        decode = decode_interval
+        dispatch = dispatch_cache_ops
 
         last_fetch_block = -1
         total_seen = 0
@@ -301,93 +411,23 @@ class ColumnarEngine(ReplayEngine):
             addresses = address_view[position:stop].tolist()
             position = stop
 
-            # Decode pass: one linear scan of the columns emits the op
-            # stream and the event totals for this interval.
-            ops = []
-            append = ops.append
-            branches = 0
-            memory_refs = 0
-            stores = 0
-            for k in range(chunk):
-                pc = pcs[k]
-                fetch_block = pc & block_mask
-                if fetch_block != last_fetch_block:
-                    last_fetch_block = fetch_block
-                    append(op_fetch)
-                    append(pc)
-                flag = flags[k]
-                if flag:
-                    if flag & branch_flag:
-                        branches += 1
-                        append(op_taken if flag & taken_flag else op_not_taken)
-                        append(pc)
-                    if flag & mem_flag:
-                        memory_refs += 1
-                        if flag & store_flag:
-                            stores += 1
-                            append(op_store)
-                        else:
-                            append(op_load)
-                        append(addresses[k])
+            ops, last_fetch_block, branches, branch_mispredicts, memory_refs, stores = (
+                decode(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict)
+            )
 
             counts = ctx.counts
             counts.instructions += chunk
             counts.branches += branches
+            counts.branch_mispredicts += branch_mispredicts
             counts.l1d_accesses += memory_refs
             counts.l1d_stores += stores
             total_seen += chunk
 
-            # Execute pass: drive the caches and predictor in program order,
-            # accumulating miss statistics in locals, flushed once per chunk.
-            l1i_accesses = 0
-            l1i_misses = 0
-            l1i_memory = 0
-            l1d_misses = 0
-            l1d_memory = 0
-            l1d_writebacks = 0
-            l2_accesses = 0
-            memory_accesses = 0
-            branch_mispredicts = 0
-            index = 0
-            op_count = len(ops)
-            while index < op_count:
-                code = ops[index]
-                operand = ops[index + 1]
-                index += 2
-                if code == op_fetch:
-                    packed = instruction_fetch(operand)
-                    l1i_accesses += 1
-                    if not packed & 1:
-                        l1i_misses += 1
-                        l2_accesses += (packed >> l2a_shift) & count_mask
-                        transfers = (packed >> mem_shift) & count_mask
-                        memory_accesses += transfers
-                        l1i_memory += transfers
-                elif code == op_load:
-                    packed = data_access(operand, False)
-                    if not packed & 1:
-                        l1d_misses += 1
-                        fills = (packed >> l2a_shift) & count_mask
-                        l2_accesses += fills
-                        transfers = (packed >> mem_shift) & count_mask
-                        memory_accesses += transfers
-                        l1d_memory += transfers
-                        if fills > 1:
-                            l1d_writebacks += fills - 1
-                elif code == op_store:
-                    packed = data_access(operand, True)
-                    if not packed & 1:
-                        l1d_misses += 1
-                        fills = (packed >> l2a_shift) & count_mask
-                        l2_accesses += fills
-                        transfers = (packed >> mem_shift) & count_mask
-                        memory_accesses += transfers
-                        l1d_memory += transfers
-                        if fills > 1:
-                            l1d_writebacks += fills - 1
-                else:
-                    if predict(operand, code == op_taken):
-                        branch_mispredicts += 1
+            (
+                l1i_accesses, l1i_misses, l1i_memory,
+                l1d_misses, l1d_memory, l1d_writebacks,
+                l2_accesses, memory_accesses,
+            ) = dispatch(ops, instruction_fetch, data_access)
 
             counts.l1i_accesses += l1i_accesses
             counts.l1i_misses += l1i_misses
@@ -397,7 +437,6 @@ class ColumnarEngine(ReplayEngine):
             counts.l1d_writebacks += l1d_writebacks
             counts.l2_accesses += l2_accesses
             counts.memory_accesses += memory_accesses
-            counts.branch_mispredicts += branch_mispredicts
 
             if chunk == interval_instructions:
                 ctx.total_seen = total_seen

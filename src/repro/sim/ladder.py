@@ -1,0 +1,461 @@
+"""Fused multi-configuration ladder replay.
+
+The paper extracts static sizes and the dynamic framework's miss/size
+bounds "offline through profiling", so every figure multiplies replay cost
+by the organization's whole resizing ladder: K configurations of the same
+L1 against the *same trace*.  Replaying the ladder as K independent
+simulations decodes the op stream, models the branches and walks the
+intervals K times to feed K cache kernels — all of it redundant, because
+none of that work depends on cache configuration.
+
+Architecture
+------------
+:class:`LadderEngine` replays one trace through K
+:class:`~repro.sim.engine.ReplayContext` objects in a single pass.  Per
+interval it
+
+1. slices the trace columns and runs :func:`~repro.sim.engine.decode_interval`
+   **once** — fetch-block dedup, branch prediction and memory-op extraction
+   are configuration-independent, so the resulting cache-op stream and the
+   branch/store/reference totals are shared verbatim by every rung;
+2. resolves the *invariant* L1 side once on a pilot cache (see below),
+   shrinking the stream to the ops that can differ per rung;
+3. dispatches the reduced stream to each rung's hierarchy through its
+   allocation-free packed kernels, accumulating that rung's interval
+   counts; and
+4. closes the interval on each context, so timing/energy aggregation,
+   warmup accounting and per-rung resizing decisions run exactly as they
+   would standalone (:meth:`ReplayContext.close_interval` is shared by
+   construction).
+
+The branch predictor is run once, on the first context's predictor: every
+standalone run starts from an identical fresh predictor and the predictor
+shares no state with the caches, so each rung's per-interval mispredict
+totals are identical to its standalone run's by construction.  The same
+argument covers the fetch-block dedup state.
+
+**Pilot resolution of the invariant side.**  A profiling ladder resizes
+exactly one L1; the other is the full-size fixed cache in every rung.  A
+fixed L1's hit/miss (and dirty-victim) sequence depends only on its own
+access stream — which is shared — so it is *identical across rungs*.  The
+fused pass therefore drives the first context's copy of that cache (the
+"pilot") once per op and shares the outcome:
+
+* an L1 *hit* touches no per-rung state at all (the packed replay path
+  never consumes latency — cycles come from the interval counts), so the
+  op vanishes from the per-rung stream and is folded into a shared count;
+* an L1 *miss* stays in the stream, pre-resolved (for the data side the
+  pilot's packed outcome rides along, carrying the victim-writeback bit),
+  and each rung performs only the L2/memory fill — the part that really
+  does depend on that rung's L2 contents.
+
+Per-rung work then shrinks to: variant-L1 kernel accesses, plus L2/memory
+fills for the (rare) invariant-side misses.  Everything
+configuration-*dependent* — cache contents, resize decisions, flush
+writebacks, energy, cycles — stays in per-rung state, which is why every
+rung's :class:`~repro.sim.results.SimulationResult` is **bit-identical**
+to a standalone run of the columnar engine (enforced by
+``tests/sim/test_ladder.py`` and ``tests/properties/test_property_ladder.py``).
+Heterogeneous ladders where *both* L1 setups vary across rungs fall back
+to re-dispatching the full shared stream per rung — still decoding once.
+
+One caveat: the invariant-side cache *objects* of rungs 1..K-1 are never
+driven (the pilot is rung 0's copy), so their internal hit/miss counters
+stay zero.  Nothing in result assembly reads them — interval accounting
+works entirely off :class:`~repro.metrics.counts.IntervalCounts` — but
+introspecting ``hierarchy.miss_ratios()`` on a non-pilot context after a
+fused replay would show an idle invariant side.
+
+Amortization: a per-config ladder costs ``K × (slice + decode + predict +
+full dispatch + close)``; the fused pass costs ``slice + decode + predict
++ pilot + K × (reduced dispatch + close)``.  The shared side is roughly
+the price of one replay, so the win grows with K (the job layer fuses
+only the rungs the job cache cannot already serve — see
+:meth:`repro.sim.runner.SweepRunner.submit_ladder`).
+
+:func:`run_fused` is the entry point: it builds one context per
+``(d_setup, i_setup)`` pair off a configured
+:class:`~repro.sim.simulator.Simulator` and finalizes each into its
+result.  :class:`LadderEngine` is deliberately *not* a registered
+:class:`~repro.sim.engine.ReplayEngine` — it replays many contexts at
+once, a different contract from the single-run engines the ``--engine``
+flag selects; the CLI exposes it through ``--ladder-mode`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.cache import PACKED_WRITEBACK_VALID
+from repro.cache.hierarchy import (
+    HIER_COUNT_MASK,
+    HIER_L2_ACCESSES_SHIFT,
+    HIER_MEM_ACCESSES_SHIFT,
+)
+from repro.common.errors import SimulationError
+from repro.sim.engine import _OP_FETCH, _OP_LOAD, decode_interval, dispatch_cache_ops
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import L1Setup, ReplayContext, Simulator
+from repro.workloads.trace import Trace
+
+#: Extra op codes of the pilot-reduced stream (the shared decode emits only
+#: the engine module's fetch/load/store codes; pilot resolution rewrites
+#: the invariant side into these).
+_OP_IMISS = 3  #: L1i miss (pilot-resolved): operand is the fetch PC.
+_OP_DMISS = 4  #: L1d miss (pilot-resolved): operands are address, l1_packed.
+
+
+class LadderEngine:
+    """Replays one trace through K replay contexts in a single decode pass."""
+
+    def replay_many(self, trace: Trace, contexts: Sequence[ReplayContext]) -> None:
+        """Replay ``trace`` through every context, decoding each interval once.
+
+        All contexts must share the interval length and fetch-block
+        geometry (they do when built from one simulator, as
+        :func:`run_fused` does); per-context cache/strategy state is free
+        to diverge — that is the point.
+        """
+        if not contexts:
+            return
+        first = contexts[0]
+        for ctx in contexts[1:]:
+            if (
+                ctx.interval_instructions != first.interval_instructions
+                or ctx.block_mask != first.block_mask
+            ):
+                raise SimulationError(
+                    "fused ladder replay requires every rung to share the interval "
+                    "length and fetch-block geometry"
+                )
+        # Pilot-resolve whichever L1 side is fixed in every rung (a fixed
+        # cache's behaviour is shared by construction — see the module
+        # docstring).  A d-cache ladder pilots the L1i and vice versa; a
+        # ladder that resizes both sides in some rung gets the general
+        # mode, which re-dispatches the full shared stream per rung.
+        # Every mode is expressed as a (resolve, fold, rung-kernels)
+        # triple driven by one shared interval walk, so the interval
+        # semantics — partial final chunk, ``total_seen`` threading,
+        # per-rung close ordering — exist exactly once.
+        hierarchy = first.hierarchy
+        if all(not ctx.i_runtime.is_resizable for ctx in contexts):
+            pilot = hierarchy._l1i_packed
+            resolve = lambda ops: _resolve_pilot_i(ops, pilot)  # noqa: E731
+            fold = _fold_pilot_i
+            rungs = [
+                (ctx, ctx.hierarchy._l1d_packed, ctx.hierarchy._miss_packed)
+                for ctx in contexts
+            ]
+        elif all(not ctx.d_runtime.is_resizable for ctx in contexts):
+            pilot = hierarchy._l1d_packed
+            resolve = lambda ops: _resolve_pilot_d(ops, pilot)  # noqa: E731
+            fold = _fold_pilot_d
+            rungs = [
+                (ctx, ctx.hierarchy._l1i_packed, ctx.hierarchy._miss_packed)
+                for ctx in contexts
+            ]
+        else:
+            resolve = _resolve_general
+            fold = _fold_general
+            rungs = [
+                (ctx, ctx.hierarchy.instruction_fetch_packed,
+                 ctx.hierarchy.data_access_packed)
+                for ctx in contexts
+            ]
+        self._walk_intervals(trace, first, rungs, resolve, fold)
+
+    def _walk_intervals(self, trace, first, rungs, resolve, fold) -> None:
+        """The single shared interval walk every fused mode runs on.
+
+        Per interval: slice the columns, decode once (branch prediction on
+        the first context's predictor), ``resolve`` the stream once for
+        all rungs (pilot modes shrink it; the general mode passes it
+        through), then ``fold`` it into each rung's counts and close that
+        rung's interval.  ``rungs`` are ``(context, kernel_a, kernel_b)``
+        triples whose kernel meaning is mode-specific — the fold function
+        and the rung list are built together in :meth:`replay_many`.
+        """
+        interval_instructions = first.interval_instructions
+        block_mask = first.block_mask
+        predict = first.predictor.predict_and_update
+        decode = decode_interval
+
+        pc_column, address_column, flag_column = trace.columns()
+        pc_view = memoryview(pc_column)
+        address_view = memoryview(address_column)
+        flag_view = memoryview(flag_column)
+
+        n = len(trace)
+        last_fetch_block = -1
+        total_seen = 0
+        position = 0
+        while position < n:
+            stop = position + interval_instructions
+            if stop > n:
+                stop = n
+            chunk = stop - position
+            pcs = pc_view[position:stop].tolist()
+            flags = flag_view[position:stop].tolist()
+            addresses = address_view[position:stop].tolist()
+            position = stop
+
+            ops, last_fetch_block, branches, branch_mispredicts, memory_refs, stores = (
+                decode(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict)
+            )
+            reduced, shared = resolve(ops)
+            total_seen += chunk
+            close = chunk == interval_instructions
+
+            for ctx, kernel_a, kernel_b in rungs:
+                counts = ctx.counts
+                counts.instructions += chunk
+                counts.branches += branches
+                counts.branch_mispredicts += branch_mispredicts
+                counts.l1d_accesses += memory_refs
+                counts.l1d_stores += stores
+                fold(counts, reduced, shared, kernel_a, kernel_b)
+                if close:
+                    ctx.total_seen = total_seen
+                    ctx.close_interval()
+
+        for ctx, _, _ in rungs:
+            ctx.total_seen = total_seen
+            ctx.close_interval(final=True)
+
+
+def _resolve_general(ops):
+    """General mode: nothing to pre-resolve, every rung replays all ops."""
+    return ops, None
+
+
+def _fold_general(counts, ops, shared, instruction_fetch, data_access):
+    """Full per-rung dispatch through the engine's shared cache-op loop."""
+    (
+        l1i_accesses, l1i_misses, l1i_memory,
+        l1d_misses, l1d_memory, l1d_writebacks,
+        l2_accesses, memory_accesses,
+    ) = dispatch_cache_ops(ops, instruction_fetch, data_access)
+    counts.l1i_accesses += l1i_accesses
+    counts.l1i_misses += l1i_misses
+    counts.l1i_memory_accesses += l1i_memory
+    counts.l1d_misses += l1d_misses
+    counts.l1d_memory_accesses += l1d_memory
+    counts.l1d_writebacks += l1d_writebacks
+    counts.l2_accesses += l2_accesses
+    counts.memory_accesses += memory_accesses
+
+
+def _fold_pilot_i(counts, reduced, shared, l1d_kernel, miss_fill):
+    """Fold one rung's interval when the L1i was pilot-resolved."""
+    fetches, i_misses = shared
+    counts.l1i_accesses += fetches
+    counts.l1i_misses += i_misses
+    (
+        l1i_memory, l1d_misses, l1d_memory, l1d_writebacks,
+        l2_accesses, memory_accesses,
+    ) = _dispatch_variant_d(reduced, l1d_kernel, miss_fill)
+    counts.l1i_memory_accesses += l1i_memory
+    counts.l1d_misses += l1d_misses
+    counts.l1d_memory_accesses += l1d_memory
+    counts.l1d_writebacks += l1d_writebacks
+    counts.l2_accesses += l2_accesses
+    counts.memory_accesses += memory_accesses
+
+
+def _fold_pilot_d(counts, reduced, shared, l1i_kernel, miss_fill):
+    """Fold one rung's interval when the L1d was pilot-resolved."""
+    d_misses, d_writebacks = shared
+    counts.l1d_misses += d_misses
+    counts.l1d_writebacks += d_writebacks
+    (
+        l1i_accesses, l1i_misses, l1i_memory, l1d_memory,
+        l2_accesses, memory_accesses,
+    ) = _dispatch_variant_i(reduced, l1i_kernel, miss_fill)
+    counts.l1i_accesses += l1i_accesses
+    counts.l1i_misses += l1i_misses
+    counts.l1i_memory_accesses += l1i_memory
+    counts.l1d_memory_accesses += l1d_memory
+    counts.l2_accesses += l2_accesses
+    counts.memory_accesses += memory_accesses
+
+
+def _resolve_pilot_i(ops, l1i_kernel):
+    """Resolve every fetch op on the pilot L1i; keep only the misses.
+
+    Hits leave the stream entirely — an L1i hit touches no per-rung state
+    and the replay path never consumes per-access latency.  Returns
+    ``(reduced, (fetches, i_misses))``; each rung adds ``fetches`` to its
+    ``l1i_accesses`` and ``i_misses`` to ``l1i_misses`` and performs one
+    L2 fill per ``_OP_IMISS`` op (the L1i never holds dirty blocks, so
+    there is no victim writeback to forward).
+    """
+    reduced = []
+    append = reduced.append
+    fetches = 0
+    i_misses = 0
+    op_fetch = _OP_FETCH
+    op_imiss = _OP_IMISS
+    stream = iter(ops)
+    for code in stream:
+        operand = next(stream)
+        if code == op_fetch:
+            fetches += 1
+            if not l1i_kernel(operand, False) & 1:
+                i_misses += 1
+                append(op_imiss)
+                append(operand)
+        else:
+            append(code)
+            append(operand)
+    return reduced, (fetches, i_misses)
+
+
+def _resolve_pilot_d(ops, l1d_kernel):
+    """Resolve every load/store on the pilot L1d; keep only the misses.
+
+    A surviving ``_OP_DMISS`` op carries the pilot's packed L1 outcome so
+    each rung can forward the (shared) dirty-victim writeback into its own
+    L2 via ``_miss_packed``.  Returns ``(reduced, (d_misses,
+    d_writebacks))`` — both shared per-interval counts, since the victim
+    sequence of a fixed L1d is configuration-independent.
+    """
+    reduced = []
+    append = reduced.append
+    d_misses = 0
+    d_writebacks = 0
+    op_fetch = _OP_FETCH
+    op_load = _OP_LOAD
+    op_dmiss = _OP_DMISS
+    writeback_valid = PACKED_WRITEBACK_VALID
+    stream = iter(ops)
+    for code in stream:
+        operand = next(stream)
+        if code == op_fetch:
+            append(op_fetch)
+            append(operand)
+        else:
+            l1_packed = l1d_kernel(operand, code != op_load)
+            if not l1_packed & 1:
+                d_misses += 1
+                if l1_packed & writeback_valid:
+                    d_writebacks += 1
+                append(op_dmiss)
+                append(operand)
+                append(l1_packed)
+    return reduced, (d_misses, d_writebacks)
+
+
+def _dispatch_variant_d(reduced, l1d_kernel, miss_fill):
+    """Per-rung dispatch when the L1i was pilot-resolved (d-cache ladder).
+
+    Drives the rung's (variant) L1d kernel for every load/store and its
+    ``_miss_packed`` fill path for both d-misses and the pre-resolved
+    i-misses.  Returns ``(l1i_memory, l1d_misses, l1d_memory,
+    l1d_writebacks, l2_accesses, memory_accesses)``.
+    """
+    l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+    count_mask = HIER_COUNT_MASK
+    op_imiss = _OP_IMISS
+    op_load = _OP_LOAD
+    l1i_memory = 0
+    l1d_misses = 0
+    l1d_memory = 0
+    l1d_writebacks = 0
+    l2_accesses = 0
+    memory_accesses = 0
+    stream = iter(reduced)
+    for code in stream:
+        operand = next(stream)
+        if code == op_imiss:
+            packed = miss_fill(0, operand)
+            l2_accesses += (packed >> l2a_shift) & count_mask
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1i_memory += transfers
+        else:
+            l1_packed = l1d_kernel(operand, code != op_load)
+            if not l1_packed & 1:
+                packed = miss_fill(l1_packed, operand)
+                l1d_misses += 1
+                fills = (packed >> l2a_shift) & count_mask
+                l2_accesses += fills
+                transfers = (packed >> mem_shift) & count_mask
+                memory_accesses += transfers
+                l1d_memory += transfers
+                if fills > 1:
+                    l1d_writebacks += fills - 1
+    return l1i_memory, l1d_misses, l1d_memory, l1d_writebacks, l2_accesses, memory_accesses
+
+
+def _dispatch_variant_i(reduced, l1i_kernel, miss_fill):
+    """Per-rung dispatch when the L1d was pilot-resolved (i-cache ladder).
+
+    Drives the rung's (variant) L1i kernel for every fetch op and its
+    ``_miss_packed`` fill path for both i-misses and the pre-resolved
+    d-misses (whose shared victim-writeback outcome rides in the stream).
+    Returns ``(l1i_accesses, l1i_misses, l1i_memory, l1d_memory,
+    l2_accesses, memory_accesses)``.
+    """
+    l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+    count_mask = HIER_COUNT_MASK
+    op_fetch = _OP_FETCH
+    l1i_accesses = 0
+    l1i_misses = 0
+    l1i_memory = 0
+    l1d_memory = 0
+    l2_accesses = 0
+    memory_accesses = 0
+    stream = iter(reduced)
+    for code in stream:
+        operand = next(stream)
+        if code == op_fetch:
+            l1_packed = l1i_kernel(operand, False)
+            l1i_accesses += 1
+            if not l1_packed & 1:
+                packed = miss_fill(l1_packed, operand)
+                l1i_misses += 1
+                l2_accesses += (packed >> l2a_shift) & count_mask
+                transfers = (packed >> mem_shift) & count_mask
+                memory_accesses += transfers
+                l1i_memory += transfers
+        else:
+            l1_packed = next(stream)
+            packed = miss_fill(l1_packed, operand)
+            fills = (packed >> l2a_shift) & count_mask
+            l2_accesses += fills
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1d_memory += transfers
+    return l1i_accesses, l1i_misses, l1i_memory, l1d_memory, l2_accesses, memory_accesses
+
+
+def run_fused(
+    simulator: Simulator,
+    trace: Trace,
+    setups: Sequence[Tuple[Optional[L1Setup], Optional[L1Setup]]],
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+) -> List[SimulationResult]:
+    """Simulate every ``(d_setup, i_setup)`` rung in one fused trace pass.
+
+    The fused counterpart of calling ``simulator.run(...)`` once per rung:
+    results are returned in rung order and each is bit-identical to its
+    standalone run.  Setups are live :class:`L1Setup` objects (strategies
+    and organizations are stateful, so every rung needs its own); the
+    worker-side job layer builds them from declarative specs — see
+    :func:`repro.sim.runner.execute_ladder_job`.
+    """
+    if not setups:
+        raise SimulationError("a fused ladder needs at least one rung")
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
+    if interval_instructions < 1:
+        raise SimulationError("interval length must be at least one instruction")
+    contexts = [
+        simulator._prepare_run(
+            trace, d_setup, i_setup, interval_instructions, warmup_instructions
+        )
+        for d_setup, i_setup in setups
+    ]
+    LadderEngine().replay_many(trace, contexts)
+    return [Simulator._finalize_run(context) for context in contexts]

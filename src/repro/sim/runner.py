@@ -10,6 +10,14 @@ parallel and serial sweeps produce identical results), and memoises
 completed jobs in an on-disk :class:`repro.sim.jobcache.JobCache` so that
 re-running a sweep only simulates what changed.
 
+A profiling ladder — K configurations of one L1 against the same trace —
+can additionally execute as a single *fused* pass: :class:`LadderJob`
+bundles the rung specs, one worker replays the shared trace through every
+rung's hierarchy in one decode (:mod:`repro.sim.ladder`), and
+:meth:`SweepRunner.submit_ladder` fans the results back out to the rungs'
+individual cache fingerprints, so the fused and per-config paths are
+interchangeable against the same warm cache.
+
 Jobs can also be *deferred*: :meth:`SweepRunner.submit` enqueues a job and
 returns a :class:`repro.sim.future.SimFuture` immediately, and
 :meth:`SweepRunner.submit_deferred` enqueues a job that cannot even be
@@ -384,6 +392,86 @@ class SimJob:
         }
 
 
+@dataclass
+class LadderJob:
+    """One fused multi-configuration pass: K rung specs, one trace decode.
+
+    The executing worker replays the shared trace *once* through every
+    rung's cache hierarchy (see :mod:`repro.sim.ladder`) and returns one
+    :class:`SimulationResult` per rung, in order — each bit-identical to
+    running the rung as a standalone :class:`SimJob`.  The runner fans the
+    results out to the rungs' individual job fingerprints, so the on-disk
+    cache cannot tell (and need not care) which path computed a result:
+    warm caches serve both, and a partially-warm ladder refuses rungs the
+    cache already holds (see :meth:`SweepRunner.submit_ladder`).
+
+    Every rung must share the fields the fused pass amortizes — trace,
+    system, interval/warmup lengths, technology and timing; only the L1
+    setups may differ.  Validated eagerly so a malformed ladder fails at
+    submit time, not in a worker.
+    """
+
+    rungs: List[SimJob]
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise SimulationError("a ladder job needs at least one rung")
+        first = self.rungs[0]
+        for rung in self.rungs[1:]:
+            shared_trace = rung.trace is first.trace or rung.trace == first.trace
+            if not (
+                shared_trace
+                and rung.system == first.system
+                and rung.interval_instructions == first.interval_instructions
+                and rung.warmup_instructions == first.warmup_instructions
+                and rung.technology == first.technology
+                and rung.timing == first.timing
+            ):
+                raise SimulationError(
+                    "every rung of a ladder job must share the trace, system, "
+                    "interval/warmup lengths, technology and timing; only the "
+                    "L1 setups may differ between rungs"
+                )
+
+    def describe(self) -> dict:
+        """Small human-readable summary (mirrors :meth:`SimJob.describe`)."""
+        summary = dict(self.rungs[0].describe())
+        summary["fused_rungs"] = [
+            f"{_describe_setup(rung.d_setup)} + {_describe_setup(rung.i_setup)}"
+            for rung in self.rungs
+        ]
+        return summary
+
+
+def execute_ladder_job(job: LadderJob) -> List[SimulationResult]:
+    """Run one fused ladder pass to completion (the worker entry point).
+
+    The ladder counterpart of :func:`execute_job`: everything is rebuilt
+    from the rung specs, the shared trace is resolved once, and the fused
+    engine replays it through every rung's hierarchy in a single pass.
+    The ``engine`` field of the rungs is irrelevant here — the fused pass
+    *is* an engine choice (the columnar decode feeding K kernels); use the
+    per-config submission path to replay a ladder under a specific
+    single-run engine.
+    """
+    from repro.sim.ladder import run_fused  # deferred: ladder imports the simulator stack
+
+    first = job.rungs[0]
+    trace = resolve_trace(first.trace)
+    simulator = Simulator(first.system, first.technology, first.timing)
+    setups = [
+        (rung.d_setup.build(first.system.l1d), rung.i_setup.build(first.system.l1i))
+        for rung in job.rungs
+    ]
+    return run_fused(
+        simulator,
+        trace,
+        setups,
+        interval_instructions=first.interval_instructions,
+        warmup_instructions=first.warmup_instructions,
+    )
+
+
 def _describe_setup(spec: L1SetupSpec) -> str:
     if spec.organization is None:
         return "fixed"
@@ -602,11 +690,15 @@ class _JobFailure:
         self.worker_traceback = traceback.format_exc()
 
 
-def _execute_indexed(indexed_job: "Tuple[int, SimJob]"):
+def _execute_indexed(indexed_job: "Tuple[int, Union[SimJob, LadderJob]]"):
     """Pool entry point that tags each result with its batch position, so the
-    runner can consume completions out of order."""
+    runner can consume completions out of order.  Dispatches on the job
+    kind: a :class:`LadderJob` runs the fused multi-configuration pass and
+    yields a result *list*, a :class:`SimJob` a single result."""
     position, job = indexed_job
     try:
+        if isinstance(job, LadderJob):
+            return position, execute_ladder_job(job)
         return position, execute_job(job)
     except Exception as exc:
         return position, _JobFailure(exc)
@@ -628,6 +720,22 @@ class _PendingEntry:
     job: SimJob
     fingerprint: Optional[str]
     futures: List[SimFuture]
+
+
+@dataclass
+class _LadderEntry:
+    """A fused ladder awaiting execution: one job, per-rung fan-out.
+
+    ``fingerprints`` and ``futures`` parallel ``job.rungs``: when the fused
+    pass completes, each rung's result is cached under that rung's own
+    :class:`SimJob` fingerprint and resolves every future attached to that
+    rung — exactly the bookkeeping K separate :class:`_PendingEntry`
+    objects would have performed, minus K-1 trace decodes.
+    """
+
+    job: LadderJob
+    fingerprints: List[Optional[str]]
+    futures: List[List[SimFuture]]
 
 
 @dataclass
@@ -664,6 +772,12 @@ class SweepRunner:
         pool_batches: how many batches were dispatched to the worker pool.
         inline_executions: jobs executed inline in this process (always zero
             when ``jobs > 1`` — every simulation goes through the pool then).
+        fused_rungs: rung jobs that joined a fused ladder pass via
+            :meth:`submit_ladder` (i.e. were actually simulated fused).
+        fused_skipped: rung jobs a :meth:`submit_ladder` call resolved at
+            submit time instead of fusing — from the on-disk cache or the
+            in-memory dedup memo — so a partially-warm ladder fuses only
+            its missing rungs.
     """
 
     def __init__(
@@ -689,17 +803,20 @@ class SweepRunner:
         self.dedup_hits = 0
         self.pool_batches = 0
         self.inline_executions = 0
+        self.fused_rungs = 0
+        self.fused_skipped = 0
         # One pool for the runner's whole lifetime: workers keep their trace
         # memos warm across batches, so a sweep's trace is generated once per
         # worker instead of once per batch.  The registry snapshot the pool
         # was created with detects late register_organization calls.
         self._pool = None
         self._pool_registry: Dict[str, Type[ResizingOrganization]] = {}
-        # Deferred-submission state: concrete jobs awaiting the next drain,
-        # builder-form jobs awaiting their dependencies, and an in-memory
-        # memo of every future this runner ever created (keyed by job
-        # fingerprint) so duplicate submissions share one execution.
-        self._pending: List[_PendingEntry] = []
+        # Deferred-submission state: concrete jobs (and fused ladders)
+        # awaiting the next drain, builder-form jobs awaiting their
+        # dependencies, and an in-memory memo of every future this runner
+        # ever created (keyed by job fingerprint) so duplicate submissions
+        # share one execution.
+        self._pending: List[Union[_PendingEntry, _LadderEntry]] = []
         self._deferred: List[_DeferredEntry] = []
         self._memo: Dict[str, SimFuture] = {}
         self._draining = False
@@ -752,6 +869,75 @@ class SweepRunner:
         future = SimFuture(self, label=label)
         self._deferred.append(_DeferredEntry(builder, tuple(deps), future))
         return future
+
+    def submit_ladder(
+        self,
+        jobs: Sequence[SimJob],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[SimFuture]:
+        """Enqueue a ladder of rung jobs to execute as one fused trace pass.
+
+        Returns one future per rung, in order — the same futures
+        :meth:`submit` would have produced, resolved from the same per-rung
+        cache fingerprints.  Each rung is first checked against the dedup
+        memo and the on-disk cache, exactly like an individual submission
+        (counted in ``fused_skipped``); only the rungs that actually need
+        simulating are fused into a single :class:`LadderJob` (counted in
+        ``fused_rungs``), so a partially-warm ladder pays one fused pass
+        over its missing rungs and a fully-warm ladder executes nothing.
+
+        The fused pass is bit-identical to running every rung standalone
+        (see :mod:`repro.sim.ladder`), which is what makes the per-rung
+        fan-out sound: a result computed fused may serve a later
+        per-config submission of the same rung and vice versa.  Rungs must
+        satisfy the :class:`LadderJob` sharing contract (same trace,
+        system, interval/warmup, technology, timing).
+        """
+        jobs = list(jobs)
+        if labels is None:
+            labels = [""] * len(jobs)
+        elif len(labels) != len(jobs):
+            # zip() would silently truncate, dropping rungs (and their
+            # futures) off the end of the ladder.
+            raise SimulationError(
+                f"submit_ladder got {len(jobs)} job(s) but {len(labels)} label(s)"
+            )
+        futures: List[SimFuture] = []
+        missing_jobs: List[SimJob] = []
+        missing_fingerprints: List[Optional[str]] = []
+        missing_futures: List[List[SimFuture]] = []
+        for job, label in zip(jobs, labels):
+            fingerprint = self._try_fingerprint(job)
+            if fingerprint is not None:
+                existing = self._memo.get(fingerprint)
+                # Same retry semantics as submit(): failed futures are not
+                # reused — the rung rejoins the fused pass instead.
+                if existing is not None and not existing.failed():
+                    self.dedup_hits += 1
+                    self.fused_skipped += 1
+                    futures.append(existing)
+                    continue
+            future = SimFuture(self, label=label)
+            futures.append(future)
+            if fingerprint is not None:
+                self._memo[fingerprint] = future
+                if self.cache is not None:
+                    cached = self.cache.get(fingerprint)
+                    if cached is not None:
+                        self.cache_hits += 1
+                        self.fused_skipped += 1
+                        future._resolve(cached)
+                        continue
+                    self.cache_misses += 1
+            missing_jobs.append(job)
+            missing_fingerprints.append(fingerprint)
+            missing_futures.append([future])
+        if missing_jobs:
+            self.fused_rungs += len(missing_jobs)
+            self._pending.append(
+                _LadderEntry(LadderJob(missing_jobs), missing_fingerprints, missing_futures)
+            )
+        return futures
 
     # -------------------------------------------------------------- execution
     def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
@@ -833,7 +1019,9 @@ class SweepRunner:
 
     @property
     def pending_count(self) -> int:
-        """Concrete jobs queued for the next drain (dedup already applied)."""
+        """Concrete executions queued for the next drain (dedup already
+        applied).  A fused ladder counts as one: it reaches the pool as a
+        single task however many rungs it carries."""
         return len(self._pending)
 
     @property
@@ -906,7 +1094,12 @@ class SweepRunner:
                     future._resolve(existing.result())
                     return
                 for entry in self._pending:
-                    if entry.fingerprint == fingerprint:
+                    if isinstance(entry, _LadderEntry):
+                        if fingerprint in entry.fingerprints:
+                            rung = entry.fingerprints.index(fingerprint)
+                            entry.futures[rung].append(future)
+                            return
+                    elif entry.fingerprint == fingerprint:
                         entry.futures.append(future)
                         return
                 # The memoised future is pending yet has no pending entry
@@ -916,7 +1109,7 @@ class SweepRunner:
                 return
         self._enqueue(job, fingerprint, future)
 
-    def _run_batch(self, batch: List[_PendingEntry]) -> None:
+    def _run_batch(self, batch: "List[Union[_PendingEntry, _LadderEntry]]") -> None:
         """Execute one wave of entries as a single (pool) batch.
 
         Completions are consumed (and cached) one at a time, in whatever
@@ -927,6 +1120,24 @@ class SweepRunner:
         """
         for position, outcome in self._execute([entry.job for entry in batch]):
             entry = batch[position]
+            if isinstance(entry, _LadderEntry):
+                if isinstance(outcome, _JobFailure):
+                    for rung_futures in entry.futures:
+                        for future in rung_futures:
+                            future._fail(outcome.error, outcome.worker_traceback)
+                    continue
+                # Fan the fused pass's results out to the per-rung
+                # fingerprints: the cache ends up exactly as if every rung
+                # had executed as its own job.
+                self.simulate_count += len(outcome)
+                for rung_job, fingerprint, rung_futures, result in zip(
+                    entry.job.rungs, entry.fingerprints, entry.futures, outcome
+                ):
+                    if self.cache is not None and fingerprint is not None:
+                        self.cache.put(fingerprint, result, description=rung_job.describe())
+                    for future in rung_futures:
+                        future._resolve(result)
+                continue
             if isinstance(outcome, _JobFailure):
                 for future in entry.futures:
                     future._fail(outcome.error, outcome.worker_traceback)

@@ -227,7 +227,29 @@ class Simulator:
         if interval_instructions < 1:
             raise SimulationError("interval length must be at least one instruction")
         replay_engine = get_engine(engine if engine is not None else self.engine)
+        context = self._prepare_run(
+            trace, d_setup, i_setup, interval_instructions, warmup_instructions
+        )
+        replay_engine.replay(trace, context)
+        return self._finalize_run(context)
 
+    def _prepare_run(
+        self,
+        trace: Trace,
+        d_setup: Optional[L1Setup],
+        i_setup: Optional[L1Setup],
+        interval_instructions: int,
+        warmup_instructions: int,
+    ) -> ReplayContext:
+        """Build one run's caches, models and :class:`ReplayContext`.
+
+        Everything :meth:`run` constructs before handing control to the
+        replay engine lives here so the fused ladder path
+        (:mod:`repro.sim.ladder`) can build K independent contexts against
+        the *same* trace and replay them all from one decode pass.  The
+        caller is responsible for the trace/interval validation :meth:`run`
+        performs (the fused path validates once for the whole ladder).
+        """
         system = self.system
         d_setup = d_setup if d_setup is not None else L1Setup()
         i_setup = i_setup if i_setup is not None else L1Setup()
@@ -258,7 +280,7 @@ class Simulator:
             full_l1i_capacity=system.l1i.capacity_bytes,
         )
 
-        context = ReplayContext(
+        return ReplayContext(
             hierarchy=hierarchy,
             predictor=predictor,
             core_model=core_model,
@@ -271,8 +293,17 @@ class Simulator:
             block_mask=_block_mask(system.l1i.block_bytes),
             memory_level_parallelism=trace.memory_level_parallelism,
         )
-        replay_engine.replay(trace, context)
 
+    @staticmethod
+    def _finalize_run(context: ReplayContext) -> SimulationResult:
+        """Aggregate a replayed context into its :class:`SimulationResult`.
+
+        The exact tail of the historical ``run`` method, split out so the
+        fused ladder path finalizes each of its contexts identically.
+        """
+        d_runtime = context.d_runtime
+        i_runtime = context.i_runtime
+        result = context.result
         result.instructions = context.measured_instructions
         result.cycles = context.measured_cycles
         if context.measured_instructions > 0:
@@ -283,9 +314,9 @@ class Simulator:
                 i_runtime.capacity_weight / context.measured_instructions
             )
         if d_runtime.is_resizable:
-            result.l1d_resizes = l1d.resize_count
-            result.l1d_flush_writebacks = l1d.flush_writebacks
+            result.l1d_resizes = d_runtime.cache.resize_count
+            result.l1d_flush_writebacks = d_runtime.cache.flush_writebacks
         if i_runtime.is_resizable:
-            result.l1i_resizes = l1i.resize_count
-            result.l1i_flush_writebacks = l1i.flush_writebacks
+            result.l1i_resizes = i_runtime.cache.resize_count
+            result.l1i_flush_writebacks = i_runtime.cache.flush_writebacks
         return result

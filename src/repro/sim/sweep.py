@@ -24,6 +24,17 @@ Two shapes of API live here:
   whole graph as a couple of pool batches.  The eager functions are thin
   wrappers over the deferred ones, so both paths compute byte-identical
   results.
+
+Profiling ladders additionally default to the **fused** execution mode
+(``ladder_mode=FUSED``): instead of K per-configuration jobs that each
+decode the same trace, the ladder collapses into one
+:class:`repro.sim.runner.LadderJob` whose worker decodes each interval once
+and feeds every rung's cache hierarchy in the same pass
+(:mod:`repro.sim.ladder`).  Results fan out to the rungs' individual cache
+fingerprints, so fused and per-config runs serve each other's warm caches
+and a partially-warm ladder fuses only its missing rungs;
+``ladder_mode=PER_CONFIG`` keeps the historical one-job-per-rung path for
+debugging and for spreading a single ladder across pool workers.
 """
 
 from __future__ import annotations
@@ -59,6 +70,29 @@ from repro.workloads.trace import Trace
 #: Which L1 cache a sweep resizes.
 DCACHE = "dcache"
 ICACHE = "icache"
+
+#: How a profiling ladder executes.  ``FUSED`` (the default) collapses the
+#: whole ladder into one :class:`repro.sim.runner.LadderJob`: a single
+#: worker decodes the trace once and feeds every rung's cache hierarchy in
+#: the same pass (see :mod:`repro.sim.ladder`), with results fanned out to
+#: the rungs' individual cache fingerprints.  ``PER_CONFIG`` submits each
+#: rung as its own job — the historical path, kept for debugging (it honours
+#: ``--engine`` per rung and spreads rungs across pool workers).  Both modes
+#: are bit-identical and share the job cache in both directions.
+FUSED = "fused"
+PER_CONFIG = "per-config"
+LADDER_MODES = (FUSED, PER_CONFIG)
+
+
+def require_ladder_mode(ladder_mode: str) -> str:
+    """Validate (and return) a ladder-mode name against :data:`LADDER_MODES`."""
+    if ladder_mode not in LADDER_MODES:
+        known = ", ".join(LADDER_MODES)
+        raise SimulationError(
+            f"unknown ladder mode {ladder_mode!r}; available modes: {known}"
+        )
+    return ladder_mode
+
 
 #: A sweep accepts either a materialised trace or a declarative spec.
 TraceLike = Union[Trace, TraceSpec]
@@ -378,6 +412,7 @@ def submit_profile_static(
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
     max_slowdown: Optional[float] = None,
+    ladder_mode: str = FUSED,
 ) -> StaticProfileFuture:
     """Enqueue a whole profiling ladder and return its profile future.
 
@@ -387,18 +422,21 @@ def submit_profile_static(
     until the runner drains; the organization must be registered (the
     deferred path has no in-process fallback — use :func:`profile_static`
     for unregistered classes).
+
+    ``ladder_mode`` selects how the ladder executes (see :data:`FUSED` /
+    :data:`PER_CONFIG`): fused, the whole ladder — and, when the baseline
+    is enqueued here too, the baseline with it (its L1s are fixed, which is
+    exactly the shape the fused engine pilots) — reaches the runner as one
+    job whose results fan out to the rungs' individual cache fingerprints;
+    per-config submits one job per rung.  Results are bit-identical either
+    way, and a partially-warm ladder only fuses the rungs the cache cannot
+    serve.
     """
     require_registered(organization)
+    require_ladder_mode(ladder_mode)
     ladder = organization.ladder()
-    if baseline is None:
-        baseline = submit_baseline(
-            runner,
-            simulator,
-            trace,
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
-        )
-    futures: List[SimFuture] = []
+    rung_jobs: List[SimJob] = []
+    rung_labels: List[str] = []
     for config in ladder:
         spec = L1SetupSpec(
             organization=organization.name,
@@ -406,17 +444,50 @@ def submit_profile_static(
             geometry=organization.geometry,
         )
         d_spec, i_spec = _specs_for(target, spec)
-        job = make_job(
-            simulator,
-            trace,
-            d_setup=d_spec,
-            i_setup=i_spec,
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
+        rung_jobs.append(
+            make_job(
+                simulator,
+                trace,
+                d_setup=d_spec,
+                i_setup=i_spec,
+                interval_instructions=interval_instructions,
+                warmup_instructions=warmup_instructions,
+            )
         )
-        futures.append(
-            runner.submit(job, label=f"{_job_label('profile', trace)}@{config.label}")
-        )
+        rung_labels.append(f"{_job_label('profile', trace)}@{config.label}")
+
+    if ladder_mode == FUSED:
+        if baseline is None:
+            # The baseline is a rung like any other to the fused engine
+            # (fixed L1s on the shared trace), so ride it along in the same
+            # pass instead of decoding the trace once more for it.
+            rung_jobs.insert(
+                0,
+                make_job(
+                    simulator,
+                    trace,
+                    interval_instructions=interval_instructions,
+                    warmup_instructions=warmup_instructions,
+                ),
+            )
+            rung_labels.insert(0, _job_label("baseline", trace))
+            futures = runner.submit_ladder(rung_jobs, labels=rung_labels)
+            baseline = futures.pop(0)
+        else:
+            futures = runner.submit_ladder(rung_jobs, labels=rung_labels)
+    else:
+        if baseline is None:
+            baseline = submit_baseline(
+                runner,
+                simulator,
+                trace,
+                interval_instructions=interval_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+        futures = [
+            runner.submit(job, label=label)
+            for job, label in zip(rung_jobs, rung_labels)
+        ]
     return StaticProfileFuture(
         organization=organization,
         target=target,
@@ -437,12 +508,16 @@ def profile_static(
     warmup_instructions: int = 0,
     max_slowdown: Optional[float] = None,
     runner: Optional[SweepRunner] = None,
+    ladder_mode: str = FUSED,
 ) -> StaticProfile:
     """Profile every size on the organization's resizing ladder.
 
-    The whole ladder (plus the baseline, when not supplied) is submitted to
-    the runner as one batch, so with a parallel runner every candidate
-    configuration simulates concurrently.
+    By default the whole ladder (plus the baseline, when not supplied)
+    executes as one *fused* trace pass — decoded once, dispatched to every
+    candidate configuration (see :mod:`repro.sim.ladder`); pass
+    ``ladder_mode="per-config"`` to submit one job per rung instead, which
+    spreads rungs across a parallel runner's workers.  Both modes produce
+    bit-identical profiles and share the job cache.
 
     Args:
         simulator: configured simulator (system, technology, timing).
@@ -480,6 +555,7 @@ def profile_static(
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
         max_slowdown=max_slowdown,
+        ladder_mode=ladder_mode,
     ).result()
 
 

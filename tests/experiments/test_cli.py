@@ -59,6 +59,22 @@ class TestArgs:
         out = capsys.readouterr().out
         assert "--engine" in out and "columnar" in out
         assert "traces" in out  # the trace-memo side of --cache-dir
+        assert "--ladder-mode" in out and "fused" in out and "per-config" in out
+
+    def test_ladder_mode_flag_parses_and_rejects_unknown(self):
+        assert parse_args(["run-all"]).ladder_mode == "fused"
+        assert (
+            parse_args(["run-all", "--ladder-mode", "per-config"]).ladder_mode
+            == "per-config"
+        )
+        with pytest.raises(SystemExit):
+            parse_args(["run-all", "--ladder-mode", "vectorized"])
+
+    def test_list_documents_ladder_modes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "--ladder-mode" in out
+        assert "fused" in out and "per-config" in out
 
 
 class TestMain:
@@ -107,6 +123,49 @@ class TestMain:
             )
             outputs[engine] = output.read_text()
         assert outputs["reference"] == outputs["columnar"]
+
+    def test_ladder_modes_produce_identical_rows(self, tmp_path):
+        """The CLI-level fused-vs-per-config acceptance check (uncached)."""
+        outputs = {}
+        for mode in ("fused", "per-config"):
+            output = tmp_path / f"rows-{mode}.json"
+            main(
+                ["run-figure", "figure4", *TINY, "--no-cache",
+                 "--ladder-mode", mode, "--output", str(output)]
+            )
+            outputs[mode] = output.read_bytes()
+        assert outputs["fused"] == outputs["per-config"]
+
+    def test_fused_run_reports_fused_rungs(self, tmp_path, capsys):
+        import re
+
+        assert main(["run-figure", "figure4", *TINY, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"(\d+) ladder rung\(s\) fused", out)
+        assert match is not None
+        # figure4 is ladder-dominated: the fused default must fuse rungs.
+        assert int(match.group(1)) > 0
+
+    def test_modes_share_the_job_cache_both_ways(self, tmp_path):
+        """A fused run warms a per-config run's cache and vice versa."""
+        cache_dir = tmp_path / "cache"
+        sink = lambda *args, **kwargs: None  # noqa: E731
+
+        fused = build_context(tiny_args("run-figure", cache_dir, "figure4"))
+        run_experiments(["figure4"], fused, echo=sink)
+        assert fused.runner.simulate_count > 0
+
+        per_config = build_context(
+            tiny_args("run-figure", cache_dir, "figure4", "--ladder-mode", "per-config")
+        )
+        run_experiments(["figure4"], per_config, echo=sink)
+        assert per_config.runner.simulate_count == 0
+
+        fused_again = build_context(tiny_args("run-figure", cache_dir, "figure4"))
+        run_experiments(["figure4"], fused_again, echo=sink)
+        assert fused_again.runner.simulate_count == 0
+        assert fused_again.runner.fused_rungs == 0
+        assert fused_again.runner.fused_skipped > 0
 
 
 class TestTraceCacheWiring:

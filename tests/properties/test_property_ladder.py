@@ -1,0 +1,121 @@
+"""Property-based fused-vs-per-config equivalence for ladder replay.
+
+Hypothesis drives randomly drawn workload mixes, trace lengths (including
+odd-length final intervals), warmup boundaries, resizing targets and rung
+mixes (static ladders, dynamic rungs, a fixed baseline rung, heterogeneous
+both-sides rungs) through :func:`repro.sim.ladder.run_fused` and asserts
+byte-identical ``SimulationResult.to_dict()`` payloads against standalone
+:meth:`Simulator.run` executions of every rung.  Any divergence — a
+mis-shared branch outcome, a pilot-side op wrongly dropped, an interval
+closed in the wrong order — fails with a shrunken minimal example.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import SystemConfig
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+from repro.resizing.static_strategy import StaticResizing
+from repro.sim.ladder import run_fused
+from repro.sim.runner import TraceSpec
+from repro.sim.simulator import L1Setup, Simulator
+
+_SYSTEM = SystemConfig()
+
+_APPLICATIONS = st.sampled_from(["gcc", "compress", "swim", "vortex"])
+
+#: Lengths straddle several interval boundaries and deliberately include
+#: values that leave an odd-length final interval.
+_LENGTHS = st.integers(min_value=1_001, max_value=4_000)
+
+_INTERVALS = st.sampled_from([97, 250, 1_024, 1_500])
+
+_ORGANIZATIONS = st.sampled_from([SelectiveWays, SelectiveSets, HybridSetsAndWays])
+
+#: Ladder shapes: which side resizes (exercising both pilot paths), whether
+#: a fixed baseline rung rides along, and whether a rung resizes
+#: dynamically.  "both" forces the heterogeneous general path.
+_TARGETS = st.sampled_from(["d", "i", "both"])
+_WITH_BASELINE = st.booleans()
+_WITH_DYNAMIC = st.booleans()
+
+
+def _build_setups(factory, target, with_baseline, with_dynamic):
+    """Fresh, stateful setup objects for one ladder (standalone or fused)."""
+
+    def one_side(side):
+        geometry = _SYSTEM.l1d if side == "d" else _SYSTEM.l1i
+        organization = factory(geometry)
+        ladder = organization.ladder()
+        rungs = [
+            L1Setup(factory(geometry), StaticResizing(config))
+            for config in (ladder[0], ladder[min(1, len(ladder) - 1)])
+        ]
+        if with_dynamic:
+            rungs.append(
+                L1Setup(
+                    factory(geometry),
+                    DynamicResizing(
+                        miss_bound=0.02,
+                        size_bound_bytes=8 * 1024,
+                        sense_interval_accesses=256,
+                    ),
+                )
+            )
+        return rungs
+
+    if target == "both":
+        setups = [
+            (d_setup, i_setup)
+            for d_setup, i_setup in zip(one_side("d"), one_side("i"))
+        ]
+    elif target == "d":
+        setups = [(setup, None) for setup in one_side("d")]
+    else:
+        setups = [(None, setup) for setup in one_side("i")]
+    if with_baseline:
+        setups.insert(0, (None, None))
+    return setups
+
+
+@given(
+    application=_APPLICATIONS,
+    length=_LENGTHS,
+    interval=_INTERVALS,
+    warmup_fraction=st.sampled_from([0.0, 0.13, 0.5]),
+    factory=_ORGANIZATIONS,
+    target=_TARGETS,
+    with_baseline=_WITH_BASELINE,
+    with_dynamic=_WITH_DYNAMIC,
+)
+@settings(max_examples=15, deadline=None)
+def test_fused_ladder_agrees_with_standalone_runs(
+    application, length, interval, warmup_fraction, factory, target,
+    with_baseline, with_dynamic,
+):
+    trace = TraceSpec(application, length).materialize()
+    warmup = int(length * warmup_fraction)
+
+    standalone = [
+        Simulator(_SYSTEM).run(
+            trace,
+            d_setup=d_setup,
+            i_setup=i_setup,
+            interval_instructions=interval,
+            warmup_instructions=warmup,
+        ).to_dict()
+        for d_setup, i_setup in _build_setups(factory, target, with_baseline, with_dynamic)
+    ]
+    fused = [
+        result.to_dict()
+        for result in run_fused(
+            Simulator(_SYSTEM),
+            trace,
+            _build_setups(factory, target, with_baseline, with_dynamic),
+            interval_instructions=interval,
+            warmup_instructions=warmup,
+        )
+    ]
+    assert fused == standalone

@@ -1,0 +1,430 @@
+"""Tests for the fused multi-configuration ladder replay.
+
+Three layers are covered here:
+
+* **Engine equivalence** — :func:`repro.sim.ladder.run_fused` must produce
+  ``SimulationResult.to_dict()`` payloads bit-identical to standalone runs
+  for every rung, across all three paper organizations, both L1 targets
+  (exercising both pilot sides), warmup boundaries, odd final intervals,
+  dynamic rungs and the heterogeneous general path — and equal to *both*
+  single-run engines, since engines are bit-identical by contract.
+* **Job layer** — :class:`LadderJob` validation, worker execution and the
+  per-rung cache fan-out of :meth:`SweepRunner.submit_ladder`, including
+  the partially-warm case (only missing rungs are fused) and the
+  ``fused_rungs`` / ``fused_skipped`` counters.
+* **Sweep integration** — ``submit_profile_static`` collapsing a ladder
+  into one fused execution while remaining byte-identical to the
+  per-config mode, with both modes serving each other's warm caches.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.resizing.dynamic_strategy import DynamicResizing
+from repro.resizing.hybrid import HybridSetsAndWays
+from repro.resizing.selective_sets import SelectiveSets
+from repro.resizing.selective_ways import SelectiveWays
+from repro.resizing.static_strategy import StaticResizing
+from repro.sim.jobcache import JobCache
+from repro.sim.ladder import LadderEngine, run_fused
+from repro.sim.runner import (
+    L1SetupSpec,
+    LadderJob,
+    SimJob,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    execute_ladder_job,
+)
+from repro.sim.simulator import L1Setup, Simulator
+from repro.sim.sweep import (
+    DCACHE,
+    FUSED,
+    ICACHE,
+    PER_CONFIG,
+    make_job,
+    profile_static,
+    submit_profile_static,
+)
+
+ORGANIZATIONS = [SelectiveWays, SelectiveSets, HybridSetsAndWays]
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceSpec("gcc", 6_000).materialize()
+
+
+def _ladder_setups(system, factory, target):
+    """Baseline rung + one static rung per ladder size, targeting one L1."""
+    geometry = system.l1d if target == DCACHE else system.l1i
+    setups = [(None, None)]
+    for config in factory(geometry).ladder():
+        setup = L1Setup(factory(geometry), StaticResizing(config))
+        setups.append((setup, None) if target == DCACHE else (None, setup))
+    return setups
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("factory", ORGANIZATIONS)
+    @pytest.mark.parametrize("target", [DCACHE, ICACHE])
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    def test_fused_matches_standalone_grid(self, system, trace, factory, target, engine):
+        """The deterministic grid: organizations × targets × engines.
+
+        Warmup deliberately off interval boundaries, and the trace length
+        leaves an odd final interval.  The per-config side runs under both
+        registered engines — fused output must match each, which pins the
+        fused pass to the whole engine-equivalence class at once.
+        """
+        interval, warmup = 997, 1_234
+        standalone = [
+            Simulator(system, engine=engine).run(
+                trace,
+                d_setup=d_setup,
+                i_setup=i_setup,
+                interval_instructions=interval,
+                warmup_instructions=warmup,
+            ).to_dict()
+            for d_setup, i_setup in _ladder_setups(system, factory, target)
+        ]
+        fused = [
+            result.to_dict()
+            for result in run_fused(
+                Simulator(system),
+                trace,
+                _ladder_setups(system, factory, target),
+                interval_instructions=interval,
+                warmup_instructions=warmup,
+            )
+        ]
+        assert fused == standalone
+        # Static rungs must stay mid-run-resize-free in both paths: the
+        # only resize is the up-front jump to the profiled configuration,
+        # applied to an empty cache (so it can never flush dirty blocks).
+        for payload in fused[1:]:
+            resizes = payload["l1d_resizes" if target == DCACHE else "l1i_resizes"]
+            flushes = payload[
+                "l1d_flush_writebacks" if target == DCACHE else "l1i_flush_writebacks"
+            ]
+            assert resizes <= 1
+            assert flushes == 0
+
+    def test_fused_matches_standalone_dynamic_rungs(self, system, trace):
+        """Dynamic strategies resize mid-run; the pilot path must still agree."""
+        def setups():
+            return [
+                (L1Setup(
+                    SelectiveSets(system.l1d),
+                    DynamicResizing(0.02, 8 * 1024, sense_interval_accesses=256),
+                ), None),
+                (L1Setup(
+                    SelectiveSets(system.l1d),
+                    DynamicResizing(0.05, 16 * 1024, sense_interval_accesses=512),
+                ), None),
+                (None, None),
+            ]
+
+        standalone = [
+            Simulator(system).run(
+                trace, d_setup=d, i_setup=i, warmup_instructions=600
+            ).to_dict()
+            for d, i in setups()
+        ]
+        fused = [
+            result.to_dict()
+            for result in run_fused(
+                Simulator(system), trace, setups(), warmup_instructions=600
+            )
+        ]
+        assert fused == standalone
+
+    def test_fused_matches_standalone_heterogeneous(self, system, trace):
+        """Rungs resizing *both* L1s take the general path; still identical."""
+        def setups():
+            return [
+                (
+                    L1Setup(
+                        SelectiveSets(system.l1d),
+                        DynamicResizing(0.03, 8 * 1024, sense_interval_accesses=512),
+                    ),
+                    L1Setup(
+                        SelectiveWays(system.l1i),
+                        DynamicResizing(0.01, 8 * 1024, sense_interval_accesses=512),
+                    ),
+                ),
+                (None, None),
+                (
+                    None,
+                    L1Setup(
+                        SelectiveWays(system.l1i),
+                        StaticResizing(SelectiveWays(system.l1i).ladder()[1]),
+                    ),
+                ),
+            ]
+
+        standalone = [
+            Simulator(system).run(trace, d_setup=d, i_setup=i).to_dict()
+            for d, i in setups()
+        ]
+        fused = [r.to_dict() for r in run_fused(Simulator(system), trace, setups())]
+        assert fused == standalone
+
+    def test_single_rung_fused_equals_plain_run(self, system, trace):
+        fused = run_fused(Simulator(system), trace, [(None, None)])
+        assert len(fused) == 1
+        assert fused[0].to_dict() == Simulator(system).run(trace).to_dict()
+
+    def test_run_fused_validates_inputs(self, system, trace):
+        with pytest.raises(SimulationError, match="at least one rung"):
+            run_fused(Simulator(system), trace, [])
+        with pytest.raises(SimulationError, match="interval length"):
+            run_fused(Simulator(system), trace, [(None, None)], interval_instructions=0)
+
+    def test_replay_many_rejects_mismatched_contexts(self, system, trace):
+        simulator = Simulator(system)
+        contexts = [
+            simulator._prepare_run(trace, None, None, 1_500, 0),
+            simulator._prepare_run(trace, None, None, 1_000, 0),
+        ]
+        with pytest.raises(SimulationError, match="share the interval"):
+            LadderEngine().replay_many(trace, contexts)
+
+    def test_replay_many_accepts_empty_context_list(self, trace):
+        LadderEngine().replay_many(trace, [])  # no-op, not an error
+
+
+def _rung_jobs(system, organization, interval=500, n_instructions=3_000):
+    """Baseline + whole-ladder rung jobs sharing one trace spec."""
+    trace = TraceSpec("m88ksim", n_instructions)
+    jobs = [SimJob(trace=trace, system=system, interval_instructions=interval)]
+    for config in organization.ladder():
+        jobs.append(
+            SimJob(
+                trace=trace,
+                system=system,
+                d_setup=L1SetupSpec(
+                    organization=organization.name,
+                    strategy=StrategySpec.static(config),
+                ),
+                interval_instructions=interval,
+            )
+        )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def organization(system):
+    return SelectiveSets(system.l1d)
+
+
+@pytest.fixture(scope="module")
+def ladder_jobs(system, organization):
+    return _rung_jobs(system, organization)
+
+
+class TestLadderJob:
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(SimulationError, match="at least one rung"):
+            LadderJob([])
+
+    def test_rejects_mismatched_rungs(self, system, ladder_jobs):
+        stranger = SimJob(
+            trace=TraceSpec("gcc", 3_000), system=system, interval_instructions=500
+        )
+        with pytest.raises(SimulationError, match="share the trace"):
+            LadderJob([ladder_jobs[0], stranger])
+        longer_warmup = SimJob(
+            trace=TraceSpec("m88ksim", 3_000), system=system,
+            interval_instructions=500, warmup_instructions=100,
+        )
+        with pytest.raises(SimulationError, match="share the trace"):
+            LadderJob([ladder_jobs[0], longer_warmup])
+
+    def test_execute_ladder_job_matches_per_rung_execution(self, ladder_jobs):
+        from repro.sim.runner import execute_job
+
+        fused = execute_ladder_job(LadderJob(list(ladder_jobs)))
+        standalone = [execute_job(job) for job in ladder_jobs]
+        assert [r.to_dict() for r in fused] == [r.to_dict() for r in standalone]
+
+    def test_describe_lists_every_rung(self, ladder_jobs):
+        summary = LadderJob(list(ladder_jobs)).describe()
+        assert len(summary["fused_rungs"]) == len(ladder_jobs)
+        assert summary["fused_rungs"][0] == "fixed + fixed"
+        assert "selective-sets/static" in summary["fused_rungs"][1]
+
+
+class TestSubmitLadder:
+    def test_cold_ladder_fuses_every_rung(self, ladder_jobs):
+        runner = SweepRunner()
+        futures = runner.submit_ladder(ladder_jobs)
+        assert runner.pending_count == 1  # one fused execution, K rungs
+        results = runner.gather(futures)
+        assert runner.fused_rungs == len(ladder_jobs)
+        assert runner.fused_skipped == 0
+        assert runner.simulate_count == len(ladder_jobs)
+        standalone = SweepRunner().run(list(ladder_jobs))
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in standalone]
+
+    def test_parallel_fused_identical_to_serial(self, ladder_jobs):
+        serial = SweepRunner().gather(SweepRunner().submit_ladder(ladder_jobs))
+        with SweepRunner(jobs=2) as runner:
+            parallel = runner.gather(runner.submit_ladder(ladder_jobs))
+            assert runner.pool_batches == 1
+            assert runner.inline_executions == 0
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+    def test_fused_results_fan_out_to_per_rung_fingerprints(self, tmp_path, ladder_jobs):
+        """A fused pass warms the cache exactly as K per-config jobs would."""
+        cache = JobCache(tmp_path / "cache")
+        fused = SweepRunner(cache=cache)
+        fused.gather(fused.submit_ladder(ladder_jobs))
+        assert len(cache) == len(ladder_jobs)
+
+        per_config = SweepRunner(cache=cache)
+        per_config.run(list(ladder_jobs))
+        assert per_config.simulate_count == 0
+        assert per_config.cache_hits == len(ladder_jobs)
+
+    def test_warm_ladder_fuses_nothing(self, tmp_path, ladder_jobs):
+        cache = JobCache(tmp_path / "cache")
+        cold = SweepRunner(cache=cache)
+        cold_results = cold.gather(cold.submit_ladder(ladder_jobs))
+
+        warm = SweepRunner(cache=cache)
+        futures = warm.submit_ladder(ladder_jobs)
+        assert all(future.done() for future in futures)
+        assert warm.fused_skipped == len(ladder_jobs)
+        assert warm.fused_rungs == 0
+        assert warm.simulate_count == 0
+        assert warm.pending_count == 0
+        warm_results = warm.gather(futures)
+        assert [r.to_dict() for r in warm_results] == [
+            r.to_dict() for r in cold_results
+        ]
+
+    def test_partially_warm_ladder_fuses_only_missing_rungs(self, tmp_path, ladder_jobs):
+        """Per-rung cache consultation at submit time: rungs simulated by an
+        earlier per-config run are served from disk, the rest fuse."""
+        cache = JobCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run(list(ladder_jobs[:2]))
+
+        partial = SweepRunner(cache=cache)
+        futures = partial.submit_ladder(ladder_jobs)
+        assert partial.fused_skipped == 2
+        assert partial.fused_rungs == len(ladder_jobs) - 2
+        results = partial.gather(futures)
+        assert partial.simulate_count == len(ladder_jobs) - 2
+        standalone = SweepRunner().run(list(ladder_jobs))
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in standalone]
+
+    def test_duplicate_rungs_share_one_execution(self, system, ladder_jobs):
+        runner = SweepRunner()
+        futures = runner.submit_ladder([ladder_jobs[0], ladder_jobs[1], ladder_jobs[0]])
+        assert futures[0] is futures[2]
+        assert runner.fused_skipped == 1  # the duplicate
+        assert runner.fused_rungs == 2
+        runner.drain()
+        assert runner.simulate_count == 2
+
+    def test_ladder_failure_fails_every_missing_rung(self, ladder_jobs):
+        from repro.common.errors import WorkloadError
+
+        bad = SimJob(
+            trace=TraceSpec("no-such-app", 3_000),
+            system=ladder_jobs[0].system,
+            interval_instructions=500,
+        )
+        runner = SweepRunner()
+        # The bad rung shares every fused field (trace spec equality is on
+        # the spec, which only fails at materialisation time in the worker).
+        futures = runner.submit_ladder([bad])
+        runner.drain()
+        assert futures[0].failed()
+        with pytest.raises(WorkloadError):
+            futures[0].result()
+
+
+class TestSweepIntegration:
+    @pytest.mark.parametrize("target", [DCACHE, ICACHE])
+    def test_profile_static_modes_identical(self, system, organization, target):
+        trace = TraceSpec("m88ksim", 3_000)
+        simulator = Simulator(system)
+        profiles = {}
+        for mode in (FUSED, PER_CONFIG):
+            profiles[mode] = profile_static(
+                simulator, trace, organization, target=target,
+                warmup_instructions=300, runner=SweepRunner(), ladder_mode=mode,
+            )
+        fused, per_config = profiles[FUSED], profiles[PER_CONFIG]
+        assert fused.best_config == per_config.best_config
+        assert fused.baseline.to_dict() == per_config.baseline.to_dict()
+        for config in organization.ladder():
+            assert fused.results[config].to_dict() == per_config.results[config].to_dict()
+
+    def test_submit_profile_static_fuses_baseline_and_ladder(self, system, organization):
+        runner = SweepRunner()
+        profile = submit_profile_static(
+            runner, Simulator(system), TraceSpec("m88ksim", 3_000), organization,
+            target=DCACHE, warmup_instructions=300,
+        )
+        # Baseline + whole ladder ride one fused execution.
+        assert runner.pending_count == 1
+        assert runner.fused_rungs == len(organization.ladder()) + 1
+        profile.result()
+        assert runner.simulate_count == len(organization.ladder()) + 1
+
+    def test_shared_baseline_future_is_not_refused(self, system, organization):
+        from repro.sim.sweep import submit_baseline
+
+        runner = SweepRunner()
+        simulator = Simulator(system)
+        trace = TraceSpec("m88ksim", 3_000)
+        baseline = submit_baseline(runner, simulator, trace, warmup_instructions=300)
+        profile = submit_profile_static(
+            runner, simulator, trace, organization,
+            target=DCACHE, baseline=baseline, warmup_instructions=300,
+        )
+        assert profile.baseline is baseline
+        profile.result()
+        # Baseline simulated once (as its own job), ladder fused.
+        assert runner.simulate_count == len(organization.ladder()) + 1
+        assert runner.fused_rungs == len(organization.ladder())
+
+    def test_unknown_ladder_mode_rejected(self, system, organization):
+        with pytest.raises(SimulationError, match="unknown ladder mode"):
+            submit_profile_static(
+                SweepRunner(), Simulator(system), TraceSpec("m88ksim", 3_000),
+                organization, ladder_mode="vectorized",
+            )
+
+    def test_fused_and_per_config_make_identical_jobs(self, system, organization):
+        """Both modes fingerprint rungs identically — the cache contract."""
+        simulator = Simulator(system)
+        trace = TraceSpec("m88ksim", 3_000)
+        config = organization.ladder()[0]
+        spec = L1SetupSpec(
+            organization=organization.name,
+            strategy=StrategySpec.static(config),
+            geometry=organization.geometry,
+        )
+        job = make_job(simulator, trace, d_setup=spec, warmup_instructions=300)
+
+        runner = SweepRunner()
+        submit_profile_static(
+            runner, simulator, trace, organization,
+            target=DCACHE, warmup_instructions=300,
+        )
+        fingerprints = [
+            fp
+            for entry in runner._pending
+            for fp in entry.fingerprints
+        ]
+        assert job.fingerprint() in fingerprints
