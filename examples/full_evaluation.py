@@ -20,13 +20,22 @@ holds results from an older version of the code.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import List, Optional
 
 from repro.__main__ import main as cli_main
 
+#: Smoke-mode hook: CI's docs job sets REPRO_BENCH_INSTRUCTIONS to a small
+#: count so every example finishes in seconds instead of minutes.
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
 
-def main(n_instructions: int = 60_000, jobs: int = 1, extra: Optional[List[str]] = None) -> int:
+
+def main(
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    jobs: int = 1,
+    extra: Optional[List[str]] = None,
+) -> int:
     argv = ["run-all", "--instructions", str(n_instructions), "--jobs", str(jobs)]
     return cli_main(argv + (extra if extra is not None else []))
 
@@ -36,6 +45,6 @@ if __name__ == "__main__":
     positionals: List[int] = []
     while arguments and len(positionals) < 2 and not arguments[0].startswith("-"):
         positionals.append(int(arguments.pop(0)))
-    count = positionals[0] if positionals else 60_000
+    count = positionals[0] if positionals else DEFAULT_INSTRUCTIONS
     workers = positionals[1] if len(positionals) > 1 else 1
     sys.exit(main(count, workers, arguments))

@@ -16,6 +16,7 @@ Run with:  python examples/quickstart.py [application] [instructions]
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import (
@@ -30,8 +31,12 @@ from repro import (
 from repro.common.units import format_size
 from repro.sim.sweep import DCACHE
 
+#: Smoke-mode hook: CI's docs job sets REPRO_BENCH_INSTRUCTIONS to a small
+#: count so every example finishes in seconds instead of minutes.
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
 
-def main(application: str = "m88ksim", n_instructions: int = 60_000) -> None:
+
+def main(application: str = "m88ksim", n_instructions: int = DEFAULT_INSTRUCTIONS) -> None:
     system = SystemConfig()  # Table 2: 4-wide OoO core, 32K 2-way L1s, 512K L2
     simulator = Simulator(system)
 
@@ -78,5 +83,5 @@ def main(application: str = "m88ksim", n_instructions: int = 60_000) -> None:
 
 if __name__ == "__main__":
     app = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
-    count = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_INSTRUCTIONS
     main(app, count)

@@ -18,6 +18,7 @@ Run with:  python examples/static_vs_dynamic.py [application] [dcache|icache] [j
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import (
@@ -34,11 +35,15 @@ from repro import (
 )
 from repro.sim.sweep import DCACHE
 
+#: Smoke-mode hook: CI's docs job sets REPRO_BENCH_INSTRUCTIONS to a small
+#: count so every example finishes in seconds instead of minutes.
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
+
 
 def main(
     application: str = "gcc",
     target: str = DCACHE,
-    n_instructions: int = 60_000,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
     jobs: int = 1,
 ) -> None:
     trace = TraceSpec(application, n_instructions)

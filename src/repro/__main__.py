@@ -54,7 +54,7 @@ from repro.benchgate import (
     load_benchmark_means,
     write_baseline,
 )
-from repro.common.errors import ReproError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.sim.engine import DEFAULT_ENGINE, available_engines
 from repro.sim.sweep import FUSED, LADDER_MODES, PER_CONFIG
 from repro.experiments import (
@@ -134,7 +134,28 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         )
         sub.add_argument(
             "--applications", default=None,
-            help="comma-separated application subset (default: all twelve)",
+            help="comma-separated application subset (default: all twelve, "
+                 "plus any --trace-file workloads)",
+        )
+        sub.add_argument(
+            "--trace-file", action="append", default=[], metavar="[NAME=]PATH",
+            help="replay a real trace file (.rtxt text or .rtrc2 binary — see "
+                 "docs/TRACE_FORMAT.md) as a workload named NAME (default: the "
+                 "file's stem); repeatable.  External workloads join the "
+                 "application list and run through every figure like the "
+                 "synthetic ones",
+        )
+        sub.add_argument(
+            "--sample-every", type=int, default=1, metavar="N",
+            help="interval sampling: simulate every Nth interval instead of "
+                 "all of them (default: 1 = exhaustive); sampled results "
+                 "carry miss-ratio error bars (docs/SAMPLING.md)",
+        )
+        sub.add_argument(
+            "--sample-warmup", type=int, default=0, metavar="W",
+            help="instructions replayed (but not measured) ahead of each "
+                 "sampled interval to re-warm cache state after a sampling "
+                 "gap (default: 0)",
         )
         sub.add_argument(
             "--output", default=None,
@@ -225,6 +246,29 @@ def experiment_names(args: argparse.Namespace) -> List[str]:
     return list(dict.fromkeys(args.figures))  # de-duplicate, keep order
 
 
+def parse_trace_files(entries: List[str]) -> Dict[str, str]:
+    """Parse ``--trace-file [NAME=]PATH`` entries into a name -> path map."""
+    trace_files: Dict[str, str] = {}
+    for entry in entries:
+        name, sep, path = entry.partition("=")
+        if not sep:
+            name, path = "", entry
+        name = name.strip()
+        path = path.strip()
+        if not path:
+            raise ConfigurationError(f"--trace-file needs a path: {entry!r}")
+        if not name:
+            name = os.path.splitext(os.path.basename(path))[0]
+        if not name:
+            raise ConfigurationError(f"cannot derive a workload name from {entry!r}")
+        if name in trace_files:
+            raise ConfigurationError(f"duplicate --trace-file name {name!r}")
+        if not os.path.isfile(path):
+            raise ConfigurationError(f"--trace-file {name}: no such file: {path}")
+        trace_files[name] = path
+    return trace_files
+
+
 def build_context(args: argparse.Namespace) -> ExperimentContext:
     """Build the experiment context (runner, caches, applications) for a run."""
     if args.no_cache:
@@ -237,19 +281,24 @@ def build_context(args: argparse.Namespace) -> ExperimentContext:
         cache = JobCache(args.cache_dir)
         trace_cache = os.path.join(args.cache_dir, "traces")
     runner = SweepRunner(jobs=args.jobs, cache=cache, trace_cache=trace_cache)
+    trace_files = parse_trace_files(args.trace_file)
     applications = None
     if args.applications:
         applications = tuple(
             name.strip() for name in args.applications.split(",") if name.strip()
         )
         for name in applications:
-            get_profile(name)  # typos fail in milliseconds, not mid-evaluation
+            if name not in trace_files:  # external workloads have no profile
+                get_profile(name)  # typos fail in milliseconds, not mid-evaluation
     return ExperimentContext(
         n_instructions=args.instructions,
         applications=applications,
         runner=runner,
         engine=args.engine,
         ladder_mode=args.ladder_mode,
+        trace_files=trace_files,
+        sample_every=args.sample_every,
+        sample_warmup=args.sample_warmup,
     )
 
 
@@ -320,6 +369,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {name}  [default]  one trace pass feeds a whole profiling ladder")
             else:
                 print(f"  {name}  one job per ladder configuration (debugging path)")
+        print(
+            "external traces (--trace-file [NAME=]PATH; docs/TRACE_FORMAT.md):\n"
+            "  .rtxt   text records, one per line\n"
+            "  .rtrc2  binary records, endian-tagged header"
+        )
+        print(
+            "interval sampling (--sample-every N --sample-warmup W; docs/SAMPLING.md):\n"
+            "  N > 1 simulates every Nth interval, replaying W warmup\n"
+            "  instructions before each; results carry miss-ratio error bars"
+        )
         print(
             "caches: completed jobs live in --cache-dir, generated traces in\n"
             "  --cache-dir/traces (binary trace format); --no-cache disables both"

@@ -31,5 +31,35 @@ class WorkloadError(ReproError):
     """Raised when a workload profile or trace generator is misconfigured."""
 
 
+class TraceFormatError(WorkloadError):
+    """Raised when an external trace file violates the documented format.
+
+    Every parse failure of the external trace formats (see
+    ``docs/TRACE_FORMAT.md`` and :mod:`repro.workloads.ingest`) raises this
+    type — never a bare :class:`struct.error` or :class:`ValueError` — and
+    carries enough position information to point at the offending input:
+
+    Attributes:
+        path: the file being parsed, when known.
+        line: 1-based line number (text format).
+        offset: absolute byte offset (binary format).
+    """
+
+    def __init__(self, message, path=None, line=None, offset=None):
+        location = []
+        if path is not None:
+            location.append(str(path))
+        if line is not None:
+            location.append(f"line {line}")
+        if offset is not None:
+            location.append(f"byte offset {offset}")
+        if location:
+            message = f"{message} ({', '.join(location)})"
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.offset = offset
+
+
 class SimulationError(ReproError):
     """Raised when a simulation cannot proceed (e.g. empty workload)."""

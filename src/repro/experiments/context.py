@@ -21,7 +21,7 @@ produce byte-identical numbers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.common.config import CacheGeometry, CoreConfig, CoreKind, SystemConfig
 from repro.common.errors import ConfigurationError, SimulationError
@@ -52,6 +52,7 @@ from repro.sim.sweep import (
     submit_dynamic,
     submit_profile_static,
 )
+from repro.workloads.ingest import ExternalTraceSpec
 from repro.workloads.profiles import SPEC_APPLICATION_NAMES
 from repro.workloads.trace import Trace
 
@@ -82,11 +83,18 @@ class ExperimentContext:
         runner: Optional[SweepRunner] = None,
         engine: Optional[str] = None,
         ladder_mode: str = FUSED,
+        trace_files: Optional[Mapping[str, str]] = None,
+        sample_every: int = 1,
+        sample_warmup: int = 0,
     ) -> None:
         if n_instructions < 1_000:
             raise ConfigurationError("experiments need at least 1000 instructions")
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction must be in [0, 1)")
+        if sample_every < 1:
+            raise ConfigurationError("sample-every must be >= 1")
+        if sample_warmup < 0:
+            raise ConfigurationError("sample-warmup must be >= 0")
         self.n_instructions = n_instructions
         self.warmup_instructions = int(n_instructions * warmup_fraction)
         self.interval_instructions = interval_instructions
@@ -94,8 +102,24 @@ class ExperimentContext:
         self.miss_bound_factor = miss_bound_factor
         self.max_slowdown = max_slowdown
         self.l1_capacity_bytes = l1_capacity_bytes
+        #: Interval-sampling schedule applied to every run the context owns
+        #: (docs/SAMPLING.md).  ``sample_every`` == 1 replays exhaustively.
+        self.sample_every = sample_every
+        self.sample_warmup = sample_warmup
+        #: Workload name -> trace-file path.  Names registered here resolve
+        #: to :class:`~repro.workloads.ingest.ExternalTraceSpec` instead of a
+        #: synthetic :class:`TraceSpec`, and join the default application
+        #: list when ``applications`` is omitted.
+        self.trace_files: Dict[str, str] = dict(trace_files) if trace_files else {}
+        for name in self.trace_files:
+            if name in SPEC_APPLICATION_NAMES:
+                raise ConfigurationError(
+                    f"external trace name {name!r} shadows a built-in application"
+                )
         self.applications: Tuple[str, ...] = (
-            tuple(applications) if applications is not None else SPEC_APPLICATION_NAMES
+            tuple(applications)
+            if applications is not None
+            else SPEC_APPLICATION_NAMES + tuple(sorted(self.trace_files))
         )
         if not self.applications:
             raise ConfigurationError("experiments need at least one application")
@@ -144,14 +168,18 @@ class ExperimentContext:
             self._traces[application] = cached
         return cached
 
-    def trace_spec(self, application: str) -> TraceSpec:
+    def trace_spec(self, application: str) -> Union[TraceSpec, ExternalTraceSpec]:
         """Declarative spec for one application's trace.
 
         Jobs carry this spec instead of the materialised trace, so submitting
         them to worker processes costs a few bytes of pickling; each worker
         regenerates (and memoises) the identical trace from the profile's
-        fixed seed.
+        fixed seed — or, for names registered via ``trace_files``, ingests
+        the external file once and memoises it by content digest.
         """
+        path = self.trace_files.get(application)
+        if path is not None:
+            return ExternalTraceSpec(path=path, name=application)
         return TraceSpec(application=application, n_instructions=self.n_instructions)
 
     def system(
@@ -216,6 +244,8 @@ class ExperimentContext:
                 self.trace_spec(application),
                 interval_instructions=self.interval_instructions,
                 warmup_instructions=self.warmup_instructions,
+                sample_every=self.sample_every,
+                sample_warmup=self.sample_warmup,
             )
             self._baselines[key] = cached
         return cached
@@ -243,6 +273,8 @@ class ExperimentContext:
                 warmup_instructions=self.warmup_instructions,
                 max_slowdown=self.max_slowdown,
                 ladder_mode=self.ladder_mode,
+                sample_every=self.sample_every,
+                sample_warmup=self.sample_warmup,
             )
             self._profiles[key] = cached
         return cached
@@ -279,6 +311,8 @@ class ExperimentContext:
                 warmup_instructions=self.warmup_instructions,
                 sense_interval_accesses=self.sense_interval_accesses,
                 miss_bound_factor=self.miss_bound_factor,
+                sample_every=self.sample_every,
+                sample_warmup=self.sample_warmup,
             )
             self._dynamic_runs[key] = cached
         return cached
@@ -324,6 +358,8 @@ class ExperimentContext:
                     i_setup=i_spec,
                     interval_instructions=self.interval_instructions,
                     warmup_instructions=self.warmup_instructions,
+                    sample_every=self.sample_every,
+                    sample_warmup=self.sample_warmup,
                 )
 
             cached = self.runner.submit_deferred(

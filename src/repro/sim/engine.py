@@ -79,6 +79,45 @@ _OP_LOAD = 1
 _OP_STORE = 2
 
 
+def sampling_plan(n, interval_instructions, sample_every, sample_warmup):
+    """The segment schedule for interval sampling, or None when not sampling.
+
+    With ``sample_every`` > 1 only every Nth interval of the trace is
+    simulated (interval 0, N, 2N, …), each optionally preceded by a warmup
+    prefix of up to ``sample_warmup`` instructions replayed to re-warm cache
+    and predictor state but excluded from all statistics — the SimPoint-style
+    scheme documented in ``docs/SAMPLING.md``.  Returns a list of
+    ``(start, stop, measured)`` row ranges in replay order; unmentioned rows
+    are skipped entirely.  Warmup ranges are pre-split into chunks of at most
+    ``interval_instructions`` rows so engines that decode a segment at a
+    time keep their bounded-memory property.
+
+    When ``sample_every`` is 1 the answer is None and engines take their
+    exhaustive path untouched.
+    """
+    if sample_every <= 1:
+        return None
+    segments = []
+    prev_end = 0
+    index = 0
+    start = 0
+    while start < n:
+        stop = start + interval_instructions
+        if stop > n:
+            stop = n
+        if index % sample_every == 0:
+            warm = max(prev_end, start - sample_warmup)
+            while warm < start:
+                warm_stop = min(warm + interval_instructions, start)
+                segments.append((warm, warm_stop, False))
+                warm = warm_stop
+            segments.append((start, stop, True))
+            prev_end = stop
+        start = stop
+        index += 1
+    return segments
+
+
 def decode_interval(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict):
     """Decode one interval's columns into a cache-op stream plus totals.
 
@@ -199,6 +238,7 @@ class ReplayContext:
         "d_runtime", "i_runtime", "result",
         "interval_instructions", "warmup_instructions", "block_mask", "mlp",
         "counts", "total_seen", "measured_instructions", "measured_cycles",
+        "sample_every", "sample_warmup", "total_intervals", "interval_samples",
     )
 
     def __init__(
@@ -214,6 +254,8 @@ class ReplayContext:
         warmup_instructions: int,
         block_mask: int,
         memory_level_parallelism: float,
+        sample_every: int = 1,
+        sample_warmup: int = 0,
     ) -> None:
         self.hierarchy = hierarchy
         self.predictor = predictor
@@ -230,6 +272,18 @@ class ReplayContext:
         self.total_seen = 0
         self.measured_instructions = 0
         self.measured_cycles = 0.0
+        self.sample_every = sample_every
+        self.sample_warmup = sample_warmup
+        self.total_intervals = 0
+        #: Per measured interval (sampling only): (l1d_accesses, l1d_misses,
+        #: l1i_accesses, l1i_misses) — the raw material of the error bars.
+        self.interval_samples = []
+
+    def sampling_plan(self, n: int):
+        """The segment schedule for an ``n``-row trace (see :func:`sampling_plan`)."""
+        return sampling_plan(
+            n, self.interval_instructions, self.sample_every, self.sample_warmup
+        )
 
     def close_interval(self, final: bool = False) -> None:
         """Close the open interval: timing, energy, warmup, resizing.
@@ -254,6 +308,11 @@ class ReplayContext:
         )
         in_warmup = self.total_seen <= self.warmup_instructions
         if not in_warmup:
+            if self.sample_every > 1:
+                self.interval_samples.append((
+                    counts.l1d_accesses, counts.l1d_misses,
+                    counts.l1i_accesses, counts.l1i_misses,
+                ))
             self.measured_instructions += counts.instructions
             self.measured_cycles += cycles
             result.energy.add(breakdown)
@@ -279,6 +338,24 @@ class ReplayContext:
             if d_flush or i_flush:
                 counts.resize_flush_writebacks = d_flush + i_flush
                 counts.l2_accesses += d_flush + i_flush
+
+    def discard_interval(self) -> None:
+        """Drop the open accumulator after replaying a warmup segment.
+
+        Warmup segments of a sampled replay feed the caches and the branch
+        predictor (state warms up) but contribute nothing to statistics,
+        timing, energy or resizing decisions — they never reach
+        :meth:`close_interval`.  The one thing preserved is a resize-flush
+        charge carried in from the previous measured interval's close: those
+        writebacks are real L2 traffic owed to the *next measured* interval,
+        so they survive the discard (see ``docs/SAMPLING.md``).
+        """
+        carried = self.counts.resize_flush_writebacks
+        counts = IntervalCounts(memory_level_parallelism=self.mlp)
+        if carried:
+            counts.resize_flush_writebacks = carried
+            counts.l2_accesses += carried
+        self.counts = counts
 
 
 class ReplayEngine(ABC):
@@ -314,6 +391,11 @@ class ReferenceEngine(ReplayEngine):
         data_access = ctx.hierarchy.data_access
         instruction_fetch = ctx.hierarchy.instruction_fetch
         predict = ctx.predictor.predict_and_update
+
+        plan = ctx.sampling_plan(len(trace))
+        if plan is not None:
+            self._replay_sampled(trace, ctx, plan)
+            return
 
         counts = ctx.counts
         last_fetch_block = -1
@@ -364,6 +446,72 @@ class ReferenceEngine(ReplayEngine):
         ctx.total_seen = total_seen
         ctx.close_interval(final=True)
 
+    def _replay_sampled(self, trace: Trace, ctx: ReplayContext, plan) -> None:
+        """Walk the sampling plan with the same per-record arithmetic.
+
+        Identical record handling to the exhaustive loop; the only
+        differences are segment-driven: the fetch-block dedup state resets
+        across a skipped gap (the previous block is unknowable), measured
+        segments close their interval, warmup segments are discarded.
+        """
+        interval_instructions = ctx.interval_instructions
+        block_mask = ctx.block_mask
+        data_access = ctx.hierarchy.data_access
+        instruction_fetch = ctx.hierarchy.instruction_fetch
+        predict = ctx.predictor.predict_and_update
+        records = trace.records
+
+        last_fetch_block = -1
+        total_seen = 0
+        prev_stop = 0
+        for start, stop, measured in plan:
+            if start != prev_stop:
+                last_fetch_block = -1
+            counts = ctx.counts
+            for index in range(start, stop):
+                pc, data_address, is_store, is_branch, taken = records[index]
+                counts.instructions += 1
+
+                fetch_block = pc & block_mask
+                if fetch_block != last_fetch_block:
+                    last_fetch_block = fetch_block
+                    outcome = instruction_fetch(pc)
+                    counts.l1i_accesses += 1
+                    if not outcome.l1_hit:
+                        counts.l1i_misses += 1
+                        counts.l2_accesses += outcome.l2_accesses
+                        counts.memory_accesses += outcome.memory_accesses
+                        counts.l1i_memory_accesses += outcome.memory_accesses
+
+                if is_branch:
+                    counts.branches += 1
+                    if predict(pc, taken):
+                        counts.branch_mispredicts += 1
+
+                if data_address is not None:
+                    outcome = data_access(data_address, is_store)
+                    counts.l1d_accesses += 1
+                    if is_store:
+                        counts.l1d_stores += 1
+                    if not outcome.l1_hit:
+                        counts.l1d_misses += 1
+                        counts.l2_accesses += outcome.l2_accesses
+                        counts.memory_accesses += outcome.memory_accesses
+                        counts.l1d_memory_accesses += outcome.memory_accesses
+                        if outcome.l2_accesses > 1:
+                            counts.l1d_writebacks += outcome.l2_accesses - 1
+
+            total_seen += stop - start
+            prev_stop = stop
+            if not measured:
+                ctx.discard_interval()
+            elif stop - start == interval_instructions:
+                ctx.total_seen = total_seen
+                ctx.close_interval()
+
+        ctx.total_seen = total_seen
+        ctx.close_interval(final=True)
+
 
 class ColumnarEngine(ReplayEngine):
     """Replay straight from the trace columns, one decoded interval at a time.
@@ -397,6 +545,61 @@ class ColumnarEngine(ReplayEngine):
         predict = ctx.predictor.predict_and_update
         decode = decode_interval
         dispatch = dispatch_cache_ops
+
+        plan = ctx.sampling_plan(n)
+        if plan is not None:
+            # Sampled walk: the plan dictates which row ranges are replayed;
+            # decode/dispatch per segment are identical to the exhaustive
+            # path (segments are pre-split to at most one interval), and the
+            # fetch-block dedup state resets across skipped gaps.
+            last_fetch_block = -1
+            total_seen = 0
+            prev_stop = 0
+            for start, stop, measured in plan:
+                if start != prev_stop:
+                    last_fetch_block = -1
+                chunk = stop - start
+                pcs = pc_view[start:stop].tolist()
+                flags = flag_view[start:stop].tolist()
+                addresses = address_view[start:stop].tolist()
+
+                ops, last_fetch_block, branches, branch_mispredicts, memory_refs, stores = (
+                    decode(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict)
+                )
+
+                counts = ctx.counts
+                counts.instructions += chunk
+                counts.branches += branches
+                counts.branch_mispredicts += branch_mispredicts
+                counts.l1d_accesses += memory_refs
+                counts.l1d_stores += stores
+                total_seen += chunk
+                prev_stop = stop
+
+                (
+                    l1i_accesses, l1i_misses, l1i_memory,
+                    l1d_misses, l1d_memory, l1d_writebacks,
+                    l2_accesses, memory_accesses,
+                ) = dispatch(ops, instruction_fetch, data_access)
+
+                counts.l1i_accesses += l1i_accesses
+                counts.l1i_misses += l1i_misses
+                counts.l1i_memory_accesses += l1i_memory
+                counts.l1d_misses += l1d_misses
+                counts.l1d_memory_accesses += l1d_memory
+                counts.l1d_writebacks += l1d_writebacks
+                counts.l2_accesses += l2_accesses
+                counts.memory_accesses += memory_accesses
+
+                if not measured:
+                    ctx.discard_interval()
+                elif chunk == interval_instructions:
+                    ctx.total_seen = total_seen
+                    ctx.close_interval()
+
+            ctx.total_seen = total_seen
+            ctx.close_interval(final=True)
+            return
 
         last_fetch_block = -1
         total_seen = 0

@@ -128,6 +128,14 @@ class LadderEngine:
                     "fused ladder replay requires every rung to share the interval "
                     "length and fetch-block geometry"
                 )
+            if (
+                ctx.sample_every != first.sample_every
+                or ctx.sample_warmup != first.sample_warmup
+            ):
+                raise SimulationError(
+                    "fused ladder replay requires every rung to share the "
+                    "sampling schedule (sample_every/sample_warmup)"
+                )
         # Pilot-resolve whichever L1 side is fixed in every rung (a fixed
         # cache's behaviour is shared by construction — see the module
         # docstring).  A d-cache ladder pilots the L1i and vice versa; a
@@ -186,6 +194,49 @@ class LadderEngine:
         flag_view = memoryview(flag_column)
 
         n = len(trace)
+        plan = first.sampling_plan(n)
+        if plan is not None:
+            # Sampled walk, same shape as ColumnarEngine's: the plan picks
+            # the row ranges, decode/resolve run once per segment, every
+            # rung folds and closes (measured) or discards (warmup).
+            last_fetch_block = -1
+            total_seen = 0
+            prev_stop = 0
+            for start, stop, measured in plan:
+                if start != prev_stop:
+                    last_fetch_block = -1
+                chunk = stop - start
+                pcs = pc_view[start:stop].tolist()
+                flags = flag_view[start:stop].tolist()
+                addresses = address_view[start:stop].tolist()
+
+                ops, last_fetch_block, branches, branch_mispredicts, memory_refs, stores = (
+                    decode(pcs, flags, addresses, chunk, block_mask, last_fetch_block, predict)
+                )
+                reduced, shared = resolve(ops)
+                total_seen += chunk
+                prev_stop = stop
+                close = measured and chunk == interval_instructions
+
+                for ctx, kernel_a, kernel_b in rungs:
+                    counts = ctx.counts
+                    counts.instructions += chunk
+                    counts.branches += branches
+                    counts.branch_mispredicts += branch_mispredicts
+                    counts.l1d_accesses += memory_refs
+                    counts.l1d_stores += stores
+                    fold(counts, reduced, shared, kernel_a, kernel_b)
+                    if close:
+                        ctx.total_seen = total_seen
+                        ctx.close_interval()
+                    elif not measured:
+                        ctx.discard_interval()
+
+            for ctx, _, _ in rungs:
+                ctx.total_seen = total_seen
+                ctx.close_interval(final=True)
+            return
+
         last_fetch_block = -1
         total_seen = 0
         position = 0
@@ -435,15 +486,19 @@ def run_fused(
     setups: Sequence[Tuple[Optional[L1Setup], Optional[L1Setup]]],
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> List[SimulationResult]:
     """Simulate every ``(d_setup, i_setup)`` rung in one fused trace pass.
 
     The fused counterpart of calling ``simulator.run(...)`` once per rung:
     results are returned in rung order and each is bit-identical to its
-    standalone run.  Setups are live :class:`L1Setup` objects (strategies
-    and organizations are stateful, so every rung needs its own); the
-    worker-side job layer builds them from declarative specs — see
-    :func:`repro.sim.runner.execute_ladder_job`.
+    standalone run (including under interval sampling — the sampling
+    schedule is row-range-driven and configuration-independent, so it is
+    shared by every rung).  Setups are live :class:`L1Setup` objects
+    (strategies and organizations are stateful, so every rung needs its
+    own); the worker-side job layer builds them from declarative specs —
+    see :func:`repro.sim.runner.execute_ladder_job`.
     """
     if not setups:
         raise SimulationError("a fused ladder needs at least one rung")
@@ -451,9 +506,14 @@ def run_fused(
         raise SimulationError("cannot simulate an empty trace")
     if interval_instructions < 1:
         raise SimulationError("interval length must be at least one instruction")
+    if sample_every < 1:
+        raise SimulationError("sample_every must be at least 1")
+    if sample_warmup < 0:
+        raise SimulationError("sample_warmup cannot be negative")
     contexts = [
         simulator._prepare_run(
-            trace, d_setup, i_setup, interval_instructions, warmup_instructions
+            trace, d_setup, i_setup, interval_instructions, warmup_instructions,
+            sample_every=sample_every, sample_warmup=sample_warmup,
         )
         for d_setup, i_setup in setups
     ]

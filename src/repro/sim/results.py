@@ -47,6 +47,17 @@ class SimulationResult:
     l1d_flush_writebacks: int = 0
     l1i_flush_writebacks: int = 0
 
+    #: Interval-sampling provenance (``sample_every`` == 1 means the run was
+    #: exhaustive and the stderr fields are 0.0 by construction).  The
+    #: stderrs are ratio-estimator standard errors over the measured
+    #: intervals; multiply by 1.96 for the 95% bars (docs/SAMPLING.md).
+    sample_every: int = 1
+    sample_warmup: int = 0
+    total_intervals: int = 0
+    sampled_intervals: int = 0
+    l1d_miss_ratio_stderr: float = 0.0
+    l1i_miss_ratio_stderr: float = 0.0
+
     # ---------------------------------------------------------------- metrics
     @property
     def energy_delay(self) -> float:
@@ -73,6 +84,20 @@ class SimulationResult:
         if self.l1i_accesses == 0:
             return 0.0
         return self.l1i_misses / self.l1i_accesses
+
+    @property
+    def l1d_miss_ratio_error_bar(self) -> float:
+        """Half-width of the 95% confidence interval on the d-miss ratio.
+
+        Zero for exhaustive runs (``sample_every`` == 1) — the ratio is
+        exact, there is no sampling error to bound.
+        """
+        return 1.96 * self.l1d_miss_ratio_stderr
+
+    @property
+    def l1i_miss_ratio_error_bar(self) -> float:
+        """Half-width of the 95% confidence interval on the i-miss ratio."""
+        return 1.96 * self.l1i_miss_ratio_stderr
 
     # ------------------------------------------------------------ comparisons
     def energy_delay_reduction(self, baseline: "SimulationResult") -> float:
@@ -138,6 +163,12 @@ class SimulationResult:
             "l1i_resizes": self.l1i_resizes,
             "l1d_flush_writebacks": self.l1d_flush_writebacks,
             "l1i_flush_writebacks": self.l1i_flush_writebacks,
+            "sample_every": self.sample_every,
+            "sample_warmup": self.sample_warmup,
+            "total_intervals": self.total_intervals,
+            "sampled_intervals": self.sampled_intervals,
+            "l1d_miss_ratio_stderr": self.l1d_miss_ratio_stderr,
+            "l1i_miss_ratio_stderr": self.l1i_miss_ratio_stderr,
         }
 
     @classmethod
@@ -167,6 +198,14 @@ class SimulationResult:
             l1i_resizes=int(payload["l1i_resizes"]),
             l1d_flush_writebacks=int(payload["l1d_flush_writebacks"]),
             l1i_flush_writebacks=int(payload["l1i_flush_writebacks"]),
+            # .get with defaults: results cached before sampling existed
+            # deserialise as exhaustive runs, which is what they were.
+            sample_every=int(payload.get("sample_every", 1)),
+            sample_warmup=int(payload.get("sample_warmup", 0)),
+            total_intervals=int(payload.get("total_intervals", 0)),
+            sampled_intervals=int(payload.get("sampled_intervals", 0)),
+            l1d_miss_ratio_stderr=float(payload.get("l1d_miss_ratio_stderr", 0.0)),
+            l1i_miss_ratio_stderr=float(payload.get("l1i_miss_ratio_stderr", 0.0)),
         )
 
     def summary(self) -> dict:

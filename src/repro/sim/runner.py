@@ -80,13 +80,16 @@ from repro.sim.results import SimulationResult
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.tracecache import TraceCache
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.ingest import ExternalTraceSpec
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
 
 #: Fingerprint schema version; bump when the hashed fields change meaning.
 #: v2: inline traces are digested from their raw column buffers and the
 #: ``engine`` field is deliberately excluded (engines are bit-identical).
-_FINGERPRINT_VERSION = 2
+#: v3: jobs carry interval-sampling fields (sample_every/sample_warmup) and
+#: traces may be external files, fingerprinted by content digest.
+_FINGERPRINT_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -360,9 +363,16 @@ class SimJob:
     the cross-engine equivalence suite), so a result computed by either
     engine may serve a job requesting the other — switching ``--engine``
     never invalidates the on-disk cache.
+
+    ``trace`` may be a synthetic :class:`TraceSpec`, an
+    :class:`~repro.workloads.ingest.ExternalTraceSpec` naming a trace file
+    on disk (fingerprinted by file content), or a literal :class:`Trace`.
+    ``sample_every``/``sample_warmup`` select interval sampling (see
+    ``docs/SAMPLING.md``); they *are* fingerprinted — a sampled result is
+    an estimate and must never serve an exhaustive job or vice versa.
     """
 
-    trace: Union[TraceSpec, Trace]
+    trace: Union[TraceSpec, ExternalTraceSpec, Trace]
     system: SystemConfig = field(default_factory=SystemConfig)
     d_setup: L1SetupSpec = field(default_factory=L1SetupSpec)
     i_setup: L1SetupSpec = field(default_factory=L1SetupSpec)
@@ -371,6 +381,8 @@ class SimJob:
     technology: TechnologyParameters = field(default_factory=TechnologyParameters)
     timing: CoreTimingParameters = field(default_factory=CoreTimingParameters)
     engine: Optional[str] = None
+    sample_every: int = 1
+    sample_warmup: int = 0
 
     def fingerprint(self) -> str:
         """Content hash over everything that influences this job's result."""
@@ -380,9 +392,11 @@ class SimJob:
         """Small human-readable summary (stored in cache entries)."""
         if isinstance(self.trace, Trace):
             workload = f"{self.trace.name} ({len(self.trace)} instructions, inline)"
+        elif isinstance(self.trace, ExternalTraceSpec):
+            workload = f"{self.trace.application} (external: {self.trace.path})"
         else:
             workload = f"{self.trace.application} ({self.trace.n_instructions} instructions)"
-        return {
+        summary = {
             "workload": workload,
             "core": self.system.core.kind.value,
             "d_setup": _describe_setup(self.d_setup),
@@ -390,6 +404,10 @@ class SimJob:
             "interval_instructions": self.interval_instructions,
             "warmup_instructions": self.warmup_instructions,
         }
+        if self.sample_every > 1:
+            summary["sample_every"] = self.sample_every
+            summary["sample_warmup"] = self.sample_warmup
+        return summary
 
 
 @dataclass
@@ -426,11 +444,13 @@ class LadderJob:
                 and rung.warmup_instructions == first.warmup_instructions
                 and rung.technology == first.technology
                 and rung.timing == first.timing
+                and rung.sample_every == first.sample_every
+                and rung.sample_warmup == first.sample_warmup
             ):
                 raise SimulationError(
                     "every rung of a ladder job must share the trace, system, "
-                    "interval/warmup lengths, technology and timing; only the "
-                    "L1 setups may differ between rungs"
+                    "interval/warmup lengths, sampling schedule, technology and "
+                    "timing; only the L1 setups may differ between rungs"
                 )
 
     def describe(self) -> dict:
@@ -469,6 +489,8 @@ def execute_ladder_job(job: LadderJob) -> List[SimulationResult]:
         setups,
         interval_instructions=first.interval_instructions,
         warmup_instructions=first.warmup_instructions,
+        sample_every=first.sample_every,
+        sample_warmup=first.sample_warmup,
     )
 
 
@@ -511,6 +533,11 @@ def _canonical(value):
         return value.value
     if isinstance(value, Trace):
         return {"__trace__": _trace_digest(value)}
+    if isinstance(value, ExternalTraceSpec):
+        # Content-addressed, path deliberately excluded: the same trace file
+        # moved (or re-downloaded) elsewhere still hits the cache; editing
+        # its bytes — or the ingest semantics — always misses.
+        return {"__external_trace__": value.fingerprint_payload()}
     if isinstance(value, L1SetupSpec) and value.organization is not None:
         # Bind the name to the class it currently resolves to, so replacing
         # the registered class behind a name changes the fingerprint instead
@@ -612,7 +639,9 @@ def job_fingerprint(job: SimJob) -> str:
 #: come and go).  Values are never mutated after insertion and the memo is
 #: never shared between processes (each worker owns its own copy), so no
 #: locking is needed under either fork or spawn start methods.
-_TRACE_MEMO: Dict[Tuple[str, int, Optional[int]], Trace] = {}
+#: Keys are 3-tuples for synthetic specs (application, n_instructions, seed)
+#: and 4-tuples for external files ("external", path, name, content digest).
+_TRACE_MEMO: Dict[Tuple, Trace] = {}
 _TRACE_MEMO_MAX = 16
 
 #: Process-level on-disk trace memo consulted by :func:`resolve_trace` when
@@ -636,10 +665,17 @@ def get_trace_cache() -> Optional[TraceCache]:
     return _TRACE_CACHE
 
 
-def resolve_trace(trace: Union[TraceSpec, Trace]) -> Trace:
+def resolve_trace(trace: Union[TraceSpec, ExternalTraceSpec, Trace]) -> Trace:
     if isinstance(trace, Trace):
         return trace
-    key = (trace.application, trace.n_instructions, trace.seed)
+    if isinstance(trace, ExternalTraceSpec):
+        # 4-tuple key: cannot collide with a TraceSpec's 3-tuple.  The
+        # digest in the key makes an edited file miss the in-memory memo;
+        # the disk memo below stores the *converted columns* (binary trace
+        # format), so a large text trace is parsed once per machine.
+        key = ("external", trace.path, trace.name, trace.content_digest())
+    else:
+        key = (trace.application, trace.n_instructions, trace.seed)
     cached = _TRACE_MEMO.pop(key, None)
     if cached is None:
         disk = _TRACE_CACHE
@@ -672,6 +708,8 @@ def execute_job(job: SimJob) -> SimulationResult:
         i_setup=job.i_setup.build(job.system.l1i),
         interval_instructions=job.interval_instructions,
         warmup_instructions=job.warmup_instructions,
+        sample_every=job.sample_every,
+        sample_warmup=job.sample_warmup,
     )
 
 

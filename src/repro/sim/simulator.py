@@ -24,6 +24,7 @@ fast path.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Union
 
 from repro.cache.cache import Cache
@@ -66,6 +67,27 @@ def _block_mask(block_bytes: int) -> int:
         mask = ~(block_bytes - 1)
         _BLOCK_MASK_CACHE[block_bytes] = mask
     return mask
+
+
+def _ratio_stderr(pairs) -> float:
+    """Standard error of a miss ratio estimated from sampled intervals.
+
+    ``pairs`` is one ``(misses, accesses)`` tuple per measured interval.
+    The aggregate miss ratio is a ratio estimator ``R = Σm / Σa``; its
+    standard error comes from Taylor linearisation over the per-interval
+    residuals ``m_i - R·a_i`` (the textbook ratio-estimator variance —
+    derivation and caveats in ``docs/SAMPLING.md``).  Degenerate inputs
+    (fewer than two intervals, or no accesses at all) report 0.0: there is
+    no dispersion to estimate, not an infinitely confident estimate.
+    """
+    k = len(pairs)
+    total_accesses = sum(a for _, a in pairs)
+    if k < 2 or total_accesses == 0:
+        return 0.0
+    ratio = sum(m for m, _ in pairs) / total_accesses
+    mean_accesses = total_accesses / k
+    residual_ss = sum((m - ratio * a) ** 2 for m, a in pairs)
+    return math.sqrt(residual_ss / (k - 1) / k) / mean_accesses
 
 
 class L1Setup:
@@ -206,6 +228,8 @@ class Simulator:
         interval_instructions: int = 1500,
         warmup_instructions: int = 0,
         engine: EngineLike = None,
+        sample_every: int = 1,
+        sample_warmup: int = 0,
     ) -> SimulationResult:
         """Simulate ``trace`` and return the aggregated result.
 
@@ -221,14 +245,24 @@ class Simulator:
                 None uses the simulator's engine, which itself defaults to
                 the package default.  All engines are bit-identical — the
                 choice affects speed only.
+            sample_every: simulate only every Nth interval (1 = exhaustive).
+                Sampled runs report per-interval miss-ratio standard errors
+                in the result; methodology in ``docs/SAMPLING.md``.
+            sample_warmup: instructions replayed (but not measured) before
+                each sampled interval to re-warm cache and predictor state.
         """
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
         if interval_instructions < 1:
             raise SimulationError("interval length must be at least one instruction")
+        if sample_every < 1:
+            raise SimulationError("sample_every must be at least 1")
+        if sample_warmup < 0:
+            raise SimulationError("sample_warmup cannot be negative")
         replay_engine = get_engine(engine if engine is not None else self.engine)
         context = self._prepare_run(
-            trace, d_setup, i_setup, interval_instructions, warmup_instructions
+            trace, d_setup, i_setup, interval_instructions, warmup_instructions,
+            sample_every=sample_every, sample_warmup=sample_warmup,
         )
         replay_engine.replay(trace, context)
         return self._finalize_run(context)
@@ -240,6 +274,8 @@ class Simulator:
         i_setup: Optional[L1Setup],
         interval_instructions: int,
         warmup_instructions: int,
+        sample_every: int = 1,
+        sample_warmup: int = 0,
     ) -> ReplayContext:
         """Build one run's caches, models and :class:`ReplayContext`.
 
@@ -280,7 +316,7 @@ class Simulator:
             full_l1i_capacity=system.l1i.capacity_bytes,
         )
 
-        return ReplayContext(
+        context = ReplayContext(
             hierarchy=hierarchy,
             predictor=predictor,
             core_model=core_model,
@@ -292,7 +328,13 @@ class Simulator:
             warmup_instructions=warmup_instructions,
             block_mask=_block_mask(system.l1i.block_bytes),
             memory_level_parallelism=trace.memory_level_parallelism,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
+        context.total_intervals = (
+            len(trace) + interval_instructions - 1
+        ) // interval_instructions
+        return context
 
     @staticmethod
     def _finalize_run(context: ReplayContext) -> SimulationResult:
@@ -319,4 +361,16 @@ class Simulator:
         if i_runtime.is_resizable:
             result.l1i_resizes = i_runtime.cache.resize_count
             result.l1i_flush_writebacks = i_runtime.cache.flush_writebacks
+        if context.sample_every > 1:
+            samples = context.interval_samples
+            result.sample_every = context.sample_every
+            result.sample_warmup = context.sample_warmup
+            result.total_intervals = context.total_intervals
+            result.sampled_intervals = len(samples)
+            result.l1d_miss_ratio_stderr = _ratio_stderr(
+                [(misses, accesses) for accesses, misses, _, _ in samples]
+            )
+            result.l1i_miss_ratio_stderr = _ratio_stderr(
+                [(misses, accesses) for _, _, accesses, misses in samples]
+            )
         return result

@@ -65,6 +65,7 @@ from repro.sim.runner import (
     resolve_trace,
 )
 from repro.sim.simulator import L1Setup, Simulator
+from repro.workloads.ingest import ExternalTraceSpec
 from repro.workloads.trace import Trace
 
 #: Which L1 cache a sweep resizes.
@@ -94,8 +95,10 @@ def require_ladder_mode(ladder_mode: str) -> str:
     return ladder_mode
 
 
-#: A sweep accepts either a materialised trace or a declarative spec.
-TraceLike = Union[Trace, TraceSpec]
+#: A sweep accepts a materialised trace or a declarative spec — synthetic
+#: (:class:`TraceSpec`) or an external trace file
+#: (:class:`~repro.workloads.ingest.ExternalTraceSpec`).
+TraceLike = Union[Trace, TraceSpec, ExternalTraceSpec]
 SetupLike = Union[L1Setup, L1SetupSpec, None]
 
 
@@ -132,13 +135,17 @@ def make_job(
     i_setup: SetupLike = None,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimJob:
     """Build the :class:`SimJob` equivalent of one ``simulator.run(...)`` call.
 
     Prefer a :class:`TraceSpec` over a materialised :class:`Trace` when the
     job will run on a parallel runner: an inline trace is pickled into every
     job that carries it (a 60k-record trace is several MB per job), whereas
-    a spec is a few bytes and each worker materialises it once.
+    a spec is a few bytes and each worker materialises it once.  The same
+    goes for :class:`~repro.workloads.ingest.ExternalTraceSpec`: the job
+    carries a path and a digest, and each worker ingests the file once.
 
     The simulator's replay-engine choice rides along by name, so a sweep
     replays with the engine the caller configured regardless of which
@@ -154,6 +161,8 @@ def make_job(
         technology=simulator.technology,
         timing=simulator.timing,
         engine=engine_name(simulator.engine),
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     )
 
 
@@ -163,6 +172,8 @@ def submit_baseline(
     trace: TraceLike,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimFuture:
     """Enqueue the non-resizable baseline and return its future."""
     job = make_job(
@@ -170,6 +181,8 @@ def submit_baseline(
         trace,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     )
     return runner.submit(job, label=_job_label("baseline", trace))
 
@@ -180,6 +193,8 @@ def run_baseline(
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
     runner: Optional[SweepRunner] = None,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimulationResult:
     """Run the non-resizable baseline (both L1 caches fixed at full size)."""
     return submit_baseline(
@@ -188,6 +203,8 @@ def run_baseline(
         trace,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     ).result()
 
 
@@ -204,6 +221,8 @@ def submit_with_setups(
     i_setup: SetupLike = None,
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimFuture:
     """Enqueue an arbitrary combination of L1 setups and return its future.
 
@@ -219,6 +238,8 @@ def submit_with_setups(
         i_setup=i_setup,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     )
     return runner.submit(job, label=_job_label("setups", trace))
 
@@ -231,6 +252,8 @@ def run_with_setups(
     interval_instructions: int = 1500,
     warmup_instructions: int = 0,
     runner: Optional[SweepRunner] = None,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimulationResult:
     """Run an arbitrary combination of L1 setups.
 
@@ -254,6 +277,8 @@ def run_with_setups(
             i_setup=i_setup,
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
     except SimulationError:
         return simulator.run(
@@ -262,6 +287,8 @@ def run_with_setups(
             i_setup=_as_live_setup(i_setup, simulator, "l1i"),
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
     return future.result()
 
@@ -413,6 +440,8 @@ def submit_profile_static(
     warmup_instructions: int = 0,
     max_slowdown: Optional[float] = None,
     ladder_mode: str = FUSED,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> StaticProfileFuture:
     """Enqueue a whole profiling ladder and return its profile future.
 
@@ -452,6 +481,8 @@ def submit_profile_static(
                 i_setup=i_spec,
                 interval_instructions=interval_instructions,
                 warmup_instructions=warmup_instructions,
+                sample_every=sample_every,
+                sample_warmup=sample_warmup,
             )
         )
         rung_labels.append(f"{_job_label('profile', trace)}@{config.label}")
@@ -468,6 +499,8 @@ def submit_profile_static(
                     trace,
                     interval_instructions=interval_instructions,
                     warmup_instructions=warmup_instructions,
+                    sample_every=sample_every,
+                    sample_warmup=sample_warmup,
                 ),
             )
             rung_labels.insert(0, _job_label("baseline", trace))
@@ -483,6 +516,8 @@ def submit_profile_static(
                 trace,
                 interval_instructions=interval_instructions,
                 warmup_instructions=warmup_instructions,
+                sample_every=sample_every,
+                sample_warmup=sample_warmup,
             )
         futures = [
             runner.submit(job, label=label)
@@ -509,6 +544,8 @@ def profile_static(
     max_slowdown: Optional[float] = None,
     runner: Optional[SweepRunner] = None,
     ladder_mode: str = FUSED,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> StaticProfile:
     """Profile every size on the organization's resizing ladder.
 
@@ -544,6 +581,7 @@ def profile_static(
         return _profile_static_direct(
             simulator, trace, organization, target, baseline,
             interval_instructions, warmup_instructions, max_slowdown,
+            sample_every, sample_warmup,
         )
     return submit_profile_static(
         _default_runner(runner),
@@ -556,6 +594,8 @@ def profile_static(
         warmup_instructions=warmup_instructions,
         max_slowdown=max_slowdown,
         ladder_mode=ladder_mode,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     ).result()
 
 
@@ -568,6 +608,8 @@ def _dynamic_job(
     interval_instructions: int,
     warmup_instructions: int,
     initial_config,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimJob:
     """The SimJob for one dynamic-resizing run (shared by both API shapes)."""
     spec = L1SetupSpec(
@@ -588,6 +630,8 @@ def _dynamic_job(
         i_setup=i_spec,
         interval_instructions=interval_instructions,
         warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     )
 
 
@@ -603,6 +647,8 @@ def submit_dynamic(
     sense_interval_accesses: int = 2048,
     miss_bound_factor: float = 1.5,
     start_at_best_config: bool = True,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimFuture:
     """Enqueue a dynamic run whose parameters derive from a pending profile.
 
@@ -627,6 +673,7 @@ def submit_dynamic(
         return _dynamic_job(
             simulator, trace, organization, parameters,
             target, interval_instructions, warmup_instructions, initial_config,
+            sample_every=sample_every, sample_warmup=sample_warmup,
         )
 
     return runner.submit_deferred(
@@ -644,6 +691,8 @@ def run_dynamic(
     warmup_instructions: int = 0,
     initial_config=None,
     runner: Optional[SweepRunner] = None,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> SimulationResult:
     """Run the miss-ratio based dynamic strategy with profiled parameters.
 
@@ -667,10 +716,13 @@ def run_dynamic(
             i_setup=i_setup,
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
     job = _dynamic_job(
         simulator, trace, organization, parameters,
         target, interval_instructions, warmup_instructions, initial_config,
+        sample_every=sample_every, sample_warmup=sample_warmup,
     )
     return _default_runner(runner).submit(job, label=_job_label("dynamic", trace)).result()
 
@@ -684,6 +736,8 @@ def _profile_static_direct(
     interval_instructions: int,
     warmup_instructions: int,
     max_slowdown: Optional[float],
+    sample_every: int = 1,
+    sample_warmup: int = 0,
 ) -> StaticProfile:
     """In-process profiling sweep for organizations the spec layer cannot name."""
     trace_obj = resolve_trace(trace)
@@ -693,6 +747,8 @@ def _profile_static_direct(
             trace_obj,
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
     profile = StaticProfile(
         organization=organization, target=target, baseline=baseline, max_slowdown=max_slowdown
@@ -706,6 +762,8 @@ def _profile_static_direct(
             i_setup=i_setup,
             interval_instructions=interval_instructions,
             warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
         )
         _append_point(profile, target, config, result)
     return profile

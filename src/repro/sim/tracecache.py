@@ -49,7 +49,15 @@ class TraceCache:
     # ------------------------------------------------------------------- keys
     @staticmethod
     def key_for(spec) -> str:
-        """Hex fingerprint of a :class:`~repro.sim.runner.TraceSpec`.
+        """Hex fingerprint of a trace spec.
+
+        Accepts both :class:`~repro.sim.runner.TraceSpec` (synthetic traces,
+        keyed by application/instructions/seed) and any spec exposing a
+        ``trace_cache_payload()`` method — notably
+        :class:`~repro.workloads.ingest.ExternalTraceSpec`, which keys on
+        the source file's content digest plus the ingest version, so the
+        cache stores *converted columns* and re-parses only when the file
+        or the decoder changes.
 
         Mixes in the package source digest (the same one job fingerprints
         use), so a change to the generator — or anything else in the
@@ -57,14 +65,21 @@ class TraceCache:
         """
         from repro.sim.runner import _source_digest  # deferred: runner imports us
 
+        payload_for = getattr(spec, "trace_cache_payload", None)
+        if payload_for is not None:
+            identity = payload_for()
+        else:
+            identity = {
+                "application": spec.application,
+                "n_instructions": spec.n_instructions,
+                "seed": spec.seed,
+            }
         payload = json.dumps(
             {
                 "version": TRACE_CACHE_VERSION,
                 "trace_format": TRACE_FORMAT_VERSION,
                 "source": _source_digest(),
-                "application": spec.application,
-                "n_instructions": spec.n_instructions,
-                "seed": spec.seed,
+                **identity,
             },
             sort_keys=True,
             separators=(",", ":"),

@@ -10,6 +10,14 @@ cites the sentence of the paper that motivates its parameters.
 """
 
 from repro.workloads.trace import InstructionRecord, Trace
+from repro.workloads.ingest import (
+    ExternalTraceSpec,
+    ingest_trace_file,
+    read_binary_trace,
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
 from repro.workloads.patterns import ConflictGroupPattern, WorkingSetPattern
 from repro.workloads.phases import PhaseSchedule, PhaseSpec
 from repro.workloads.profiles import (
@@ -23,6 +31,12 @@ from repro.workloads.generator import WorkloadGenerator
 __all__ = [
     "InstructionRecord",
     "Trace",
+    "ExternalTraceSpec",
+    "ingest_trace_file",
+    "read_text_trace",
+    "read_binary_trace",
+    "write_text_trace",
+    "write_binary_trace",
     "WorkingSetPattern",
     "ConflictGroupPattern",
     "PhaseSpec",

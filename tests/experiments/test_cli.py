@@ -6,6 +6,7 @@ and must reproduce the cold run's outputs exactly.
 """
 
 import json
+import os
 
 import pytest
 
@@ -15,8 +16,10 @@ from repro.__main__ import (
     experiment_names,
     main,
     parse_args,
+    parse_trace_files,
     run_experiments,
 )
+from repro.common.errors import ConfigurationError
 
 #: Tiny-but-valid evaluation: one application, short traces.
 TINY = ["--instructions", "1500", "--applications", "gcc"]
@@ -235,3 +238,84 @@ class TestWarmCacheAcceptance:
         run_experiments(["table2"], changed, echo=sink)
         assert changed.runner.cache_hits == 0
         assert changed.runner.simulate_count == first.runner.simulate_count
+
+
+class TestTraceFileAndSamplingFlags:
+    FIXTURE = os.path.join(
+        os.path.dirname(os.path.dirname(__file__)), "data", "sample.rtxt"
+    )
+
+    def test_parse_trace_files_names_and_stems(self, tmp_path):
+        other = tmp_path / "capture.rtxt"
+        other.write_text("#RTXT 1\n0x10 I\n")
+        parsed = parse_trace_files([f"ref={self.FIXTURE}", str(other)])
+        assert parsed == {"ref": self.FIXTURE, "capture": str(other)}
+
+    def test_parse_trace_files_rejects_duplicates_and_missing(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_trace_files([f"a={self.FIXTURE}", f"a={self.FIXTURE}"])
+        with pytest.raises(ConfigurationError, match="no such file"):
+            parse_trace_files(["ghost=/nonexistent/trace.rtxt"])
+        with pytest.raises(ConfigurationError, match="needs a path"):
+            parse_trace_files(["name="])
+
+    def test_build_context_registers_external_workloads(self, tmp_path):
+        args = parse_args(
+            ["run-figure", "table2", "--no-cache",
+             "--trace-file", f"sample={self.FIXTURE}"]
+        )
+        context = build_context(args)
+        # external names join the default application list…
+        assert "sample" in context.applications
+        # …and resolve to a content-addressed external spec, not a profile
+        spec = context.trace_spec("sample")
+        assert spec.application == "sample"
+        assert context.trace("sample").name == "sample"
+        assert len(context.trace("sample")) == 4500
+
+    def test_applications_flag_accepts_external_names(self):
+        args = parse_args(
+            ["run-figure", "table2", "--no-cache",
+             "--trace-file", f"sample={self.FIXTURE}",
+             "--applications", "gcc,sample"]
+        )
+        context = build_context(args)
+        assert context.applications == ("gcc", "sample")
+
+    def test_unknown_application_still_fails_fast(self):
+        args = parse_args(
+            ["run-figure", "table2", "--no-cache", "--applications", "sample"]
+        )
+        with pytest.raises(Exception, match="sample"):
+            build_context(args)
+
+    def test_sampling_flags_reach_the_context(self):
+        args = parse_args(
+            ["run-all", "--sample-every", "4", "--sample-warmup", "600", *TINY]
+        )
+        assert args.sample_every == 4 and args.sample_warmup == 600
+        context = build_context(
+            parse_args(["run-all", "--no-cache", "--sample-every", "4",
+                        "--sample-warmup", "600", *TINY])
+        )
+        assert context.sample_every == 4
+        assert context.sample_warmup == 600
+
+    def test_external_trace_runs_a_figure_end_to_end(self, tmp_path, capsys):
+        output = tmp_path / "rows.json"
+        code = main(
+            ["run-figure", "table2", "--no-cache",
+             "--trace-file", f"sample={self.FIXTURE}",
+             "--applications", "sample",
+             "--sample-every", "2", "--sample-warmup", "300",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert any("sample" in str(row) for row in payload["table2"])
+
+    def test_list_documents_trace_files_and_sampling(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "--trace-file" in out and ".rtxt" in out and ".rtrc2" in out
+        assert "--sample-every" in out and "error bars" in out

@@ -1,0 +1,126 @@
+"""Spec-conformance: docs/TRACE_FORMAT.md must match the parser's layout.
+
+The documentation is the normative format description, so these tests parse
+its markdown tables and assert every offset, size, record kind and constant
+against the layout tables the parser itself exposes
+(:mod:`repro.workloads.ingest`).  A change to either side without the other
+fails here, which is the whole point.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.workloads.ingest import (
+    BINARY_FORMAT_VERSION,
+    BINARY_HEADER_LAYOUT,
+    BINARY_MAGIC,
+    BINARY_RECORD_LAYOUT,
+    MAX_LINE_CHARS,
+    TEXT_FORMAT_VERSION,
+    TEXT_KINDS,
+    TEXT_MAGIC,
+)
+
+DOC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "docs",
+    "TRACE_FORMAT.md",
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    with open(DOC_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _section(doc, heading):
+    """The markdown under ``heading``, up to the next heading of any level."""
+    pattern = rf"^#+ {re.escape(heading)}\n(.*?)(?=^#+ |\Z)"
+    match = re.search(pattern, doc, re.MULTILINE | re.DOTALL)
+    assert match, f"docs/TRACE_FORMAT.md lost its {heading!r} section"
+    return match.group(1)
+
+
+def _table_rows(text):
+    """Parse markdown table body rows into lists of cell strings."""
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if all(set(cell) <= {"-", " "} for cell in cells):
+            continue  # the |---|---| separator
+        rows.append(cells)
+    assert rows, "expected a markdown table in this section"
+    return rows[1:]  # drop the header row
+
+
+def _layout_rows(section):
+    """(offset, size, field) triples from a layout table."""
+    return [
+        (int(row[0]), int(row[1]), row[3].strip("`"))
+        for row in _table_rows(section)
+    ]
+
+
+def test_header_layout_matches_parser(doc):
+    documented = _layout_rows(_section(doc, "Header layout"))
+    assert documented == [
+        (offset, size, name) for offset, size, name in BINARY_HEADER_LAYOUT
+    ]
+
+
+def test_record_layout_matches_parser(doc):
+    documented = _layout_rows(_section(doc, "Record layout"))
+    assert documented == [
+        (offset, size, name) for offset, size, name in BINARY_RECORD_LAYOUT
+    ]
+
+
+def test_layouts_are_dense_and_consistent():
+    """The parser's own tables must describe contiguous, gap-free layouts."""
+    for layout in (BINARY_HEADER_LAYOUT, BINARY_RECORD_LAYOUT):
+        position = 0
+        for offset, size, _ in layout:
+            assert offset == position, "gap or overlap in layout table"
+            position += size
+    header_end = BINARY_HEADER_LAYOUT[-1][0] + BINARY_HEADER_LAYOUT[-1][1]
+    assert header_end == 28  # the documented header size
+    record_end = BINARY_RECORD_LAYOUT[-1][0] + BINARY_RECORD_LAYOUT[-1][1]
+    assert record_end == 17  # the documented record size
+
+
+def test_record_kinds_match_parser(doc):
+    documented = {
+        row[0].strip("`"): int(row[1], 16)
+        for row in _table_rows(_section(doc, "Record kinds"))
+    }
+    assert documented == TEXT_KINDS
+
+
+def test_documented_constants_match_parser(doc):
+    # magics and versions, spelled exactly as the parsers check them
+    assert f"`{TEXT_MAGIC} {TEXT_FORMAT_VERSION}`" in doc
+    assert f"`{BINARY_MAGIC.decode('ascii')}`" in doc
+    # the line-length limit and the record size appear as bold literals
+    assert f"**{MAX_LINE_CHARS}**" in doc
+    assert "**17**" in doc
+    # the documented binary version is the one this build reads
+    assert f"reads `{BINARY_FORMAT_VERSION}`" in doc
+
+
+def test_flag_table_matches_parser(doc):
+    from repro.workloads.trace import FLAG_BRANCH, FLAG_MEM, FLAG_STORE, FLAG_TAKEN
+
+    rows = _table_rows(_section(doc, "Record flags"))
+    documented = {row[1].strip("`"): int(row[0], 16) for row in rows}
+    assert documented == {
+        "MEM": FLAG_MEM,
+        "STORE": FLAG_STORE,
+        "BRANCH": FLAG_BRANCH,
+        "TAKEN": FLAG_TAKEN,
+    }

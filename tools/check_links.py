@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Walks every tracked ``*.md`` file under the repo root, extracts inline
+markdown links (``[text](target)``), and verifies that each relative
+target exists on disk — including a ``#fragment`` check against the
+target file's headings when one is given.  External links (``http://``,
+``https://``, ``mailto:``) are out of scope: CI must not depend on
+network reachability.
+
+Stdlib only.  Exit status is the number of broken links (0 = clean).
+
+Usage::
+
+    python tools/check_links.py [ROOT]
+"""
+
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# The target group stops at the first unescaped ')', which is fine for
+# our paths (no parentheses in file names).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.MULTILINE)
+
+_SKIP_DIRS = {".git", ".repro-cache", "__pycache__", ".pytest_cache", ".ruff_cache"}
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading):
+    """GitHub's anchor algorithm, near enough: lowercase, drop punctuation,
+    spaces to hyphens.  Backticks and bold markers vanish."""
+    text = re.sub(r"[`*_]", "", heading.lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.strip().replace(" ", "-")
+
+
+def _anchors(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return {_slugify(match) for match in _HEADING.findall(handle.read())}
+
+
+def _markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                yield os.path.join(dirpath, filename)
+
+
+def check(root):
+    broken = []
+    for md_path in _markdown_files(root):
+        with open(md_path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        for target in _LINK.findall(content):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                # Same-file fragments are cheap to verify while we're here.
+                if target.startswith("#") and _slugify(target[1:]) not in _anchors(md_path):
+                    broken.append((md_path, target, "no such heading"))
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part)
+            )
+            if not os.path.exists(resolved):
+                broken.append((md_path, target, "no such file"))
+                continue
+            if fragment and resolved.endswith(".md"):
+                if _slugify(fragment) not in _anchors(resolved):
+                    broken.append((md_path, target, "no such heading"))
+    return broken
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    broken = check(root)
+    for md_path, target, why in broken:
+        print(f"{os.path.relpath(md_path, root)}: broken link {target!r} ({why})")
+    if not broken:
+        print("all markdown links resolve")
+    return len(broken)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
