@@ -26,11 +26,10 @@ from repro import (
     SelectiveSets,
     SelectiveWays,
     Simulator,
+    Sweep,
     SweepRunner,
     SystemConfig,
     TraceSpec,
-    submit_baseline,
-    submit_profile_static,
 )
 from repro.common.units import KIB
 from repro.sim.sweep import DCACHE, ICACHE
@@ -54,18 +53,18 @@ def main(
     organizations = [SelectiveWays(geometry), SelectiveSets(geometry), HybridSetsAndWays(geometry)]
 
     with SweepRunner(jobs=jobs) as runner:
+        sweep = Sweep(simulator, runner, warmup_instructions=warmup)
         # Phase 1: enqueue everything — nothing simulates yet.
-        baseline = submit_baseline(runner, simulator, trace, warmup_instructions=warmup)
+        baseline = sweep.submit_baseline(trace)
         profiles = {
-            (target, organization.name): submit_profile_static(
-                runner, simulator, trace, organization, target=target,
-                baseline=baseline, warmup_instructions=warmup,
+            (target, organization.name): sweep.submit_profile(
+                trace, organization, target=target, baseline=baseline,
             )
             for target in (DCACHE, ICACHE)
             for organization in organizations
         }
         # Phase 2: one drain executes the whole job set as a single batch.
-        runner.drain()
+        sweep.drain()
 
         print(f"{application} on a 32K {associativity}-way resizable L1 pair")
         print(f"({runner.simulate_count} simulations, {runner.jobs} worker(s), "
@@ -79,13 +78,13 @@ def main(
             )
             best_name, best_reduction = None, float("-inf")
             for organization in organizations:
-                sweep = profiles[(target, organization.name)].result()
-                reduction = sweep.energy_delay_reduction()
+                ladder = profiles[(target, organization.name)].result()
+                reduction = ladder.energy_delay_reduction()
                 if reduction > best_reduction:
                     best_name, best_reduction = organization.name, reduction
                 print(
                     f"{organization.name:<16}{len(organization.distinct_sizes):>8}"
-                    f"{sweep.best_config.label:>14}{sweep.size_reduction():>11.1f}%"
+                    f"{ladder.best_config.label:>14}{ladder.size_reduction():>11.1f}%"
                     f"{reduction:>10.1f}%"
                 )
             print(f"  -> best organization for the {title.lower()}: {best_name}\n")

@@ -22,11 +22,10 @@ import sys
 from repro import (
     SelectiveSets,
     Simulator,
+    Sweep,
     SystemConfig,
     WorkloadGenerator,
     get_profile,
-    profile_static,
-    run_baseline,
 )
 from repro.common.units import format_size
 from repro.sim.sweep import DCACHE
@@ -48,7 +47,8 @@ def main(application: str = "m88ksim", n_instructions: int = DEFAULT_INSTRUCTION
     trace = WorkloadGenerator(profile).generate(n_instructions)
     warmup = n_instructions // 10
 
-    baseline = run_baseline(simulator, trace, warmup_instructions=warmup)
+    sweep = Sweep(simulator, warmup_instructions=warmup)
+    baseline = sweep.baseline(trace)
     print(
         f"Baseline: {baseline.cycles:.0f} cycles, IPC {baseline.ipc:.2f}, "
         f"d-miss {baseline.l1d_miss_ratio:.3f}, "
@@ -59,14 +59,11 @@ def main(application: str = "m88ksim", n_instructions: int = DEFAULT_INSTRUCTION
     print(f"\nSelective-sets sizes offered: "
           f"{', '.join(format_size(s) for s in organization.distinct_sizes)}")
 
-    sweep = profile_static(
-        simulator, trace, organization, target=DCACHE,
-        baseline=baseline, warmup_instructions=warmup,
-    )
+    ladder = sweep.profile(trace, organization, target=DCACHE, baseline=baseline)
     print("\nStatic profiling sweep (d-cache):")
     print(f"{'size':>12} {'E*D reduction':>15} {'slowdown':>10} {'miss ratio':>12}")
-    for point in sweep.points:
-        result = sweep.results[point.config]
+    for point in ladder.points:
+        result = ladder.results[point.config]
         print(
             f"{point.config.label:>12} "
             f"{result.energy_delay_reduction(baseline):>14.1f}% "
@@ -75,9 +72,9 @@ def main(application: str = "m88ksim", n_instructions: int = DEFAULT_INSTRUCTION
         )
 
     print(
-        f"\nChosen static size: {sweep.best_config.label} — "
-        f"processor energy-delay reduced by {sweep.energy_delay_reduction():.1f}% "
-        f"with {sweep.best_result.slowdown_vs(baseline) * 100:.1f}% slowdown."
+        f"\nChosen static size: {ladder.best_config.label} — "
+        f"processor energy-delay reduced by {ladder.energy_delay_reduction():.1f}% "
+        f"with {ladder.best_result.slowdown_vs(baseline) * 100:.1f}% slowdown."
     )
 
 

@@ -26,12 +26,10 @@ from repro import (
     CoreKind,
     SelectiveSets,
     Simulator,
+    Sweep,
     SweepRunner,
     SystemConfig,
     TraceSpec,
-    submit_baseline,
-    submit_dynamic,
-    submit_profile_static,
 )
 from repro.sim.sweep import DCACHE
 
@@ -56,16 +54,12 @@ def main(
         plans = {}
         for kind in kinds:
             system = SystemConfig(core=CoreConfig(kind=kind))
-            simulator = Simulator(system)
             organization = SelectiveSets(system.l1d if target == DCACHE else system.l1i)
-            baseline = submit_baseline(runner, simulator, trace, warmup_instructions=warmup)
-            profile = submit_profile_static(
-                runner, simulator, trace, organization, target=target,
-                baseline=baseline, warmup_instructions=warmup,
-            )
-            dynamic = submit_dynamic(
-                runner, simulator, trace, organization, profile, target=target,
-                warmup_instructions=warmup, sense_interval_accesses=1024,
+            sweep = Sweep(Simulator(system), runner, warmup_instructions=warmup)
+            baseline = sweep.submit_baseline(trace)
+            profile = sweep.submit_profile(trace, organization, target=target, baseline=baseline)
+            dynamic = sweep.submit_dynamic(
+                trace, organization, profile, target=target, sense_interval_accesses=1024,
             )
             plans[kind] = (baseline, profile, dynamic)
         runner.drain()  # ladders in pool batch 1, dynamic runs in batch 2
@@ -75,11 +69,11 @@ def main(
         for kind in kinds:
             baseline_future, profile_future, dynamic_future = plans[kind]
             baseline = baseline_future.result()
-            sweep = profile_future.result()
+            ladder = profile_future.result()
             dynamic = dynamic_future.result()
             # Re-derive the profiled parameters for display; the deferred
             # dynamic job was built from these exact values.
-            parameters = sweep.dynamic_parameters(sense_interval_accesses=1024)
+            parameters = ladder.dynamic_parameters(sense_interval_accesses=1024)
 
             if target == DCACHE:
                 dynamic_size = dynamic.l1d_size_reduction()
@@ -92,10 +86,10 @@ def main(
                 f"IPC {baseline.ipc:.2f}"
             )
             print(
-                f"  static  ({sweep.best_config.label:>10}): "
-                f"E*D reduction {sweep.energy_delay_reduction():6.1f}%, "
-                f"size reduction {sweep.size_reduction():5.1f}%, "
-                f"slowdown {sweep.best_result.slowdown_vs(baseline) * 100:4.1f}%"
+                f"  static  ({ladder.best_config.label:>10}): "
+                f"E*D reduction {ladder.energy_delay_reduction():6.1f}%, "
+                f"size reduction {ladder.size_reduction():5.1f}%, "
+                f"slowdown {ladder.best_result.slowdown_vs(baseline) * 100:4.1f}%"
             )
             print(
                 f"  dynamic (miss-bound {parameters.miss_bound:5.1f}): "

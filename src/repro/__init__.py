@@ -90,6 +90,7 @@ from repro.sim.sweep import (
     PER_CONFIG,
     StaticProfile,
     StaticProfileFuture,
+    Sweep,
     profile_static,
     run_baseline,
     run_dynamic,
@@ -152,6 +153,8 @@ __all__ = [
     "Simulator",
     "L1Setup",
     "SimulationResult",
+    # the unified sweep facade (canonical entry point)
+    "Sweep",
     "StaticProfile",
     "run_baseline",
     "profile_static",

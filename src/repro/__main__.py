@@ -20,6 +20,11 @@ Examples::
     # fused single-pass default (results are bit-identical either way)
     python -m repro run-figure figure4 --ladder-mode per-config
 
+    # Run a declarative experiment spec (yours or a committed one) through
+    # the design-of-experiments orchestrator
+    python -m repro run-spec my_sweep.yaml --jobs 4
+    python -m repro run-spec src/repro/experiments/specs/figure4.yaml
+
     # Gate pytest-benchmark results against the committed perf baseline
     python -m repro bench-compare benchmark-results.json
 
@@ -58,7 +63,11 @@ from repro.common.errors import ConfigurationError, ReproError
 from repro.sim.engine import DEFAULT_ENGINE, available_engines
 from repro.sim.sweep import FUSED, LADDER_MODES, PER_CONFIG
 from repro.experiments import (
+    DoEOrchestrator,
     ExperimentContext,
+    builtin_spec_names,
+    builtin_spec_path,
+    load_spec,
     figure4,
     figure5,
     figure6,
@@ -182,6 +191,18 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         "run-all", help="regenerate the full evaluation (Tables 1-2, Figures 4-9)"
     )
     add_common(run_all)
+
+    run_spec = subparsers.add_parser(
+        "run-spec",
+        help="run declarative experiment spec files (.yaml/.json) through "
+             "the design-of-experiments orchestrator",
+    )
+    run_spec.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="spec files to run (see docs/EXPERIMENTS.md for the schema; the "
+             "committed paper specs live under src/repro/experiments/specs/)",
+    )
+    add_common(run_spec)
 
     subparsers.add_parser("list", help="list the available experiments")
 
@@ -351,44 +372,136 @@ def run_experiments(names: List[str], context: ExperimentContext, echo=print) ->
     return results
 
 
+def run_spec_experiments(
+    paths: List[str], context: ExperimentContext, echo=print
+) -> Dict[str, object]:
+    """Run declarative spec files through the orchestrator; returns stores.
+
+    Mirrors :func:`run_experiments`'s two-phase shape: every spec's plan is
+    enqueued on the shared context before a single simulation starts, one
+    drain executes the whole job graph, then each spec is analyzed in turn.
+    """
+    # Load and validate every file up front so a typo in the last spec
+    # fails in milliseconds instead of after the first spec's simulations.
+    specs = []
+    sources: Dict[str, str] = {}
+    for path in paths:
+        spec = load_spec(path)
+        if spec.name in sources:
+            raise ConfigurationError(
+                f"duplicate spec name {spec.name!r}: declared by both "
+                f"{sources[spec.name]} and {path}"
+            )
+        sources[spec.name] = path
+        specs.append(spec)
+
+    started = time.time()
+    orchestrator = DoEOrchestrator(context)
+    plans = []
+    for spec in specs:
+        plan = orchestrator.plan(spec)
+        echo(f"{spec.name}: {plan.describe()}  [spec {spec.fingerprint()[:12]}]")
+        orchestrator.enqueue(plan)
+        plans.append(plan)
+    runner = context.runner
+    echo(
+        f"two-phase pipeline: {runner.pending_count} profile/baseline execution(s) in "
+        f"phase 1 ({runner.fused_rungs} ladder rung(s) riding fused passes), "
+        f"{runner.deferred_count} dependent job(s) in phase 2 "
+        f"({runner.cache_hits} already served from cache)"
+    )
+    context.drain()
+    echo(
+        f"drained in {time.time() - started:.1f}s: {runner.simulate_count} simulated "
+        f"across {runner.pool_batches} pool batch(es) on {runner.jobs} worker(s)"
+    )
+
+    results: Dict[str, object] = {}
+    for plan in plans:
+        started = time.time()
+        store = orchestrator.analyze(orchestrator.run(plan))
+        elapsed = time.time() - started
+        echo(f"\n{'=' * 72}\n{plan.spec.name}   [{elapsed:.1f}s]\n{'=' * 72}")
+        echo(store.format_table())
+        results[plan.spec.name] = store
+    return results
+
+
+def _spec_axes_summary(spec) -> str:
+    """Compact one-line rendering of a spec's design axes for ``list``."""
+    axes = spec.axes
+    parts = [",".join(axes.strategies)]
+    if axes.organizations:
+        parts.append(",".join(axes.organizations))
+    parts.append("+".join(axes.targets))
+    parts.append("assoc " + ",".join(str(a) for a in axes.associativities))
+    if len(axes.core_kinds) > 1:
+        parts.append("both cores")
+    return " | ".join(parts)
+
+
+def list_output() -> str:
+    """The full ``python -m repro list`` text.
+
+    This is the single source for the CLI inventory: ``main`` prints it and
+    ``tools/sync_readme_cli.py`` embeds it verbatim into the README, so the
+    two can never drift.
+    """
+    lines: List[str] = []
+    lines.append("experiments (run-figure FIGURE / run-all):")
+    for name in EXPERIMENTS:
+        lines.append(f"  {name}")
+    lines.append(
+        "declarative specs (run-spec SPEC; schema in docs/EXPERIMENTS.md):"
+    )
+    planner = DoEOrchestrator()  # planning never simulates
+    for name in builtin_spec_names():
+        spec = load_spec(builtin_spec_path(name))
+        plan = planner.plan(spec)
+        jobs = "analytic" if not plan.cells else f"{plan.job_count} job(s)"
+        lines.append(f"  {name:<9} {jobs:>10}  {_spec_axes_summary(spec)}")
+    lines.append("replay engines (--engine NAME; bit-identical results, speed only):")
+    for name in available_engines():
+        suffix = "  [default]" if name == DEFAULT_ENGINE else ""
+        lines.append(f"  {name}{suffix}")
+    lines.append("ladder modes (--ladder-mode NAME; bit-identical results, speed only):")
+    for name in LADDER_MODES:
+        if name == FUSED:
+            lines.append(f"  {name}  [default]  one trace pass feeds a whole profiling ladder")
+        else:
+            lines.append(f"  {name}  one job per ladder configuration (debugging path)")
+    lines.append(
+        "external traces (--trace-file [NAME=]PATH; docs/TRACE_FORMAT.md):\n"
+        "  .rtxt   text records, one per line\n"
+        "  .rtrc2  binary records, endian-tagged header"
+    )
+    lines.append(
+        "interval sampling (--sample-every N --sample-warmup W; docs/SAMPLING.md):\n"
+        "  N > 1 simulates every Nth interval, replaying W warmup\n"
+        "  instructions before each; results carry miss-ratio error bars"
+    )
+    lines.append(
+        "caches: completed jobs live in --cache-dir, generated traces in\n"
+        "  --cache-dir/traces (binary trace format); --no-cache disables both"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = parse_args(argv)
 
     if args.command == "list":
-        print("experiments (run-figure FIGURE / run-all):")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        print("replay engines (--engine NAME; bit-identical results, speed only):")
-        for name in available_engines():
-            suffix = "  [default]" if name == DEFAULT_ENGINE else ""
-            print(f"  {name}{suffix}")
-        print("ladder modes (--ladder-mode NAME; bit-identical results, speed only):")
-        for name in LADDER_MODES:
-            if name == FUSED:
-                print(f"  {name}  [default]  one trace pass feeds a whole profiling ladder")
-            else:
-                print(f"  {name}  one job per ladder configuration (debugging path)")
-        print(
-            "external traces (--trace-file [NAME=]PATH; docs/TRACE_FORMAT.md):\n"
-            "  .rtxt   text records, one per line\n"
-            "  .rtrc2  binary records, endian-tagged header"
-        )
-        print(
-            "interval sampling (--sample-every N --sample-warmup W; docs/SAMPLING.md):\n"
-            "  N > 1 simulates every Nth interval, replaying W warmup\n"
-            "  instructions before each; results carry miss-ratio error bars"
-        )
-        print(
-            "caches: completed jobs live in --cache-dir, generated traces in\n"
-            "  --cache-dir/traces (binary trace format); --no-cache disables both"
-        )
+        print(list_output())
         return 0
 
     if args.command == "bench-compare":
         return bench_compare(args)
 
-    names = experiment_names(args)
+    if args.command == "run-spec":
+        names = list(dict.fromkeys(args.specs))  # de-duplicate, keep order
+    else:
+        names = experiment_names(args)
     if args.output:
         # Fail fast on an unwritable output path instead of discarding a
         # possibly hours-long evaluation at the final write.  The probe file
@@ -423,14 +536,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler = cProfile.Profile()
     try:
         context = build_context(args)
+
+        def execute() -> Dict[str, object]:
+            if args.command == "run-spec":
+                return run_spec_experiments(names, context)
+            return run_experiments(names, context)
+
         if profiler is not None:
             profiler.enable()
             try:
-                results = run_experiments(names, context)
+                results = execute()
             finally:
                 profiler.disable()
         else:
-            results = run_experiments(names, context)
+            results = execute()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

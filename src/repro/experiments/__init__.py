@@ -1,10 +1,15 @@
 """Experiment harnesses regenerating the paper's tables and figures.
 
-Every module in this package reproduces one piece of the paper's evaluation
-section and exposes a ``run(context)`` function returning a result object
-with ``rows()`` (raw numbers) and ``format_table()`` (text rendering).  The
+Every experiment is described by a declarative :class:`ExperimentSpec`
+committed under ``experiments/specs/`` and executes through the
+:class:`DoEOrchestrator`'s plan → run → analyze phases.  The modules below
+are thin shims kept for their historical entry points: each exposes
+``spec()`` (the committed spec, axis overrides applied), ``prepare(context)``
+(enqueue-only, for the two-phase CLI pipeline) and ``run(context)``
+returning the same result object as ever — the module's analyzer, registered
+for the spec's ``analysis.kind``, rebuilds it from the drained context.  The
 shared :class:`repro.experiments.context.ExperimentContext` memoises traces,
-baselines and profiling sweeps so that figures which reuse the same runs
+baselines and profiling sweeps so that experiments which reuse the same runs
 (e.g. Figures 4, 5 and 6) do not repeat work within one process.
 
 =================  =========================================================
@@ -22,6 +27,26 @@ module             paper content
 """
 
 from repro.experiments.context import ExperimentContext
+from repro.experiments.orchestrator import (
+    DoEOrchestrator,
+    ExperimentPlan,
+    GridResult,
+    PlanCell,
+    ResultStore,
+    RunResults,
+    register_analyzer,
+    registered_kinds,
+)
+from repro.experiments.spec import (
+    AnalysisSpec,
+    AxesSpec,
+    ExperimentSpec,
+    builtin_spec_names,
+    builtin_spec_path,
+    load_builtin_spec,
+    load_spec,
+    spec_from_dict,
+)
 from repro.experiments import (
     figure4,
     figure5,
@@ -35,6 +60,22 @@ from repro.experiments import (
 
 __all__ = [
     "ExperimentContext",
+    "DoEOrchestrator",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "AxesSpec",
+    "AnalysisSpec",
+    "GridResult",
+    "PlanCell",
+    "ResultStore",
+    "RunResults",
+    "register_analyzer",
+    "registered_kinds",
+    "builtin_spec_names",
+    "builtin_spec_path",
+    "load_builtin_spec",
+    "load_spec",
+    "spec_from_dict",
     "table1",
     "table2",
     "figure4",

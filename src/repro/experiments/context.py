@@ -46,11 +46,9 @@ from repro.sim.sweep import (
     ICACHE,
     StaticProfile,
     StaticProfileFuture,
+    Sweep,
     require_ladder_mode,
     make_job,
-    submit_baseline,
-    submit_dynamic,
-    submit_profile_static,
 )
 from repro.workloads.ingest import ExternalTraceSpec
 from repro.workloads.profiles import SPEC_APPLICATION_NAMES
@@ -144,6 +142,7 @@ class ExperimentContext:
         self._traces: Dict[str, Trace] = {}
         self._systems: Dict[Tuple[int, CoreKind], SystemConfig] = {}
         self._simulators: Dict[Tuple[int, CoreKind], Simulator] = {}
+        self._sweeps: Dict[Tuple[int, CoreKind], Sweep] = {}
         self._organizations: Dict[Tuple[str, int], ResizingOrganization] = {}
         # Memoised *futures*: enqueued once, shared by every figure that
         # names the same (application, organization, target, assoc, core).
@@ -214,6 +213,32 @@ class ExperimentContext:
             self._simulators[key] = cached
         return cached
 
+    def sweep(
+        self,
+        associativity: int = 2,
+        core_kind: CoreKind = CoreKind.OUT_OF_ORDER_NONBLOCKING,
+    ) -> Sweep:
+        """A (memoised) :class:`~repro.sim.sweep.Sweep` facade for one system.
+
+        All facades share the context's runner, so submissions from every
+        system configuration still drain as one job graph.
+        """
+        key = (associativity, core_kind)
+        cached = self._sweeps.get(key)
+        if cached is None:
+            cached = Sweep(
+                self.simulator(associativity, core_kind),
+                self.runner,
+                interval_instructions=self.interval_instructions,
+                warmup_instructions=self.warmup_instructions,
+                sample_every=self.sample_every,
+                sample_warmup=self.sample_warmup,
+                ladder_mode=self.ladder_mode,
+                max_slowdown=self.max_slowdown,
+            )
+            self._sweeps[key] = cached
+        return cached
+
     def organization(self, name: str, associativity: int = 2) -> ResizingOrganization:
         """A (memoised) organization for the 32K L1 of the given associativity."""
         key = (name, associativity)
@@ -238,14 +263,8 @@ class ExperimentContext:
         key = (application, associativity, core_kind)
         cached = self._baselines.get(key)
         if cached is None:
-            cached = submit_baseline(
-                self.runner,
-                self.simulator(associativity, core_kind),
-                self.trace_spec(application),
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
-                sample_every=self.sample_every,
-                sample_warmup=self.sample_warmup,
+            cached = self.sweep(associativity, core_kind).submit_baseline(
+                self.trace_spec(application)
             )
             self._baselines[key] = cached
         return cached
@@ -262,19 +281,11 @@ class ExperimentContext:
         key = (application, organization_name, target, associativity, core_kind)
         cached = self._profiles.get(key)
         if cached is None:
-            cached = submit_profile_static(
-                self.runner,
-                self.simulator(associativity, core_kind),
+            cached = self.sweep(associativity, core_kind).submit_profile(
                 self.trace_spec(application),
                 self.organization(organization_name, associativity),
                 target=target,
                 baseline=self.baseline_future(application, associativity, core_kind),
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
-                max_slowdown=self.max_slowdown,
-                ladder_mode=self.ladder_mode,
-                sample_every=self.sample_every,
-                sample_warmup=self.sample_warmup,
             )
             self._profiles[key] = cached
         return cached
@@ -298,21 +309,15 @@ class ExperimentContext:
         key = (application, organization_name, target, associativity, core_kind)
         cached = self._dynamic_runs.get(key)
         if cached is None:
-            cached = submit_dynamic(
-                self.runner,
-                self.simulator(associativity, core_kind),
+            cached = self.sweep(associativity, core_kind).submit_dynamic(
                 self.trace_spec(application),
                 self.organization(organization_name, associativity),
                 self.profile_future(
                     application, organization_name, target, associativity, core_kind
                 ),
                 target=target,
-                interval_instructions=self.interval_instructions,
-                warmup_instructions=self.warmup_instructions,
                 sense_interval_accesses=self.sense_interval_accesses,
                 miss_bound_factor=self.miss_bound_factor,
-                sample_every=self.sample_every,
-                sample_warmup=self.sample_warmup,
             )
             self._dynamic_runs[key] = cached
         return cached

@@ -7,6 +7,13 @@ set-associativity (32K, 1K subarrays, out-of-order core).  The headline
 shape: selective-sets wins at associativity <= 4 (peaking at 4-way),
 selective-ways wins at 8-way and above because selective-sets runs out of
 resizing granularity there.
+
+The design space lives in the committed spec file
+``specs/figure4.yaml``; this module is the result-class shim over the
+:class:`~repro.experiments.orchestrator.DoEOrchestrator` — it keeps the
+historical ``prepare(context)``/``run(context)`` entry points and registers
+the ``organization-grid`` analyzer that shapes the drained cells into
+:class:`Figure4Result`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.common.config import CoreKind
 from repro.experiments.context import (
     D_CACHE,
     I_CACHE,
@@ -21,9 +29,16 @@ from repro.experiments.context import (
     SELECTIVE_WAYS,
     ExperimentContext,
 )
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
 
 #: Associativities shown on the figure's x axis.
 ASSOCIATIVITIES: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+def spec() -> ExperimentSpec:
+    """The committed declarative spec this module executes."""
+    return load_builtin_spec("figure4")
 
 
 @dataclass
@@ -84,38 +99,41 @@ class Figure4Result:
         return "\n".join(lines)
 
 
-def prepare(context: ExperimentContext) -> None:
-    """Enqueue every simulation Figure 4 needs without executing any.
-
-    Phase 1 of the two-phase pipeline: all profiling ladders (and their
-    baselines) for every (associativity, cache, organization, application)
-    combination land on the context's runner as pending jobs, so one drain
-    executes the whole figure as a single pool batch.
-    """
-    for associativity in ASSOCIATIVITIES:
-        for target in (D_CACHE, I_CACHE):
-            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
-                for application in context.applications:
-                    context.profile_future(
-                        application, organization, target=target, associativity=associativity
-                    )
-
-
-def run(context: ExperimentContext | None = None) -> Figure4Result:
-    """Regenerate Figure 4 (both panels) with the context's parameters."""
-    context = context if context is not None else ExperimentContext()
-    prepare(context)  # batch everything; the first result() drains the pool
-    result = Figure4Result()
-    for associativity in ASSOCIATIVITIES:
-        for target in (D_CACHE, I_CACHE):
-            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
+@register_analyzer("organization-grid")
+def build_result(results: RunResults) -> Figure4Result:
+    """Shape drained static-profile cells into the figure's two panels."""
+    axes = results.spec.axes
+    context = results.context
+    core_kind = CoreKind(axes.core_kinds[0])
+    result = Figure4Result(associativities=tuple(axes.associativities))
+    for associativity in axes.associativities:
+        for target in axes.targets:
+            for organization in axes.organizations:
                 per_app: Dict[str, float] = {}
-                for application in context.applications:
+                for application in results.applications:
                     profile = context.static_profile(
-                        application, organization, target=target, associativity=associativity
+                        application, organization, target=target,
+                        associativity=associativity, core_kind=core_kind,
                     )
                     per_app[application] = profile.energy_delay_reduction()
                 key = (target, organization, associativity)
                 result.per_application[key] = per_app
                 result.reductions[key] = context.mean_over_applications(list(per_app.values()))
     return result
+
+
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue every simulation Figure 4 needs without executing any.
+
+    Phase 1 of the two-phase pipeline: the orchestrator enumerates the
+    spec's design space and lands every profiling ladder (and its baseline)
+    on the context's runner as pending jobs, so one drain executes the
+    whole figure as a single pool batch.
+    """
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec()))
+
+
+def run(context: ExperimentContext | None = None) -> Figure4Result:
+    """Regenerate Figure 4 (both panels) with the context's parameters."""
+    return DoEOrchestrator(context).execute(spec()).result

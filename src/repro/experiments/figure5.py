@@ -5,6 +5,11 @@ granularity point for both organizations) and shows, per application, the
 reduction in average cache size and the reduction in processor energy-delay
 for static selective-ways and selective-sets resizing — d-caches in panel
 (a), i-caches in panel (b), with the average appended.
+
+The design space lives in ``specs/figure5.yaml``; this module keeps the
+result classes and the historical entry points and registers the
+``organization-comparison`` analyzer (its ``parameters`` name which
+organization fills the ways/sets columns).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.common.config import CoreKind
 from repro.experiments.context import (
     D_CACHE,
     I_CACHE,
@@ -19,6 +25,16 @@ from repro.experiments.context import (
     SELECTIVE_WAYS,
     ExperimentContext,
 )
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
+
+
+def spec(associativity: int = 4) -> ExperimentSpec:
+    """The committed spec, optionally re-pointed at another associativity."""
+    loaded = load_builtin_spec("figure5")
+    if associativity == loaded.axes.associativities[0]:
+        return loaded
+    return loaded.with_axes(associativities=[associativity])
 
 
 @dataclass
@@ -106,29 +122,27 @@ class Figure5Result:
         return "\n".join(lines)
 
 
-def prepare(context: ExperimentContext, associativity: int = 4) -> None:
-    """Enqueue every profiling ladder Figure 5 needs (phase 1, no execution)."""
-    for target in (D_CACHE, I_CACHE):
-        for application in context.applications:
-            for organization in (SELECTIVE_WAYS, SELECTIVE_SETS):
-                context.profile_future(
-                    application, organization, target=target, associativity=associativity
-                )
-
-
-def run(context: ExperimentContext | None = None, associativity: int = 4) -> Figure5Result:
-    """Regenerate Figure 5 (default: the paper's 4-way configuration)."""
-    context = context if context is not None else ExperimentContext()
-    prepare(context, associativity)  # batch everything before resolving
+@register_analyzer("organization-comparison")
+def build_result(results: RunResults) -> Figure5Result:
+    """Shape drained profiles into per-application ways/sets columns."""
+    experiment = results.spec
+    parameters = experiment.analysis.parameters
+    ways_name = parameters.get("ways_organization", SELECTIVE_WAYS)
+    sets_name = parameters.get("sets_organization", SELECTIVE_SETS)
+    associativity = experiment.axes.associativities[0]
+    core_kind = CoreKind(experiment.axes.core_kinds[0])
+    context = results.context
     result = Figure5Result(associativity=associativity)
-    for target in (D_CACHE, I_CACHE):
+    for target in experiment.axes.targets:
         panel = result.panel(target)
-        for application in context.applications:
+        for application in results.applications:
             ways_profile = context.static_profile(
-                application, SELECTIVE_WAYS, target=target, associativity=associativity
+                application, ways_name, target=target,
+                associativity=associativity, core_kind=core_kind,
             )
             sets_profile = context.static_profile(
-                application, SELECTIVE_SETS, target=target, associativity=associativity
+                application, sets_name, target=target,
+                associativity=associativity, core_kind=core_kind,
             )
             panel.append(
                 ApplicationComparison(
@@ -142,3 +156,14 @@ def run(context: ExperimentContext | None = None, associativity: int = 4) -> Fig
                 )
             )
     return result
+
+
+def prepare(context: ExperimentContext, associativity: int = 4) -> None:
+    """Enqueue every profiling ladder Figure 5 needs (phase 1, no execution)."""
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec(associativity)))
+
+
+def run(context: ExperimentContext | None = None, associativity: int = 4) -> Figure5Result:
+    """Regenerate Figure 5 (default: the paper's 4-way configuration)."""
+    return DoEOrchestrator(context).execute(spec(associativity)).result

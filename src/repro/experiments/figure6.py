@@ -5,6 +5,10 @@ selective-sets-and-ways organization: for every base set-associativity the
 hybrid achieves an energy-delay reduction equal to or better than the best
 of selective-ways and selective-sets alone, because its size spectrum is a
 superset of both.
+
+The design space lives in ``specs/figure6.yaml`` (Figure 4's grid plus the
+hybrid); this module registers the ``hybrid-organization-grid`` analyzer
+shaping the drained cells into :class:`Figure6Result`.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.common.config import CoreKind
 from repro.experiments.context import (
     D_CACHE,
     HYBRID,
@@ -21,8 +26,15 @@ from repro.experiments.context import (
     ExperimentContext,
 )
 from repro.experiments.figure4 import ASSOCIATIVITIES
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
 
 ORGANIZATIONS: Tuple[str, ...] = (HYBRID, SELECTIVE_WAYS, SELECTIVE_SETS)
+
+
+def spec() -> ExperimentSpec:
+    """The committed declarative spec this module executes."""
+    return load_builtin_spec("figure6")
 
 
 @dataclass
@@ -81,36 +93,39 @@ class Figure6Result:
         return "\n".join(lines)
 
 
-def prepare(context: ExperimentContext) -> None:
-    """Enqueue every profiling ladder Figure 6 needs (phase 1, no execution).
-
-    Extends Figure 4's job set with the hybrid organization; the shared
-    context memo means overlapping ladders are enqueued exactly once.
-    """
-    for associativity in ASSOCIATIVITIES:
-        for target in (D_CACHE, I_CACHE):
-            for organization in ORGANIZATIONS:
-                for application in context.applications:
-                    context.profile_future(
-                        application, organization, target=target, associativity=associativity
-                    )
-
-
-def run(context: ExperimentContext | None = None) -> Figure6Result:
-    """Regenerate Figure 6 (both panels) with the context's parameters."""
-    context = context if context is not None else ExperimentContext()
-    prepare(context)  # batch everything; the first result() drains the pool
-    result = Figure6Result()
-    for associativity in ASSOCIATIVITIES:
-        for target in (D_CACHE, I_CACHE):
-            for organization in ORGANIZATIONS:
+@register_analyzer("hybrid-organization-grid")
+def build_result(results: RunResults) -> Figure6Result:
+    """Shape drained static-profile cells into the three-organization grid."""
+    axes = results.spec.axes
+    context = results.context
+    core_kind = CoreKind(axes.core_kinds[0])
+    result = Figure6Result(associativities=tuple(axes.associativities))
+    for associativity in axes.associativities:
+        for target in axes.targets:
+            for organization in axes.organizations:
                 per_app: Dict[str, float] = {}
-                for application in context.applications:
+                for application in results.applications:
                     profile = context.static_profile(
-                        application, organization, target=target, associativity=associativity
+                        application, organization, target=target,
+                        associativity=associativity, core_kind=core_kind,
                     )
                     per_app[application] = profile.energy_delay_reduction()
                 key = (target, organization, associativity)
                 result.per_application[key] = per_app
                 result.reductions[key] = context.mean_over_applications(list(per_app.values()))
     return result
+
+
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue every profiling ladder Figure 6 needs (phase 1, no execution).
+
+    Extends Figure 4's job set with the hybrid organization; the shared
+    context memo means overlapping ladders are enqueued exactly once.
+    """
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec()))
+
+
+def run(context: ExperimentContext | None = None) -> Figure6Result:
+    """Regenerate Figure 6 (both panels) with the context's parameters."""
+    return DoEOrchestrator(context).execute(spec()).result

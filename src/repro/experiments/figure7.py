@@ -9,6 +9,10 @@ and in processor energy-delay.  The paper's findings: dynamic resizing wins
 clearly when miss latency is exposed (in-order/blocking) and the working set
 varies; with the out-of-order engine static resizing is nearly as good
 because misses are cheap enough that it can downsize aggressively.
+
+The design space lives in ``specs/figure7.yaml`` (the ``core_kinds`` order
+is the panel order); this module registers the ``strategy-comparison``
+analyzer shared with Figure 8, which runs the same spec against the i-cache.
 """
 
 from __future__ import annotations
@@ -18,8 +22,29 @@ from typing import Dict, List
 
 from repro.common.config import CoreKind
 from repro.experiments.context import D_CACHE, SELECTIVE_SETS, ExperimentContext
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
 
 CORE_KINDS = (CoreKind.IN_ORDER_BLOCKING, CoreKind.OUT_OF_ORDER_NONBLOCKING)
+
+
+def spec(associativity: int = 2, organization: str = SELECTIVE_SETS) -> ExperimentSpec:
+    """The committed spec, optionally re-pointed at other axes."""
+    return _variant(load_builtin_spec("figure7"), associativity, organization)
+
+
+def _variant(
+    loaded: ExperimentSpec, associativity: int, organization: str
+) -> ExperimentSpec:
+    """Apply the historical ``run()`` keyword overrides to a committed spec."""
+    if (
+        associativity == loaded.axes.associativities[0]
+        and organization == loaded.axes.organizations[0]
+    ):
+        return loaded
+    return loaded.with_axes(
+        associativities=[associativity], organizations=[organization]
+    )
 
 
 @dataclass
@@ -115,52 +140,23 @@ class StrategyFigureResult:
         return "\n".join(lines)
 
 
-def _prepare_strategies(
-    context: ExperimentContext,
-    target: str,
-    associativity: int,
-    organization: str,
-) -> None:
-    """Enqueue everything Figures 7/8 need, for both core types.
+@register_analyzer("strategy-comparison")
+def build_result(results: RunResults) -> StrategyFigureResult:
+    """Shape drained static+dynamic cells into per-core strategy panels.
 
-    Profiling ladders and baselines are concrete jobs (phase 1); the
-    dynamic runs are deferred on their profiles (phase 2), since their
-    miss-bound parameters derive from the ladder's results.  One drain
-    executes both waves as two pool batches.
+    Panel order follows the spec's ``core_kinds`` axis order (the committed
+    specs list the in-order panel first, matching the paper's layout).
     """
-    for core_kind in CORE_KINDS:
-        for application in context.applications:
-            context.profile_future(
-                application, organization, target=target,
-                associativity=associativity, core_kind=core_kind,
-            )
-            context.dynamic_future(
-                application, organization, target=target,
-                associativity=associativity, core_kind=core_kind,
-            )
-
-
-def prepare(
-    context: ExperimentContext,
-    associativity: int = 2,
-    organization: str = SELECTIVE_SETS,
-) -> None:
-    """Enqueue every simulation Figure 7 needs without executing any."""
-    _prepare_strategies(context, D_CACHE, associativity, organization)
-
-
-def _compare_strategies(
-    context: ExperimentContext,
-    target: str,
-    associativity: int,
-    organization: str,
-) -> StrategyFigureResult:
-    """Shared implementation for Figures 7 and 8."""
-    _prepare_strategies(context, target, associativity, organization)
+    axes = results.spec.axes
+    context = results.context
+    target = axes.targets[0]
+    organization = axes.organizations[0]
+    associativity = axes.associativities[0]
     result = StrategyFigureResult(target=target, organization=organization)
-    for core_kind in CORE_KINDS:
+    for core_value in axes.core_kinds:
+        core_kind = CoreKind(core_value)
         rows: List[StrategyComparison] = []
-        for application in context.applications:
+        for application in results.applications:
             profile = context.static_profile(
                 application, organization, target=target,
                 associativity=associativity, core_kind=core_kind,
@@ -191,11 +187,20 @@ def _compare_strategies(
     return result
 
 
+def prepare(
+    context: ExperimentContext,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> None:
+    """Enqueue every simulation Figure 7 needs without executing any."""
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec(associativity, organization)))
+
+
 def run(
     context: ExperimentContext | None = None,
     associativity: int = 2,
     organization: str = SELECTIVE_SETS,
 ) -> StrategyFigureResult:
     """Regenerate Figure 7 (d-cache, 2-way selective-sets by default)."""
-    context = context if context is not None else ExperimentContext()
-    return _compare_strategies(context, D_CACHE, associativity, organization)
+    return DoEOrchestrator(context).execute(spec(associativity, organization)).result

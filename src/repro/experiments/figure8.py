@@ -6,19 +6,28 @@ critical on the out-of-order engine (the back end is rarely the bottleneck
 there), so dynamic resizing's advantage shows up on the out-of-order
 configuration, while on the in-order engine static resizing is already
 aggressive and nearly matches it.
+
+The design space lives in ``specs/figure8.yaml``; the panels are shaped by
+Figure 7's shared ``strategy-comparison`` analyzer.
 """
 
 from __future__ import annotations
 
-from repro.experiments.context import I_CACHE, SELECTIVE_SETS, ExperimentContext
+from repro.experiments.context import SELECTIVE_SETS, ExperimentContext
 from repro.experiments.figure7 import (
     StrategyComparison,
     StrategyFigureResult,
-    _compare_strategies,
-    _prepare_strategies,
+    _variant,
 )
+from repro.experiments.orchestrator import DoEOrchestrator
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
 
-__all__ = ["StrategyComparison", "StrategyFigureResult", "prepare", "run"]
+__all__ = ["StrategyComparison", "StrategyFigureResult", "spec", "prepare", "run"]
+
+
+def spec(associativity: int = 2, organization: str = SELECTIVE_SETS) -> ExperimentSpec:
+    """The committed spec, optionally re-pointed at other axes."""
+    return _variant(load_builtin_spec("figure8"), associativity, organization)
 
 
 def prepare(
@@ -27,7 +36,8 @@ def prepare(
     organization: str = SELECTIVE_SETS,
 ) -> None:
     """Enqueue every simulation Figure 8 needs without executing any."""
-    _prepare_strategies(context, I_CACHE, associativity, organization)
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec(associativity, organization)))
 
 
 def run(
@@ -36,5 +46,4 @@ def run(
     organization: str = SELECTIVE_SETS,
 ) -> StrategyFigureResult:
     """Regenerate Figure 8 (i-cache, 2-way selective-sets by default)."""
-    context = context if context is not None else ExperimentContext()
-    return _compare_strategies(context, I_CACHE, associativity, organization)
+    return DoEOrchestrator(context).execute(spec(associativity, organization)).result

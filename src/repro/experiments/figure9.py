@@ -9,6 +9,10 @@ in L2 barely interact), the combined average processor energy-delay
 reduction is about 20 %, and a few applications save even more than the sum
 because downsizing one cache moves the bottleneck toward it and lets the
 other cache shrink more cheaply.
+
+The design space lives in ``specs/figure9.yaml`` (the ``joint-static``
+strategy implies both targets' profiling ladders plus the combined run);
+this module registers the ``joint-resizing`` analyzer.
 """
 
 from __future__ import annotations
@@ -17,6 +21,21 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.experiments.context import D_CACHE, I_CACHE, SELECTIVE_SETS, ExperimentContext
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
+
+
+def spec(associativity: int = 2, organization: str = SELECTIVE_SETS) -> ExperimentSpec:
+    """The committed spec, optionally re-pointed at other axes."""
+    loaded = load_builtin_spec("figure9")
+    if (
+        associativity == loaded.axes.associativities[0]
+        and organization == loaded.axes.organizations[0]
+    ):
+        return loaded
+    return loaded.with_axes(
+        associativities=[associativity], organizations=[organization]
+    )
 
 
 @dataclass
@@ -115,31 +134,15 @@ class Figure9Result:
         return "\n".join(lines)
 
 
-def prepare(
-    context: ExperimentContext,
-    associativity: int = 2,
-    organization: str = SELECTIVE_SETS,
-) -> None:
-    """Enqueue every simulation Figure 9 needs without executing any.
-
-    The d- and i-cache profiling ladders are concrete jobs (phase 1); each
-    application's combined d+i run is deferred on both of its profiles
-    (phase 2), since it fixes each cache at the profiled best size.
-    """
-    for application in context.applications:
-        context.joint_static_future(application, organization, associativity)
-
-
-def run(
-    context: Optional[ExperimentContext] = None,
-    associativity: int = 2,
-    organization: str = SELECTIVE_SETS,
-) -> Figure9Result:
-    """Regenerate Figure 9 (static selective-sets on the base system by default)."""
-    context = context if context is not None else ExperimentContext()
-    prepare(context, associativity, organization)  # batch before resolving
+@register_analyzer("joint-resizing")
+def build_result(results: RunResults) -> Figure9Result:
+    """Shape drained joint cells (and their implied profiles) into the figure."""
+    axes = results.spec.axes
+    context = results.context
+    organization = axes.organizations[0]
+    associativity = axes.associativities[0]
     result = Figure9Result(organization=organization, associativity=associativity)
-    for application in context.applications:
+    for application in results.applications:
         baseline = context.baseline(application, associativity)
         d_profile = context.static_profile(
             application, organization, target=D_CACHE, associativity=associativity
@@ -176,3 +179,27 @@ def run(
             )
         )
     return result
+
+
+def prepare(
+    context: ExperimentContext,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> None:
+    """Enqueue every simulation Figure 9 needs without executing any.
+
+    The d- and i-cache profiling ladders are concrete jobs (phase 1); each
+    application's combined d+i run is deferred on both of its profiles
+    (phase 2), since it fixes each cache at the profiled best size.
+    """
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec(associativity, organization)))
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    associativity: int = 2,
+    organization: str = SELECTIVE_SETS,
+) -> Figure9Result:
+    """Regenerate Figure 9 (static selective-sets on the base system by default)."""
+    return DoEOrchestrator(context).execute(spec(associativity, organization)).result

@@ -1,0 +1,508 @@
+"""The design-of-experiments orchestrator: plan → run → analyze.
+
+Every experiment — the nine committed paper figures/tables and any
+user-supplied spec file — executes through the same three explicit phases:
+
+* :meth:`DoEOrchestrator.plan` enumerates the spec's design space into an
+  :class:`ExperimentPlan`: one :class:`PlanCell` per (strategy ×
+  application × axes) combination, plus dedup statistics against the
+  shared-future memo and a cold-cache simulation estimate.  Planning never
+  simulates (and never enqueues), so a plan is inspectable for free —
+  ``python -m repro list`` prints each committed spec's job count this way.
+* :meth:`DoEOrchestrator.run` enqueues each cell's futures on the
+  :class:`~repro.experiments.context.ExperimentContext` (which dedups
+  against everything already enqueued), drains the runner's job graph in
+  dependency waves, and collects one standardized record per cell.
+* :meth:`DoEOrchestrator.analyze` hands the run to the analyzer registered
+  for the spec's ``analysis.kind`` and wraps the report in a
+  :class:`ResultStore`.  The nine figure/table analyzers live in their
+  historical modules and rebuild the exact legacy result objects, so the
+  spec-driven path emits byte-identical JSON; the generic ``grid`` analyzer
+  (registered here) serves ad-hoc user sweeps.
+
+:meth:`DoEOrchestrator.execute` chains the three phases for callers that
+do not need to introspect the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.config import CoreKind
+from repro.common.errors import ConfigurationError
+from repro.experiments.context import D_CACHE, ExperimentContext
+from repro.experiments.spec import (
+    STRATEGY_BASELINE,
+    STRATEGY_DYNAMIC,
+    STRATEGY_JOINT_STATIC,
+    STRATEGY_STATIC,
+    ExperimentSpec,
+)
+
+#: Energy-consuming structures a baseline record reports fractions for.
+ENERGY_STRUCTURES: Tuple[str, ...] = ("l1d", "l1i", "l2", "memory", "core")
+
+_DEFAULT_CORE = CoreKind.OUT_OF_ORDER_NONBLOCKING.value
+
+
+# ---------------------------------------------------------------------------
+# Analyzer registry.  Figure/table modules register their report builders at
+# import time; ``grid`` (below) is the generic built-in for user specs.
+# ---------------------------------------------------------------------------
+
+Analyzer = Callable[["RunResults"], Any]
+
+
+@dataclass(frozen=True)
+class AnalyzerInfo:
+    """One registered analysis kind."""
+
+    kind: str
+    build: Analyzer
+    #: Analytic kinds (Table 1's size lattice) derive their report from the
+    #: spec's parameters alone — the plan enumerates zero simulation cells.
+    analytic: bool = False
+
+
+_ANALYZERS: Dict[str, AnalyzerInfo] = {}
+
+
+def register_analyzer(kind: str, analytic: bool = False) -> Callable[[Analyzer], Analyzer]:
+    """Register the report builder for one ``analysis.kind`` value."""
+
+    def decorator(build: Analyzer) -> Analyzer:
+        existing = _ANALYZERS.get(kind)
+        if existing is not None and existing.build is not build:
+            raise ConfigurationError(
+                f"analysis kind {kind!r} is already registered to "
+                f"{existing.build.__module__}.{existing.build.__qualname__}"
+            )
+        _ANALYZERS[kind] = AnalyzerInfo(kind=kind, build=build, analytic=analytic)
+        return build
+
+    return decorator
+
+
+def analyzer_info(kind: str) -> AnalyzerInfo:
+    """Resolve one analysis kind, importing the built-in analyzers lazily."""
+    if kind not in _ANALYZERS:
+        # The nine figure/table analyzers register when their modules import;
+        # importing the package here (not at module top) avoids a cycle.
+        import repro.experiments  # noqa: F401
+    try:
+        return _ANALYZERS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_ANALYZERS))
+        raise ConfigurationError(
+            f"unknown analysis kind {kind!r}; registered kinds: {known}"
+        ) from None
+
+
+def registered_kinds() -> List[str]:
+    """Every registered analysis kind (built-ins included)."""
+    import repro.experiments  # noqa: F401
+
+    return sorted(_ANALYZERS)
+
+
+# ---------------------------------------------------------------------------
+# Plans.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanCell:
+    """One point of a spec's design space (one strategy on one workload)."""
+
+    strategy: str
+    application: str
+    associativity: int
+    core_kind: str
+    target: Optional[str] = None  # None: baseline (no resizing) / joint (both)
+    organization: Optional[str] = None  # None: baseline
+
+
+@dataclass
+class ExperimentPlan:
+    """The enumerated design space plus dedup statistics — nothing has run."""
+
+    spec: ExperimentSpec
+    cells: List[PlanCell]
+    applications: Tuple[str, ...]
+    #: Future requests the cells imply, duplicates included (a dynamic cell
+    #: requests its profile and baseline too).
+    requested_futures: int
+    #: Job-graph nodes after the context's memo collapses shared requests.
+    unique_futures: int
+    #: Simulations a fully cold cache would execute (ladders counted rung
+    #: by rung).
+    estimated_simulations: int
+
+    @property
+    def job_count(self) -> int:
+        """Unique job-graph nodes — the number ``list`` and ``run-spec`` print."""
+        return self.unique_futures
+
+    @property
+    def dedup_savings(self) -> int:
+        """Future requests absorbed by the shared memo."""
+        return self.requested_futures - self.unique_futures
+
+    def describe(self) -> str:
+        """One-line human summary of the plan."""
+        return (
+            f"{len(self.cells)} cell(s) over {len(self.applications)} "
+            f"application(s) -> {self.unique_futures} job(s) "
+            f"({self.requested_futures} requested, {self.dedup_savings} shared), "
+            f"~{self.estimated_simulations} cold simulation(s)"
+        )
+
+
+def _enumerate_cells(
+    spec: ExperimentSpec, applications: Tuple[str, ...]
+) -> Iterator[PlanCell]:
+    """Deterministic cell order: strategy-major, applications innermost."""
+    axes = spec.axes
+    for strategy in axes.strategies:
+        if strategy == STRATEGY_BASELINE:
+            for associativity in axes.associativities:
+                for core_kind in axes.core_kinds:
+                    for application in applications:
+                        yield PlanCell(strategy, application, associativity, core_kind)
+        elif strategy == STRATEGY_JOINT_STATIC:
+            # Joint runs resize both L1s on the base core (the paper's
+            # Figure 9 shape); the targets axis is implied, the core fixed.
+            for associativity in axes.associativities:
+                for organization in axes.organizations:
+                    for application in applications:
+                        yield PlanCell(
+                            strategy, application, associativity, _DEFAULT_CORE,
+                            organization=organization,
+                        )
+        else:
+            for associativity in axes.associativities:
+                for target in axes.targets:
+                    for organization in axes.organizations:
+                        for core_kind in axes.core_kinds:
+                            for application in applications:
+                                yield PlanCell(
+                                    strategy, application, associativity, core_kind,
+                                    target=target, organization=organization,
+                                )
+
+
+# ---------------------------------------------------------------------------
+# Run results and the result store.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunResults:
+    """A drained plan: the executing context plus one record per cell."""
+
+    plan: ExperimentPlan
+    context: ExperimentContext
+    records: List[dict]
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return self.plan.spec
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        return self.plan.applications
+
+
+@dataclass
+class ResultStore:
+    """Analyzed experiment: standardized records plus the shaped report.
+
+    ``result`` is the report object the spec's analyzer built — for the
+    committed paper specs, the exact legacy result class
+    (``Figure4Result``, ``Table2Result``, …) — and :meth:`rows` /
+    :meth:`format_table` delegate to it, so one row-shaping implementation
+    serves both the historical module API and the spec-driven path.
+    """
+
+    spec: ExperimentSpec
+    records: List[dict]
+    result: Any
+
+    def rows(self) -> List[dict]:
+        """The report's rows (the JSON payload ``--output`` writes)."""
+        return self.result.rows()
+
+    def format_table(self) -> str:
+        """The report's text rendering."""
+        return self.result.format_table()
+
+    def to_payload(self) -> Dict[str, List[dict]]:
+        """The ``--output`` JSON fragment for this experiment."""
+        return {self.spec.name: self.rows()}
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator.
+# ---------------------------------------------------------------------------
+
+
+class DoEOrchestrator:
+    """Plan, run and analyze declarative experiments on a shared context."""
+
+    def __init__(self, context: Optional[ExperimentContext] = None) -> None:
+        self._context = context
+
+    @property
+    def context(self) -> ExperimentContext:
+        """The executing context (created lazily for analytic-only use)."""
+        if self._context is None:
+            self._context = ExperimentContext()
+        return self._context
+
+    # ------------------------------------------------------------------ plan
+    def plan(self, spec: ExperimentSpec) -> ExperimentPlan:
+        """Enumerate the spec's design space without enqueueing anything."""
+        info = analyzer_info(spec.analysis.kind)  # unknown kinds fail here
+        if info.analytic:
+            applications: Tuple[str, ...] = ()
+            cells: List[PlanCell] = []
+        else:
+            applications = self._applications(spec)
+            cells = list(_enumerate_cells(spec, applications))
+
+        # Mirror the context's memo keys to count the collapsed job graph.
+        baselines: Set[tuple] = set()
+        profiles: Set[tuple] = set()
+        dynamics: Set[tuple] = set()
+        joints: Set[tuple] = set()
+        requested = 0
+        for cell in cells:
+            if cell.strategy == STRATEGY_BASELINE:
+                requested += 1
+                baselines.add((cell.application, cell.associativity, cell.core_kind))
+            elif cell.strategy == STRATEGY_STATIC:
+                requested += 2  # the profile plus the baseline it compares to
+                baselines.add((cell.application, cell.associativity, cell.core_kind))
+                profiles.add(
+                    (cell.application, cell.organization, cell.target,
+                     cell.associativity, cell.core_kind)
+                )
+            elif cell.strategy == STRATEGY_DYNAMIC:
+                requested += 3  # dynamic run + the profile it derives from + baseline
+                baselines.add((cell.application, cell.associativity, cell.core_kind))
+                profiles.add(
+                    (cell.application, cell.organization, cell.target,
+                     cell.associativity, cell.core_kind)
+                )
+                dynamics.add(
+                    (cell.application, cell.organization, cell.target,
+                     cell.associativity, cell.core_kind)
+                )
+            else:  # joint-static: both profiles, their baseline, the joint run
+                requested += 4
+                baselines.add((cell.application, cell.associativity, _DEFAULT_CORE))
+                for target in ("dcache", "icache"):
+                    profiles.add(
+                        (cell.application, cell.organization, target,
+                         cell.associativity, _DEFAULT_CORE)
+                    )
+                joints.add((cell.application, cell.organization, cell.associativity))
+
+        estimated = len(baselines) + len(dynamics) + len(joints)
+        for _, organization, _, associativity, _ in profiles:
+            # Organizations are memoised and analytic — no simulation here.
+            ladder = self.context.organization(organization, associativity).ladder()
+            estimated += len(ladder)
+
+        return ExperimentPlan(
+            spec=spec,
+            cells=cells,
+            applications=applications,
+            requested_futures=requested,
+            unique_futures=len(baselines) + len(profiles) + len(dynamics) + len(joints),
+            estimated_simulations=estimated,
+        )
+
+    def _applications(self, spec: ExperimentSpec) -> Tuple[str, ...]:
+        if isinstance(spec.axes.applications, str):  # the "all" sentinel
+            return tuple(self.context.applications)
+        return tuple(spec.axes.applications)
+
+    # --------------------------------------------------------------- enqueue
+    def enqueue(self, plan: ExperimentPlan) -> None:
+        """Enqueue every cell's futures; the memo dedups, nothing executes."""
+        context = self.context
+        for cell in plan.cells:
+            core_kind = CoreKind(cell.core_kind)
+            if cell.strategy == STRATEGY_BASELINE:
+                context.baseline_future(cell.application, cell.associativity, core_kind)
+            elif cell.strategy == STRATEGY_STATIC:
+                context.profile_future(
+                    cell.application, cell.organization, target=cell.target,
+                    associativity=cell.associativity, core_kind=core_kind,
+                )
+            elif cell.strategy == STRATEGY_DYNAMIC:
+                context.dynamic_future(
+                    cell.application, cell.organization, target=cell.target,
+                    associativity=cell.associativity, core_kind=core_kind,
+                )
+            else:  # joint-static
+                context.joint_static_future(
+                    cell.application, cell.organization, cell.associativity
+                )
+
+    # ------------------------------------------------------------------- run
+    def run(self, plan: ExperimentPlan) -> RunResults:
+        """Enqueue (idempotently), drain the job graph, collect cell records."""
+        self.enqueue(plan)
+        if plan.cells:
+            self.context.drain()
+        records = [self._record(cell) for cell in plan.cells]
+        return RunResults(plan=plan, context=self.context, records=records)
+
+    def _record(self, cell: PlanCell) -> dict:
+        """The standardized per-cell record (axes fields + strategy metrics)."""
+        context = self.context
+        core_kind = CoreKind(cell.core_kind)
+        record: Dict[str, Any] = {
+            "strategy": cell.strategy,
+            "application": cell.application,
+            "associativity": cell.associativity,
+            "core": cell.core_kind,
+        }
+        if cell.target is not None:
+            record["cache"] = cell.target
+        if cell.organization is not None:
+            record["organization"] = cell.organization
+
+        if cell.strategy == STRATEGY_BASELINE:
+            baseline = context.baseline(cell.application, cell.associativity, core_kind)
+            record["cycles"] = baseline.cycles
+            record["energy_total"] = baseline.energy.total
+            for structure in ENERGY_STRUCTURES:
+                record[f"{structure}_energy_fraction"] = baseline.energy.fraction(structure)
+        elif cell.strategy == STRATEGY_STATIC:
+            profile = context.static_profile(
+                cell.application, cell.organization, target=cell.target,
+                associativity=cell.associativity, core_kind=core_kind,
+            )
+            record["size_reduction_percent"] = profile.size_reduction()
+            record["energy_delay_reduction_percent"] = profile.energy_delay_reduction()
+            record["best_config"] = profile.best_config.label
+        elif cell.strategy == STRATEGY_DYNAMIC:
+            dynamic = context.dynamic_run(
+                cell.application, cell.organization, target=cell.target,
+                associativity=cell.associativity, core_kind=core_kind,
+            )
+            baseline = context.baseline(cell.application, cell.associativity, core_kind)
+            if cell.target == D_CACHE:
+                record["size_reduction_percent"] = dynamic.l1d_size_reduction()
+                record["resizes"] = dynamic.l1d_resizes
+            else:
+                record["size_reduction_percent"] = dynamic.l1i_size_reduction()
+                record["resizes"] = dynamic.l1i_resizes
+            record["energy_delay_reduction_percent"] = (
+                dynamic.energy_delay_reduction(baseline)
+            )
+        else:  # joint-static
+            joint = context.joint_static_run(
+                cell.application, cell.organization, cell.associativity
+            )
+            baseline = context.baseline(cell.application, cell.associativity)
+            record["size_reduction_percent"] = joint.combined_size_reduction()
+            record["energy_delay_reduction_percent"] = (
+                joint.energy_delay_reduction(baseline)
+            )
+            record["slowdown"] = joint.slowdown_vs(baseline)
+        return record
+
+    # --------------------------------------------------------------- analyze
+    def analyze(self, results: RunResults) -> ResultStore:
+        """Build the spec's report from a drained run."""
+        info = analyzer_info(results.spec.analysis.kind)
+        report = info.build(results)
+        return ResultStore(spec=results.spec, records=results.records, result=report)
+
+    def execute(self, spec: ExperimentSpec) -> ResultStore:
+        """plan → run → analyze in one call."""
+        return self.analyze(self.run(self.plan(spec)))
+
+
+# ---------------------------------------------------------------------------
+# The generic ``grid`` analyzer: per-cell rows plus mean-over-application
+# reductions, for user-defined sweeps no committed figure covers.
+# ---------------------------------------------------------------------------
+
+#: Record fields that identify a cell (everything else is a metric).
+AXIS_FIELDS: Tuple[str, ...] = (
+    "strategy", "cache", "organization", "associativity", "core", "application",
+)
+
+
+@dataclass
+class GridResult:
+    """Report of a generic design-space sweep."""
+
+    title: str
+    records: List[dict] = field(default_factory=list)
+    mean_over_applications: bool = True
+
+    def rows(self) -> List[dict]:
+        """One row per cell, plus an AVG. row per application group."""
+        rows = [dict(record) for record in self.records]
+        if self.mean_over_applications:
+            groups: Dict[tuple, List[dict]] = {}
+            for record in self.records:
+                key = tuple(
+                    (axis, record[axis])
+                    for axis in AXIS_FIELDS
+                    if axis != "application" and axis in record
+                )
+                groups.setdefault(key, []).append(record)
+            for key, members in groups.items():
+                if len(members) < 2:
+                    continue
+                mean_row: Dict[str, Any] = dict(key)
+                mean_row["application"] = "AVG."
+                for name in members[0]:
+                    value = members[0][name]
+                    if name in AXIS_FIELDS or isinstance(value, (str, bool)):
+                        continue
+                    if all(name in member for member in members):
+                        mean_row[name] = sum(m[name] for m in members) / len(members)
+                rows.append(mean_row)
+        return rows
+
+    def format_table(self) -> str:
+        """Generic text rendering: axis columns first, metrics after."""
+        rows = self.rows()
+        if not rows:
+            return f"{self.title}\n(no cells)"
+        columns: List[str] = [axis for axis in AXIS_FIELDS if any(axis in r for r in rows)]
+        metrics = sorted({name for row in rows for name in row} - set(columns))
+        columns += metrics
+        rendered: List[List[str]] = [columns]
+        for row in rows:
+            rendered.append([
+                f"{row[name]:.3f}" if isinstance(row.get(name), float)
+                else str(row.get(name, "-"))
+                for name in columns
+            ])
+        widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+        lines = [self.title, ""]
+        for line in rendered:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        return "\n".join(lines)
+
+
+@register_analyzer("grid")
+def _build_grid(results: RunResults) -> GridResult:
+    """The generic analyzer: standardized records shaped as a flat grid."""
+    parameters = results.spec.analysis.parameters
+    title = results.spec.title or results.spec.name
+    return GridResult(
+        title=title,
+        records=results.records,
+        mean_over_applications=bool(parameters.get("mean_over_applications", True)),
+    )

@@ -2,23 +2,50 @@
 
 The paper's Table 1 shows, for a 32K 4-way set-associative cache with 1K
 subarrays, every cache size the hybrid selective-sets-and-ways organization
-offers and which associativities can reach each size.  This module
-regenerates the lattice analytically (no simulation involved) and also
-reports the resizing ladder the hybrid actually uses (highest associativity
-per redundant size).
+offers and which associativities can reach each size.  The lattice is
+regenerated analytically (no simulation involved) together with the
+resizing ladder the hybrid actually uses (highest associativity per
+redundant size).
+
+The geometry lives in ``specs/table1.yaml`` as ``analysis.parameters``; the
+``size-lattice`` analyzer registered here is *analytic*, so the plan for
+this spec enumerates zero simulation cells.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List
 
 from repro.common.config import CacheGeometry
 from repro.common.units import KIB, format_size
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import AnalysisSpec, ExperimentSpec, load_builtin_spec
 from repro.resizing.hybrid import HybridSetsAndWays
 from repro.resizing.organization import SizeConfig
 from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
+
+
+def spec(
+    capacity_bytes: int = 32 * KIB,
+    associativity: int = 4,
+    subarray_bytes: int = KIB,
+    block_bytes: int = 32,
+) -> ExperimentSpec:
+    """The committed spec, optionally re-pointed at another geometry."""
+    loaded = load_builtin_spec("table1")
+    parameters = {
+        "capacity_bytes": capacity_bytes,
+        "associativity": associativity,
+        "subarray_bytes": subarray_bytes,
+        "block_bytes": block_bytes,
+    }
+    if dict(loaded.analysis.parameters) == parameters:
+        return loaded
+    return replace(
+        loaded, analysis=AnalysisSpec(kind=loaded.analysis.kind, parameters=parameters)
+    )
 
 
 @dataclass
@@ -61,23 +88,15 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def prepare(context=None) -> None:
-    """Table 1 is analytic — nothing to enqueue.  Present so the two-phase
-    harness can treat every experiment module uniformly."""
-
-
-def run(
-    capacity_bytes: int = 32 * KIB,
-    associativity: int = 4,
-    subarray_bytes: int = KIB,
-    block_bytes: int = 32,
-) -> Table1Result:
-    """Regenerate Table 1 for the given cache geometry (paper default: 32K 4-way)."""
+@register_analyzer("size-lattice", analytic=True)
+def build_result(results: RunResults) -> Table1Result:
+    """Derive the lattice from the spec's geometry parameters alone."""
+    parameters = results.spec.analysis.parameters
     geometry = CacheGeometry(
-        capacity_bytes=capacity_bytes,
-        associativity=associativity,
-        block_bytes=block_bytes,
-        subarray_bytes=subarray_bytes,
+        capacity_bytes=parameters.get("capacity_bytes", 32 * KIB),
+        associativity=parameters.get("associativity", 4),
+        block_bytes=parameters.get("block_bytes", 32),
+        subarray_bytes=parameters.get("subarray_bytes", KIB),
     )
     hybrid = HybridSetsAndWays(geometry)
     ways = SelectiveWays(geometry)
@@ -91,3 +110,19 @@ def run(
         hybrid_sizes=hybrid.distinct_sizes,
         rendered=hybrid.format_size_table(),
     )
+
+
+def prepare(context=None) -> None:
+    """Table 1 is analytic — nothing to enqueue.  Present so the two-phase
+    harness can treat every experiment module uniformly."""
+
+
+def run(
+    capacity_bytes: int = 32 * KIB,
+    associativity: int = 4,
+    subarray_bytes: int = KIB,
+    block_bytes: int = 32,
+) -> Table1Result:
+    """Regenerate Table 1 for the given cache geometry (paper default: 32K 4-way)."""
+    variant = spec(capacity_bytes, associativity, subarray_bytes, block_bytes)
+    return DoEOrchestrator().execute(variant).result

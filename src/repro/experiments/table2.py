@@ -6,6 +6,10 @@ and the i-cache for about 17.5 % of total processor energy averaged over the
 applications.  This module prints the configuration and measures the
 breakdown on the synthetic workloads so the calibration can be checked in
 one place.
+
+The design space (baseline runs of every application at the base 2-way
+associativity) lives in ``specs/table2.yaml``; this module registers the
+``energy-breakdown`` analyzer.
 """
 
 from __future__ import annotations
@@ -14,6 +18,13 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.experiments.context import ExperimentContext
+from repro.experiments.orchestrator import DoEOrchestrator, RunResults, register_analyzer
+from repro.experiments.spec import ExperimentSpec, load_builtin_spec
+
+
+def spec() -> ExperimentSpec:
+    """The committed declarative spec this module executes."""
+    return load_builtin_spec("table2")
 
 
 @dataclass
@@ -67,22 +78,28 @@ class Table2Result:
         return "\n".join(lines)
 
 
-def prepare(context: ExperimentContext) -> None:
-    """Enqueue the baseline run of every application (phase 1, no execution)."""
-    for application in context.applications:
-        context.baseline_future(application, associativity=2)
-
-
-def run(context: ExperimentContext | None = None) -> Table2Result:
-    """Describe the base configuration and measure its energy breakdown."""
-    context = context if context is not None else ExperimentContext()
-    prepare(context)  # batch all baselines before resolving any
-    system = context.system(associativity=2)
+@register_analyzer("energy-breakdown")
+def build_result(results: RunResults) -> Table2Result:
+    """Shape drained baseline cells into the per-application breakdown."""
+    context = results.context
+    associativity = results.spec.axes.associativities[0]
+    system = context.system(associativity=associativity)
     fractions: Dict[str, Dict[str, float]] = {}
-    for application in context.applications:
-        baseline = context.baseline(application, associativity=2)
+    for application in results.applications:
+        baseline = context.baseline(application, associativity=associativity)
         fractions[application] = {
             structure: baseline.energy.fraction(structure)
             for structure in ("l1d", "l1i", "l2", "memory", "core")
         }
     return Table2Result(configuration=system.describe(), per_application_fractions=fractions)
+
+
+def prepare(context: ExperimentContext) -> None:
+    """Enqueue the baseline run of every application (phase 1, no execution)."""
+    orchestrator = DoEOrchestrator(context)
+    orchestrator.enqueue(orchestrator.plan(spec()))
+
+
+def run(context: ExperimentContext | None = None) -> Table2Result:
+    """Describe the base configuration and measure its energy breakdown."""
+    return DoEOrchestrator(context).execute(spec()).result

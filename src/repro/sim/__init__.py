@@ -36,6 +36,7 @@ from repro.sim.sweep import (
     PER_CONFIG,
     StaticProfile,
     StaticProfileFuture,
+    Sweep,
     make_job,
     profile_static,
     run_baseline,
@@ -51,6 +52,8 @@ __all__ = [
     "SimulationResult",
     "L1Setup",
     "Simulator",
+    # the unified sweep facade (canonical entry point)
+    "Sweep",
     "StaticProfile",
     "run_baseline",
     "run_with_setups",

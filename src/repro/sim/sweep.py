@@ -1,29 +1,38 @@
-"""Profiling sweeps and convenience runners.
+"""Profiling sweeps and the unified :class:`Sweep` facade.
 
 Static resizing needs one profiling run per offered configuration (the paper
 extracts static sizes "offline through profiling"), and the dynamic
 framework's miss-bound / size-bound are derived from the same profile.  The
-functions here express those sweeps as batches of :class:`repro.sim.runner.SimJob`
-and execute them through a :class:`repro.sim.runner.SweepRunner`, so a
-profiling sweep parallelises across the organization's whole resizing ladder
-(and hits the on-disk job cache) when the caller provides a configured
-runner.  Without one, a serial, uncached runner is used and the behaviour —
-including every computed value — is identical to calling
-:meth:`repro.sim.simulator.Simulator.run` directly.
+machinery here expresses those sweeps as batches of
+:class:`repro.sim.runner.SimJob` and executes them through a
+:class:`repro.sim.runner.SweepRunner`, so a profiling sweep parallelises
+across the organization's whole resizing ladder (and hits the on-disk job
+cache) when the caller provides a configured runner.  Without one, a serial,
+uncached runner is used and the behaviour — including every computed value —
+is identical to calling :meth:`repro.sim.simulator.Simulator.run` directly.
 
-Two shapes of API live here:
+The canonical entry point is the :class:`Sweep` facade: it binds one
+simulator and one runner (plus the run parameters shared by every job) and
+exposes each sweep in two shapes —
 
-* **Eager** (``run_baseline``, ``profile_static``, ``run_dynamic``,
-  ``run_with_setups``): submit and resolve immediately — the historical
-  call-and-return interface.
-* **Deferred** (``submit_baseline``, ``submit_profile_static``,
-  ``submit_dynamic``, ``submit_with_setups``): enqueue jobs on the runner
-  and return futures, so a caller can lay out an *entire evaluation* —
-  every application's profiling ladder, then every baseline/dynamic/joint
-  run — before a single simulation starts, and the runner executes the
-  whole graph as a couple of pool batches.  The eager functions are thin
-  wrappers over the deferred ones, so both paths compute byte-identical
-  results.
+* **Deferred** (:meth:`Sweep.submit_baseline`, :meth:`Sweep.submit_profile`,
+  :meth:`Sweep.submit_dynamic`, :meth:`Sweep.submit_with_setups`): enqueue
+  jobs on the runner and return futures, so a caller can lay out an *entire
+  evaluation* — every application's profiling ladder, then every
+  baseline/dynamic/joint run — before a single simulation starts, and the
+  runner executes the whole graph as a couple of pool batches.
+* **Eager** (:meth:`Sweep.baseline`, :meth:`Sweep.profile`,
+  :meth:`Sweep.dynamic`, :meth:`Sweep.with_setups`): submit and resolve
+  immediately — the historical call-and-return interface.  The eager
+  methods are thin wrappers over the deferred ones, so both paths compute
+  byte-identical results.
+
+The module-level ``submit_*`` functions remain as thin aliases of the
+facade's deferred methods; the module-level eager functions
+(``run_baseline``, ``run_with_setups``, ``run_dynamic``) are **deprecated**
+wrappers that emit :class:`DeprecationWarning` and forward to the facade
+(``profile_static`` stays silent for now — it is the documented entry point
+for unregistered organization classes).
 
 Profiling ladders additionally default to the **fused** execution mode
 (``ladder_mode=FUSED``): instead of K per-configuration jobs that each
@@ -39,6 +48,7 @@ debugging and for spreading a single ladder across pool workers.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -166,131 +176,9 @@ def make_job(
     )
 
 
-def submit_baseline(
-    runner: SweepRunner,
-    simulator: Simulator,
-    trace: TraceLike,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> SimFuture:
-    """Enqueue the non-resizable baseline and return its future."""
-    job = make_job(
-        simulator,
-        trace,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-        sample_every=sample_every,
-        sample_warmup=sample_warmup,
-    )
-    return runner.submit(job, label=_job_label("baseline", trace))
-
-
-def run_baseline(
-    simulator: Simulator,
-    trace: TraceLike,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    runner: Optional[SweepRunner] = None,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> SimulationResult:
-    """Run the non-resizable baseline (both L1 caches fixed at full size)."""
-    return submit_baseline(
-        _default_runner(runner),
-        simulator,
-        trace,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-        sample_every=sample_every,
-        sample_warmup=sample_warmup,
-    ).result()
-
-
 def _job_label(kind: str, trace: TraceLike) -> str:
     name = trace.name if isinstance(trace, Trace) else trace.application
     return f"{kind}:{name}"
-
-
-def submit_with_setups(
-    runner: SweepRunner,
-    simulator: Simulator,
-    trace: TraceLike,
-    d_setup: SetupLike = None,
-    i_setup: SetupLike = None,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> SimFuture:
-    """Enqueue an arbitrary combination of L1 setups and return its future.
-
-    Unlike :func:`run_with_setups` there is no in-process fallback: the
-    setups must be expressible as job specs (registered organizations,
-    built-in strategy classes), because a deferred job has to be picklable
-    for whichever worker eventually executes it.
-    """
-    job = make_job(
-        simulator,
-        trace,
-        d_setup=d_setup,
-        i_setup=i_setup,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-        sample_every=sample_every,
-        sample_warmup=sample_warmup,
-    )
-    return runner.submit(job, label=_job_label("setups", trace))
-
-
-def run_with_setups(
-    simulator: Simulator,
-    trace: TraceLike,
-    d_setup: SetupLike = None,
-    i_setup: SetupLike = None,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    runner: Optional[SweepRunner] = None,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> SimulationResult:
-    """Run an arbitrary combination of L1 setups.
-
-    Setups that cannot be expressed as job specs (a custom strategy class, an
-    unregistered organization) are still supported: they run directly in this
-    process, exactly as before the sweep engine existed, bypassing the
-    runner's pool and cache (which both require declarative, picklable jobs).
-
-    Note that for the built-in strategy classes the run executes from a spec
-    (a fresh instance, possibly in a worker process), so counters on a live
-    strategy object the caller passed in (e.g. ``DynamicResizing.upsizes``)
-    are *not* updated; pass a strategy subclass to force the in-process
-    path when instrumenting a run that way.
-    """
-    try:
-        future = submit_with_setups(
-            _default_runner(runner),
-            simulator,
-            trace,
-            d_setup=d_setup,
-            i_setup=i_setup,
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
-            sample_every=sample_every,
-            sample_warmup=sample_warmup,
-        )
-    except SimulationError:
-        return simulator.run(
-            resolve_trace(trace),  # shares the runner's per-process trace memo
-            d_setup=_as_live_setup(d_setup, simulator, "l1d"),
-            i_setup=_as_live_setup(i_setup, simulator, "l1i"),
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
-            sample_every=sample_every,
-            sample_warmup=sample_warmup,
-        )
-    return future.result()
 
 
 def _as_live_setup(setup: SetupLike, simulator: Simulator, cache: str) -> Optional[L1Setup]:
@@ -429,176 +317,6 @@ class StaticProfileFuture:
         return self._profile
 
 
-def submit_profile_static(
-    runner: SweepRunner,
-    simulator: Simulator,
-    trace: TraceLike,
-    organization: ResizingOrganization,
-    target: str = DCACHE,
-    baseline: Union[SimFuture, SimulationResult, None] = None,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    max_slowdown: Optional[float] = None,
-    ladder_mode: str = FUSED,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> StaticProfileFuture:
-    """Enqueue a whole profiling ladder and return its profile future.
-
-    ``baseline`` may be an already-resolved result, a future from an
-    earlier submission (shared across profiles of the same application), or
-    None to enqueue the baseline alongside the ladder.  Nothing executes
-    until the runner drains; the organization must be registered (the
-    deferred path has no in-process fallback — use :func:`profile_static`
-    for unregistered classes).
-
-    ``ladder_mode`` selects how the ladder executes (see :data:`FUSED` /
-    :data:`PER_CONFIG`): fused, the whole ladder — and, when the baseline
-    is enqueued here too, the baseline with it (its L1s are fixed, which is
-    exactly the shape the fused engine pilots) — reaches the runner as one
-    job whose results fan out to the rungs' individual cache fingerprints;
-    per-config submits one job per rung.  Results are bit-identical either
-    way, and a partially-warm ladder only fuses the rungs the cache cannot
-    serve.
-    """
-    require_registered(organization)
-    require_ladder_mode(ladder_mode)
-    ladder = organization.ladder()
-    rung_jobs: List[SimJob] = []
-    rung_labels: List[str] = []
-    for config in ladder:
-        spec = L1SetupSpec(
-            organization=organization.name,
-            strategy=StrategySpec.static(config),
-            geometry=organization.geometry,
-        )
-        d_spec, i_spec = _specs_for(target, spec)
-        rung_jobs.append(
-            make_job(
-                simulator,
-                trace,
-                d_setup=d_spec,
-                i_setup=i_spec,
-                interval_instructions=interval_instructions,
-                warmup_instructions=warmup_instructions,
-                sample_every=sample_every,
-                sample_warmup=sample_warmup,
-            )
-        )
-        rung_labels.append(f"{_job_label('profile', trace)}@{config.label}")
-
-    if ladder_mode == FUSED:
-        if baseline is None:
-            # The baseline is a rung like any other to the fused engine
-            # (fixed L1s on the shared trace), so ride it along in the same
-            # pass instead of decoding the trace once more for it.
-            rung_jobs.insert(
-                0,
-                make_job(
-                    simulator,
-                    trace,
-                    interval_instructions=interval_instructions,
-                    warmup_instructions=warmup_instructions,
-                    sample_every=sample_every,
-                    sample_warmup=sample_warmup,
-                ),
-            )
-            rung_labels.insert(0, _job_label("baseline", trace))
-            futures = runner.submit_ladder(rung_jobs, labels=rung_labels)
-            baseline = futures.pop(0)
-        else:
-            futures = runner.submit_ladder(rung_jobs, labels=rung_labels)
-    else:
-        if baseline is None:
-            baseline = submit_baseline(
-                runner,
-                simulator,
-                trace,
-                interval_instructions=interval_instructions,
-                warmup_instructions=warmup_instructions,
-                sample_every=sample_every,
-                sample_warmup=sample_warmup,
-            )
-        futures = [
-            runner.submit(job, label=label)
-            for job, label in zip(rung_jobs, rung_labels)
-        ]
-    return StaticProfileFuture(
-        organization=organization,
-        target=target,
-        baseline=baseline,
-        ladder=ladder,
-        futures=futures,
-        max_slowdown=max_slowdown,
-    )
-
-
-def profile_static(
-    simulator: Simulator,
-    trace: TraceLike,
-    organization: ResizingOrganization,
-    target: str = DCACHE,
-    baseline: Optional[SimulationResult] = None,
-    interval_instructions: int = 1500,
-    warmup_instructions: int = 0,
-    max_slowdown: Optional[float] = None,
-    runner: Optional[SweepRunner] = None,
-    ladder_mode: str = FUSED,
-    sample_every: int = 1,
-    sample_warmup: int = 0,
-) -> StaticProfile:
-    """Profile every size on the organization's resizing ladder.
-
-    By default the whole ladder (plus the baseline, when not supplied)
-    executes as one *fused* trace pass — decoded once, dispatched to every
-    candidate configuration (see :mod:`repro.sim.ladder`); pass
-    ``ladder_mode="per-config"`` to submit one job per rung instead, which
-    spreads rungs across a parallel runner's workers.  Both modes produce
-    bit-identical profiles and share the job cache.
-
-    Args:
-        simulator: configured simulator (system, technology, timing).
-        trace: the application trace — a :class:`Trace`, or a
-            :class:`TraceSpec` that each worker materialises on demand
-            (reused unchanged for every candidate).
-        organization: the resizing organization to evaluate.  Its class must
-            be registered with the runner's organization registry (the three
-            paper organizations are; see
-            :func:`repro.sim.runner.register_organization`).
-        target: ``"dcache"`` or ``"icache"`` — which L1 is resized.
-        baseline: a pre-computed non-resizable baseline run (computed here
-            when omitted).
-        max_slowdown: optional bound on tolerated slowdown when picking the
-            best static configuration.
-        runner: sweep runner to execute through (serial/uncached if omitted).
-    """
-    try:
-        require_registered(organization)
-    except SimulationError:
-        # Unregistered organization class: simulate directly in this process
-        # (the pre-engine behaviour), bypassing the pool and cache, which
-        # both need declarative job specs.
-        return _profile_static_direct(
-            simulator, trace, organization, target, baseline,
-            interval_instructions, warmup_instructions, max_slowdown,
-            sample_every, sample_warmup,
-        )
-    return submit_profile_static(
-        _default_runner(runner),
-        simulator,
-        trace,
-        organization,
-        target=target,
-        baseline=baseline,
-        interval_instructions=interval_instructions,
-        warmup_instructions=warmup_instructions,
-        max_slowdown=max_slowdown,
-        ladder_mode=ladder_mode,
-        sample_every=sample_every,
-        sample_warmup=sample_warmup,
-    ).result()
-
-
 def _dynamic_job(
     simulator: Simulator,
     trace: TraceLike,
@@ -635,6 +353,580 @@ def _dynamic_job(
     )
 
 
+class Sweep:
+    """One simulator, one runner, every sweep shape — the unified facade.
+
+    A :class:`Sweep` binds the pieces every submission needs (the configured
+    simulator, the runner executing the jobs, and the run parameters shared
+    across an evaluation — interval/warmup instructions, the sampling
+    schedule, the ladder mode, the slowdown bound) so call sites name only
+    what varies: the trace, the organization, the target.
+
+    Every method accepts the shared parameters as per-call keyword overrides
+    (``None`` means "use the sweep's default"), so one facade instance can
+    serve an entire evaluation while still expressing the odd special run.
+
+    The ``submit_*`` methods enqueue and return futures (nothing executes
+    until :meth:`drain` or a ``result()`` call); their eager counterparts
+    (:meth:`baseline`, :meth:`profile`, :meth:`dynamic`,
+    :meth:`with_setups`) resolve immediately and also carry the in-process
+    fallbacks for setups the declarative job layer cannot express
+    (unregistered organization classes, custom strategy subclasses).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        runner: Optional[SweepRunner] = None,
+        interval_instructions: int = 1500,
+        warmup_instructions: int = 0,
+        sample_every: int = 1,
+        sample_warmup: int = 0,
+        ladder_mode: str = FUSED,
+        max_slowdown: Optional[float] = None,
+    ) -> None:
+        self.simulator = simulator
+        #: Every job this facade submits executes through this runner, so a
+        #: parallel and/or cache-backed runner accelerates the whole sweep.
+        #: Serial and uncached when omitted — identical numbers, no reuse.
+        self.runner = _default_runner(runner)
+        self.interval_instructions = interval_instructions
+        self.warmup_instructions = warmup_instructions
+        self.sample_every = sample_every
+        self.sample_warmup = sample_warmup
+        self.ladder_mode = require_ladder_mode(ladder_mode)
+        self.max_slowdown = max_slowdown
+
+    # ------------------------------------------------------------- internals
+    def _run_kwargs(
+        self,
+        interval_instructions: Optional[int],
+        warmup_instructions: Optional[int],
+        sample_every: Optional[int],
+        sample_warmup: Optional[int],
+    ) -> Dict[str, int]:
+        """Resolve per-call overrides against the facade's defaults."""
+        return {
+            "interval_instructions": (
+                self.interval_instructions
+                if interval_instructions is None else interval_instructions
+            ),
+            "warmup_instructions": (
+                self.warmup_instructions
+                if warmup_instructions is None else warmup_instructions
+            ),
+            "sample_every": self.sample_every if sample_every is None else sample_every,
+            "sample_warmup": self.sample_warmup if sample_warmup is None else sample_warmup,
+        }
+
+    # -------------------------------------------------------------- baseline
+    def submit_baseline(
+        self,
+        trace: TraceLike,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimFuture:
+        """Enqueue the non-resizable baseline and return its future."""
+        job = make_job(
+            self.simulator,
+            trace,
+            **self._run_kwargs(
+                interval_instructions, warmup_instructions, sample_every, sample_warmup
+            ),
+        )
+        return self.runner.submit(job, label=_job_label("baseline", trace))
+
+    def baseline(
+        self,
+        trace: TraceLike,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the non-resizable baseline (both L1 caches fixed at full size)."""
+        return self.submit_baseline(
+            trace,
+            interval_instructions=interval_instructions,
+            warmup_instructions=warmup_instructions,
+            sample_every=sample_every,
+            sample_warmup=sample_warmup,
+        ).result()
+
+    # ----------------------------------------------------- arbitrary setups
+    def submit_with_setups(
+        self,
+        trace: TraceLike,
+        d_setup: SetupLike = None,
+        i_setup: SetupLike = None,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimFuture:
+        """Enqueue an arbitrary combination of L1 setups and return its future.
+
+        Unlike :meth:`with_setups` there is no in-process fallback: the
+        setups must be expressible as job specs (registered organizations,
+        built-in strategy classes), because a deferred job has to be
+        picklable for whichever worker eventually executes it.
+        """
+        job = make_job(
+            self.simulator,
+            trace,
+            d_setup=d_setup,
+            i_setup=i_setup,
+            **self._run_kwargs(
+                interval_instructions, warmup_instructions, sample_every, sample_warmup
+            ),
+        )
+        return self.runner.submit(job, label=_job_label("setups", trace))
+
+    def with_setups(
+        self,
+        trace: TraceLike,
+        d_setup: SetupLike = None,
+        i_setup: SetupLike = None,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run an arbitrary combination of L1 setups.
+
+        Setups that cannot be expressed as job specs (a custom strategy
+        class, an unregistered organization) are still supported: they run
+        directly in this process, exactly as before the sweep engine
+        existed, bypassing the runner's pool and cache (which both require
+        declarative, picklable jobs).
+
+        Note that for the built-in strategy classes the run executes from a
+        spec (a fresh instance, possibly in a worker process), so counters
+        on a live strategy object the caller passed in (e.g.
+        ``DynamicResizing.upsizes``) are *not* updated; pass a strategy
+        subclass to force the in-process path when instrumenting a run that
+        way.
+        """
+        kwargs = self._run_kwargs(
+            interval_instructions, warmup_instructions, sample_every, sample_warmup
+        )
+        try:
+            future = self.submit_with_setups(trace, d_setup=d_setup, i_setup=i_setup, **kwargs)
+        except SimulationError:
+            return self.simulator.run(
+                resolve_trace(trace),  # shares the runner's per-process trace memo
+                d_setup=_as_live_setup(d_setup, self.simulator, "l1d"),
+                i_setup=_as_live_setup(i_setup, self.simulator, "l1i"),
+                **kwargs,
+            )
+        return future.result()
+
+    # ------------------------------------------------------------- profiling
+    def submit_profile(
+        self,
+        trace: TraceLike,
+        organization: ResizingOrganization,
+        target: str = DCACHE,
+        baseline: Union[SimFuture, SimulationResult, None] = None,
+        max_slowdown: Optional[float] = None,
+        ladder_mode: Optional[str] = None,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> StaticProfileFuture:
+        """Enqueue a whole profiling ladder and return its profile future.
+
+        ``baseline`` may be an already-resolved result, a future from an
+        earlier submission (shared across profiles of the same application),
+        or None to enqueue the baseline alongside the ladder.  Nothing
+        executes until the runner drains; the organization must be
+        registered (the deferred path has no in-process fallback — use
+        :meth:`profile` for unregistered classes).
+
+        ``ladder_mode`` selects how the ladder executes (see :data:`FUSED` /
+        :data:`PER_CONFIG`): fused, the whole ladder — and, when the
+        baseline is enqueued here too, the baseline with it (its L1s are
+        fixed, which is exactly the shape the fused engine pilots) — reaches
+        the runner as one job whose results fan out to the rungs' individual
+        cache fingerprints; per-config submits one job per rung.  Results
+        are bit-identical either way, and a partially-warm ladder only fuses
+        the rungs the cache cannot serve.
+        """
+        require_registered(organization)
+        mode = require_ladder_mode(self.ladder_mode if ladder_mode is None else ladder_mode)
+        if max_slowdown is None:
+            max_slowdown = self.max_slowdown
+        kwargs = self._run_kwargs(
+            interval_instructions, warmup_instructions, sample_every, sample_warmup
+        )
+        ladder = organization.ladder()
+        rung_jobs: List[SimJob] = []
+        rung_labels: List[str] = []
+        for config in ladder:
+            spec = L1SetupSpec(
+                organization=organization.name,
+                strategy=StrategySpec.static(config),
+                geometry=organization.geometry,
+            )
+            d_spec, i_spec = _specs_for(target, spec)
+            rung_jobs.append(
+                make_job(self.simulator, trace, d_setup=d_spec, i_setup=i_spec, **kwargs)
+            )
+            rung_labels.append(f"{_job_label('profile', trace)}@{config.label}")
+
+        if mode == FUSED:
+            if baseline is None:
+                # The baseline is a rung like any other to the fused engine
+                # (fixed L1s on the shared trace), so ride it along in the
+                # same pass instead of decoding the trace once more for it.
+                rung_jobs.insert(0, make_job(self.simulator, trace, **kwargs))
+                rung_labels.insert(0, _job_label("baseline", trace))
+                futures = self.runner.submit_ladder(rung_jobs, labels=rung_labels)
+                baseline = futures.pop(0)
+            else:
+                futures = self.runner.submit_ladder(rung_jobs, labels=rung_labels)
+        else:
+            if baseline is None:
+                baseline = self.submit_baseline(trace, **kwargs)
+            futures = [
+                self.runner.submit(job, label=label)
+                for job, label in zip(rung_jobs, rung_labels)
+            ]
+        return StaticProfileFuture(
+            organization=organization,
+            target=target,
+            baseline=baseline,
+            ladder=ladder,
+            futures=futures,
+            max_slowdown=max_slowdown,
+        )
+
+    def profile(
+        self,
+        trace: TraceLike,
+        organization: ResizingOrganization,
+        target: str = DCACHE,
+        baseline: Optional[SimulationResult] = None,
+        max_slowdown: Optional[float] = None,
+        ladder_mode: Optional[str] = None,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> StaticProfile:
+        """Profile every size on the organization's resizing ladder.
+
+        By default the whole ladder (plus the baseline, when not supplied)
+        executes as one *fused* trace pass — decoded once, dispatched to
+        every candidate configuration (see :mod:`repro.sim.ladder`); pass
+        ``ladder_mode="per-config"`` to submit one job per rung instead,
+        which spreads rungs across a parallel runner's workers.  Both modes
+        produce bit-identical profiles and share the job cache.
+
+        Organizations whose class is not registered with the runner's
+        registry (see :func:`repro.sim.runner.register_organization`) are
+        still supported: their ladders simulate directly in this process,
+        bypassing the pool and cache, which both need declarative job specs.
+        """
+        kwargs = self._run_kwargs(
+            interval_instructions, warmup_instructions, sample_every, sample_warmup
+        )
+        if max_slowdown is None:
+            max_slowdown = self.max_slowdown
+        try:
+            require_registered(organization)
+        except SimulationError:
+            # Unregistered organization class: simulate directly in this
+            # process (the pre-engine behaviour).
+            return _profile_static_direct(
+                self.simulator, trace, organization, target, baseline,
+                kwargs["interval_instructions"], kwargs["warmup_instructions"],
+                max_slowdown, kwargs["sample_every"], kwargs["sample_warmup"],
+            )
+        return self.submit_profile(
+            trace,
+            organization,
+            target=target,
+            baseline=baseline,
+            max_slowdown=max_slowdown,
+            ladder_mode=ladder_mode,
+            **kwargs,
+        ).result()
+
+    # --------------------------------------------------------------- dynamic
+    def submit_dynamic(
+        self,
+        trace: TraceLike,
+        organization: ResizingOrganization,
+        profile: StaticProfileFuture,
+        target: str = DCACHE,
+        sense_interval_accesses: int = 2048,
+        miss_bound_factor: float = 1.5,
+        start_at_best_config: bool = True,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimFuture:
+        """Enqueue a dynamic run whose parameters derive from a pending profile.
+
+        The dynamic job cannot be built yet — its miss-bound and size-bound
+        come from the profiling ladder's results — so it is submitted as a
+        *deferred* job depending on the profile's futures: the runner
+        executes the ladder in one wave, derives the parameters, and runs
+        the dynamic job in the next, all within a single
+        :meth:`SweepRunner.drain`.
+
+        ``start_at_best_config`` starts the cache at the statically profiled
+        size (the shape every experiment uses); pass False to start
+        full-size.
+        """
+        require_registered(organization)
+        kwargs = self._run_kwargs(
+            interval_instructions, warmup_instructions, sample_every, sample_warmup
+        )
+        simulator = self.simulator
+
+        def builder() -> SimJob:
+            resolved = profile.result()  # dependencies guarantee this is free
+            parameters = resolved.dynamic_parameters(
+                sense_interval_accesses=sense_interval_accesses,
+                miss_bound_factor=miss_bound_factor,
+            )
+            initial_config = resolved.best_config if start_at_best_config else None
+            return _dynamic_job(
+                simulator, trace, organization, parameters,
+                target, kwargs["interval_instructions"], kwargs["warmup_instructions"],
+                initial_config,
+                sample_every=kwargs["sample_every"], sample_warmup=kwargs["sample_warmup"],
+            )
+
+        return self.runner.submit_deferred(
+            builder, profile.dependencies, label=_job_label("dynamic", trace)
+        )
+
+    def dynamic(
+        self,
+        trace: TraceLike,
+        organization: ResizingOrganization,
+        parameters: DynamicParameters,
+        target: str = DCACHE,
+        initial_config=None,
+        interval_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        sample_every: Optional[int] = None,
+        sample_warmup: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the miss-ratio based dynamic strategy with profiled parameters.
+
+        ``initial_config`` sets the size the cache starts in (typically the
+        statically profiled size, since the dynamic parameters come from the
+        same profiling pass); the controller is free to move away from it
+        immediately.  Unregistered organization classes run in-process, as
+        with :meth:`profile`.
+        """
+        kwargs = self._run_kwargs(
+            interval_instructions, warmup_instructions, sample_every, sample_warmup
+        )
+        try:
+            require_registered(organization)
+        except SimulationError:
+            strategy = DynamicResizing(
+                miss_bound=parameters.miss_bound,
+                size_bound_bytes=parameters.size_bound_bytes,
+                sense_interval_accesses=parameters.sense_interval_accesses,
+                initial_config=initial_config,
+            )
+            d_setup, i_setup = _live_setups_for(target, L1Setup(organization, strategy))
+            return self.simulator.run(
+                resolve_trace(trace), d_setup=d_setup, i_setup=i_setup, **kwargs
+            )
+        job = _dynamic_job(
+            self.simulator, trace, organization, parameters,
+            target, kwargs["interval_instructions"], kwargs["warmup_instructions"],
+            initial_config,
+            sample_every=kwargs["sample_every"], sample_warmup=kwargs["sample_warmup"],
+        )
+        return self.runner.submit(job, label=_job_label("dynamic", trace)).result()
+
+    # ----------------------------------------------------------------- drain
+    def drain(self) -> None:
+        """Execute every enqueued job now (dependency waves, pool batches)."""
+        self.runner.drain()
+
+
+# ---------------------------------------------------------------------------
+# Module-level functions.  The ``submit_*`` names are thin aliases of the
+# facade's deferred methods (library code predating the facade uses them);
+# the eager ``run_*`` names are deprecated wrappers.
+# ---------------------------------------------------------------------------
+
+
+def submit_baseline(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> SimFuture:
+    """Enqueue the non-resizable baseline and return its future."""
+    return Sweep(simulator, runner).submit_baseline(
+        trace,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
+def run_baseline(
+    simulator: Simulator,
+    trace: TraceLike,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    runner: Optional[SweepRunner] = None,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> SimulationResult:
+    """Deprecated alias — use :meth:`Sweep.baseline`."""
+    warnings.warn(
+        "run_baseline() is deprecated; use Sweep(simulator, runner).baseline(trace)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Sweep(simulator, runner).baseline(
+        trace,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
+def submit_with_setups(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    d_setup: SetupLike = None,
+    i_setup: SetupLike = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> SimFuture:
+    """Enqueue an arbitrary combination of L1 setups and return its future.
+
+    See :meth:`Sweep.submit_with_setups` (no in-process fallback here).
+    """
+    return Sweep(simulator, runner).submit_with_setups(
+        trace,
+        d_setup=d_setup,
+        i_setup=i_setup,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
+def run_with_setups(
+    simulator: Simulator,
+    trace: TraceLike,
+    d_setup: SetupLike = None,
+    i_setup: SetupLike = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    runner: Optional[SweepRunner] = None,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> SimulationResult:
+    """Deprecated alias — use :meth:`Sweep.with_setups`."""
+    warnings.warn(
+        "run_with_setups() is deprecated; use Sweep(simulator, runner).with_setups(trace, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Sweep(simulator, runner).with_setups(
+        trace,
+        d_setup=d_setup,
+        i_setup=i_setup,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
+def submit_profile_static(
+    runner: SweepRunner,
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    target: str = DCACHE,
+    baseline: Union[SimFuture, SimulationResult, None] = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    max_slowdown: Optional[float] = None,
+    ladder_mode: str = FUSED,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> StaticProfileFuture:
+    """Enqueue a whole profiling ladder and return its profile future.
+
+    See :meth:`Sweep.submit_profile` for the full semantics.
+    """
+    return Sweep(simulator, runner).submit_profile(
+        trace,
+        organization,
+        target=target,
+        baseline=baseline,
+        max_slowdown=max_slowdown,
+        ladder_mode=ladder_mode,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
+def profile_static(
+    simulator: Simulator,
+    trace: TraceLike,
+    organization: ResizingOrganization,
+    target: str = DCACHE,
+    baseline: Optional[SimulationResult] = None,
+    interval_instructions: int = 1500,
+    warmup_instructions: int = 0,
+    max_slowdown: Optional[float] = None,
+    runner: Optional[SweepRunner] = None,
+    ladder_mode: str = FUSED,
+    sample_every: int = 1,
+    sample_warmup: int = 0,
+) -> StaticProfile:
+    """Profile every size on the organization's resizing ladder.
+
+    Alias of :meth:`Sweep.profile` — the documented entry point for
+    unregistered organization classes, hence not (yet) deprecated.
+    """
+    return Sweep(simulator, runner).profile(
+        trace,
+        organization,
+        target=target,
+        baseline=baseline,
+        max_slowdown=max_slowdown,
+        ladder_mode=ladder_mode,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
+
+
 def submit_dynamic(
     runner: SweepRunner,
     simulator: Simulator,
@@ -652,32 +944,20 @@ def submit_dynamic(
 ) -> SimFuture:
     """Enqueue a dynamic run whose parameters derive from a pending profile.
 
-    The dynamic job cannot be built yet — its miss-bound and size-bound come
-    from the profiling ladder's results — so it is submitted as a *deferred*
-    job depending on the profile's futures: the runner executes the ladder
-    in one wave, derives the parameters, and runs the dynamic job in the
-    next, all within a single :meth:`SweepRunner.drain`.
-
-    ``start_at_best_config`` starts the cache at the statically profiled
-    size (the shape every experiment uses); pass False to start full-size.
+    See :meth:`Sweep.submit_dynamic` for the full semantics.
     """
-    require_registered(organization)
-
-    def builder() -> SimJob:
-        resolved = profile.result()  # dependencies guarantee this is free
-        parameters = resolved.dynamic_parameters(
-            sense_interval_accesses=sense_interval_accesses,
-            miss_bound_factor=miss_bound_factor,
-        )
-        initial_config = resolved.best_config if start_at_best_config else None
-        return _dynamic_job(
-            simulator, trace, organization, parameters,
-            target, interval_instructions, warmup_instructions, initial_config,
-            sample_every=sample_every, sample_warmup=sample_warmup,
-        )
-
-    return runner.submit_deferred(
-        builder, profile.dependencies, label=_job_label("dynamic", trace)
+    return Sweep(simulator, runner).submit_dynamic(
+        trace,
+        organization,
+        profile,
+        target=target,
+        sense_interval_accesses=sense_interval_accesses,
+        miss_bound_factor=miss_bound_factor,
+        start_at_best_config=start_at_best_config,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
     )
 
 
@@ -694,37 +974,23 @@ def run_dynamic(
     sample_every: int = 1,
     sample_warmup: int = 0,
 ) -> SimulationResult:
-    """Run the miss-ratio based dynamic strategy with profiled parameters.
-
-    ``initial_config`` sets the size the cache starts in (typically the
-    statically profiled size, since the dynamic parameters come from the same
-    profiling pass); the controller is free to move away from it immediately.
-    """
-    try:
-        require_registered(organization)
-    except SimulationError:
-        strategy = DynamicResizing(
-            miss_bound=parameters.miss_bound,
-            size_bound_bytes=parameters.size_bound_bytes,
-            sense_interval_accesses=parameters.sense_interval_accesses,
-            initial_config=initial_config,
-        )
-        d_setup, i_setup = _live_setups_for(target, L1Setup(organization, strategy))
-        return simulator.run(
-            resolve_trace(trace),
-            d_setup=d_setup,
-            i_setup=i_setup,
-            interval_instructions=interval_instructions,
-            warmup_instructions=warmup_instructions,
-            sample_every=sample_every,
-            sample_warmup=sample_warmup,
-        )
-    job = _dynamic_job(
-        simulator, trace, organization, parameters,
-        target, interval_instructions, warmup_instructions, initial_config,
-        sample_every=sample_every, sample_warmup=sample_warmup,
+    """Deprecated alias — use :meth:`Sweep.dynamic`."""
+    warnings.warn(
+        "run_dynamic() is deprecated; use Sweep(simulator, runner).dynamic(trace, ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return _default_runner(runner).submit(job, label=_job_label("dynamic", trace)).result()
+    return Sweep(simulator, runner).dynamic(
+        trace,
+        organization,
+        parameters,
+        target=target,
+        initial_config=initial_config,
+        interval_instructions=interval_instructions,
+        warmup_instructions=warmup_instructions,
+        sample_every=sample_every,
+        sample_warmup=sample_warmup,
+    )
 
 
 def _profile_static_direct(

@@ -14,10 +14,12 @@ from repro.__main__ import (
     EXPERIMENTS,
     build_context,
     experiment_names,
+    list_output,
     main,
     parse_args,
     parse_trace_files,
     run_experiments,
+    run_spec_experiments,
 )
 from repro.common.errors import ConfigurationError
 
@@ -169,6 +171,116 @@ class TestMain:
         assert fused_again.runner.simulate_count == 0
         assert fused_again.runner.fused_rungs == 0
         assert fused_again.runner.fused_skipped > 0
+
+
+class TestRunSpec:
+    """The declarative entry point: ``run-spec`` and the spec-aware list."""
+
+    USER_SPEC = (
+        "spec: 1\n"
+        "name: probe-sweep\n"
+        "axes:\n"
+        "  targets: [icache]\n"
+        "  organizations: [hybrid]\n"
+        "  associativities: [8]\n"
+        "  strategies: [static]\n"
+        "  applications: [gcc]\n"
+        "analysis:\n"
+        "  kind: grid\n"
+    )
+
+    def write_spec(self, tmp_path, text=None, stem="probe"):
+        path = tmp_path / f"{stem}.yaml"
+        path.write_text(text if text is not None else self.USER_SPEC)
+        return str(path)
+
+    def test_parse_run_spec_collects_paths_and_common_flags(self):
+        args = parse_args(["run-spec", "a.yaml", "b.yaml", "--jobs", "2"])
+        assert args.command == "run-spec"
+        assert args.specs == ["a.yaml", "b.yaml"]
+        assert args.jobs == 2 and args.ladder_mode == "fused"
+
+    def test_user_spec_runs_end_to_end(self, tmp_path, capsys):
+        spec_path = self.write_spec(tmp_path)
+        output = tmp_path / "rows.json"
+        code = main(["run-spec", spec_path, *TINY, "--no-cache",
+                     "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload) == {"probe-sweep"}
+        assert payload["probe-sweep"]
+        out = capsys.readouterr().out
+        # The plan line, the pipeline echoes and the summary all print.
+        assert "probe-sweep:" in out and "cell(s)" in out and "[spec " in out
+        assert "two-phase pipeline:" in out
+        assert "1 experiment(s) in" in out
+
+    def test_malformed_spec_fails_fast(self, tmp_path, capsys):
+        bad = self.write_spec(
+            tmp_path, self.USER_SPEC.replace("kind: grid", "kind: mystery"),
+        )
+        assert main(["run-spec", bad, *TINY, "--no-cache"]) == 2
+        captured = capsys.readouterr()
+        assert "mystery" in captured.err
+        assert "two-phase pipeline" not in captured.out  # nothing ran
+
+    def test_missing_spec_file_fails_fast(self, tmp_path, capsys):
+        assert main(["run-spec", str(tmp_path / "ghost.yaml"),
+                     *TINY, "--no-cache"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_duplicate_spec_names_rejected(self, tmp_path):
+        first = self.write_spec(tmp_path, stem="first")
+        second = self.write_spec(tmp_path, stem="second")
+        context = build_context(
+            parse_args(["run-spec", first, second, *TINY, "--no-cache"])
+        )
+        sink = lambda *args, **kwargs: None  # noqa: E731
+        with pytest.raises(ConfigurationError, match="duplicate spec name"):
+            run_spec_experiments([first, second], context, echo=sink)
+
+    def test_specs_share_one_drain(self, tmp_path, capsys):
+        # Two specs over the same axes: the second dedups onto the first's
+        # futures, and the whole batch drains before any table prints.
+        first = self.write_spec(tmp_path, stem="first")
+        second = self.write_spec(
+            tmp_path, self.USER_SPEC.replace("probe-sweep", "other-sweep"),
+            stem="second",
+        )
+        context = build_context(
+            parse_args(["run-spec", first, second, *TINY, "--no-cache"])
+        )
+        sink = lambda *args, **kwargs: None  # noqa: E731
+        results = run_spec_experiments([first, second], context, echo=sink)
+        assert set(results) == {"probe-sweep", "other-sweep"}
+        assert results["probe-sweep"].rows() == results["other-sweep"].rows()
+
+    def test_committed_spec_matches_run_figure(self, tmp_path):
+        committed = os.path.join(
+            "src", "repro", "experiments", "specs", "table2.yaml"
+        )
+        legacy_out = tmp_path / "legacy.json"
+        spec_out = tmp_path / "spec.json"
+        assert main(["run-figure", "table2", *TINY, "--no-cache",
+                     "--output", str(legacy_out)]) == 0
+        assert main(["run-spec", committed, *TINY, "--no-cache",
+                     "--output", str(spec_out)]) == 0
+        assert legacy_out.read_bytes() == spec_out.read_bytes()
+
+    def test_list_enumerates_committed_specs_with_job_counts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "run-spec" in out and "docs/EXPERIMENTS.md" in out
+        # Every committed spec appears with a planned job count (table1 is
+        # analytic and says so instead).
+        assert "analytic" in out
+        import re
+
+        assert re.search(r"figure4\s+\d+ job\(s\)", out)
+
+    def test_list_output_is_the_single_source_for_the_listing(self, capsys):
+        assert main(["list"]) == 0
+        assert capsys.readouterr().out == list_output() + "\n"
 
 
 class TestTraceCacheWiring:

@@ -1,0 +1,102 @@
+"""Spec-conformance: docs/EXPERIMENTS.md must match the validator.
+
+The documentation is the normative schema description, so these tests
+parse its markdown tables and assert every field name, type, requiredness
+and meaning against the field registries the validator itself exposes
+(:mod:`repro.experiments.spec`).  A change to either side without the
+other fails here, which is the whole point — same pattern as
+``tests/workloads/test_trace_format_spec.py`` for docs/TRACE_FORMAT.md.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.experiments import registered_kinds
+from repro.experiments.spec import (
+    ANALYSIS_FIELDS,
+    AXES_FIELDS,
+    SPEC_FIELDS,
+    SPEC_VERSION,
+)
+
+DOC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "docs",
+    "EXPERIMENTS.md",
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    with open(DOC_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _section(doc, heading):
+    """The markdown under ``heading``, up to the next heading of any level."""
+    pattern = rf"^#+ {re.escape(heading)}\n(.*?)(?=^#+ |\Z)"
+    match = re.search(pattern, doc, re.MULTILINE | re.DOTALL)
+    assert match, f"docs/EXPERIMENTS.md lost its {heading!r} section"
+    return match.group(1)
+
+
+def _table_rows(text):
+    """Parse markdown table body rows into lists of cell strings."""
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if all(set(cell) <= {"-", " "} for cell in cells):
+            continue  # the |---|---| separator
+        rows.append(cells)
+    assert rows, "expected a markdown table in this section"
+    return rows[1:]  # drop the header row
+
+
+def _field_rows(section):
+    """(field, type, required, meaning) tuples from a schema table."""
+    return [
+        (row[0].strip("`"), row[1], row[2], row[3])
+        for row in _table_rows(section)
+        if len(row) == 4  # skip rows of other tables in the same section
+    ]
+
+
+def test_top_level_fields_match_validator(doc):
+    assert _field_rows(_section(doc, "Top-level fields")) == SPEC_FIELDS
+
+
+def test_axes_fields_match_validator(doc):
+    assert _field_rows(_section(doc, "Axes fields")) == AXES_FIELDS
+
+
+def test_analysis_fields_match_validator(doc):
+    # The Analysis section holds two tables (fields, then kinds); only the
+    # four-column fields table is compared here.
+    assert _field_rows(_section(doc, "Analysis fields")) == ANALYSIS_FIELDS
+
+
+def test_documented_analyzer_kinds_are_exactly_the_registered_ones(doc):
+    rows = _table_rows(_section(doc, "Analysis fields"))
+    documented = {
+        row[0].strip("`")
+        for row in rows
+        # The three-column kinds table, minus its own header row (only the
+        # section's first table header is dropped by _table_rows).
+        if len(row) == 3 and row[0] != "kind"
+    }
+    assert documented == set(registered_kinds())
+
+
+def test_documented_spec_version_matches(doc):
+    rows = dict(
+        (field, meaning)
+        for field, _, _, meaning in _field_rows(_section(doc, "Top-level fields"))
+    )
+    assert str(SPEC_VERSION) in rows["spec"]
+    # The worked example at the top pins the same version.
+    assert f"spec: {SPEC_VERSION}" in doc

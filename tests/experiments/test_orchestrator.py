@@ -1,0 +1,162 @@
+"""The DoE orchestrator: plan enumeration, dedup accounting, run, analyze.
+
+The plan phase must be inspectable for free (no simulation, no enqueue),
+the run phase must dedup shared work through the context memo, and the
+analyze phase must dispatch on the spec's analysis kind — with the
+generic ``grid`` analyzer serving ad-hoc specs no figure module covers.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import (
+    DoEOrchestrator,
+    ExperimentContext,
+    figure5,
+    load_builtin_spec,
+    registered_kinds,
+    spec_from_dict,
+)
+
+TINY = dict(n_instructions=1500, applications=("gcc",))
+
+
+def tiny_context():
+    return ExperimentContext(**TINY)
+
+
+def user_spec(**axes_overrides):
+    axes = {
+        "targets": ["icache"],
+        "organizations": ["hybrid"],
+        "associativities": [8],
+        "strategies": ["static", "dynamic"],
+        "applications": ["gcc", "compress"],
+    }
+    axes.update(axes_overrides)
+    return spec_from_dict({
+        "spec": 1,
+        "name": "probe",
+        "axes": axes,
+        "analysis": {"kind": "grid"},
+    })
+
+
+class TestPlan:
+    def test_planning_enumerates_without_enqueueing(self):
+        context = tiny_context()
+        orchestrator = DoEOrchestrator(context)
+        plan = orchestrator.plan(load_builtin_spec("figure5"))
+        assert plan.cells and plan.job_count > 0
+        # Nothing was enqueued and nothing simulated.
+        assert context.runner.pending_count == 0
+        assert context.runner.simulate_count == 0
+
+    def test_dedup_accounting_static_plus_dynamic(self):
+        # One application, one organization, one target: the static cell
+        # requests (profile, baseline), the dynamic cell (dynamic, profile,
+        # baseline) — 5 requests collapsing onto 3 unique jobs.
+        plan = DoEOrchestrator(tiny_context()).plan(
+            user_spec(applications=["gcc"])
+        )
+        assert len(plan.cells) == 2
+        assert plan.requested_futures == 5
+        assert plan.unique_futures == 3
+        assert plan.dedup_savings == 2
+        assert plan.job_count == 3
+
+    def test_all_applications_resolve_from_the_context(self):
+        plan = DoEOrchestrator(tiny_context()).plan(
+            user_spec(applications="all")
+        )
+        assert plan.applications == ("gcc",)
+
+    def test_describe_mentions_cells_jobs_and_dedup(self):
+        text = DoEOrchestrator(tiny_context()).plan(
+            user_spec(applications=["gcc"])
+        ).describe()
+        assert "2 cell(s)" in text
+        assert "3 job(s)" in text
+        assert "2 shared" in text
+
+    def test_unknown_analysis_kind_fails_at_plan_time(self):
+        spec = spec_from_dict({
+            "spec": 1,
+            "name": "probe",
+            "axes": {"strategies": ["baseline"]},
+            "analysis": {"kind": "mystery"},
+        })
+        with pytest.raises(ConfigurationError, match="mystery"):
+            DoEOrchestrator(tiny_context()).plan(spec)
+
+    def test_analytic_specs_plan_zero_cells(self):
+        plan = DoEOrchestrator(tiny_context()).plan(load_builtin_spec("table1"))
+        assert plan.cells == []
+        assert plan.job_count == 0
+        assert plan.estimated_simulations == 0
+
+
+class TestRunAndAnalyze:
+    def test_grid_analyzer_end_to_end(self):
+        context = tiny_context()
+        orchestrator = DoEOrchestrator(context)
+        store = orchestrator.execute(user_spec(applications=["gcc"]))
+        rows = store.rows()
+        # One row per cell; no AVG. rows with a single application.
+        assert len(rows) == 2
+        assert {row["strategy"] for row in rows} == {"static", "dynamic"}
+        assert all(row["cache"] == "icache" for row in rows)
+        assert all(row["associativity"] == 8 for row in rows)
+        assert "strategy" in store.format_table()
+
+    def test_grid_appends_average_rows_per_group(self):
+        context = ExperimentContext(n_instructions=1500,
+                                    applications=("gcc", "compress"))
+        store = DoEOrchestrator(context).execute(user_spec())
+        rows = store.rows()
+        averages = [row for row in rows if row["application"] == "AVG."]
+        # One AVG. row per (strategy) group of two applications.
+        assert len(averages) == 2
+        assert all("energy_delay_reduction_percent" in row for row in averages)
+
+    def test_execute_equals_plan_run_analyze(self):
+        spec = user_spec(applications=["gcc"])
+        combined = DoEOrchestrator(tiny_context()).execute(spec)
+        orchestrator = DoEOrchestrator(tiny_context())
+        staged = orchestrator.analyze(orchestrator.run(orchestrator.plan(spec)))
+        assert combined.rows() == staged.rows()
+        assert combined.format_table() == staged.format_table()
+
+    def test_shared_context_dedups_across_specs(self):
+        # Two specs sharing axes: the second run must not add simulations
+        # beyond what its own new cells require — here none at all.
+        context = tiny_context()
+        orchestrator = DoEOrchestrator(context)
+        orchestrator.execute(user_spec(applications=["gcc"]))
+        simulated = context.runner.simulate_count
+        orchestrator.execute(user_spec(applications=["gcc"]))
+        assert context.runner.simulate_count == simulated
+
+    def test_spec_path_matches_the_legacy_module_path(self):
+        # The acceptance check in miniature: figure5 through the
+        # orchestrator emits exactly what the historical module emits.
+        spec_store = DoEOrchestrator(tiny_context()).execute(
+            load_builtin_spec("figure5")
+        )
+        legacy_context = tiny_context()
+        figure5.prepare(legacy_context)
+        legacy_context.drain()
+        legacy = figure5.run(legacy_context)
+        assert spec_store.rows() == legacy.rows()
+        assert spec_store.format_table() == legacy.format_table()
+
+
+class TestRegistry:
+    def test_every_figure_kind_is_registered(self):
+        kinds = registered_kinds()
+        for kind in (
+            "grid", "size-lattice", "energy-breakdown", "organization-grid",
+            "organization-comparison", "hybrid-organization-grid",
+            "strategy-comparison", "joint-resizing",
+        ):
+            assert kind in kinds

@@ -1,0 +1,50 @@
+"""Golden-output grid: the evaluation JSON is pinned byte-for-byte.
+
+``tests/data/golden_run_all.json`` is the committed ``run-all`` output for
+a fixed smoke configuration, captured before the experiments were ported
+onto declarative specs.  Both entry paths — the legacy figure registry
+(``run-all``) and the spec orchestrator (``run-spec`` over every committed
+spec) — must keep reproducing it byte-identically, serial and parallel.
+"""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import builtin_spec_names, builtin_spec_path
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "data",
+    "golden_run_all.json",
+)
+
+#: The exact flags the golden file was captured with.
+GOLDEN_FLAGS = [
+    "--no-cache", "--instructions", "2000", "--applications", "gcc,m88ksim",
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "rb") as handle:
+        return handle.read()
+
+
+@pytest.mark.parametrize("jobs", ["1", "2"])
+def test_run_all_reproduces_the_golden_bytes(tmp_path, capsys, golden, jobs):
+    output = tmp_path / f"rows-{jobs}.json"
+    assert main(["run-all", "--jobs", jobs, *GOLDEN_FLAGS,
+                 "--output", str(output)]) == 0
+    assert output.read_bytes() == golden
+
+
+def test_run_spec_over_committed_specs_reproduces_the_golden_bytes(
+    tmp_path, capsys, golden
+):
+    paths = [builtin_spec_path(name) for name in builtin_spec_names()]
+    output = tmp_path / "rows-spec.json"
+    assert main(["run-spec", *paths, "--jobs", "1", *GOLDEN_FLAGS,
+                 "--output", str(output)]) == 0
+    assert output.read_bytes() == golden

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Keep README.md's embedded ``python -m repro list`` block in sync.
+
+The README quotes the CLI inventory *verbatim*; the single source of that
+text is :func:`repro.__main__.list_output` — the exact string the ``list``
+subcommand prints.  This tool rewrites the README's fenced block from that
+source so the two can never drift:
+
+    python tools/sync_readme_cli.py           # rewrite README.md in place
+    python tools/sync_readme_cli.py --check   # exit 1 if the README drifted
+
+CI runs ``--check``; a failure means regenerate with the first form and
+commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The README line introducing the verbatim block; the next fenced code
+#: block after it is the one this tool owns.
+SENTINEL = "is the canonical inventory"
+
+
+def rendered_block() -> str:
+    """The fenced block's desired contents (the live ``list`` output)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.__main__ import list_output
+
+    return list_output() + "\n"
+
+
+def sync_readme(readme_path: str, check: bool) -> int:
+    with open(readme_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.splitlines(keepends=True)
+
+    sentinel_at = next(
+        (i for i, line in enumerate(lines) if SENTINEL in line), None
+    )
+    if sentinel_at is None:
+        print(f"error: sentinel {SENTINEL!r} not found in {readme_path}",
+              file=sys.stderr)
+        return 2
+    fences = [
+        i for i, line in enumerate(lines)
+        if i > sentinel_at and line.startswith("```")
+    ]
+    if len(fences) < 2:
+        print(f"error: no fenced block after the sentinel in {readme_path}",
+              file=sys.stderr)
+        return 2
+    open_at, close_at = fences[0], fences[1]
+
+    current = "".join(lines[open_at + 1:close_at])
+    desired = rendered_block()
+    if current == desired:
+        print(f"{readme_path}: CLI inventory block is in sync")
+        return 0
+
+    if check:
+        print(f"{readme_path}: CLI inventory block has drifted from "
+              f"`python -m repro list`; regenerate with "
+              f"`python tools/sync_readme_cli.py`", file=sys.stderr)
+        sys.stderr.writelines(difflib.unified_diff(
+            current.splitlines(keepends=True),
+            desired.splitlines(keepends=True),
+            fromfile=f"{readme_path} (embedded)",
+            tofile="python -m repro list (live)",
+        ))
+        return 1
+
+    updated = lines[:open_at + 1] + [desired] + lines[close_at:]
+    with open(readme_path, "w", encoding="utf-8") as handle:
+        handle.write("".join(updated))
+    print(f"{readme_path}: CLI inventory block regenerated")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify only; exit 1 (with a diff) if the README drifted",
+    )
+    parser.add_argument(
+        "--readme", default=os.path.join(REPO_ROOT, "README.md"),
+        help="README file to sync (default: the repo's README.md)",
+    )
+    args = parser.parse_args(argv)
+    return sync_readme(args.readme, check=args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schema-lint experiment spec files.
+
+With no arguments, validates every committed spec under
+``src/repro/experiments/specs/`` (CI runs this mode); with paths,
+validates those files instead.  For each spec this checks that it
+
+* loads and passes full schema validation (`repro.experiments.load_spec`),
+* declares the name its filename promises (committed specs only),
+* fingerprints identically across two loads (canonical-form stability),
+* plans cleanly — its analysis kind is registered and its design space
+  enumerates without touching the simulator.
+
+Exit status: 0 when every spec is valid, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.common.errors import ReproError  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    DoEOrchestrator,
+    builtin_spec_names,
+    builtin_spec_path,
+    load_spec,
+)
+
+
+def validate(path: str, expect_name: str | None = None) -> str | None:
+    """Validate one spec file; returns an error message or None."""
+    try:
+        spec = load_spec(path)
+        if expect_name is not None and spec.name != expect_name:
+            return (f"declares name {spec.name!r} but its filename promises "
+                    f"{expect_name!r}")
+        if spec.fingerprint() != load_spec(path).fingerprint():
+            return "fingerprint is not stable across loads"
+        plan = DoEOrchestrator().plan(spec)
+    except ReproError as exc:
+        return str(exc)
+    print(f"ok: {path}  [{spec.fingerprint()[:12]}]  {plan.describe()}")
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "specs", nargs="*", metavar="SPEC",
+        help="spec files to validate (default: every committed spec)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.specs:
+        targets = [(path, None) for path in args.specs]
+    else:
+        targets = [
+            (builtin_spec_path(name), name) for name in builtin_spec_names()
+        ]
+        if not targets:
+            print("error: no committed specs found", file=sys.stderr)
+            return 1
+
+    failures = 0
+    for path, expect_name in targets:
+        error = validate(path, expect_name)
+        if error is not None:
+            failures += 1
+            print(f"FAIL: {path}: {error}", file=sys.stderr)
+    if failures:
+        print(f"{failures} of {len(targets)} spec(s) invalid", file=sys.stderr)
+        return 1
+    print(f"{len(targets)} spec(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
