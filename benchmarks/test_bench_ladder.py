@@ -71,7 +71,14 @@ def _setups():
 
 
 def _run_per_config(trace):
-    simulator = Simulator(_SYSTEM)
+    # The comparator pins the engine to "columnar-scalar" so each of the K
+    # replays really does decode the trace and model the branches, which is
+    # what this benchmark's per-config arm is defined to measure (module
+    # docstring).  The default engine's whole-trace decode memo would let
+    # replays 2..K share replay 1's decode — that is the fused pass's
+    # amortization leaking into its own baseline, not a K-independent-runs
+    # measurement.
+    simulator = Simulator(_SYSTEM, engine="columnar-scalar")
     return [
         simulator.run(trace, d_setup=d_setup, i_setup=i_setup)
         for d_setup, i_setup in _setups()

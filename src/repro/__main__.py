@@ -177,6 +177,14 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
                  "--no-cache: worker processes and cache hits are invisible "
                  "to the parent's profile)",
         )
+        sub.add_argument(
+            "--stats", action="store_true",
+            help="also print the transport/decode counter line after the "
+                 "run summary: shared-memory segments published, trace "
+                 "bytes pickled to the pool, dedup hits, and the decode "
+                 "memo / segment-attach counters aggregated from the "
+                 "workers",
+        )
 
     run_figure = subparsers.add_parser(
         "run-figure", help="regenerate one or more tables/figures"
@@ -487,6 +495,31 @@ def list_output() -> str:
     return "\n".join(lines)
 
 
+def transport_stats_line(runner: SweepRunner) -> str:
+    """The ``--stats`` counter line for a drained runner.
+
+    Parent-side counters (segments published, trace bytes pickled, dedup
+    hits) come straight off the runner; the per-process counters — decode
+    memo hits, shared-memory attaches, trace-memo reads — come from
+    :attr:`~repro.sim.runner.SweepRunner.worker_stats`, which aggregates
+    the per-job deltas reported by whichever process executed each job
+    (the workers under ``--jobs N``, this process for inline execution).
+    """
+    worker = runner.worker_stats
+    return (
+        f"transport: {runner.shm_segments} shm segment(s) published, "
+        f"{runner.trace_bytes_pickled} trace byte(s) pickled, "
+        f"{runner.dedup_hits} dedup hit(s); workers: "
+        f"{worker.get('shm_attached', 0)} segment attach(es) "
+        f"(+{worker.get('shm_attach_reuses', 0)} reuse(s), "
+        f"{worker.get('shm_attach_failures', 0)} failure(s)), "
+        f"{worker.get('trace_memo_reads', 0)} trace-memo read(s), "
+        f"{worker.get('decode_builds', 0)} decode build(s), "
+        f"{worker.get('decode_memo_hits', 0)} decode memo hit(s), "
+        f"{worker.get('decode_disk_hits', 0)} decode disk hit(s)"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = parse_args(argv)
@@ -534,6 +567,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         profiler = cProfile.Profile()
+    context = None
     try:
         context = build_context(args)
 
@@ -553,6 +587,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Unlink every published shared-memory segment (and join any pool)
+        # even when the evaluation errors out, so no /dev/shm space
+        # outlives the process.
+        if context is not None:
+            context.runner.close()
     elapsed = time.time() - started
 
     if profiler is not None:
@@ -569,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(cache: {cache_note}), {runner.pool_batches} pool batch(es), "
         f"{runner.inline_executions} inline, {runner.fused_rungs} ladder rung(s) fused"
     )
+    if args.stats:
+        print(transport_stats_line(runner))
 
     if args.output:
         payload = {name: result.rows() for name, result in results.items()}

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cache.cache_set import CacheSet, make_selector, selector_seed
+from repro.cache.cache_set import CacheSet, make_selector, selector_seed, wrap_sets
 from repro.cache.replacement import ReplacementPolicy
 from repro.common.config import CacheGeometry
 from repro.mem.address import AddressMapper
@@ -166,18 +166,58 @@ class Cache:
         # stream under RANDOM replacement.
         self._selector = make_selector(self.replacement, seed=selector_seed(name))
         self._mapper = AddressMapper(geometry.block_bytes, geometry.num_sets)
-        self._sets: List[CacheSet] = [
-            CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
-        ]
-        self.stats = CacheStats()
         # Kernel locals: the tag/index split as plain shift/mask ints, the
         # per-set packed dicts as a flat list (dict objects are stable for
-        # the cache's lifetime), and the replacement mode flags.
+        # the cache's lifetime), and the replacement mode flags.  Only the
+        # dicts exist up front; the CacheSet wrapper objects — needed by
+        # nothing on the hot path — materialise lazily via the ``_sets``
+        # property.  A fused ladder builds K hierarchies (each with a
+        # four-digit-set L2) per job, so eager wrappers are a measurable
+        # construction tax for objects most runs never touch.
+        self._set_blocks = [{} for _ in range(geometry.num_sets)]
+        self._sets_built: Optional[List[CacheSet]] = None
+        self.stats = CacheStats()
         self._offset_bits, self._index_bits, self._set_mask = self._mapper.shift_mask()
         self._ways = geometry.associativity
-        self._set_blocks = [cache_set.packed_storage() for cache_set in self._sets]
         self._refresh_on_hit = self._selector.refreshes_on_hit
         self._random_victims = self.replacement is ReplacementPolicy.RANDOM
+
+    @property
+    def _sets(self) -> List[CacheSet]:
+        """CacheSet wrappers over the live packed dicts, built on first use."""
+        sets = self._sets_built
+        if sets is None:
+            sets = self._sets_built = wrap_sets(
+                self._ways, self._selector, self._set_blocks
+            )
+        return sets
+
+    @_sets.setter
+    def _sets(self, value: List[CacheSet]) -> None:
+        # Subclasses (the resizable caches) construct their sets eagerly —
+        # they genuinely resize them — and assign through here.
+        self._sets_built = value
+
+    def _kernel_state(self):
+        """The access kernel's hoistable state, as one flat tuple.
+
+        ``(stats, set_blocks, offset_bits, index_bits, set_mask, ways,
+        refresh_on_hit, random_victims, selector)`` — everything
+        :meth:`access_packed` reads per access.  The dispatch loops in
+        :mod:`repro.sim.engine` / :mod:`repro.sim.ladder` hoist these into
+        locals once per interval and run the hit path inline (stat deltas
+        are accumulated locally and flushed into ``stats`` before the
+        interval closes, so anything observing stats at interval
+        boundaries sees exactly the per-call kernel's values).  The tuple
+        is only valid until the geometry changes — for this fixed cache,
+        forever; the resizable override re-derives it after each resize,
+        which is why callers must re-fetch it every interval.
+        """
+        return (
+            self.stats, self._set_blocks, self._offset_bits, self._index_bits,
+            self._set_mask, self._ways, self._refresh_on_hit,
+            self._random_victims, self._selector,
+        )
 
     # ------------------------------------------------------------------ access
     def access_packed(self, address: int, is_write: bool = False) -> int:
@@ -254,7 +294,7 @@ class Cache:
     def invalidate(self, address: int) -> Optional[int]:
         """Invalidate a block; returns its address if it was dirty (needs writeback)."""
         tag, index = self._mapper.split(address)
-        victim = self._sets[index].invalidate_packed(tag)
+        victim = self._set_blocks[index].pop(tag, None)
         if victim is None:
             return None
         self.stats.invalidations += 1
@@ -267,12 +307,13 @@ class Cache:
         """Invalidate the whole cache; returns addresses of dirty blocks written back."""
         dirty_addresses: List[int] = []
         stats = self.stats
-        for cache_set in self._sets:
-            for packed in cache_set.drain_packed():
+        for blocks in self._set_blocks:
+            for packed in blocks.values():
                 stats.invalidations += 1
                 if packed & 1:
                     stats.writebacks += 1
                     dirty_addresses.append(packed >> 1)
+            blocks.clear()
         return dirty_addresses
 
     # ------------------------------------------------------------ introspection

@@ -181,6 +181,68 @@ class CacheSet:
         return f"CacheSet(capacity={self.capacity}, occupancy={len(self._blocks)})"
 
 
+def build_sets(
+    capacity: int, selector: VictimSelector, count: int
+) -> Tuple[List[CacheSet], List[Dict[int, int]]]:
+    """Construct ``count`` identical empty sets plus their packed dicts.
+
+    The bulk constructor the cache kernels use: validation and the
+    replacement-policy refresh flag are hoisted out of the per-set loop and
+    the sets are built with direct slot writes, so constructing a large
+    cache (the L2 alone has four-digit set counts, and a fused ladder
+    builds K hierarchies up front) does not pay ``count`` constructor
+    frames plus ``count`` property lookups.  Returns ``(sets, blocks)``
+    with ``blocks[i] is sets[i].packed_storage()``, saving the second pass
+    the kernels would otherwise make to collect the live dicts.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"set capacity must be at least 1, got {capacity}")
+    refresh = selector.refreshes_on_hit
+    new = CacheSet.__new__
+    sets: List[CacheSet] = []
+    blocks: List[Dict[int, int]] = []
+    sets_append = sets.append
+    blocks_append = blocks.append
+    for _ in range(count):
+        cache_set = new(CacheSet)
+        storage: Dict[int, int] = {}
+        cache_set.capacity = capacity
+        cache_set._blocks = storage
+        cache_set._selector = selector
+        cache_set._refresh_on_hit = refresh
+        sets_append(cache_set)
+        blocks_append(storage)
+    return sets, blocks
+
+
+def wrap_sets(
+    capacity: int, selector: VictimSelector, blocks: List[Dict[int, int]]
+) -> List[CacheSet]:
+    """Materialise :class:`CacheSet` wrappers around existing packed dicts.
+
+    The lazy half of :func:`build_sets`: a fixed cache allocates only the
+    packed dicts up front (a plain list comprehension, an order of
+    magnitude cheaper than ``count`` wrapper objects) and wraps them here
+    the first time something off the hot path asks for set *objects*.  The
+    wrappers share the live dicts, so state written through either view is
+    seen by both.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"set capacity must be at least 1, got {capacity}")
+    refresh = selector.refreshes_on_hit
+    new = CacheSet.__new__
+    sets: List[CacheSet] = []
+    sets_append = sets.append
+    for storage in blocks:
+        cache_set = new(CacheSet)
+        cache_set.capacity = capacity
+        cache_set._blocks = storage
+        cache_set._selector = selector
+        cache_set._refresh_on_hit = refresh
+        sets_append(cache_set)
+    return sets
+
+
 def make_selector(policy, seed: int = BASE_SELECTOR_SEED) -> VictimSelector:
     """Build a :class:`VictimSelector` from a policy name or enum member."""
     parsed = ReplacementPolicy.parse(policy)

@@ -190,6 +190,29 @@ class CacheHierarchy:
             return self._packed_l1_hit
         return self._miss_packed(l1_packed, address)
 
+    def _memory_state(self):
+        """Hoistable main-memory counters for the inline dispatch loops.
+
+        ``(reads, writes, bytes_transferred, l2_block_bytes,
+        writeback_buffer)`` — the live counter objects, the L2 block size
+        and the write-back buffer, or None when the memory is not the
+        stock :class:`MainMemory` (whose block transfers are pure counter
+        increments; a substitute model may do more, so the loops must
+        route misses through :meth:`_miss_packed` for it).  With this
+        state the dispatch loops can resolve any L1 miss entirely inline —
+        L2 fill, victim spill, the dirty-victim buffer push and
+        write-allocate, memory transfer counts: the replay path never
+        consumes the returned latency, which is the only other thing
+        :meth:`_miss_packed` computes.
+        """
+        memory = self.memory
+        if type(memory) is not MainMemory:
+            return None
+        return (
+            memory._reads, memory._writes, memory._bytes_transferred,
+            self._l2_block, self.writeback_buffer,
+        )
+
     def _miss_packed(self, l1_packed: int, address: int) -> int:
         """Shared L1-miss path: fill from L2, spill the dirty victim into L2."""
         l2_accesses = 1

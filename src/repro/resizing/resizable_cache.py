@@ -39,7 +39,7 @@ from repro.cache.cache import (
     CacheStats,
     unpack_access_result,
 )
-from repro.cache.cache_set import CacheSet, make_selector, selector_seed
+from repro.cache.cache_set import CacheSet, build_sets, make_selector, selector_seed
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.subarray import SubarrayMap, SubarrayState
 from repro.common.config import CacheGeometry
@@ -105,9 +105,10 @@ class ResizableCache:
         self.name = name
         self.replacement = ReplacementPolicy.parse(replacement)
         self._selector = make_selector(self.replacement, seed=selector_seed(name))
-        self._sets: List[CacheSet] = [
-            CacheSet(geometry.associativity, self._selector) for _ in range(geometry.num_sets)
-        ]
+        self._sets: List[CacheSet]
+        self._sets, self._set_blocks = build_sets(
+            geometry.associativity, self._selector, geometry.num_sets
+        )
         self._subarray_map = SubarrayMap(geometry)
         self.way_mask = WayMask(geometry.associativity)
         self.set_mask = SetMask(
@@ -121,7 +122,6 @@ class ResizableCache:
         self.flushed_blocks = 0
         # Kernel locals (see Cache.__init__); re-derived by resize_to when
         # the enabled index width or associativity changes.
-        self._set_blocks = [cache_set.packed_storage() for cache_set in self._sets]
         self._refresh_on_hit = self._selector.refreshes_on_hit
         self._random_victims = self.replacement is ReplacementPolicy.RANDOM
         self._refresh_kernel_locals()
@@ -130,6 +130,19 @@ class ResizableCache:
         """Re-derive the shift/mask/capacity locals from the current config."""
         self._offset_bits, self._index_bits, self._set_mask_bits = self._mapper.shift_mask()
         self._ways = self._current.ways
+
+    def _kernel_state(self):
+        """Hoistable kernel state (see :meth:`repro.cache.cache.Cache._kernel_state`).
+
+        Valid only until the next resize — resizes happen exclusively at
+        interval boundaries (strategy decisions inside ``close_interval``),
+        so the dispatch loops re-fetch this every interval.
+        """
+        return (
+            self.stats, self._set_blocks, self._offset_bits, self._index_bits,
+            self._set_mask_bits, self._ways, self._refresh_on_hit,
+            self._random_victims, self._selector,
+        )
 
     # ------------------------------------------------------------------ access
     def access_packed(self, address: int, is_write: bool = False) -> int:

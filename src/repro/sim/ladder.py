@@ -64,7 +64,18 @@ driven (the pilot is rung 0's copy), so their internal hit/miss counters
 stay zero.  Nothing in result assembly reads them — interval accounting
 works entirely off :class:`~repro.metrics.counts.IntervalCounts` — but
 introspecting ``hierarchy.miss_ratios()`` on a non-pilot context after a
-fused replay would show an idle invariant side.
+fused replay would show an idle invariant side.  When the memoized pilot
+pre-screen applies (:func:`repro.sim.predecode.pilot_for` — exhaustive
+replay, fresh fixed pilot), rung 0's copy joins them: the reduced stream
+comes from the memo and no live pilot is driven at all.
+
+Exhaustive fused replays additionally consume the whole-trace pre-decode
+memo (:func:`repro.sim.predecode.decoded_for`): the decode/predict phase
+is skipped entirely and each interval's op stream and totals are O(1)
+slices of the per-trace artifact, and the per-rung dispatch loops run the
+variant L1's hit path inline against hoisted kernel state
+(``_dispatch_variant_d_fast`` / ``_dispatch_variant_i_fast``) — both
+bit-identical to the scalar path by the same suites.
 
 Amortization: a per-config ladder costs ``K × (slice + decode + predict +
 full dispatch + close)``; the fused pass costs ``slice + decode + predict
@@ -86,14 +97,24 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.cache.cache import PACKED_WRITEBACK_VALID
+from repro.cache.cache import (
+    PACKED_FILLED,
+    PACKED_WRITEBACK_SHIFT,
+    PACKED_WRITEBACK_VALID,
+)
 from repro.cache.hierarchy import (
     HIER_COUNT_MASK,
     HIER_L2_ACCESSES_SHIFT,
     HIER_MEM_ACCESSES_SHIFT,
 )
 from repro.common.errors import SimulationError
-from repro.sim.engine import _OP_FETCH, _OP_LOAD, decode_interval, dispatch_cache_ops
+from repro.sim.engine import (
+    _OP_FETCH,
+    _OP_LOAD,
+    decode_interval,
+    dispatch_cache_ops_fast,
+)
+from repro.sim.predecode import decoded_for, pilot_for
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import L1Setup, ReplayContext, Simulator
 from repro.workloads.trace import Trace
@@ -147,41 +168,128 @@ class LadderEngine:
         # per-rung close ordering — exist exactly once.
         hierarchy = first.hierarchy
         if all(not ctx.i_runtime.is_resizable for ctx in contexts):
+            side = "i"
+            pilot_cache = hierarchy.l1i
             pilot = hierarchy._l1i_packed
             resolve = lambda ops: _resolve_pilot_i(ops, pilot)  # noqa: E731
             fold = _fold_pilot_i
             rungs = [
-                (ctx, ctx.hierarchy._l1d_packed, ctx.hierarchy._miss_packed)
+                (ctx, ctx.hierarchy, ctx.hierarchy._l1d_packed,
+                 ctx.hierarchy._miss_packed)
                 for ctx in contexts
             ]
         elif all(not ctx.d_runtime.is_resizable for ctx in contexts):
+            side = "d"
+            pilot_cache = hierarchy.l1d
             pilot = hierarchy._l1d_packed
             resolve = lambda ops: _resolve_pilot_d(ops, pilot)  # noqa: E731
             fold = _fold_pilot_d
             rungs = [
-                (ctx, ctx.hierarchy._l1i_packed, ctx.hierarchy._miss_packed)
+                (ctx, ctx.hierarchy, ctx.hierarchy._l1i_packed,
+                 ctx.hierarchy._miss_packed)
                 for ctx in contexts
             ]
         else:
+            side = None
+            pilot_cache = None
             resolve = _resolve_general
             fold = _fold_general
-            rungs = [
-                (ctx, ctx.hierarchy.instruction_fetch_packed,
-                 ctx.hierarchy.data_access_packed)
-                for ctx in contexts
-            ]
-        self._walk_intervals(trace, first, rungs, resolve, fold)
+            rungs = [(ctx, ctx.hierarchy, None, None) for ctx in contexts]
+        plan = first.sampling_plan(len(trace))
+        if plan is None:
+            # Exhaustive replay: try the memoized whole-trace pre-decode
+            # (and, for pilot modes, the memoized pilot pre-screen — valid
+            # because the pilot is the fixed full-size L1, identical in
+            # every rung and every run of this trace).  Gate refusals fall
+            # back to the scalar walk, bit-identically.
+            decoded = decoded_for(trace, first.block_mask, first.predictor)
+            if decoded is not None:
+                pilot_res = None
+                if side is not None:
+                    pilot_res = pilot_for(trace, decoded, side, pilot_cache)
+                self._walk_decoded(first, rungs, resolve, fold, decoded, pilot_res)
+                return
+        self._walk_intervals(trace, first, rungs, resolve, fold, plan)
 
-    def _walk_intervals(self, trace, first, rungs, resolve, fold) -> None:
+    def _walk_decoded(self, first, rungs, resolve, fold, decoded, pilot_res) -> None:
+        """The exhaustive interval walk over memoized pre-decoded streams.
+
+        Interval totals come from the decode's per-row prefix arrays; the
+        per-interval op stream is an O(1) slice.  With a pilot resolution
+        in hand the pilot pre-screen is skipped too — the reduced stream
+        and the shared hit/miss totals are sliced from the memo, and the
+        live pilot cache is never driven (rung 0 joins the documented
+        idle-invariant-side caveat).  Without one (gate refusal), the
+        shared ``resolve`` runs per interval exactly as the scalar walk
+        would run it.
+        """
+        n = decoded.n
+        interval_instructions = first.interval_instructions
+        interval_ops = decoded.interval_ops
+        op_prefix = decoded.op_prefix
+        branch_prefix = decoded.branch_prefix
+        mispredict_prefix = decoded.mispredict_prefix
+        memref_prefix = decoded.memref_prefix
+        store_prefix = decoded.store_prefix
+        side = None if pilot_res is None else pilot_res.side
+
+        total_seen = 0
+        position = 0
+        while position < n:
+            stop = position + interval_instructions
+            if stop > n:
+                stop = n
+            chunk = stop - position
+            branches = branch_prefix[stop] - branch_prefix[position]
+            branch_mispredicts = mispredict_prefix[stop] - mispredict_prefix[position]
+            memory_refs = memref_prefix[stop] - memref_prefix[position]
+            stores = store_prefix[stop] - store_prefix[position]
+
+            if pilot_res is None:
+                reduced, shared = resolve(interval_ops(position, stop))
+            else:
+                reduced = pilot_res.interval_entries(position, stop)
+                misses = pilot_res.miss_prefix[stop] - pilot_res.miss_prefix[position]
+                if side == "i":
+                    fetches = (op_prefix[stop] - op_prefix[position]) - memory_refs
+                    shared = (fetches, misses)
+                else:
+                    writebacks = (
+                        pilot_res.wb_prefix[stop] - pilot_res.wb_prefix[position]
+                    )
+                    shared = (misses, writebacks)
+
+            total_seen += chunk
+            position = stop
+            close = chunk == interval_instructions
+
+            for ctx, aux, kernel_a, kernel_b in rungs:
+                counts = ctx.counts
+                counts.instructions += chunk
+                counts.branches += branches
+                counts.branch_mispredicts += branch_mispredicts
+                counts.l1d_accesses += memory_refs
+                counts.l1d_stores += stores
+                fold(counts, reduced, shared, aux, kernel_a, kernel_b)
+                if close:
+                    ctx.total_seen = total_seen
+                    ctx.close_interval()
+
+        for ctx, _, _, _ in rungs:
+            ctx.total_seen = total_seen
+            ctx.close_interval(final=True)
+
+    def _walk_intervals(self, trace, first, rungs, resolve, fold, plan) -> None:
         """The single shared interval walk every fused mode runs on.
 
         Per interval: slice the columns, decode once (branch prediction on
         the first context's predictor), ``resolve`` the stream once for
         all rungs (pilot modes shrink it; the general mode passes it
         through), then ``fold`` it into each rung's counts and close that
-        rung's interval.  ``rungs`` are ``(context, kernel_a, kernel_b)``
-        triples whose kernel meaning is mode-specific — the fold function
-        and the rung list are built together in :meth:`replay_many`.
+        rung's interval.  ``rungs`` are ``(context, aux, kernel_a,
+        kernel_b)`` tuples whose aux/kernel meaning is mode-specific — the
+        fold function and the rung list are built together in
+        :meth:`replay_many`.
         """
         interval_instructions = first.interval_instructions
         block_mask = first.block_mask
@@ -194,7 +302,6 @@ class LadderEngine:
         flag_view = memoryview(flag_column)
 
         n = len(trace)
-        plan = first.sampling_plan(n)
         if plan is not None:
             # Sampled walk, same shape as ColumnarEngine's: the plan picks
             # the row ranges, decode/resolve run once per segment, every
@@ -218,21 +325,21 @@ class LadderEngine:
                 prev_stop = stop
                 close = measured and chunk == interval_instructions
 
-                for ctx, kernel_a, kernel_b in rungs:
+                for ctx, aux, kernel_a, kernel_b in rungs:
                     counts = ctx.counts
                     counts.instructions += chunk
                     counts.branches += branches
                     counts.branch_mispredicts += branch_mispredicts
                     counts.l1d_accesses += memory_refs
                     counts.l1d_stores += stores
-                    fold(counts, reduced, shared, kernel_a, kernel_b)
+                    fold(counts, reduced, shared, aux, kernel_a, kernel_b)
                     if close:
                         ctx.total_seen = total_seen
                         ctx.close_interval()
                     elif not measured:
                         ctx.discard_interval()
 
-            for ctx, _, _ in rungs:
+            for ctx, _, _, _ in rungs:
                 ctx.total_seen = total_seen
                 ctx.close_interval(final=True)
             return
@@ -257,19 +364,19 @@ class LadderEngine:
             total_seen += chunk
             close = chunk == interval_instructions
 
-            for ctx, kernel_a, kernel_b in rungs:
+            for ctx, aux, kernel_a, kernel_b in rungs:
                 counts = ctx.counts
                 counts.instructions += chunk
                 counts.branches += branches
                 counts.branch_mispredicts += branch_mispredicts
                 counts.l1d_accesses += memory_refs
                 counts.l1d_stores += stores
-                fold(counts, reduced, shared, kernel_a, kernel_b)
+                fold(counts, reduced, shared, aux, kernel_a, kernel_b)
                 if close:
                     ctx.total_seen = total_seen
                     ctx.close_interval()
 
-        for ctx, _, _ in rungs:
+        for ctx, _, _, _ in rungs:
             ctx.total_seen = total_seen
             ctx.close_interval(final=True)
 
@@ -279,13 +386,13 @@ def _resolve_general(ops):
     return ops, None
 
 
-def _fold_general(counts, ops, shared, instruction_fetch, data_access):
+def _fold_general(counts, ops, shared, hierarchy, kernel_a, kernel_b):
     """Full per-rung dispatch through the engine's shared cache-op loop."""
     (
         l1i_accesses, l1i_misses, l1i_memory,
         l1d_misses, l1d_memory, l1d_writebacks,
         l2_accesses, memory_accesses,
-    ) = dispatch_cache_ops(ops, instruction_fetch, data_access)
+    ) = dispatch_cache_ops_fast(ops, hierarchy)
     counts.l1i_accesses += l1i_accesses
     counts.l1i_misses += l1i_misses
     counts.l1i_memory_accesses += l1i_memory
@@ -296,15 +403,27 @@ def _fold_general(counts, ops, shared, instruction_fetch, data_access):
     counts.memory_accesses += memory_accesses
 
 
-def _fold_pilot_i(counts, reduced, shared, l1d_kernel, miss_fill):
+def _fold_pilot_i(counts, reduced, shared, hierarchy, l1d_kernel, miss_fill):
     """Fold one rung's interval when the L1i was pilot-resolved."""
     fetches, i_misses = shared
     counts.l1i_accesses += fetches
     counts.l1i_misses += i_misses
-    (
-        l1i_memory, l1d_misses, l1d_memory, l1d_writebacks,
-        l2_accesses, memory_accesses,
-    ) = _dispatch_variant_d(reduced, l1d_kernel, miss_fill)
+    state = getattr(hierarchy.l1d, "_kernel_state", None)
+    if state is not None:
+        l2_state = getattr(hierarchy.l2, "_kernel_state", None)
+        (
+            l1i_memory, l1d_misses, l1d_memory, l1d_writebacks,
+            l2_accesses, memory_accesses,
+        ) = _dispatch_variant_d_fast(
+            reduced, state(), miss_fill,
+            l2_state() if l2_state is not None else None,
+            hierarchy._memory_state() if l2_state is not None else None,
+        )
+    else:
+        (
+            l1i_memory, l1d_misses, l1d_memory, l1d_writebacks,
+            l2_accesses, memory_accesses,
+        ) = _dispatch_variant_d(reduced, l1d_kernel, miss_fill)
     counts.l1i_memory_accesses += l1i_memory
     counts.l1d_misses += l1d_misses
     counts.l1d_memory_accesses += l1d_memory
@@ -313,15 +432,27 @@ def _fold_pilot_i(counts, reduced, shared, l1d_kernel, miss_fill):
     counts.memory_accesses += memory_accesses
 
 
-def _fold_pilot_d(counts, reduced, shared, l1i_kernel, miss_fill):
+def _fold_pilot_d(counts, reduced, shared, hierarchy, l1i_kernel, miss_fill):
     """Fold one rung's interval when the L1d was pilot-resolved."""
     d_misses, d_writebacks = shared
     counts.l1d_misses += d_misses
     counts.l1d_writebacks += d_writebacks
-    (
-        l1i_accesses, l1i_misses, l1i_memory, l1d_memory,
-        l2_accesses, memory_accesses,
-    ) = _dispatch_variant_i(reduced, l1i_kernel, miss_fill)
+    state = getattr(hierarchy.l1i, "_kernel_state", None)
+    if state is not None:
+        l2_state = getattr(hierarchy.l2, "_kernel_state", None)
+        (
+            l1i_accesses, l1i_misses, l1i_memory, l1d_memory,
+            l2_accesses, memory_accesses,
+        ) = _dispatch_variant_i_fast(
+            reduced, state(), miss_fill,
+            l2_state() if l2_state is not None else None,
+            hierarchy._memory_state() if l2_state is not None else None,
+        )
+    else:
+        (
+            l1i_accesses, l1i_misses, l1i_memory, l1d_memory,
+            l2_accesses, memory_accesses,
+        ) = _dispatch_variant_i(reduced, l1i_kernel, miss_fill)
     counts.l1i_accesses += l1i_accesses
     counts.l1i_misses += l1i_misses
     counts.l1i_memory_accesses += l1i_memory
@@ -438,6 +569,261 @@ def _dispatch_variant_d(reduced, l1d_kernel, miss_fill):
     return l1i_memory, l1d_misses, l1d_memory, l1d_writebacks, l2_accesses, memory_accesses
 
 
+def _dispatch_variant_d_fast(reduced, kernel_state, miss_fill, l2_state=None, mem_state=None):
+    """:func:`_dispatch_variant_d` with the variant L1d's hit path inline.
+
+    ``kernel_state`` is the variant cache's hoisted
+    :meth:`~repro.cache.cache.Cache._kernel_state` tuple, fetched fresh by
+    the fold each interval (resizes land exactly at interval boundaries).
+    The access body mirrors ``access_packed`` statement for statement; stat
+    deltas are flushed into the cache's counters before returning, so the
+    boundary-observable state is identical to the per-call kernel's.
+
+    ``l2_state`` (the rung L2's hoisted kernel tuple, or None) enables the
+    inline L2 probe for misses with no dirty L1 victim, and ``mem_state``
+    (:meth:`~repro.cache.hierarchy.CacheHierarchy._memory_state`, or None)
+    extends it to the L2-miss outcome: the L2 fill/victim-spill and the
+    memory transfers are dict ops and counter bumps whose latency this
+    path never consumes, so the whole miss resolves without the
+    ``_miss_packed`` frame.  Only dirty-L1-victim spills still take it.
+    """
+    (d_stats, d_sets, d_off, d_idx, d_mask, d_ways, d_refresh, d_random, d_selector) = (
+        kernel_state
+    )
+    if l2_state is not None:
+        (l2_stats, l2_sets, l2_off, l2_idx, l2_mask, l2_ways, l2_refresh,
+         l2_random, l2_selector) = l2_state
+        l2_shift1 = l2_off + 1
+    else:
+        l2_stats = l2_sets = l2_off = l2_idx = l2_mask = None
+        l2_ways = l2_refresh = l2_random = l2_selector = l2_shift1 = None
+        mem_state = None
+    inline_mem = mem_state is not None
+    if inline_mem:
+        wb_pending = mem_state[4]._pending
+        wb_entries = mem_state[4].num_entries
+    else:
+        wb_pending = wb_entries = None
+    l2_hits = l2m = l2_wb = l2_whits = l2_wm = 0
+    wb_enq = wb_over = wb_drain = 0
+    d_shift1 = d_off + 1
+    l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+    count_mask = HIER_COUNT_MASK
+    filled, wb_valid, wb_shift = PACKED_FILLED, PACKED_WRITEBACK_VALID, PACKED_WRITEBACK_SHIFT
+    op_imiss = _OP_IMISS
+    op_load = _OP_LOAD
+    da = dw = dh = dwm = dwb = 0
+    l1i_memory = 0
+    l1d_misses = 0
+    l1d_memory = 0
+    l1d_writebacks = 0
+    l2_accesses = 0
+    memory_accesses = 0
+    stream = iter(reduced)
+    for code in stream:
+        operand = next(stream)
+        if code == op_imiss:
+            # Pre-resolved i-miss: no L1 victim at all, so either L2
+            # outcome settles inline — a read hit is one probe, a read
+            # miss adds the fill/victim dict ops and memory counter bumps.
+            if l2_sets is not None:
+                b2 = operand >> l2_off
+                t2 = b2 >> l2_idx
+                bl2 = l2_sets[b2 & l2_mask]
+                p2 = bl2.get(t2)
+                if p2 is not None:
+                    if l2_refresh:
+                        del bl2[t2]
+                        bl2[t2] = p2
+                    l2_hits += 1
+                    l2_accesses += 1
+                    continue
+                if inline_mem:
+                    l2m += 1
+                    v2 = None
+                    if len(bl2) >= l2_ways:
+                        vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                        v2 = bl2.pop(vt2)
+                    bl2[t2] = b2 << l2_shift1
+                    if v2 is not None and v2 & 1:
+                        l2_wb += 1
+                        transfers = 2
+                    else:
+                        transfers = 1
+                    l2_accesses += 1
+                    memory_accesses += transfers
+                    l1i_memory += transfers
+                    continue
+            packed = miss_fill(0, operand)
+            l2_accesses += (packed >> l2a_shift) & count_mask
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1i_memory += transfers
+        else:
+            is_write = code != op_load
+            da += 1
+            if is_write:
+                dw += 1
+            block = operand >> d_off
+            tag = block >> d_idx
+            blocks = d_sets[block & d_mask]
+            packed = blocks.get(tag)
+            if packed is not None:
+                dh += 1
+                if is_write:
+                    packed |= 1
+                    if d_refresh:
+                        del blocks[tag]
+                    blocks[tag] = packed
+                elif d_refresh:
+                    del blocks[tag]
+                    blocks[tag] = packed
+                continue
+            if is_write:
+                dwm += 1
+            victim = None
+            if len(blocks) >= d_ways:
+                victim_tag = d_selector.choose_victim(blocks) if d_random else next(iter(blocks))
+                victim = blocks.pop(victim_tag)
+            blocks[tag] = (block << d_shift1) | (1 if is_write else 0)
+            if victim is not None and victim & 1:
+                dwb += 1
+                if inline_mem:
+                    # Dirty victim: L2 read fill, buffer push, L2
+                    # write-allocate of the victim — _miss_packed's whole
+                    # body as dict ops and counter bumps.
+                    b2 = operand >> l2_off
+                    t2 = b2 >> l2_idx
+                    bl2 = l2_sets[b2 & l2_mask]
+                    p2 = bl2.get(t2)
+                    if p2 is not None:
+                        if l2_refresh:
+                            del bl2[t2]
+                            bl2[t2] = p2
+                        l2_hits += 1
+                        transfers = 0
+                    else:
+                        l2m += 1
+                        v2 = None
+                        if len(bl2) >= l2_ways:
+                            vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                            v2 = bl2.pop(vt2)
+                        bl2[t2] = b2 << l2_shift1
+                        if v2 is not None and v2 & 1:
+                            l2_wb += 1
+                            transfers = 2
+                        else:
+                            transfers = 1
+                    wb_addr = victim >> 1
+                    wb_enq += 1
+                    if len(wb_pending) >= wb_entries:
+                        wb_over += 1
+                        wb_pending.popleft()
+                        wb_drain += 1
+                    wb_pending.append(wb_addr)
+                    b3 = wb_addr >> l2_off
+                    t3 = b3 >> l2_idx
+                    bl3 = l2_sets[b3 & l2_mask]
+                    p3 = bl3.get(t3)
+                    if p3 is not None:
+                        l2_whits += 1
+                        p3 |= 1
+                        if l2_refresh:
+                            del bl3[t3]
+                        bl3[t3] = p3
+                    else:
+                        l2_wm += 1
+                        v3 = None
+                        if len(bl3) >= l2_ways:
+                            vt3 = l2_selector.choose_victim(bl3) if l2_random else next(iter(bl3))
+                            v3 = bl3.pop(vt3)
+                        bl3[t3] = (b3 << l2_shift1) | 1
+                        transfers += 1
+                        if v3 is not None and v3 & 1:
+                            l2_wb += 1
+                            transfers += 1
+                    l1d_misses += 1
+                    l1d_writebacks += 1
+                    l2_accesses += 2
+                    memory_accesses += transfers
+                    l1d_memory += transfers
+                    continue
+                l1_packed = filled | wb_valid | ((victim >> 1) << wb_shift)
+            else:
+                if l2_sets is not None:
+                    b2 = operand >> l2_off
+                    t2 = b2 >> l2_idx
+                    bl2 = l2_sets[b2 & l2_mask]
+                    p2 = bl2.get(t2)
+                    if p2 is not None:
+                        if l2_refresh:
+                            del bl2[t2]
+                            bl2[t2] = p2
+                        l2_hits += 1
+                        l1d_misses += 1
+                        l2_accesses += 1
+                        continue
+                    if inline_mem:
+                        l2m += 1
+                        v2 = None
+                        if len(bl2) >= l2_ways:
+                            vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                            v2 = bl2.pop(vt2)
+                        bl2[t2] = b2 << l2_shift1
+                        if v2 is not None and v2 & 1:
+                            l2_wb += 1
+                            transfers = 2
+                        else:
+                            transfers = 1
+                        l1d_misses += 1
+                        l2_accesses += 1
+                        memory_accesses += transfers
+                        l1d_memory += transfers
+                        continue
+                l1_packed = filled
+            packed = miss_fill(l1_packed, operand)
+            l1d_misses += 1
+            fills = (packed >> l2a_shift) & count_mask
+            l2_accesses += fills
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1d_memory += transfers
+            if fills > 1:
+                l1d_writebacks += fills - 1
+
+    d_stats.accesses += da
+    d_stats.writes += dw
+    d_stats.reads += da - dw
+    d_stats.hits += dh
+    dm = da - dh
+    d_stats.misses += dm
+    d_stats.write_misses += dwm
+    d_stats.read_misses += dm - dwm
+    d_stats.fills += dm
+    d_stats.writebacks += dwb
+    if l2_hits or l2m or l2_whits or l2_wm:
+        l2_stats.accesses += l2_hits + l2m + l2_whits + l2_wm
+        l2_stats.reads += l2_hits + l2m
+        l2_stats.writes += l2_whits + l2_wm
+        l2_stats.hits += l2_hits + l2_whits
+        l2_stats.misses += l2m + l2_wm
+        l2_stats.read_misses += l2m
+        l2_stats.write_misses += l2_wm
+        l2_stats.fills += l2m + l2_wm
+        l2_stats.writebacks += l2_wb
+    if l2m or l2_wm or l2_wb:
+        mem_reads, mem_writes, mem_bytes, l2_block, _ = mem_state
+        mem_reads.value += l2m + l2_wm
+        mem_writes.value += l2_wb
+        mem_bytes.value += (l2m + l2_wm + l2_wb) * l2_block
+    if wb_enq:
+        wb_buffer = mem_state[4]
+        wb_buffer.enqueued += wb_enq
+        wb_buffer.overflows += wb_over
+        wb_buffer.drained += wb_drain
+    return l1i_memory, l1d_misses, l1d_memory, l1d_writebacks, l2_accesses, memory_accesses
+
+
 def _dispatch_variant_i(reduced, l1i_kernel, miss_fill):
     """Per-rung dispatch when the L1d was pilot-resolved (i-cache ladder).
 
@@ -478,6 +864,235 @@ def _dispatch_variant_i(reduced, l1i_kernel, miss_fill):
             memory_accesses += transfers
             l1d_memory += transfers
     return l1i_accesses, l1i_misses, l1i_memory, l1d_memory, l2_accesses, memory_accesses
+
+
+def _dispatch_variant_i_fast(reduced, kernel_state, miss_fill, l2_state=None, mem_state=None):
+    """:func:`_dispatch_variant_i` with the variant L1i's hit path inline.
+
+    Same contract as :func:`_dispatch_variant_d_fast`: hoisted kernel
+    state, inline ``access_packed`` body (the L1i is read-only, so the hit
+    path is just the probe plus LRU refresh and fills are never dirty),
+    the full inline L2 access — hit probe, and with ``mem_state`` the
+    read-miss fill/victim-spill and memory counter bumps — for misses
+    without a dirty L1 victim, stat deltas flushed before returning.
+    """
+    (i_stats, i_sets, i_off, i_idx, i_mask, i_ways, i_refresh, i_random, i_selector) = (
+        kernel_state
+    )
+    if l2_state is not None:
+        (l2_stats, l2_sets, l2_off, l2_idx, l2_mask, l2_ways, l2_refresh,
+         l2_random, l2_selector) = l2_state
+        l2_shift1 = l2_off + 1
+    else:
+        l2_stats = l2_sets = l2_off = l2_idx = l2_mask = None
+        l2_ways = l2_refresh = l2_random = l2_selector = l2_shift1 = None
+        mem_state = None
+    inline_mem = mem_state is not None
+    if inline_mem:
+        wb_pending = mem_state[4]._pending
+        wb_entries = mem_state[4].num_entries
+    else:
+        wb_pending = wb_entries = None
+    l2_hits = l2m = l2_wb = l2_whits = l2_wm = 0
+    wb_enq = wb_over = wb_drain = 0
+    i_shift1 = i_off + 1
+    l2a_shift, mem_shift = HIER_L2_ACCESSES_SHIFT, HIER_MEM_ACCESSES_SHIFT
+    count_mask = HIER_COUNT_MASK
+    filled, wb_valid, wb_shift = PACKED_FILLED, PACKED_WRITEBACK_VALID, PACKED_WRITEBACK_SHIFT
+    op_fetch = _OP_FETCH
+    ia = ih = iwb = 0
+    l1i_misses = 0
+    l1i_memory = 0
+    l1d_memory = 0
+    l2_accesses = 0
+    memory_accesses = 0
+    stream = iter(reduced)
+    for code in stream:
+        operand = next(stream)
+        if code == op_fetch:
+            ia += 1
+            block = operand >> i_off
+            tag = block >> i_idx
+            blocks = i_sets[block & i_mask]
+            packed = blocks.get(tag)
+            if packed is not None:
+                ih += 1
+                if i_refresh:
+                    del blocks[tag]
+                    blocks[tag] = packed
+                continue
+            victim = None
+            if len(blocks) >= i_ways:
+                victim_tag = i_selector.choose_victim(blocks) if i_random else next(iter(blocks))
+                victim = blocks.pop(victim_tag)
+            blocks[tag] = block << i_shift1
+            if victim is not None and victim & 1:
+                iwb += 1
+                l1_packed = filled | wb_valid | ((victim >> 1) << wb_shift)
+            else:
+                if l2_sets is not None:
+                    b2 = operand >> l2_off
+                    t2 = b2 >> l2_idx
+                    bl2 = l2_sets[b2 & l2_mask]
+                    p2 = bl2.get(t2)
+                    if p2 is not None:
+                        if l2_refresh:
+                            del bl2[t2]
+                            bl2[t2] = p2
+                        l2_hits += 1
+                        l1i_misses += 1
+                        l2_accesses += 1
+                        continue
+                    if inline_mem:
+                        l2m += 1
+                        v2 = None
+                        if len(bl2) >= l2_ways:
+                            vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                            v2 = bl2.pop(vt2)
+                        bl2[t2] = b2 << l2_shift1
+                        if v2 is not None and v2 & 1:
+                            l2_wb += 1
+                            transfers = 2
+                        else:
+                            transfers = 1
+                        l1i_misses += 1
+                        l2_accesses += 1
+                        memory_accesses += transfers
+                        l1i_memory += transfers
+                        continue
+                l1_packed = filled
+            packed = miss_fill(l1_packed, operand)
+            l1i_misses += 1
+            l2_accesses += (packed >> l2a_shift) & count_mask
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1i_memory += transfers
+        else:
+            l1_packed = next(stream)
+            # Pre-resolved d-miss: l1_packed == filled means the shared
+            # L1d fill evicted no dirty victim, so the L2 access again
+            # resolves inline whatever its outcome.
+            if l1_packed == filled and l2_sets is not None:
+                b2 = operand >> l2_off
+                t2 = b2 >> l2_idx
+                bl2 = l2_sets[b2 & l2_mask]
+                p2 = bl2.get(t2)
+                if p2 is not None:
+                    if l2_refresh:
+                        del bl2[t2]
+                        bl2[t2] = p2
+                    l2_hits += 1
+                    l2_accesses += 1
+                    continue
+                if inline_mem:
+                    l2m += 1
+                    v2 = None
+                    if len(bl2) >= l2_ways:
+                        vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                        v2 = bl2.pop(vt2)
+                    bl2[t2] = b2 << l2_shift1
+                    if v2 is not None and v2 & 1:
+                        l2_wb += 1
+                        transfers = 2
+                    else:
+                        transfers = 1
+                    l2_accesses += 1
+                    memory_accesses += transfers
+                    l1d_memory += transfers
+                    continue
+            elif inline_mem and l1_packed & wb_valid:
+                # Shared dirty victim: L2 read fill, buffer push, L2
+                # write-allocate of the victim, all inline.
+                b2 = operand >> l2_off
+                t2 = b2 >> l2_idx
+                bl2 = l2_sets[b2 & l2_mask]
+                p2 = bl2.get(t2)
+                if p2 is not None:
+                    if l2_refresh:
+                        del bl2[t2]
+                        bl2[t2] = p2
+                    l2_hits += 1
+                    transfers = 0
+                else:
+                    l2m += 1
+                    v2 = None
+                    if len(bl2) >= l2_ways:
+                        vt2 = l2_selector.choose_victim(bl2) if l2_random else next(iter(bl2))
+                        v2 = bl2.pop(vt2)
+                    bl2[t2] = b2 << l2_shift1
+                    if v2 is not None and v2 & 1:
+                        l2_wb += 1
+                        transfers = 2
+                    else:
+                        transfers = 1
+                wb_addr = l1_packed >> wb_shift
+                wb_enq += 1
+                if len(wb_pending) >= wb_entries:
+                    wb_over += 1
+                    wb_pending.popleft()
+                    wb_drain += 1
+                wb_pending.append(wb_addr)
+                b3 = wb_addr >> l2_off
+                t3 = b3 >> l2_idx
+                bl3 = l2_sets[b3 & l2_mask]
+                p3 = bl3.get(t3)
+                if p3 is not None:
+                    l2_whits += 1
+                    p3 |= 1
+                    if l2_refresh:
+                        del bl3[t3]
+                    bl3[t3] = p3
+                else:
+                    l2_wm += 1
+                    v3 = None
+                    if len(bl3) >= l2_ways:
+                        vt3 = l2_selector.choose_victim(bl3) if l2_random else next(iter(bl3))
+                        v3 = bl3.pop(vt3)
+                    bl3[t3] = (b3 << l2_shift1) | 1
+                    transfers += 1
+                    if v3 is not None and v3 & 1:
+                        l2_wb += 1
+                        transfers += 1
+                l2_accesses += 2
+                memory_accesses += transfers
+                l1d_memory += transfers
+                continue
+            packed = miss_fill(l1_packed, operand)
+            fills = (packed >> l2a_shift) & count_mask
+            l2_accesses += fills
+            transfers = (packed >> mem_shift) & count_mask
+            memory_accesses += transfers
+            l1d_memory += transfers
+
+    i_stats.accesses += ia
+    i_stats.reads += ia
+    i_stats.hits += ih
+    im = ia - ih
+    i_stats.misses += im
+    i_stats.read_misses += im
+    i_stats.fills += im
+    i_stats.writebacks += iwb
+    if l2_hits or l2m or l2_whits or l2_wm:
+        l2_stats.accesses += l2_hits + l2m + l2_whits + l2_wm
+        l2_stats.reads += l2_hits + l2m
+        l2_stats.writes += l2_whits + l2_wm
+        l2_stats.hits += l2_hits + l2_whits
+        l2_stats.misses += l2m + l2_wm
+        l2_stats.read_misses += l2m
+        l2_stats.write_misses += l2_wm
+        l2_stats.fills += l2m + l2_wm
+        l2_stats.writebacks += l2_wb
+    if l2m or l2_wm or l2_wb:
+        mem_reads, mem_writes, mem_bytes, l2_block, _ = mem_state
+        mem_reads.value += l2m + l2_wm
+        mem_writes.value += l2_wb
+        mem_bytes.value += (l2m + l2_wm + l2_wb) * l2_block
+    if wb_enq:
+        wb_buffer = mem_state[4]
+        wb_buffer.enqueued += wb_enq
+        wb_buffer.overflows += wb_over
+        wb_buffer.drained += wb_drain
+    return ia, l1i_misses, l1i_memory, l1d_memory, l2_accesses, memory_accesses
 
 
 def run_fused(

@@ -1,0 +1,564 @@
+"""Configuration-invariant trace pre-decode, memoized per trace.
+
+``decode_interval`` re-derives, for every interval of every run, work that
+does not depend on the cache configuration at all: fetch-block-change
+detection, branch resolution against a fresh bimodal predictor, and the
+extraction of the memory-op stream.  A profiling sweep replays the same
+trace dozens of times, so this module computes that invariant phase **once
+per (trace, block mask)** into flat buffers and lets every subsequent run
+slice its intervals out of the precomputed stream:
+
+* :class:`DecodedTrace` — the whole-trace cache-op stream (the exact
+  concatenation of per-interval ``decode_interval`` outputs) plus per-row
+  prefix arrays for the branch/mispredict/memory-ref/store totals, so any
+  row range ``[start, stop)`` yields its interval ops and totals in O(1)
+  slicing.  Built vectorized when NumPy is importable (see
+  :mod:`repro.sim.vector`), with a bit-identical stdlib builder otherwise.
+* :class:`PilotResolution` — the fused-ladder pilot pre-screen: a fixed
+  (non-resizable) L1's hit/miss sequence over the shared op stream depends
+  only on its own geometry, so the pilot-reduced stream of
+  :mod:`repro.sim.ladder` is itself trace-invariant and is memoized per
+  (trace, side, pilot geometry).
+
+Both memos key off live :class:`~repro.workloads.trace.Trace` objects
+(weakly, so traces die normally); :class:`DecodedTrace` additionally
+round-trips through the on-disk trace memo
+(:meth:`repro.sim.tracecache.TraceCache.put_decoded`) keyed by (trace
+digest, block mask, decode version), so worker processes share decodes
+across runs and pool restarts.
+
+Correctness argument, pinned by ``tests/sim/test_predecode.py`` and the
+property suite: whole-trace decode with the initial ``last_fetch_block =
+-1`` equals the concatenation of per-interval decodes because the decode
+threads exactly that one integer across interval boundaries; branch
+resolution on a *replica* fresh predictor is bit-identical because every
+run constructs a fresh default predictor and nothing reads the predictor
+object's own counters after replay.  :func:`decoded_for` therefore gates
+on the run's predictor being a fresh default
+:class:`~repro.cpu.branch.BimodalBranchPredictor` and refuses (returns
+None, callers fall back to the scalar path) for anything else.
+
+Op codes (shared layout with :mod:`repro.sim.engine` /
+:mod:`repro.sim.ladder`, which keep their private aliases)::
+
+    0  fetch   operand = pc
+    1  load    operand = data address
+    2  store   operand = data address
+    3  i-miss  operand = pc                     (pilot-reduced streams only)
+    4  d-miss  operands = address, l1_packed    (pilot-reduced streams only)
+"""
+
+from __future__ import annotations
+
+import struct
+import weakref
+from array import array
+from typing import Dict, List, Optional
+
+from repro.cache.cache import PACKED_WRITEBACK_VALID, Cache
+from repro.cpu.branch import BimodalBranchPredictor
+from repro.sim.vector import numpy_or_none
+from repro.workloads.trace import FLAG_BRANCH, FLAG_MEM, FLAG_STORE, FLAG_TAKEN, Trace
+
+OP_FETCH = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_IMISS = 3
+OP_DMISS = 4
+
+#: Bumped whenever the decoded layout or semantics change; part of the
+#: on-disk memo key, so stale entries are simply never found.
+DECODE_VERSION = 1
+
+#: The decode applies only to runs driven by the default predictor build
+#: (``Simulator._prepare_run`` always constructs this); anything else fails
+#: the :func:`decoded_for` gate and replays scalar.
+_PREDICTOR_TABLE = 4096
+
+#: Row-count ceilings: the prefix arrays are 32-bit ('I'), and the cached
+#: boxed-int views trade memory for slice speed only while they stay small.
+MAX_ROWS = 1 << 30
+_OPS_LIST_MAX_ROWS = 4_000_000
+PILOT_MEMO_MAX_ROWS = 4_000_000
+
+_STATS = {
+    "decode_builds": 0,
+    "decode_memo_hits": 0,
+    "decode_disk_hits": 0,
+    "pilot_builds": 0,
+    "pilot_memo_hits": 0,
+}
+
+_DECODE_MEMO: "weakref.WeakKeyDictionary[Trace, Dict[int, DecodedTrace]]" = (
+    weakref.WeakKeyDictionary()
+)
+_PILOT_MEMO: "weakref.WeakKeyDictionary[Trace, Dict[tuple, PilotResolution]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+_HEADER = struct.Struct("<4sHqQQ")
+_MAGIC = b"RDEC"
+
+
+def stats_snapshot() -> Dict[str, int]:
+    """A copy of the module's memo counters (merged across workers by the runner)."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    """Zero the memo counters (tests only)."""
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+class DecodedTrace:
+    """The whole-trace decode of one (trace, block mask) pair.
+
+    ``stream`` is the flat interleaved ``code, operand`` cache-op stream —
+    byte-for-byte what concatenating ``decode_interval`` over any interval
+    partition produces — and the five prefix arrays (length ``n + 1``) give
+    every per-row running total, so interval ``[start, stop)`` slices as::
+
+        ops      = decoded.interval_ops(start, stop)
+        branches = decoded.branch_prefix[stop] - decoded.branch_prefix[start]
+
+    ``op_prefix`` counts op *pairs* (half the flat stream offset).
+    """
+
+    __slots__ = (
+        "n",
+        "block_mask",
+        "stream",
+        "op_prefix",
+        "branch_prefix",
+        "mispredict_prefix",
+        "memref_prefix",
+        "store_prefix",
+        "_ops_list",
+        "_stream_view",
+    )
+
+    def __init__(self, n, block_mask, stream, op_prefix, branch_prefix,
+                 mispredict_prefix, memref_prefix, store_prefix):
+        self.n = n
+        self.block_mask = block_mask
+        self.stream = stream
+        self.op_prefix = op_prefix
+        self.branch_prefix = branch_prefix
+        self.mispredict_prefix = mispredict_prefix
+        self.memref_prefix = memref_prefix
+        self.store_prefix = store_prefix
+        self._ops_list: Optional[List[int]] = None
+        self._stream_view = None
+
+    def interval_ops(self, start: int, stop: int) -> List[int]:
+        """The flat op list for rows ``[start, stop)`` (a fresh, mutable list)."""
+        ops_list = self._ops_list
+        if ops_list is None:
+            if self.n <= _OPS_LIST_MAX_ROWS:
+                # Box the stream once; interval slices are then C-level
+                # pointer copies instead of per-element int boxing.
+                self._ops_list = ops_list = self.stream.tolist()
+            else:
+                view = self._stream_view
+                if view is None:
+                    self._stream_view = view = memoryview(self.stream)
+                return view[2 * self.op_prefix[start]:2 * self.op_prefix[stop]].tolist()
+        return ops_list[2 * self.op_prefix[start]:2 * self.op_prefix[stop]]
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the on-disk trace memo (native byte order)."""
+        parts = [
+            _HEADER.pack(_MAGIC, DECODE_VERSION, self.block_mask, self.n, len(self.stream)),
+            self.stream.tobytes(),
+        ]
+        for prefix in (self.op_prefix, self.branch_prefix, self.mispredict_prefix,
+                       self.memref_prefix, self.store_prefix):
+            parts.append(prefix.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DecodedTrace":
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated decoded-trace payload")
+        magic, version, block_mask, n, stream_len = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC or version != DECODE_VERSION:
+            raise ValueError("not a decoded-trace payload of the current version")
+        offset = _HEADER.size
+        stream = array("Q")
+        stream.frombytes(data[offset:offset + 8 * stream_len])
+        offset += 8 * stream_len
+        prefixes = []
+        span = 4 * (n + 1)
+        for _ in range(5):
+            prefix = array("I")
+            prefix.frombytes(data[offset:offset + span])
+            offset += span
+            prefixes.append(prefix)
+        if len(stream) != stream_len or any(len(p) != n + 1 for p in prefixes):
+            raise ValueError("truncated decoded-trace payload")
+        return cls(n, block_mask, stream, *prefixes)
+
+
+class PilotResolution:
+    """A fused ladder's pilot-reduced stream, precomputed for a whole trace.
+
+    ``entries`` is the flat reduced stream exactly as
+    ``repro.sim.ladder._resolve_pilot_i/_resolve_pilot_d`` would emit it
+    over the whole trace (variable arity: d-miss ops carry the pilot's
+    packed outcome as a third entry, which is why ``entry_prefix`` counts
+    flat *entries*, not pairs).  ``miss_prefix`` carries the shared
+    per-row running miss total (i-misses for side "i", d-misses for side
+    "d"); ``wb_prefix`` the shared d-writeback total (side "d" only).
+    """
+
+    __slots__ = ("side", "entries", "entry_prefix", "miss_prefix", "wb_prefix")
+
+    def __init__(self, side, entries, entry_prefix, miss_prefix, wb_prefix):
+        self.side = side
+        self.entries = entries
+        self.entry_prefix = entry_prefix
+        self.miss_prefix = miss_prefix
+        self.wb_prefix = wb_prefix
+
+    def interval_entries(self, start: int, stop: int) -> List[int]:
+        """The flat reduced-op list for rows ``[start, stop)``."""
+        return self.entries[self.entry_prefix[start]:self.entry_prefix[stop]]
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def build_decoded(trace: Trace, block_mask: int) -> Optional[DecodedTrace]:
+    """Decode a whole trace; None when it falls outside the supported gates."""
+    n = len(trace)
+    if n == 0 or n >= MAX_ROWS:
+        return None
+    _STATS["decode_builds"] += 1
+    np = numpy_or_none()
+    if np is not None:
+        return _build_numpy(trace, block_mask, np)
+    return _build_scalar(trace, block_mask)
+
+
+def _build_scalar(trace: Trace, block_mask: int) -> DecodedTrace:
+    """One whole-trace pass mirroring ``decode_interval`` row for row."""
+    pc_column, address_column, flag_column = trace.columns()
+    pcs = memoryview(pc_column).tolist()
+    flags = memoryview(flag_column).tolist()
+    addresses = memoryview(address_column).tolist()
+    n = len(pcs)
+
+    stream = array("Q")
+    append = stream.append
+    zeros = bytes(4 * (n + 1))
+    op_prefix = array("I", zeros)
+    branch_prefix = array("I", zeros)
+    mispredict_prefix = array("I", zeros)
+    memref_prefix = array("I", zeros)
+    store_prefix = array("I", zeros)
+
+    # Inline replica of a fresh default BimodalBranchPredictor: identical
+    # indexing, 2-bit saturating update and mispredict rule.
+    counters = [BimodalBranchPredictor.WEAK_TAKEN] * _PREDICTOR_TABLE
+    pmask = _PREDICTOR_TABLE - 1
+
+    branch_flag, mem_flag = FLAG_BRANCH, FLAG_MEM
+    store_flag, taken_flag = FLAG_STORE, FLAG_TAKEN
+    op_fetch, op_load, op_store = OP_FETCH, OP_LOAD, OP_STORE
+    last_fetch_block = -1
+    op_count = 0
+    branches = 0
+    mispredicts = 0
+    memory_refs = 0
+    stores = 0
+    for k in range(n):
+        pc = pcs[k]
+        fetch_block = pc & block_mask
+        if fetch_block != last_fetch_block:
+            last_fetch_block = fetch_block
+            append(op_fetch)
+            append(pc)
+            op_count += 1
+        flag = flags[k]
+        if flag:
+            if flag & branch_flag:
+                branches += 1
+                index = (pc >> 2) & pmask
+                counter = counters[index]
+                taken = bool(flag & taken_flag)
+                if (counter >= 2) != taken:
+                    mispredicts += 1
+                if taken:
+                    if counter < 3:
+                        counters[index] = counter + 1
+                elif counter > 0:
+                    counters[index] = counter - 1
+            if flag & mem_flag:
+                if flag & store_flag:
+                    stores += 1
+                    append(op_store)
+                else:
+                    append(op_load)
+                memory_refs += 1
+                append(addresses[k])
+                op_count += 1
+        j = k + 1
+        op_prefix[j] = op_count
+        branch_prefix[j] = branches
+        mispredict_prefix[j] = mispredicts
+        memref_prefix[j] = memory_refs
+        store_prefix[j] = stores
+
+    return DecodedTrace(n, block_mask, stream, op_prefix, branch_prefix,
+                        mispredict_prefix, memref_prefix, store_prefix)
+
+
+def _build_numpy(trace: Trace, block_mask: int, np) -> DecodedTrace:
+    """Vectorized builder: everything but the (sequential) predictor replica."""
+    pc_column, address_column, flag_column = trace.columns()
+    pc = np.frombuffer(pc_column, dtype=np.uint64)
+    addresses = np.frombuffer(address_column, dtype=np.uint64)
+    flags = np.frombuffer(flag_column, dtype=np.uint8)
+    n = len(pc)
+
+    mask64 = np.uint64(block_mask & 0xFFFFFFFFFFFFFFFF)
+    blocks = pc & mask64
+    fetch = np.empty(n, dtype=bool)
+    fetch[0] = True  # initial last_fetch_block is -1, never a real block
+    np.not_equal(blocks[1:], blocks[:-1], out=fetch[1:])
+
+    mem = (flags & FLAG_MEM) != 0
+    store = mem & ((flags & FLAG_STORE) != 0)
+    branch = (flags & FLAG_BRANCH) != 0
+
+    pairs = fetch.astype(np.uint32)
+    pairs += mem
+    op_prefix_np = np.zeros(n + 1, dtype=np.uint32)
+    np.cumsum(pairs, out=op_prefix_np[1:])
+
+    stream_np = np.empty(2 * int(op_prefix_np[n]), dtype=np.uint64)
+    base = op_prefix_np[:n].astype(np.int64) * 2
+    fetch_at = base[fetch]
+    stream_np[fetch_at] = OP_FETCH
+    stream_np[fetch_at + 1] = pc[fetch]
+    mem_at = (base + 2 * fetch)[mem]
+    stream_np[mem_at] = np.where(store[mem], OP_STORE, OP_LOAD)
+    stream_np[mem_at + 1] = addresses[mem]
+
+    def running(mask_arr):
+        out = np.zeros(n + 1, dtype=np.uint32)
+        np.cumsum(mask_arr, out=out[1:])
+        return array("I", out.tobytes())
+
+    # Branch resolution is inherently sequential (the table is stateful);
+    # run the predictor replica over just the branch rows.
+    mispredict_np = np.zeros(n, dtype=np.uint32)
+    branch_rows = np.flatnonzero(branch)
+    if len(branch_rows):
+        counters = [BimodalBranchPredictor.WEAK_TAKEN] * _PREDICTOR_TABLE
+        pmask = _PREDICTOR_TABLE - 1
+        taken_list = ((flags[branch_rows] & FLAG_TAKEN) != 0).tolist()
+        index_list = ((pc[branch_rows] >> np.uint64(2)) & np.uint64(pmask)).tolist()
+        mis_list = []
+        mis_append = mis_list.append
+        for index, taken in zip(index_list, taken_list):
+            counter = counters[index]
+            mis_append(1 if (counter >= 2) != taken else 0)
+            if taken:
+                if counter < 3:
+                    counters[index] = counter + 1
+            elif counter > 0:
+                counters[index] = counter - 1
+        mispredict_np[branch_rows] = mis_list
+
+    stream = array("Q")
+    stream.frombytes(stream_np.tobytes())
+    return DecodedTrace(
+        n,
+        block_mask,
+        stream,
+        array("I", op_prefix_np.tobytes()),
+        running(branch),
+        running(mispredict_np),
+        running(mem),
+        running(store),
+    )
+
+
+def build_pilot(decoded: DecodedTrace, side: str, geometry, replacement, name: str) -> PilotResolution:
+    """Resolve the invariant L1 side over the whole decoded stream.
+
+    Drives a throwaway fixed cache with the pilot's exact geometry,
+    replacement policy and name (the name seeds RANDOM victim selection),
+    which by construction behaves identically to the live pilot a fused
+    replay would otherwise drive interval by interval.
+    """
+    _STATS["pilot_builds"] += 1
+    pilot = Cache(geometry, replacement, name=name)
+    kernel = pilot.access_packed
+    n = decoded.n
+    op_prefix = decoded.op_prefix
+    stream = decoded.interval_ops(0, n)
+
+    entries: List[int] = []
+    append = entries.append
+    zeros = bytes(4 * (n + 1))
+    entry_prefix = array("I", zeros)
+    miss_prefix = array("I", zeros)
+    wb_prefix = array("I", zeros) if side == "d" else None
+
+    misses = 0
+    writebacks = 0
+    position = 0
+    if side == "i":
+        for k in range(n):
+            stop = 2 * op_prefix[k + 1]
+            while position < stop:
+                code = stream[position]
+                operand = stream[position + 1]
+                position += 2
+                if code == OP_FETCH:
+                    if not kernel(operand, False) & 1:
+                        misses += 1
+                        append(OP_IMISS)
+                        append(operand)
+                else:
+                    append(code)
+                    append(operand)
+            entry_prefix[k + 1] = len(entries)
+            miss_prefix[k + 1] = misses
+    else:
+        for k in range(n):
+            stop = 2 * op_prefix[k + 1]
+            while position < stop:
+                code = stream[position]
+                operand = stream[position + 1]
+                position += 2
+                if code == OP_FETCH:
+                    append(OP_FETCH)
+                    append(operand)
+                else:
+                    l1_packed = kernel(operand, code != OP_LOAD)
+                    if not l1_packed & 1:
+                        misses += 1
+                        if l1_packed & PACKED_WRITEBACK_VALID:
+                            writebacks += 1
+                        append(OP_DMISS)
+                        append(operand)
+                        append(l1_packed)
+            entry_prefix[k + 1] = len(entries)
+            miss_prefix[k + 1] = misses
+            wb_prefix[k + 1] = writebacks
+
+    return PilotResolution(side, entries, entry_prefix, miss_prefix, wb_prefix)
+
+
+# ---------------------------------------------------------------------------
+# Memoized entry points
+# ---------------------------------------------------------------------------
+
+
+def _predictor_is_default(predictor) -> bool:
+    return (
+        type(predictor) is BimodalBranchPredictor
+        and predictor.table_entries == _PREDICTOR_TABLE
+        and predictor.predictions == 0
+    )
+
+
+def decoded_for(trace: Trace, block_mask: int, predictor) -> Optional[DecodedTrace]:
+    """The memoized decode for a run, or None when the run must stay scalar.
+
+    Gates: the run's predictor must be a fresh default bimodal predictor
+    (the precomputed mispredict totals were produced by exactly that
+    machine) and the trace must fit the 32-bit prefix layout.  Checks the
+    in-memory weak memo, then the on-disk trace memo, then builds.
+    """
+    n = len(trace)
+    if n == 0 or n >= MAX_ROWS or not _predictor_is_default(predictor):
+        return None
+    per_trace = _DECODE_MEMO.get(trace)
+    if per_trace is not None:
+        decoded = per_trace.get(block_mask)
+        if decoded is not None:
+            _STATS["decode_memo_hits"] += 1
+            return decoded
+    decoded = _load_from_disk(trace, block_mask)
+    if decoded is None:
+        decoded = build_decoded(trace, block_mask)
+        if decoded is None:
+            return None
+        _store_to_disk(trace, block_mask, decoded)
+    if per_trace is None:
+        per_trace = {}
+        try:
+            _DECODE_MEMO[trace] = per_trace
+        except TypeError:  # unweakrefable trace stand-ins (tests)
+            return decoded
+    per_trace[block_mask] = decoded
+    return decoded
+
+
+def pilot_for(trace: Trace, decoded: DecodedTrace, side: str, cache) -> Optional[PilotResolution]:
+    """The memoized pilot pre-screen, or None when the pilot is unsupported.
+
+    ``cache`` is the live pilot (rung 0's fixed L1).  It must be exactly a
+    fresh :class:`~repro.cache.cache.Cache` — the memoized resolution is
+    only valid from a cold pilot, and any subclass could change the access
+    semantics.  On a memo hit the live pilot is never driven at all, which
+    extends the documented fused-ladder caveat (idle invariant-side caches)
+    to rung 0.
+    """
+    if type(cache) is not Cache or cache.stats.accesses != 0:
+        return None
+    if decoded.n > PILOT_MEMO_MAX_ROWS:
+        return None
+    key = (side, decoded.block_mask, cache.geometry, cache.replacement, cache.name)
+    per_trace = _PILOT_MEMO.get(trace)
+    if per_trace is not None:
+        pilot = per_trace.get(key)
+        if pilot is not None:
+            _STATS["pilot_memo_hits"] += 1
+            return pilot
+    pilot = build_pilot(decoded, side, cache.geometry, cache.replacement, cache.name)
+    if per_trace is None:
+        per_trace = {}
+        try:
+            _PILOT_MEMO[trace] = per_trace
+        except TypeError:
+            return pilot
+    per_trace[key] = pilot
+    return pilot
+
+
+def _load_from_disk(trace: Trace, block_mask: int) -> Optional[DecodedTrace]:
+    try:
+        from repro.sim.runner import _trace_digest, get_trace_cache
+
+        cache = get_trace_cache()
+        if cache is None:
+            return None
+        data = cache.get_decoded(_trace_digest(trace), block_mask)
+        if data is None:
+            return None
+        decoded = DecodedTrace.from_bytes(data)
+        if decoded.n != len(trace) or decoded.block_mask != block_mask:
+            return None
+        _STATS["decode_disk_hits"] += 1
+        return decoded
+    except Exception:
+        return None
+
+
+def _store_to_disk(trace: Trace, block_mask: int, decoded: DecodedTrace) -> None:
+    try:
+        from repro.sim.runner import _trace_digest, get_trace_cache
+
+        cache = get_trace_cache()
+        if cache is not None:
+            cache.put_decoded(_trace_digest(trace), block_mask, decoded.to_bytes())
+    except Exception:
+        pass

@@ -57,9 +57,10 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import os
 import traceback
 import weakref
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
@@ -74,9 +75,12 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
+from repro.sim import predecode
+from repro.sim import shm as shm_transport
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
 from repro.sim.results import SimulationResult
+from repro.sim.shm import SharedTraceRef
 from repro.sim.simulator import L1Setup, Simulator
 from repro.sim.tracecache import TraceCache
 from repro.workloads.generator import WorkloadGenerator
@@ -644,6 +648,22 @@ def job_fingerprint(job: SimJob) -> str:
 _TRACE_MEMO: Dict[Tuple, Trace] = {}
 _TRACE_MEMO_MAX = 16
 
+#: Per-process trace-resolution counters.  ``trace_memo_reads`` counts every
+#: spec-form resolution (memo hit, disk hit or fresh materialisation alike)
+#: — i.e. every time a process had to *own* a trace rather than attach one —
+#: so a sweep whose workers run entirely over shared-memory refs reports
+#: zero worker-side reads.  Snapshots are taken around each job execution
+#: and the deltas shipped back to the parent (see :func:`_execute_indexed`).
+_STATS = {"trace_memo_reads": 0}
+
+
+def _stats_snapshot() -> Dict[str, int]:
+    """This process's transport/decode counters, merged into one flat dict."""
+    snapshot = dict(_STATS)
+    snapshot.update(shm_transport.stats_snapshot())
+    snapshot.update(predecode.stats_snapshot())
+    return snapshot
+
 #: Process-level on-disk trace memo consulted by :func:`resolve_trace` when
 #: the in-memory memo misses.  Configured with :func:`set_trace_cache`
 #: (directly, by a :class:`SweepRunner`, or by the pool-worker initializer);
@@ -665,9 +685,26 @@ def get_trace_cache() -> Optional[TraceCache]:
     return _TRACE_CACHE
 
 
-def resolve_trace(trace: Union[TraceSpec, ExternalTraceSpec, Trace]) -> Trace:
+def resolve_trace(
+    trace: Union[TraceSpec, ExternalTraceSpec, Trace, SharedTraceRef],
+) -> Trace:
     if isinstance(trace, Trace):
         return trace
+    if isinstance(trace, SharedTraceRef):
+        # Zero-copy path: attach the parent's published segment.  A failed
+        # attach (segment evicted, shared memory lost) falls back to the
+        # spec the ref carries, bit-identically — the ref is an optimisation,
+        # never the only way to the trace unless the trace was inline.
+        attached = shm_transport.attach_trace(trace)
+        if attached is not None:
+            return attached
+        if trace.fallback is not None:
+            return resolve_trace(trace.fallback)
+        raise SimulationError(
+            f"shared-memory segment {trace.segment!r} for trace {trace.name!r} "
+            f"is gone and the ref carries no fallback spec"
+        )
+    _STATS["trace_memo_reads"] += 1
     if isinstance(trace, ExternalTraceSpec):
         # 4-tuple key: cannot collide with a TraceSpec's 3-tuple.  The
         # digest in the key makes an edited file miss the in-memory memo;
@@ -732,14 +769,29 @@ def _execute_indexed(indexed_job: "Tuple[int, Union[SimJob, LadderJob]]"):
     """Pool entry point that tags each result with its batch position, so the
     runner can consume completions out of order.  Dispatches on the job
     kind: a :class:`LadderJob` runs the fused multi-configuration pass and
-    yields a result *list*, a :class:`SimJob` a single result."""
+    yields a result *list*, a :class:`SimJob` a single result.
+
+    Returns ``(position, outcome, stats_delta)`` — the delta of this
+    process's transport/decode counters across the execution, so the
+    parent can aggregate worker-side behaviour (shm attaches, trace memo
+    reads, decode memo hits) without sharing state between processes.
+    """
     position, job = indexed_job
+    before = _stats_snapshot()
     try:
         if isinstance(job, LadderJob):
-            return position, execute_ladder_job(job)
-        return position, execute_job(job)
+            outcome = execute_ladder_job(job)
+        else:
+            outcome = execute_job(job)
     except Exception as exc:
-        return position, _JobFailure(exc)
+        outcome = _JobFailure(exc)
+    after = _stats_snapshot()
+    delta = {
+        key: after[key] - before.get(key, 0)
+        for key in after
+        if after[key] != before.get(key, 0)
+    }
+    return position, outcome, delta
 
 
 # ---------------------------------------------------------------------------
@@ -800,7 +852,8 @@ class SweepRunner:
             shipped to pool workers; None keeps whatever the process has
             configured (usually nothing).
         mp_start_method: ``multiprocessing`` start method ("fork", "spawn",
-            "forkserver"); None uses the platform default.
+            "forkserver"); None honours the ``REPRO_MP_START_METHOD``
+            environment variable, then the platform default.
 
     Attributes:
         simulate_count: jobs actually simulated by this runner (cache misses).
@@ -816,6 +869,13 @@ class SweepRunner:
             submit time instead of fusing — from the on-disk cache or the
             in-memory dedup memo — so a partially-warm ladder fuses only
             its missing rungs.
+        trace_bytes_pickled: trace payload bytes shipped to the pool by
+            value (pickled) because the shared-memory transport declined
+            them; zero when every dispatched trace rode a segment.
+        worker_stats: aggregated per-job counter deltas from the executing
+            processes (shm attaches, trace memo reads, decode memo hits —
+            see ``_stats_snapshot``), for `--stats` reporting and the
+            transport's zero-copy acceptance tests.
     """
 
     def __init__(
@@ -834,6 +894,8 @@ class SweepRunner:
         # Snapshot the process-level cache so the pool initializer ships the
         # same directory whether it was configured here or beforehand.
         self.trace_cache = get_trace_cache()
+        if mp_start_method is None:
+            mp_start_method = os.environ.get("REPRO_MP_START_METHOD") or None
         self.mp_start_method = mp_start_method
         self.simulate_count = 0
         self.cache_hits = 0
@@ -843,6 +905,17 @@ class SweepRunner:
         self.inline_executions = 0
         self.fused_rungs = 0
         self.fused_skipped = 0
+        self.trace_bytes_pickled = 0
+        self.worker_stats: Dict[str, int] = {}
+        # Shared-memory trace transport: traces dispatched to the pool are
+        # published once into this registry and jobs ship SharedTraceRefs.
+        # The finalizer unlinks every segment at interpreter exit even when
+        # close() is never called (it holds the registry, not the runner,
+        # so it does not keep the runner alive).
+        self._segments = shm_transport.SegmentRegistry()
+        self._segments_finalizer = weakref.finalize(
+            self, self._segments.release_all
+        )
         # One pool for the runner's whole lifetime: workers keep their trace
         # memos warm across batches, so a sweep's trace is generated once per
         # worker instead of once per batch.  The registry snapshot the pool
@@ -1156,7 +1229,9 @@ class SweepRunner:
         completes is still cached — a warm restart resumes instead of
         starting over.
         """
-        for position, outcome in self._execute([entry.job for entry in batch]):
+        for position, outcome, stats in self._execute([entry.job for entry in batch]):
+            for key, value in stats.items():
+                self.worker_stats[key] = self.worker_stats.get(key, 0) + value
             entry = batch[position]
             if isinstance(entry, _LadderEntry):
                 if isinstance(outcome, _JobFailure):
@@ -1187,18 +1262,79 @@ class SweepRunner:
                 future._resolve(outcome)
 
     def _execute(self, pending: List[SimJob]):
-        """Yield (position, result) pairs as jobs complete (any order).
+        """Yield (position, result, stats) tuples as jobs complete (any order).
 
         With ``jobs > 1`` every batch — even a single-job one — goes
         through the pool, so parallel runs perform zero inline executions;
-        with ``jobs == 1`` everything runs inline in this process.
+        with ``jobs == 1`` everything runs inline in this process.  Pool
+        dispatch rewrites each job's trace into a :class:`SharedTraceRef`
+        (publishing the segment on first use) so the pickled job carries a
+        few hundred bytes instead of the trace; inline execution skips the
+        transport entirely — the trace never leaves this process.
         """
         indexed = list(enumerate(pending))
         if self.jobs <= 1:
             self.inline_executions += len(indexed)
             return self._execute_inline(indexed)
         self.pool_batches += 1
+        indexed = [(position, self._prepare_for_pool(job)) for position, job in indexed]
         return self._get_pool().imap_unordered(_execute_indexed, indexed, chunksize=1)
+
+    # ---------------------------------------------------- shared-memory dispatch
+    def _prepare_for_pool(self, job: "Union[SimJob, LadderJob]"):
+        """A pool-bound copy of ``job`` with its trace(s) as shm refs.
+
+        Returns the original job unchanged when the transport declines
+        (shared memory unavailable, publish failure) — the classic pickle
+        path — and counts the trace bytes that consequently cross the pool
+        boundary by value in :attr:`trace_bytes_pickled`.  The entries kept
+        by the runner (for caching, describe(), retries) always hold the
+        original job; only the dispatched copy is rewritten.
+        """
+        if isinstance(job, LadderJob):
+            rungs = [self._prepare_sim_job(rung) for rung in job.rungs]
+            if all(prepared is original for prepared, original in zip(rungs, job.rungs)):
+                return job
+            return replace(job, rungs=rungs)
+        return self._prepare_sim_job(job)
+
+    def _prepare_sim_job(self, job: SimJob) -> SimJob:
+        trace = job.trace
+        if isinstance(trace, Trace):
+            key = ("inline", _trace_digest(trace))
+            fallback = None
+            pickled_bytes = trace.nbytes
+        elif isinstance(trace, ExternalTraceSpec):
+            key = ("external", trace.path, trace.name)
+            fallback = trace
+            pickled_bytes = 0
+        else:
+            key = (trace.application, trace.n_instructions, trace.seed)
+            fallback = trace
+            pickled_bytes = 0
+        ref = self._segments.lookup(key)
+        if ref is None:
+            try:
+                materialized = resolve_trace(trace)
+            except Exception:
+                # Unresolvable trace (unknown application, unreadable
+                # file): ship the spec unchanged so the error surfaces in
+                # the worker as *this job's* failure — publishing eagerly
+                # here would abort the whole drain wave and leave sibling
+                # futures unresolved.
+                self.trace_bytes_pickled += pickled_bytes
+                return job
+            ref = self._segments.publish(key, materialized, fallback=fallback)
+        if ref is None:
+            # Transport declined; the job ships its trace the classic way.
+            self.trace_bytes_pickled += pickled_bytes
+            return job
+        return replace(job, trace=ref)
+
+    @property
+    def shm_segments(self) -> int:
+        """Distinct shared-memory segments published by this runner."""
+        return self._segments.published
 
     def _execute_inline(self, indexed):
         """Inline execution pins this runner's trace-cache snapshot.
@@ -1221,8 +1357,12 @@ class SweepRunner:
     def _get_pool(self):
         # A pool whose workers predate a register_organization call would
         # reject jobs naming the new class; recreate it on a stale snapshot.
+        # _close_pool (not close) so the rebuild terminates AND joins the
+        # old workers — discarding the Pool object without joining leaks
+        # its processes until interpreter exit — while the runner's
+        # published segments stay live for the replacement pool's jobs.
         if self._pool is not None and self._pool_registry != _ORGANIZATION_REGISTRY:
-            self.close()
+            self._close_pool()
         if self._pool is None:
             context = multiprocessing.get_context(self.mp_start_method)
             self._pool_registry = dict(_ORGANIZATION_REGISTRY)
@@ -1237,13 +1377,26 @@ class SweepRunner:
         return self._pool
 
     # ------------------------------------------------------------- lifecycle
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent; the runner stays usable —
-        a later batch simply starts a fresh pool)."""
+    def _close_pool(self) -> None:
+        """Terminate and join the worker pool (idempotent).
+
+        Joining matters: a terminated-but-unjoined pool leaves zombie
+        worker processes behind for the interpreter's lifetime, which is
+        exactly what the registry-change rebuild in :meth:`_get_pool` used
+        to risk.  Published shared-memory segments are deliberately left
+        alone — a successor pool's jobs may still hold refs to them.
+        """
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.terminate()
             pool.join()
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink every published
+        shared-memory segment (idempotent; the runner stays usable — a
+        later batch simply starts a fresh pool and republishes)."""
+        self._close_pool()
+        self._segments.release_all()
 
     def __enter__(self) -> "SweepRunner":
         return self

@@ -1,0 +1,284 @@
+"""Zero-copy shared-memory trace transport for the sweep pool.
+
+When a :class:`~repro.sim.runner.SweepRunner` fans jobs out over a
+``multiprocessing`` pool, every job used to carry its trace across the
+process boundary the expensive way: inline traces were pickled per job
+(~17 bytes/instruction serialised, copied, deserialised), and spec-form
+traces were re-materialised (or re-read from the on-disk trace cache) once
+per worker.  This module replaces both with one POSIX shared-memory
+segment per distinct trace:
+
+* the parent writes the trace's three flat columns — ``pc`` (``Q``),
+  ``data_address`` (``Q``), ``flags`` (``B``) — back to back into a single
+  :class:`multiprocessing.shared_memory.SharedMemory` segment
+  (:func:`SegmentRegistry.publish`);
+* jobs ship a tiny picklable :class:`SharedTraceRef` naming the segment;
+* workers attach and rebuild the trace with
+  :meth:`~repro.workloads.trace.Trace.from_columns` over zero-copy
+  memoryviews into the mapping (:func:`attach_trace`) — no bytes are
+  copied, no trace is re-generated, and repeated jobs against the same
+  trace reuse the worker's attachment via a small per-process memo.
+
+Lifecycle: the parent's :class:`SegmentRegistry` owns every segment it
+created and unlinks them on eviction (LRU, so a long-lived runner cannot
+accumulate unbounded ``/dev/shm`` space) and on
+:meth:`~SegmentRegistry.release_all` (called by ``SweepRunner.close()``
+and by a ``weakref.finalize`` backstop at interpreter exit).  Workers
+deliberately leave the resource tracker alone when attaching: they do not
+own the segment, pool workers share the parent's tracker process (whose
+registration set already carries the name from publish time), and a
+worker-side unregister would strip that entry out from under the
+parent's eventual unlink.
+
+Every path degrades gracefully: platforms without
+``multiprocessing.shared_memory``, publish failures (e.g. ``/dev/shm``
+full), and attach failures (segment evicted while the job was queued) all
+fall back to the classic pickle/re-materialise transport, bit-identically.
+A :class:`SharedTraceRef` carries the original spec as ``fallback`` for
+exactly that purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.trace import Trace
+
+try:  # pragma: no cover - import always succeeds on supported platforms
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+    HAVE_SHM = False
+
+#: Segment-name prefix; leak checks look for stale ``/dev/shm`` entries
+#: carrying it (the pid of the publishing process is baked in after it).
+SEGMENT_PREFIX = "repro"
+
+#: Bytes per trace row in a published segment (8 pc + 8 address + 1 flag).
+ROW_BYTES = 17
+
+#: Per-process transport counters (see :func:`stats_snapshot`).
+_STATS = {
+    "shm_published": 0,
+    "shm_attached": 0,
+    "shm_attach_reuses": 0,
+    "shm_attach_failures": 0,
+    "shm_publish_failures": 0,
+    "shm_unlinked": 0,
+}
+
+
+def stats_snapshot() -> Dict[str, int]:
+    """Copy of this process's transport counters."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    """Zero this process's transport counters (test isolation)."""
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def shm_available() -> bool:
+    """True when the shared-memory transport can be used in this process."""
+    return HAVE_SHM and _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SharedTraceRef:
+    """Picklable pointer to a trace published in a shared-memory segment.
+
+    Jobs dispatched to the pool carry this instead of the trace itself;
+    ``resolve_trace`` in the worker attaches the segment and rebuilds the
+    trace zero-copy.  ``fallback`` holds the original spec-form trace
+    (:class:`~repro.sim.runner.TraceSpec` /
+    :class:`~repro.workloads.ingest.ExternalTraceSpec`, or None for inline
+    traces) so a worker that cannot attach — the segment was evicted, or
+    the platform lost shared memory between publish and attach — can
+    re-resolve the classic way instead of failing the job.
+    """
+
+    segment: str
+    name: str
+    n: int
+    memory_level_parallelism: float = 1.0
+    fallback: object = None
+
+
+def _segment_layout(n: int) -> Tuple[int, int, int]:
+    """Byte offsets of the (address, flags, end) boundaries for ``n`` rows."""
+    return 8 * n, 16 * n, ROW_BYTES * n
+
+
+def attach_trace(ref: SharedTraceRef) -> Optional[Trace]:
+    """Attach ``ref``'s segment and rebuild its trace zero-copy.
+
+    Returns None when the transport is unavailable or the attach fails for
+    any reason (counted in ``shm_attach_failures``); the caller falls back
+    to ``ref.fallback``.  Successful attachments are memoised per process
+    (keyed by segment name, small LRU), so a sweep running hundreds of
+    jobs against one trace maps it once per worker.
+    """
+    if not shm_available():
+        _STATS["shm_attach_failures"] += 1
+        return None
+    entry = _ATTACH_MEMO.pop(ref.segment, None)
+    if entry is not None:
+        _ATTACH_MEMO[ref.segment] = entry  # re-insert: most recently used
+        _STATS["shm_attach_reuses"] += 1
+        return entry[1]
+    try:
+        segment = _shared_memory.SharedMemory(name=ref.segment)
+    except Exception:
+        _STATS["shm_attach_failures"] += 1
+        return None
+    # No resource-tracker bookkeeping here: pool workers (fork and spawn
+    # alike) share the parent's tracker process, whose registration set
+    # already carries this name from publish time — attaching merely
+    # re-adds the same entry, and the parent's unlink() removes it exactly
+    # once.  A worker-side unregister would strip the parent's entry and
+    # make that unlink trip a KeyError inside the tracker.
+    addr_off, flag_off, end = _segment_layout(ref.n)
+    view = memoryview(segment.buf)
+    trace = Trace.from_columns(
+        name=ref.name,
+        pcs=view[0:addr_off].cast("Q"),
+        addresses=view[addr_off:flag_off].cast("Q"),
+        flags=view[flag_off:end],
+        memory_level_parallelism=ref.memory_level_parallelism,
+    )
+    _STATS["shm_attached"] += 1
+    _ATTACH_MEMO[ref.segment] = (segment, trace)
+    while len(_ATTACH_MEMO) > _ATTACH_MEMO_MAX:
+        old_segment, old_trace = _ATTACH_MEMO.pop(next(iter(_ATTACH_MEMO)))
+        del old_trace
+        try:
+            old_segment.close()
+        except BufferError:
+            # The evicted trace's memoryviews are still exported somewhere;
+            # leave the mapping open — process exit reclaims it.
+            pass
+    return trace
+
+
+#: Per-worker attachment memo: segment name -> (SharedMemory, Trace).
+#: Plain dict used as an LRU via pop/re-insert, like the runner's trace memo.
+_ATTACH_MEMO: Dict[str, Tuple[object, Trace]] = {}
+_ATTACH_MEMO_MAX = 16
+
+
+def _release_attachments() -> None:
+    """Drop every memoised attachment (test isolation)."""
+    while _ATTACH_MEMO:
+        _, (segment, trace) = _ATTACH_MEMO.popitem()
+        del trace
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views still exported
+            pass
+
+
+class SegmentRegistry:
+    """The parent-side table of published segments, with refcounted reuse.
+
+    One registry per :class:`~repro.sim.runner.SweepRunner`.  Segments are
+    keyed by the same identity ``resolve_trace`` uses (spec fields, or
+    content digest for inline traces), so every job of a sweep that names
+    the same trace shares one segment.  Capacity-bounded: publishing the
+    ``capacity+1``-th distinct trace unlinks the least recently used
+    segment — in-flight jobs still holding its ref attach-fail and fall
+    back to their spec, so eviction is always safe, just slower.
+
+    Attributes:
+        published: distinct segments ever published by this registry.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self.published = 0
+        self._segments: Dict[object, Tuple[SharedTraceRef, object]] = {}
+        self._sequence = 0
+
+    def lookup(self, key) -> Optional[SharedTraceRef]:
+        """The live ref for ``key``, or None; refreshes LRU order."""
+        entry = self._segments.pop(key, None)
+        if entry is None:
+            return None
+        self._segments[key] = entry
+        return entry[0]
+
+    def publish(self, key, trace: Trace, fallback=None) -> Optional[SharedTraceRef]:
+        """Copy ``trace``'s columns into a fresh segment and return its ref.
+
+        Returns None when shared memory is unavailable or segment creation
+        fails (counted in ``shm_publish_failures``); the caller ships the
+        trace the classic way.
+        """
+        if not shm_available():
+            return None
+        existing = self.lookup(key)
+        if existing is not None:
+            return existing
+        n = len(trace)
+        name = (
+            f"{SEGMENT_PREFIX}_{os.getpid()}_{self._sequence}_"
+            f"{secrets.token_hex(4)}"
+        )
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, ROW_BYTES * n)
+            )
+        except Exception:
+            _STATS["shm_publish_failures"] += 1
+            return None
+        self._sequence += 1
+        addr_off, flag_off, end = _segment_layout(n)
+        pc_bytes, addr_bytes, flag_bytes = trace.column_bytes()
+        buf = segment.buf
+        buf[0:addr_off] = pc_bytes
+        buf[addr_off:flag_off] = addr_bytes
+        buf[flag_off:end] = flag_bytes
+        ref = SharedTraceRef(
+            segment=segment.name,
+            name=trace.name,
+            n=n,
+            memory_level_parallelism=trace.memory_level_parallelism,
+            fallback=fallback,
+        )
+        self._segments[key] = (ref, segment)
+        self.published += 1
+        _STATS["shm_published"] += 1
+        while len(self._segments) > self.capacity:
+            stale_key = next(iter(self._segments))
+            _, stale_segment = self._segments.pop(stale_key)
+            _destroy(stale_segment)
+        return ref
+
+    def release_all(self) -> None:
+        """Close and unlink every live segment (idempotent)."""
+        while self._segments:
+            _, (_, segment) = self._segments.popitem()
+            _destroy(segment)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+def _destroy(segment) -> None:
+    """Close and unlink a segment this process created."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - parent holds no exported views
+        pass
+    try:
+        segment.unlink()
+        _STATS["shm_unlinked"] += 1
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except Exception:  # pragma: no cover - platform quirks
+        pass

@@ -123,6 +123,51 @@ class TraceCache:
     def __contains__(self, spec) -> bool:
         return self._entry_path(self.key_for(spec)).is_file()
 
+    # ------------------------------------------------------- decoded streams
+    def _decoded_path(self, trace_digest: str, block_mask: int) -> Path:
+        from repro.sim.predecode import DECODE_VERSION  # deferred: cheap, avoids cycles
+
+        payload = json.dumps(
+            {
+                "version": TRACE_CACHE_VERSION,
+                "decode_version": DECODE_VERSION,
+                "trace": trace_digest,
+                "block_mask": block_mask,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self.directory / key[:2] / f"{key}.decode"
+
+    def get_decoded(self, trace_digest: str, block_mask: int) -> Optional[bytes]:
+        """The serialized pre-decode for (trace digest, block mask), or None.
+
+        Stores :meth:`repro.sim.predecode.DecodedTrace.to_bytes` payloads —
+        the configuration-invariant decode phase — so replays across
+        processes and pool restarts skip re-deriving it.  Keys mix the
+        trace's *content* digest with the decode version, so entries
+        invalidate when either the trace bytes or the decode semantics
+        change; the package source digest is deliberately not mixed in
+        (the payload depends only on the trace and the decode layout).
+        """
+        try:
+            return self._decoded_path(trace_digest, block_mask).read_bytes()
+        except OSError:
+            return None
+
+    def put_decoded(self, trace_digest: str, block_mask: int, payload: bytes) -> None:
+        """Persist a serialized pre-decode (atomically, best-effort)."""
+        try:
+            path = self._decoded_path(trace_digest, block_mask)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
     # ------------------------------------------------------------ maintenance
     def __len__(self) -> int:
         """Number of trace entries currently on disk."""

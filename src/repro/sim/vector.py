@@ -1,0 +1,36 @@
+"""Optional NumPy shim for the vectorized pre-decode path.
+
+The repo ships dependency-free: every simulation path must work on a bare
+stdlib install.  NumPy, when importable, accelerates the one genuinely
+array-shaped computation in the project — the configuration-invariant
+pre-decode pass in :mod:`repro.sim.predecode` — but the stdlib builder
+produces bit-identical output, so nothing anywhere may *require* it.
+
+All NumPy access goes through :func:`numpy_or_none` so there is exactly one
+import site to gate.  Setting ``REPRO_NO_NUMPY=1`` in the environment
+disables the fast path even when NumPy is installed, which is how the
+fallback tests and the CI matrix pin the stdlib builder deliberately.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: True when NumPy imported and the environment does not veto it.
+HAVE_NUMPY = _numpy is not None and os.environ.get("REPRO_NO_NUMPY") != "1"
+
+
+def numpy_or_none():
+    """The ``numpy`` module when the fast path is enabled, else None.
+
+    Re-reads ``REPRO_NO_NUMPY`` on every call so tests can flip the veto
+    with ``monkeypatch.setenv`` without reloading modules.
+    """
+    if _numpy is None or os.environ.get("REPRO_NO_NUMPY") == "1":
+        return None
+    return _numpy

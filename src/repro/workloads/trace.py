@@ -281,6 +281,20 @@ class Trace:
             self._flags.tobytes(),
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Total size of the three column buffers in bytes (17 per row).
+
+        This is the payload a pickled trace ships across a process
+        boundary (plus a ~fixed header), and the size of the shared-memory
+        segment the zero-copy transport publishes instead.
+        """
+        return (
+            len(self._pc) * self._pc.itemsize
+            + len(self._address) * self._address.itemsize
+            + len(self._flags) * self._flags.itemsize
+        )
+
     # ------------------------------------------------------------ sequence API
     def __len__(self) -> int:
         return len(self._pc)

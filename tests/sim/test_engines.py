@@ -72,7 +72,7 @@ def _build_setups(system, kind):
 
 class TestRegistry:
     def test_builtin_engines_are_listed(self):
-        assert available_engines() == ["columnar", "reference"]
+        assert available_engines() == ["columnar", "columnar-scalar", "reference"]
         assert DEFAULT_ENGINE == "columnar"
 
     def test_get_engine_resolves_names_instances_and_default(self):
@@ -133,7 +133,7 @@ class TestEquivalence:
     )
     def test_engines_are_bit_identical(self, system, trace, kind, interval, warmup):
         results = {}
-        for engine in ("reference", "columnar"):
+        for engine in ("reference", "columnar-scalar", "columnar"):
             d_setup, i_setup = _build_setups(system, kind)
             results[engine] = Simulator(system, engine=engine).run(
                 trace,
@@ -142,6 +142,7 @@ class TestEquivalence:
                 interval_instructions=interval,
                 warmup_instructions=warmup,
             ).to_dict()
+        assert results["reference"] == results["columnar-scalar"]
         assert results["reference"] == results["columnar"]
 
     def test_run_level_engine_override_beats_simulator_default(self, system, trace):

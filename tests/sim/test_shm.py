@@ -1,0 +1,296 @@
+"""Tests for the zero-copy shared-memory trace transport (repro.sim.shm).
+
+Covers the segment round-trip, the runner integration (pool jobs ship
+:class:`SharedTraceRef` instead of trace bytes, under both fork and spawn),
+every documented fallback path (no shared memory, publish failure, evicted
+segment), the registry's LRU/unlink lifecycle, and the pool-rebuild
+leak regression fixed alongside the transport.
+"""
+
+import dataclasses
+import gc
+import glob
+import multiprocessing
+import os
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.sim import shm
+from repro.sim.runner import (
+    L1SetupSpec,
+    SimJob,
+    StrategySpec,
+    SweepRunner,
+    TraceSpec,
+    resolve_trace,
+)
+from repro.sim.shm import SegmentRegistry, SharedTraceRef, attach_trace
+
+pytestmark = [
+    pytest.mark.skipif(
+        not shm.shm_available(), reason="multiprocessing.shared_memory unavailable"
+    ),
+    # Tests that rebuild a Trace over a segment keep its memoryviews alive
+    # past the test-side release; the mapping's __del__ then raises a
+    # benign BufferError ("exported pointers exist") that pytest reports
+    # as an unraisable warning.  Process exit reclaims the mapping either
+    # way — exactly the documented eviction behaviour in repro.sim.shm.
+    pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning"),
+]
+
+_SYSTEM = SystemConfig()
+
+
+def _ladder_jobs(n_instructions=3_000):
+    """A baseline plus the selective-sets ladder over one small trace."""
+    from repro.resizing.selective_sets import SelectiveSets
+
+    trace = TraceSpec("m88ksim", n_instructions)
+    organization = SelectiveSets(_SYSTEM.l1d)
+    jobs = [SimJob(trace=trace, system=_SYSTEM, interval_instructions=500)]
+    for config in organization.ladder():
+        jobs.append(
+            SimJob(
+                trace=trace,
+                system=_SYSTEM,
+                d_setup=L1SetupSpec(
+                    organization=organization.name,
+                    strategy=StrategySpec.static(config),
+                ),
+                interval_instructions=500,
+            )
+        )
+    return jobs
+
+
+def _live_segments():
+    """Names of this process's repro_* segments currently in /dev/shm.
+
+    Collects garbage first: a runner some earlier test dropped without
+    closing sits in a reference cycle (runner <-> futures), so its
+    ``weakref.finalize`` backstop — which unlinks its segments — only
+    fires on a cyclic-GC pass.  Forcing that pass here keeps foreign
+    segments from nondeterministically polluting this file's leak checks.
+    """
+    gc.collect()
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}_{os.getpid()}_*")
+    )
+
+
+def results_equal(a, b) -> bool:
+    return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestSegmentRoundTrip:
+    def test_publish_attach_rebuilds_trace_bit_identically(self):
+        trace = TraceSpec("gcc", 2_000).materialize()
+        registry = SegmentRegistry()
+        try:
+            ref = registry.publish(("k",), trace)
+            assert ref is not None
+            assert ref.n == len(trace)
+            assert ref.name == trace.name
+            rebuilt = attach_trace(ref)
+            assert rebuilt is not None
+            assert rebuilt.records == trace.records
+            assert rebuilt.memory_level_parallelism == trace.memory_level_parallelism
+            assert rebuilt.content_digest() == trace.content_digest()
+        finally:
+            shm._release_attachments()
+            registry.release_all()
+
+    def test_publish_reuses_segment_per_key(self):
+        trace = TraceSpec("gcc", 1_500).materialize()
+        registry = SegmentRegistry()
+        try:
+            first = registry.publish(("k",), trace)
+            second = registry.publish(("k",), trace)
+            assert first is second
+            assert registry.published == 1
+            assert len(registry) == 1
+        finally:
+            registry.release_all()
+
+    def test_attach_memo_reuses_mapping(self):
+        trace = TraceSpec("gcc", 1_500).materialize()
+        registry = SegmentRegistry()
+        shm.reset_stats()
+        try:
+            ref = registry.publish(("k",), trace)
+            first = attach_trace(ref)
+            second = attach_trace(ref)
+            assert first is second
+            snapshot = shm.stats_snapshot()
+            assert snapshot["shm_attached"] == 1
+            assert snapshot["shm_attach_reuses"] == 1
+        finally:
+            shm._release_attachments()
+            registry.release_all()
+
+    def test_release_all_unlinks_segments(self):
+        trace = TraceSpec("gcc", 1_500).materialize()
+        registry = SegmentRegistry()
+        ref = registry.publish(("k",), trace)
+        assert ref.segment in _live_segments()
+        registry.release_all()
+        assert _live_segments() == []
+        registry.release_all()  # idempotent
+
+    def test_lru_eviction_unlinks_oldest_segment(self):
+        registry = SegmentRegistry(capacity=1)
+        a = TraceSpec("gcc", 1_200).materialize()
+        b = TraceSpec("compress", 1_200).materialize()
+        try:
+            ref_a = registry.publish(("a",), a)
+            ref_b = registry.publish(("b",), b)
+            assert len(registry) == 1
+            assert registry.lookup(("a",)) is None
+            assert registry.lookup(("b",)) is ref_b
+            # The evicted segment is gone: attaching its stale ref fails...
+            assert attach_trace(ref_a) is None
+            # ...but a ref carrying a fallback spec still resolves.
+            stale = SharedTraceRef(
+                segment=ref_a.segment, name=a.name, n=len(a),
+                fallback=TraceSpec("gcc", 1_200),
+            )
+            assert resolve_trace(stale).records == a.records
+        finally:
+            shm._release_attachments()
+            registry.release_all()
+
+    def test_stale_ref_without_fallback_raises(self):
+        ref = SharedTraceRef(segment="repro_0_0_deadbeef", name="ghost", n=10)
+        with pytest.raises(SimulationError, match="gone"):
+            resolve_trace(ref)
+
+
+class TestTransportFallbacks:
+    def test_publish_declines_without_shared_memory(self, monkeypatch):
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        registry = SegmentRegistry()
+        trace = TraceSpec("gcc", 1_200).materialize()
+        assert registry.publish(("k",), trace) is None
+        assert registry.published == 0
+
+    def test_attach_declines_without_shared_memory(self, monkeypatch):
+        ref = SharedTraceRef(segment="repro_0_0_deadbeef", name="x", n=10)
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        assert attach_trace(ref) is None
+
+    def test_runner_falls_back_to_pickle_transport(self, monkeypatch):
+        # With shared memory monkeypatched away the sweep must still run —
+        # inline traces then cross the pool boundary by value and are
+        # counted in trace_bytes_pickled.
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        trace = TraceSpec("gcc", 2_000).materialize()
+        jobs = [
+            SimJob(trace=trace, system=_SYSTEM, interval_instructions=500),
+            SimJob(
+                trace=trace,
+                system=_SYSTEM,
+                d_setup=L1SetupSpec(organization="selective-sets"),
+                interval_instructions=500,
+            ),
+        ]
+        serial = SweepRunner(jobs=1).run(jobs)
+        with SweepRunner(jobs=2) as runner:
+            parallel = runner.run(jobs)
+            assert runner.shm_segments == 0
+            assert runner.trace_bytes_pickled == 2 * trace.nbytes
+        for left, right in zip(serial, parallel):
+            assert results_equal(left, right)
+
+    def test_publish_failure_counts_and_falls_back(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise OSError("no space on /dev/shm")
+
+        monkeypatch.setattr(shm._shared_memory, "SharedMemory", explode)
+        shm.reset_stats()
+        registry = SegmentRegistry()
+        trace = TraceSpec("gcc", 1_200).materialize()
+        assert registry.publish(("k",), trace) is None
+        assert shm.stats_snapshot()["shm_publish_failures"] == 1
+
+
+class TestRunnerTransport:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_parallel_equals_serial_zero_copy(self, start_method):
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} start method unavailable")
+        jobs = _ladder_jobs()
+        serial = SweepRunner(jobs=1).run(jobs)
+        with SweepRunner(jobs=2, mp_start_method=start_method) as runner:
+            parallel = runner.run(jobs)
+            # One distinct trace -> one segment; no trace bytes pickled and
+            # no worker ever re-materialised the trace from its spec.
+            assert runner.shm_segments == 1
+            assert runner.trace_bytes_pickled == 0
+            assert runner.worker_stats.get("trace_memo_reads", 0) == 0
+            assert runner.worker_stats.get("shm_attached", 0) >= 1
+        assert len(serial) == len(parallel) == len(jobs)
+        for left, right in zip(serial, parallel):
+            assert results_equal(left, right)
+        assert _live_segments() == []
+
+    def test_close_unlinks_segments_and_runner_stays_usable(self):
+        jobs = _ladder_jobs(2_000)[:3]
+        runner = SweepRunner(jobs=2)
+        try:
+            first = runner.run(jobs)
+            assert runner.shm_segments == 1
+            assert _live_segments() != []
+            runner.close()
+            assert _live_segments() == []
+            # A later batch of *new* jobs (identical ones are served from
+            # the in-memory future memo without simulating) republishes
+            # into a fresh pool.
+            runner.run(_ladder_jobs(2_500)[:3])
+            assert runner.shm_segments == 2
+            assert first == runner.run(jobs)  # memo-served, still intact
+        finally:
+            runner.close()
+        assert _live_segments() == []
+
+    def test_pool_rebuild_joins_old_workers_and_keeps_segments(self):
+        # Regression: registering an organization mid-life rebuilds the
+        # pool; the rebuild must JOIN the old workers (no zombie processes)
+        # while leaving published segments live for the successor pool.
+        jobs = _ladder_jobs(2_000)[:3]
+        with SweepRunner(jobs=2) as runner:
+            runner.run(jobs)
+            assert runner.shm_segments == 1
+            first_segments = _live_segments()
+            old_pool = runner._pool
+            assert old_pool is not None
+            before = len(multiprocessing.active_children())
+            # Force a stale registry snapshot instead of registering a
+            # real organization: registrations are process-global and a
+            # test-local class would poison later spawn-pool pickling.
+            runner._pool_registry = dict(runner._pool_registry, stale=object)
+            # Fresh jobs: identical ones are memo-served without touching
+            # the pool, and a fused batch over the same trace reuses its
+            # already-published segment.
+            results = runner.run(_ladder_jobs(2_200)[:3])
+            assert runner._pool is not old_pool
+            # The old pool's workers were terminated AND joined: worker
+            # count did not grow across the rebuild.
+            assert len(multiprocessing.active_children()) <= before
+            # The first batch's segments survived the rebuild, live
+            # alongside the new batch's.
+            assert set(first_segments) <= set(_live_segments())
+            assert len(results) == 3
+        assert _live_segments() == []
+
+    def test_finalizer_backstop_releases_segments(self):
+        jobs = _ladder_jobs(2_000)[:2]
+        runner = SweepRunner(jobs=2)
+        runner.run(jobs)
+        assert _live_segments() != []
+        finalizer = runner._segments_finalizer
+        del runner
+        finalizer()  # what gc / interpreter exit would invoke
+        assert _live_segments() == []
