@@ -77,8 +77,9 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.common.atomicio import atomic_write_json
 from repro.sim.jobcache import JobCache
-from repro.sim.runner import SweepRunner, set_trace_cache
+from repro.sim.runner import RetryPolicy, SweepRunner, get_trace_cache, set_trace_cache
 from repro.workloads.profiles import get_profile
 
 #: Experiment registry: name -> module with run() returning a result object
@@ -168,7 +169,30 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         )
         sub.add_argument(
             "--output", default=None,
-            help="also write every experiment's rows to this JSON file",
+            help="also write every experiment's rows to this JSON file "
+                 "(written atomically: readers never observe a torn file)",
+        )
+        sub.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted run: report the previous attempt's "
+                 "checkpoint manifest (<cache-dir>/checkpoint.json), then "
+                 "replay the job graph against the job cache so only the "
+                 "residue — jobs that had not completed — is simulated.  "
+                 "Results are byte-identical to an uninterrupted run.  "
+                 "Requires the cache (incompatible with --no-cache)",
+        )
+        sub.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-job wall-clock budget; a job over budget has its "
+                 "worker killed and is retried like any transient failure "
+                 "(default: no timeout).  Only enforced with --jobs > 1",
+        )
+        sub.add_argument(
+            "--job-retries", type=int, default=2, metavar="N",
+            help="re-dispatches allowed per job after transient failures — "
+                 "worker death, timeout, trace-transport loss (default: 2); "
+                 "0 disables retries; a job exhausting its budget is "
+                 "quarantined and reported while its batch siblings finish",
         )
         sub.add_argument(
             "--profile", action="store_true",
@@ -179,11 +203,12 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         )
         sub.add_argument(
             "--stats", action="store_true",
-            help="also print the transport/decode counter line after the "
-                 "run summary: shared-memory segments published, trace "
-                 "bytes pickled to the pool, dedup hits, and the decode "
-                 "memo / segment-attach counters aggregated from the "
-                 "workers",
+            help="also print the transport/decode and resilience counter "
+                 "lines after the run summary: shared-memory segments "
+                 "published, trace bytes pickled to the pool, dedup hits, "
+                 "the decode memo / segment-attach counters aggregated from "
+                 "the workers, plus retries, timeouts, worker deaths, "
+                 "quarantined jobs and self-healed corrupt cache entries",
         )
 
     run_figure = subparsers.add_parser(
@@ -298,18 +323,43 @@ def parse_trace_files(entries: List[str]) -> Dict[str, str]:
     return trace_files
 
 
+def checkpoint_path_for(cache_dir: str) -> str:
+    """Where a run's progress manifest lives (beside the job cache)."""
+    return os.path.join(cache_dir, "checkpoint.json")
+
+
 def build_context(args: argparse.Namespace) -> ExperimentContext:
     """Build the experiment context (runner, caches, applications) for a run."""
     if args.no_cache:
+        if getattr(args, "resume", False):
+            raise ConfigurationError(
+                "--resume needs the job cache (it replays the job graph "
+                "against completed entries); it cannot be combined with "
+                "--no-cache"
+            )
         cache = None
         # Clear any process-level trace memo too: --no-cache means *no*
         # on-disk state is consulted or written, traces included.
         set_trace_cache(None)
         trace_cache = None
+        checkpoint = None
     else:
         cache = JobCache(args.cache_dir)
         trace_cache = os.path.join(args.cache_dir, "traces")
-    runner = SweepRunner(jobs=args.jobs, cache=cache, trace_cache=trace_cache)
+        checkpoint = checkpoint_path_for(args.cache_dir)
+    if args.job_retries < 0:
+        raise ConfigurationError(f"--job-retries must be >= 0, got {args.job_retries}")
+    retry_policy = RetryPolicy(
+        max_attempts=args.job_retries + 1,
+        job_timeout=args.job_timeout,
+    )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        trace_cache=trace_cache,
+        retry_policy=retry_policy,
+        checkpoint_path=checkpoint,
+    )
     trace_files = parse_trace_files(args.trace_file)
     applications = None
     if args.applications:
@@ -495,6 +545,50 @@ def list_output() -> str:
     return "\n".join(lines)
 
 
+def resume_note(args: argparse.Namespace) -> Optional[str]:
+    """The ``--resume`` banner: what the interrupted attempt had finished.
+
+    The manifest is informational — resume *correctness* comes from the job
+    cache (completed jobs replay as cache hits, only the residue
+    simulates) — so a missing or unreadable manifest degrades to a note,
+    never an error.
+    """
+    if not getattr(args, "resume", False):
+        return None
+    path = checkpoint_path_for(args.cache_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return (
+            f"resume: no checkpoint manifest at {path}; replaying the job "
+            f"graph against the cache from scratch"
+        )
+    status = "completed" if manifest.get("done") else "interrupted"
+    return (
+        f"resume: previous run ({status}) had simulated "
+        f"{manifest.get('simulated', 0)} job(s) with {manifest.get('cache_hits', 0)} "
+        f"cache hit(s), {manifest.get('pending', 0)} pending and "
+        f"{manifest.get('deferred', 0)} deferred at its last checkpoint; "
+        f"completed jobs replay from cache, only the residue simulates"
+    )
+
+
+def resilience_stats_line(runner: SweepRunner) -> str:
+    """The fault-tolerance counter line printed with ``--stats``."""
+    corrupt = 0
+    if runner.cache is not None:
+        corrupt += runner.cache.corrupt_entries
+    trace_cache = get_trace_cache()
+    if trace_cache is not None:
+        corrupt += trace_cache.corrupt_entries
+    return (
+        f"resilience: {runner.retries} retrie(s), {runner.timeouts} timeout(s), "
+        f"{runner.worker_deaths} worker death(s), {len(runner.quarantined)} "
+        f"quarantined job(s), {corrupt} corrupt cache entr(ies) self-healed"
+    )
+
+
 def transport_stats_line(runner: SweepRunner) -> str:
     """The ``--stats`` counter line for a drained runner.
 
@@ -570,6 +664,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     context = None
     try:
         context = build_context(args)
+        note = resume_note(args)
+        if note is not None:
+            print(note)
 
         def execute() -> Dict[str, object]:
             if args.command == "run-spec":
@@ -587,6 +684,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Graceful Ctrl-C: the runner already killed and reaped its pool and
+        # unlinked every shared-memory segment (drain's interrupt handler);
+        # the job cache holds every completed job, written atomically.  One
+        # summary line, no traceback, and the conventional 128+SIGINT code.
+        runner = context.runner if context is not None else None
+        if runner is not None:
+            print(
+                f"\ninterrupted: {runner.simulate_count} simulated, "
+                f"{runner.cache_hits} served from cache; completed jobs are "
+                f"persisted — rerun with --resume to simulate only the rest",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted before any simulation started", file=sys.stderr)
+        return 130
     finally:
         # Unlink every published shared-memory segment (and join any pool)
         # even when the evaluation errors out, so no /dev/shm space
@@ -611,12 +724,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.stats:
         print(transport_stats_line(runner))
+        print(resilience_stats_line(runner))
+    if runner.quarantined:
+        print(
+            f"warning: {len(runner.quarantined)} job(s) quarantined after "
+            f"exhausting their retry budget (see --stats)",
+            file=sys.stderr,
+        )
 
     if args.output:
         payload = {name: result.rows() for name, result in results.items()}
         try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
+            atomic_write_json(args.output, payload, indent=2, sort_keys=True)
         except OSError as exc:
             print(f"error: cannot write --output {args.output}: {exc}", file=sys.stderr)
             return 2

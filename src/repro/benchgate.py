@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.common.atomicio import atomic_write_text
 from repro.common.errors import ReproError
 
 #: Baseline file schema version.
@@ -133,9 +134,9 @@ def write_baseline(path: Union[str, Path], means: Dict[str, float]) -> None:
         "benchmarks": {name: round(mean, 6) for name, mean in sorted(means.items())},
     }
     try:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        # Atomic rename: a crash mid-update can never leave the committed
+        # baseline torn (the perf gate would reject the whole CI run).
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     except OSError as exc:
         raise BenchGateError(f"cannot write baseline {path}: {exc}") from exc
 

@@ -63,3 +63,36 @@ class TraceFormatError(WorkloadError):
 
 class SimulationError(ReproError):
     """Raised when a simulation cannot proceed (e.g. empty workload)."""
+
+
+class TransientJobError(SimulationError):
+    """A job failure caused by the *execution environment*, not the job.
+
+    The :class:`~repro.sim.runner.RetryPolicy` retries exactly this class
+    (and its subclasses below): the failure is expected to clear on a fresh
+    attempt because nothing about the job spec caused it.  Deterministic
+    failures — a malformed spec, an unknown organization, an empty trace —
+    stay plain :class:`SimulationError`\\ s and are never retried: they
+    would fail identically every time.
+    """
+
+
+class WorkerCrashError(TransientJobError):
+    """A pool worker died (segfault, OOM kill, SIGKILL) mid-job.
+
+    Synthesized by the parent when a worker's process sentinel fires
+    without a result; the job itself may be perfectly fine and is retried
+    on a respawned worker.
+    """
+
+
+class JobTimeoutError(TransientJobError):
+    """A job exceeded its per-job wall-clock budget and its worker was
+    killed.  Retried (the hang may have been environmental); a job that
+    times out on every attempt is quarantined."""
+
+
+class TraceTransportError(TransientJobError):
+    """The shared-memory trace transport failed with no fallback available
+    (segment gone and the ref carries no spec).  A retry re-publishes the
+    segment from the parent, so the next attempt can attach again."""

@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the sweep execution stack.
+
+The fault-tolerance layer (worker-death containment, per-job timeouts,
+retries, checksummed caches) is only trustworthy if its failure paths are
+exercised on demand, repeatably, in CI.  This module provides that: a
+*fault plan* names exactly which injection points fire and on which
+occurrence, everything else runs untouched, and — because every failure
+path in the stack degrades to a clean retry or a cache miss — any plan
+must produce results **byte-identical** to a clean run (pinned by
+``tests/sim/test_faults.py`` and the CI ``chaos`` job).
+
+Plan grammar (``REPRO_FAULT_PLAN`` or :func:`install_plan`)::
+
+    plan   := fault (';' fault)*
+    fault  := kind ':' ordinal_key '=' N (',' arg '=' value)*
+
+    worker_crash:job=3          # the 3rd pool dispatch hard-exits its worker
+    hang:job=7,seconds=120      # the 7th dispatch sleeps 120s before running
+    shm_publish_fail:segment=1  # the 1st segment publish declines
+    shm_attach_fail:attach=2    # the 2nd worker attach declines (falls back)
+    cache_corrupt:shard=2       # the 2nd job-cache write lands torn on disk
+    trace_corrupt:entry=1       # the 1st trace-cache write lands torn
+
+The ordinal key's *name* is documentation only (``job=3`` reads better than
+``n=3``); what matters is the value: each kind keeps its own occurrence
+counter in the process that owns the injection point, and the fault fires
+when the counter reaches the ordinal.  Counters are deterministic because
+every counted event is: pool dispatches are counted in the parent in
+dispatch order (retries included), cache writes and shm publishes in
+whichever process performs them.
+
+Scope and transport: the parent process loads the plan lazily from
+``REPRO_FAULT_PLAN`` (or takes one via :func:`install_plan`), and the
+runner ships the plan *text* to pool workers through the worker
+initializer, so spawn workers — which never inherit parent state — arm the
+same plan with fresh counters.  ``worker_crash``/``hang`` are decided in
+the parent and ride the dispatched task as a one-shot
+:class:`FaultDirective`: deciding them worker-side would re-fire the same
+ordinal on the respawned worker and livelock the retry loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Exit code a ``worker_crash`` directive dies with (distinguishable from
+#: signal deaths and clean exits in the crash event's diagnostics).
+CRASH_EXIT_CODE = 87
+
+#: Injection-point kinds, with the process that counts them.
+KINDS = {
+    "worker_crash": "parent (per pool dispatch)",
+    "hang": "parent (per pool dispatch)",
+    "shm_publish_fail": "parent (per segment publish)",
+    "shm_attach_fail": "worker (per segment attach)",
+    "cache_corrupt": "writer (per job-cache write)",
+    "trace_corrupt": "writer (per trace-cache write)",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: fire ``kind`` on its ``ordinal``-th occurrence."""
+
+    kind: str
+    ordinal: int
+    args: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Sleep length for ``hang`` faults (default: 3600, i.e. wedge until
+        the per-job timeout kills the worker — or forever without one)."""
+        return float(self.args.get("seconds", 3600.0))
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """A one-shot, picklable fault decision attached to a dispatched task.
+
+    ``kind`` is ``"crash"`` or ``"hang"``.  Executed at worker entry by
+    :func:`execute_directive`; the parent attaches at most one per
+    dispatch, so a retried job gets a fresh (usually empty) decision.
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+class FaultPlan:
+    """A parsed plan plus this process's per-kind occurrence counters."""
+
+    def __init__(self, specs: List[FaultSpec], text: str) -> None:
+        self.text = text
+        self._by_kind: Dict[str, List[FaultSpec]] = {}
+        for spec in specs:
+            self._by_kind.setdefault(spec.kind, []).append(spec)
+        self._counters: Dict[str, int] = {}
+
+    def fire(self, kind: str) -> Optional[FaultSpec]:
+        """Count one occurrence of ``kind``; the spec to execute, or None."""
+        count = self._counters.get(kind, 0) + 1
+        self._counters[kind] = count
+        for spec in self._by_kind.get(kind, ()):
+            if spec.ordinal == count:
+                return spec
+        return None
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.text!r})"
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse the plan grammar; raises :class:`ConfigurationError` on any
+    malformed clause so a typo'd plan fails loudly instead of silently
+    testing nothing."""
+    specs: List[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, sep, rest = clause.partition(":")
+        kind = kind.strip()
+        if not sep or kind not in KINDS:
+            known = ", ".join(sorted(KINDS))
+            raise ConfigurationError(
+                f"bad fault clause {clause!r}: expected '<kind>:<key>=<N>[,arg=value]' "
+                f"with kind one of: {known}"
+            )
+        ordinal: Optional[int] = None
+        args: Dict[str, str] = {}
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not key or not value:
+                raise ConfigurationError(f"bad fault argument {pair!r} in clause {clause!r}")
+            if ordinal is None and key != "seconds":
+                # The first non-reserved key is the ordinal, whatever it is
+                # named (job=3, shard=2, attach=1 — see the module docs).
+                try:
+                    ordinal = int(value)
+                except ValueError:
+                    ordinal = -1
+                if ordinal < 1:
+                    raise ConfigurationError(
+                        f"fault ordinal must be a positive integer, got {pair!r}"
+                    )
+            else:
+                args[key] = value
+        if ordinal is None:
+            raise ConfigurationError(f"fault clause {clause!r} names no ordinal (e.g. job=3)")
+        specs.append(FaultSpec(kind=kind, ordinal=ordinal, args=args))
+    return FaultPlan(specs, text)
+
+
+# ---------------------------------------------------------------------------
+# Process-global plan state
+# ---------------------------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+#: Whether this process has resolved its plan yet (lazy, so spawn workers
+#: read REPRO_FAULT_PLAN on first use rather than at import time).
+_LOADED = False
+
+
+def install_plan(plan: "Optional[FaultPlan | str]") -> Optional[FaultPlan]:
+    """Install ``plan`` (a :class:`FaultPlan`, plan text, or None to clear)
+    as this process's active plan, resetting its occurrence counters."""
+    global _PLAN, _LOADED
+    if isinstance(plan, str):
+        plan = parse_plan(plan) if plan.strip() else None
+    elif isinstance(plan, FaultPlan):
+        # Fresh counters: re-installing a plan re-arms it from occurrence 1.
+        plan = FaultPlan([s for specs in plan._by_kind.values() for s in specs], plan.text)
+    _PLAN = plan
+    _LOADED = True
+    return _PLAN
+
+
+def reset() -> None:
+    """Forget the active plan AND the lazy-load latch (test isolation):
+    the next :func:`active_plan` call re-reads ``REPRO_FAULT_PLAN``."""
+    global _PLAN, _LOADED
+    _PLAN = None
+    _LOADED = False
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """This process's plan, lazily loaded from ``REPRO_FAULT_PLAN``."""
+    global _LOADED
+    if not _LOADED:
+        text = os.environ.get("REPRO_FAULT_PLAN", "")
+        install_plan(text)
+    return _PLAN
+
+
+def plan_text() -> Optional[str]:
+    """The active plan's source text (for shipping to pool workers)."""
+    plan = active_plan()
+    return None if plan is None else plan.text
+
+
+def fire(kind: str) -> Optional[FaultSpec]:
+    """Count one occurrence of ``kind`` against the active plan.
+
+    The no-plan path is a dict lookup and a None check — cheap enough to
+    sit permanently on the cache-write and shm hot paths.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(kind)
+
+
+# ---------------------------------------------------------------------------
+# Directive execution (worker side)
+# ---------------------------------------------------------------------------
+
+
+def directive_for_dispatch() -> Optional[FaultDirective]:
+    """The parent-side fault decision for the next pool dispatch, if any.
+
+    Counts one ``worker_crash`` and one ``hang`` occurrence per call (each
+    kind has its own counter, so plans may combine them freely).
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    crash = plan.fire("worker_crash")
+    hang = plan.fire("hang")
+    if crash is not None:
+        return FaultDirective(kind="crash")
+    if hang is not None:
+        return FaultDirective(kind="hang", seconds=hang.seconds)
+    return None
+
+
+def execute_directive(directive: Optional[FaultDirective]) -> None:
+    """Apply a dispatched directive at worker entry.
+
+    ``crash`` hard-exits the process — :func:`os._exit` so no ``finally``
+    blocks, no atexit handlers, no pickled goodbye: exactly a segfault's
+    signature as seen from the parent.  ``hang`` sleeps, then lets the job
+    run normally (a timed-out worker never reaches that point: the parent
+    SIGKILLs it).
+    """
+    if directive is None:
+        return
+    if directive.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if directive.kind == "hang":
+        time.sleep(directive.seconds)
+
+
+def corrupt_bytes(data: bytes) -> bytes:
+    """The torn-write stand-in: the first half of ``data``.
+
+    Truncation (rather than bit flips) is what a crashed non-atomic writer
+    actually leaves behind, and it defeats both framing and checksum, so
+    one corruption shape exercises every validation layer.
+    """
+    return data[: len(data) // 2]

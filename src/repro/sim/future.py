@@ -17,7 +17,10 @@ A future resolves in one of three ways:
   submitted to this runner — duplicate submissions share one future);
 * **from a batch** the runner executed;
 * **as a failure**, when the job raised in a worker (the worker traceback
-  is preserved) or a dependency it was deferred on failed.
+  is preserved), its retry budget ran out (worker deaths, timeouts and
+  other transient failures are retried per the runner's
+  :class:`~repro.sim.runner.RetryPolicy` before the future fails — see
+  :attr:`SimFuture.attempts`), or a dependency it was deferred on failed.
 
 Deferred jobs (:meth:`SweepRunner.submit_deferred`) do not even exist as
 :class:`repro.sim.runner.SimJob` specs yet: they carry a builder callable
@@ -54,7 +57,9 @@ class SimFuture:
     fast path.
     """
 
-    __slots__ = ("_runner", "_state", "_value", "_error", "_worker_traceback", "label")
+    __slots__ = (
+        "_runner", "_state", "_value", "_error", "_worker_traceback", "label", "attempts",
+    )
 
     def __init__(self, runner: "SweepRunner", label: str = "") -> None:
         self._runner = runner
@@ -63,6 +68,10 @@ class SimFuture:
         self._error: Optional[BaseException] = None
         self._worker_traceback: Optional[str] = None
         self.label = label
+        #: Executions the job consumed before this future settled: 1 for
+        #: the common case, >1 when transient failures were retried, and
+        #: the exhausted budget for a quarantined job's failure.
+        self.attempts = 1
 
     # ------------------------------------------------------------------ state
     def done(self) -> bool:
@@ -113,13 +122,20 @@ class SimFuture:
         self._state = RESOLVED
         self._value = value
 
-    def _fail(self, error: BaseException, worker_traceback: Optional[str] = None) -> None:
+    def _fail(
+        self,
+        error: BaseException,
+        worker_traceback: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
         if self._state != PENDING:
             raise SimulationError("future resolved twice")
         self._state = FAILED
         self._error = error
         self._worker_traceback = worker_traceback
+        self.attempts = attempts
 
     def __repr__(self) -> str:
         label = f" {self.label!r}" if self.label else ""
-        return f"SimFuture({self._state}{label})"
+        retries = f" attempts={self.attempts}" if self.attempts > 1 else ""
+        return f"SimFuture({self._state}{label}{retries})"

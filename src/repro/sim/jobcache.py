@@ -20,25 +20,35 @@ full paper reproduction does not put thousands of files into one directory)::
 
 Each entry file contains the format version, the fingerprint, a small
 human-readable description of the job (workload, cache setups) for
-debugging, and the full result.  Writes go through a per-process temporary
-file followed by an atomic :func:`os.replace`, so concurrent workers (or
-concurrent sweep processes sharing one cache directory) can never observe a
-half-written entry — the worst case is both simulating the same job and one
-harmlessly overwriting the other with an identical payload.
+debugging, the full result, and a SHA-256 checksum over all of the above.
+Writes go through a per-process temporary file followed by an atomic
+:func:`os.replace` (see :mod:`repro.common.atomicio`), so concurrent
+workers (or concurrent sweep processes sharing one cache directory) can
+never observe a half-written entry — the worst case is both simulating the
+same job and one harmlessly overwriting the other with an identical
+payload.  The checksum guards against corruption rename atomicity cannot:
+bit rot, a crashed writer on a filesystem without atomic rename, an
+injected ``cache_corrupt`` fault.  A corrupt entry *self-heals*: the read
+counts it (:attr:`JobCache.corrupt_entries`), deletes the file, and
+reports a miss — the job re-simulates and overwrites the entry; nothing
+ever crashes on cache content.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.common.atomicio import atomic_write_json, atomic_write_text
+from repro.sim import faults
 from repro.sim.results import SimulationResult
 
 #: Bump when the fingerprint inputs or the result schema change; entries
 #: written by other versions are treated as misses.
-CACHE_FORMAT_VERSION = 1
+#: v2: entries carry a SHA-256 ``checksum`` field; corrupt entries self-heal.
+CACHE_FORMAT_VERSION = 2
 
 
 class JobCache:
@@ -47,6 +57,10 @@ class JobCache:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries encountered (and deleted) by this cache object's
+        #: reads: torn writes, bit rot, checksum mismatches.  Each counted
+        #: entry also reported a miss, so the caller re-simulated it.
+        self.corrupt_entries = 0
 
     # ------------------------------------------------------------------ paths
     def _entry_path(self, fingerprint: str) -> Path:
@@ -56,26 +70,39 @@ class JobCache:
     def get(self, fingerprint: str) -> Optional[SimulationResult]:
         """Return the cached result for ``fingerprint``, or None on a miss.
 
-        Unreadable, truncated or foreign-version entries are treated as
-        misses rather than errors: the caller simply re-simulates and
-        overwrites them.
+        Foreign-version entries are plain misses (the format moved on).
+        Unreadable, truncated, checksum-failing or otherwise corrupt
+        entries are *self-healing* misses: counted in
+        :attr:`corrupt_entries` and deleted, so the re-simulated result's
+        write restores the entry and the corruption never recurs.
         """
         path = self._entry_path(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                raw = handle.read()
+        except OSError:
+            return None  # no entry (or unreadable filesystem): a plain miss
+        try:
+            payload = json.loads(raw)
             if payload.get("version") != CACHE_FORMAT_VERSION:
                 return None
             if payload.get("fingerprint") != fingerprint:
                 return None
+            if payload.get("checksum") != self._payload_checksum(payload):
+                raise ValueError("entry checksum mismatch")
             return SimulationResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def put(
         self, fingerprint: str, result: SimulationResult, description: Optional[dict] = None
     ) -> None:
-        """Persist ``result`` under ``fingerprint`` (atomically).
+        """Persist ``result`` under ``fingerprint`` (atomically, checksummed).
 
         The cache is only a memo: a write failure (disk full, permissions)
         is swallowed so the simulation result in hand still reaches the
@@ -87,12 +114,27 @@ class JobCache:
             "job": description if description is not None else {},
             "result": result.to_dict(),
         }
+        payload["checksum"] = self._payload_checksum(payload)
         try:
             path = self._entry_path(fingerprint)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write(path, payload)
+            if faults.fire("cache_corrupt") is not None:
+                # Injected torn write: atomically land a truncated entry,
+                # exactly the damage a non-atomic writer's crash would
+                # leave.  The next read must self-heal it into a miss.
+                text = json.dumps(payload, sort_keys=True)
+                atomic_write_text(path, text[: len(text) // 2])
+                return
+            atomic_write_json(path, payload, sort_keys=True)
         except OSError:
             pass
+
+    @staticmethod
+    def _payload_checksum(payload: dict) -> str:
+        """SHA-256 over the canonical JSON of everything but the checksum."""
+        body = {key: value for key, value in payload.items() if key != "checksum"}
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def __contains__(self, fingerprint: str) -> bool:
         return self.get(fingerprint) is not None
@@ -126,14 +168,6 @@ class JobCache:
                 except OSError:
                     pass
         return removed
-
-    # -------------------------------------------------------------- internals
-    @staticmethod
-    def _atomic_write(path: Path, payload: dict) -> None:
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp, path)
 
     def __repr__(self) -> str:
         return f"JobCache({str(self.directory)!r})"

@@ -535,6 +535,10 @@ def pilot_for(trace: Trace, decoded: DecodedTrace, side: str, cache) -> Optional
 
 
 def _load_from_disk(trace: Trace, block_mask: int) -> Optional[DecodedTrace]:
+    # The trace cache verifies a checksum around every ``.decode`` entry
+    # and self-heals corrupt ones into misses; the blanket except below is
+    # the last-resort guard (a checksum-valid payload from a buggy writer),
+    # and a miss here simply rebuilds the decode.
     try:
         from repro.sim.runner import _trace_digest, get_trace_cache
 

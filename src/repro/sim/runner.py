@@ -58,14 +58,23 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 import traceback
 import weakref
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 from enum import Enum
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
+from repro.common.atomicio import atomic_write_json
 from repro.common.config import CacheGeometry, SystemConfig
-from repro.common.errors import SimulationError
+from repro.common.errors import (
+    JobTimeoutError,
+    SimulationError,
+    TraceTransportError,
+    TransientJobError,
+    WorkerCrashError,
+)
 from repro.cpu.timing import CoreTimingParameters
 from repro.energy.technology import TechnologyParameters
 from repro.resizing.dynamic_strategy import DynamicResizing
@@ -75,10 +84,11 @@ from repro.resizing.selective_sets import SelectiveSets
 from repro.resizing.selective_ways import SelectiveWays
 from repro.resizing.static_strategy import StaticResizing
 from repro.resizing.strategy import NoResizing, ResizingStrategy
-from repro.sim import predecode
+from repro.sim import faults, predecode
 from repro.sim import shm as shm_transport
 from repro.sim.future import SimFuture
 from repro.sim.jobcache import JobCache
+from repro.sim.pool import FaultTolerantPool
 from repro.sim.results import SimulationResult
 from repro.sim.shm import SharedTraceRef
 from repro.sim.simulator import L1Setup, Simulator
@@ -132,9 +142,10 @@ def register_organization(cls: Type[ResizingOrganization]) -> Type[ResizingOrgan
 def _install_worker_state(
     registry: Dict[str, Type[ResizingOrganization]],
     trace_cache_dir: Optional[str],
+    fault_plan_text: Optional[str] = None,
 ) -> None:
-    """Pool-worker initializer: adopt the parent process's registry and
-    on-disk trace cache.
+    """Pool-worker initializer: adopt the parent process's registry,
+    on-disk trace cache and fault-injection plan.
 
     Under the ``spawn``/``forkserver`` start methods a worker imports this
     module fresh and would only know the three built-in organizations;
@@ -143,10 +154,15 @@ def _install_worker_state(
     update with identical entries.  The trace cache is shipped as a
     directory path (the cache object itself holds no state worth pickling),
     so workers materialising a :class:`TraceSpec` share the parent's
-    on-disk trace memo.
+    on-disk trace memo.  The fault plan is shipped as its source *text*
+    (see :mod:`repro.sim.faults`): every worker — including respawned
+    replacements after a crash — arms the same plan with fresh occurrence
+    counters, which is what keeps injected worker-side faults
+    deterministic.
     """
     _ORGANIZATION_REGISTRY.update(registry)
     set_trace_cache(trace_cache_dir)
+    faults.install_plan(fault_plan_text)
 
 
 def organization_class(name: str) -> Type[ResizingOrganization]:
@@ -700,7 +716,10 @@ def resolve_trace(
             return attached
         if trace.fallback is not None:
             return resolve_trace(trace.fallback)
-        raise SimulationError(
+        # Transient by classification: a retry re-prepares the job in the
+        # parent, which re-publishes the segment, so the next attempt can
+        # attach again (only inline traces ship refs without a fallback).
+        raise TraceTransportError(
             f"shared-memory segment {trace.segment!r} for trace {trace.name!r} "
             f"is gone and the ref carries no fallback spec"
         )
@@ -753,30 +772,50 @@ def execute_job(job: SimJob) -> SimulationResult:
 class _JobFailure:
     """Wraps a worker-side exception so sibling results are not lost.
 
-    If a worker raised directly, ``imap_unordered`` would surface the
-    exception mid-iteration and any completed results still queued behind it
+    If a worker raised directly, the pool iteration would surface the
+    exception mid-batch and any completed results still queued behind it
     would be dropped before the runner could cache them.  The formatted
     worker traceback rides along (pickling strips ``__traceback__``) so the
-    re-raise still shows where inside the simulation the failure happened.
+    re-raise still shows where inside the simulation the failure happened;
+    parent-synthesized failures (worker death, timeout) pass ``""`` — there
+    is no worker frame to show.  ``attempts`` records how many executions
+    the retry policy spent before giving up (1 for non-retried failures).
     """
 
-    def __init__(self, error: BaseException) -> None:
+    def __init__(
+        self,
+        error: BaseException,
+        worker_traceback: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
         self.error = error
-        self.worker_traceback = traceback.format_exc()
+        if worker_traceback is None:
+            worker_traceback = traceback.format_exc()
+        self.worker_traceback = worker_traceback
+        self.attempts = attempts
 
 
-def _execute_indexed(indexed_job: "Tuple[int, Union[SimJob, LadderJob]]"):
+def _execute_indexed(indexed_job):
     """Pool entry point that tags each result with its batch position, so the
     runner can consume completions out of order.  Dispatches on the job
     kind: a :class:`LadderJob` runs the fused multi-configuration pass and
     yields a result *list*, a :class:`SimJob` a single result.
+
+    ``indexed_job`` is ``(position, job)`` — or ``(position, job,
+    directive)`` when the parent's fault plan armed this dispatch; the
+    directive executes at entry (crash or hang), *before* the stats
+    snapshot, exactly where a real segfault or wedge would strike.
 
     Returns ``(position, outcome, stats_delta)`` — the delta of this
     process's transport/decode counters across the execution, so the
     parent can aggregate worker-side behaviour (shm attaches, trace memo
     reads, decode memo hits) without sharing state between processes.
     """
-    position, job = indexed_job
+    if len(indexed_job) == 3:
+        position, job, directive = indexed_job
+        faults.execute_directive(directive)
+    else:
+        position, job = indexed_job
     before = _stats_snapshot()
     try:
         if isinstance(job, LadderJob):
@@ -792,6 +831,74 @@ def _execute_indexed(indexed_job: "Tuple[int, Union[SimJob, LadderJob]]"):
         if after[key] != before.get(key, 0)
     }
     return position, outcome, delta
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner reacts to *transient* job failures.
+
+    A job attempt that dies with a :class:`TransientJobError` — worker
+    death (:class:`WorkerCrashError`), a wall-clock timeout
+    (:class:`JobTimeoutError`), a shared-memory attach failure with no
+    fallback (:class:`TraceTransportError`) — is re-dispatched up to
+    ``max_attempts`` total executions, each retry delayed by exponential
+    backoff with *deterministic* jitter: the jitter factor is hashed from
+    the job's identity and the attempt number, so two runs of the same
+    sweep back off identically (no RNG state, nothing to seed).  Plain
+    deterministic failures (a malformed spec, an empty trace, a simulation
+    error) are never retried — they would fail identically every time.
+
+    A job that exhausts its attempts is *quarantined*: its futures fail
+    with the last transient error, the job is recorded in
+    :attr:`SweepRunner.quarantined`, and — crucially — its batch siblings
+    and dependents keep resolving; one poisoned job no longer takes a
+    drain down with it.
+
+    Args:
+        max_attempts: total executions per job (1 = no retries).
+        base_delay: backoff before the first retry, seconds.
+        max_delay: backoff ceiling, seconds.
+        job_timeout: per-job wall-clock budget, seconds; a job over budget
+            has its worker killed and counts as a transient failure.
+            None (default) disables timeouts.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    job_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise SimulationError(f"job_timeout must be positive, got {self.job_timeout}")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether to re-dispatch after ``attempt`` executions failed with
+        ``error`` (transient classes only, within the attempt budget)."""
+        return attempt < self.max_attempts and isinstance(error, TransientJobError)
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to hold back the retry after ``attempt`` failures.
+
+        Exponential in the attempt number, capped at ``max_delay``, scaled
+        by a deterministic jitter factor in [0.5, 1.0) derived from
+        ``(key, attempt)`` — so concurrent retries of *different* jobs
+        spread out while repeated runs of the *same* sweep stay
+        bit-reproducible in their scheduling decisions.
+        """
+        base = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (0.5 + 0.5 * jitter)
 
 
 # ---------------------------------------------------------------------------
@@ -854,6 +961,15 @@ class SweepRunner:
         mp_start_method: ``multiprocessing`` start method ("fork", "spawn",
             "forkserver"); None honours the ``REPRO_MP_START_METHOD``
             environment variable, then the platform default.
+        retry_policy: how transient failures (worker death, per-job
+            timeout, shm attach failure) are retried and when jobs are
+            quarantined; None uses the default :class:`RetryPolicy`
+            (3 attempts, no timeout).
+        checkpoint_path: when set, the runner periodically writes a small
+            JSON progress manifest here (atomically) while draining —
+            enough for ``--resume`` to report what a killed run had
+            completed.  None (default) disables checkpointing.
+        checkpoint_interval: minimum seconds between manifest writes.
 
     Attributes:
         simulate_count: jobs actually simulated by this runner (cache misses).
@@ -876,6 +992,15 @@ class SweepRunner:
             processes (shm attaches, trace memo reads, decode memo hits —
             see ``_stats_snapshot``), for `--stats` reporting and the
             transport's zero-copy acceptance tests.
+        retries: transient-failure re-dispatches performed (every retry of
+            every job, summed).
+        timeouts: jobs whose attempt exceeded the per-job wall-clock budget
+            (each timed-out attempt counts once; its worker was killed).
+        worker_deaths: pool workers that died mid-job (crash, OOM kill,
+            injected fault) and were replaced.
+        quarantined: jobs that exhausted their retry budget, as small
+            dicts (job description, attempts, last error); their futures
+            failed but their siblings and dependents resolved normally.
     """
 
     def __init__(
@@ -884,11 +1009,18 @@ class SweepRunner:
         cache: Optional[JobCache] = None,
         trace_cache: Union[TraceCache, str, None] = None,
         mp_start_method: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint_path: Union[str, Path, None] = None,
+        checkpoint_interval: float = 5.0,
     ) -> None:
         if jobs < 1:
             raise SimulationError(f"worker count must be at least 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
+        self.checkpoint_interval = checkpoint_interval
+        self._last_checkpoint = 0.0
         if trace_cache is not None:
             set_trace_cache(trace_cache)
         # Snapshot the process-level cache so the pool initializer ships the
@@ -906,6 +1038,11 @@ class SweepRunner:
         self.fused_rungs = 0
         self.fused_skipped = 0
         self.trace_bytes_pickled = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_deaths = 0
+        self.quarantined: List[dict] = []
+        self._interrupted = False
         self.worker_stats: Dict[str, int] = {}
         # Shared-memory trace transport: traces dispatched to the pool are
         # published once into this registry and jobs ship SharedTraceRefs.
@@ -1102,10 +1239,22 @@ class SweepRunner:
                 "every future the builder reads in submit_deferred(deps=...)"
             )
         self._draining = True
+        self._interrupted = False
         try:
             self._drain_waves()
+        except KeyboardInterrupt:
+            # Ctrl-C containment: kill and reap the pool, unlink every
+            # shared-memory segment, and drop the pending graph.  The job
+            # cache stays consistent by construction — entries are written
+            # atomically and only after a result exists — so everything
+            # completed before the interrupt is already persisted and a
+            # --resume run re-simulates only what was in flight.
+            self._interrupted = True
+            self._abort_in_flight()
+            raise
         finally:
             self._draining = False
+            self._write_checkpoint(final=True)
 
     def _drain_waves(self) -> None:
         while True:
@@ -1127,6 +1276,51 @@ class SweepRunner:
                 return
             batch, self._pending = self._pending, []
             self._run_batch(batch)
+
+    def _abort_in_flight(self) -> None:
+        """Interrupt cleanup: terminate+join the pool, unlink segments and
+        clear the pending/deferred graph (their futures stay pending; the
+        caller is unwinding anyway).  Idempotent, like everything it calls."""
+        self._close_pool()
+        self._segments.release_all()
+        self._pending.clear()
+        self._deferred.clear()
+
+    def _write_checkpoint(self, final: bool = False) -> None:
+        """Atomically persist the progress manifest (rate-limited unless
+        ``final``).  Best-effort: a manifest write failure never disturbs
+        the sweep — the manifest only feeds progress reporting; resume
+        correctness comes from the job cache itself."""
+        if self.checkpoint_path is None:
+            return
+        now = time.monotonic()
+        if not final and now - self._last_checkpoint < self.checkpoint_interval:
+            return
+        self._last_checkpoint = now
+        manifest = {
+            "version": 1,
+            "pid": os.getpid(),
+            "done": (
+                final and not self._pending and not self._deferred and not self._interrupted
+            ),
+            "interrupted": self._interrupted,
+            "simulated": self.simulate_count,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "fused_rungs": self.fused_rungs,
+            "pending": len(self._pending),
+            "deferred": len(self._deferred),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "quarantined": self.quarantined,
+            "updated_at": time.time(),
+        }
+        try:
+            self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_json(self.checkpoint_path, manifest, indent=2, sort_keys=True)
+        except OSError:
+            pass
 
     @property
     def pending_count(self) -> int:
@@ -1232,12 +1426,17 @@ class SweepRunner:
         for position, outcome, stats in self._execute([entry.job for entry in batch]):
             for key, value in stats.items():
                 self.worker_stats[key] = self.worker_stats.get(key, 0) + value
+            self._write_checkpoint()
             entry = batch[position]
             if isinstance(entry, _LadderEntry):
                 if isinstance(outcome, _JobFailure):
                     for rung_futures in entry.futures:
                         for future in rung_futures:
-                            future._fail(outcome.error, outcome.worker_traceback)
+                            future._fail(
+                                outcome.error,
+                                outcome.worker_traceback,
+                                attempts=outcome.attempts,
+                            )
                     continue
                 # Fan the fused pass's results out to the per-rung
                 # fingerprints: the cache ends up exactly as if every rung
@@ -1253,7 +1452,9 @@ class SweepRunner:
                 continue
             if isinstance(outcome, _JobFailure):
                 for future in entry.futures:
-                    future._fail(outcome.error, outcome.worker_traceback)
+                    future._fail(
+                        outcome.error, outcome.worker_traceback, attempts=outcome.attempts
+                    )
                 continue
             self.simulate_count += 1
             if self.cache is not None and entry.fingerprint is not None:
@@ -1277,8 +1478,92 @@ class SweepRunner:
             self.inline_executions += len(indexed)
             return self._execute_inline(indexed)
         self.pool_batches += 1
-        indexed = [(position, self._prepare_for_pool(job)) for position, job in indexed]
-        return self._get_pool().imap_unordered(_execute_indexed, indexed, chunksize=1)
+        return self._execute_pool(indexed)
+
+    def _execute_pool(self, indexed):
+        """Pool execution with crash containment, timeouts and retries.
+
+        Each job is dispatched through the :class:`FaultTolerantPool` with
+        its trace rewritten as a shm ref and (when a fault plan is armed)
+        a one-shot fault directive.  Worker death and timeout events are
+        converted into :class:`TransientJobError`\\ s and — like transient
+        errors raised *inside* a worker — re-dispatched per the retry
+        policy with deterministic backoff; a job that exhausts its budget
+        is quarantined and yielded as a failure, so its siblings' results
+        (and everything not depending on it) still flow.
+        """
+        pool = self._get_pool()
+        policy = self.retry_policy
+        originals = dict(indexed)
+        attempts = {position: 1 for position, _ in indexed}
+        tasks = [(position, self._dispatch_payload(position, job)) for position, job in indexed]
+        for event in pool.run_batch(tasks, timeout=policy.job_timeout):
+            position = event.task_id
+            if event.kind == "result":
+                _, outcome, stats = event.value
+                if isinstance(outcome, _JobFailure) and isinstance(
+                    outcome.error, TransientJobError
+                ):
+                    if self._retry(pool, originals, attempts, position, outcome.error):
+                        continue
+                    self._quarantine(originals[position], attempts[position], outcome.error)
+                    outcome.attempts = attempts[position]
+                yield position, outcome, stats
+                continue
+            if event.kind == "crash":
+                self.worker_deaths += 1
+                error: TransientJobError = WorkerCrashError(
+                    f"sweep worker died (exit code {event.exitcode}) while executing the "
+                    f"job at batch position {position} on attempt "
+                    f"{attempts[position]}/{policy.max_attempts}"
+                )
+            else:  # timeout
+                self.timeouts += 1
+                error = JobTimeoutError(
+                    f"job at batch position {position} exceeded its "
+                    f"{policy.job_timeout:.1f}s wall-clock budget (ran {event.elapsed:.1f}s; "
+                    f"worker killed) on attempt {attempts[position]}/{policy.max_attempts}"
+                )
+            if self._retry(pool, originals, attempts, position, error):
+                continue
+            self._quarantine(originals[position], attempts[position], error)
+            yield position, _JobFailure(error, "", attempts=attempts[position]), {}
+
+    def _dispatch_payload(self, position, job):
+        """The picklable task for one pool dispatch: the position echo, the
+        shm-rewritten job, and this dispatch's fault directive (fault plans
+        count *dispatches*, so retries draw fresh — usually empty —
+        directives instead of re-firing the crash that killed them)."""
+        return (position, self._prepare_for_pool(job), faults.directive_for_dispatch())
+
+    def _retry(self, pool, originals, attempts, position, error) -> bool:
+        """Re-dispatch ``position`` after a transient failure if the policy
+        allows; returns False when the job must be quarantined instead."""
+        attempt = attempts[position]
+        if not self.retry_policy.should_retry(error, attempt):
+            return False
+        attempts[position] = attempt + 1
+        self.retries += 1
+        job = originals[position]
+        delay = self.retry_policy.backoff_delay(self._retry_key(job, position), attempt)
+        pool.resubmit(position, self._dispatch_payload(position, job), delay=delay)
+        return True
+
+    def _retry_key(self, job, position) -> str:
+        """Stable identity for backoff jitter: the job fingerprint when the
+        spec layer can hash it, the batch position otherwise."""
+        fingerprint = self._try_fingerprint(job) if isinstance(job, SimJob) else None
+        return fingerprint if fingerprint is not None else f"batch:{position}"
+
+    def _quarantine(self, job, attempts: int, error: BaseException) -> None:
+        """Record a job that exhausted its retry budget."""
+        try:
+            description = job.describe()
+        except Exception:
+            description = {}
+        self.quarantined.append(
+            {"job": description, "attempts": attempts, "error": str(error)}
+        )
 
     # ---------------------------------------------------- shared-memory dispatch
     def _prepare_for_pool(self, job: "Union[SimJob, LadderJob]"):
@@ -1369,10 +1654,12 @@ class SweepRunner:
             trace_cache_dir = (
                 None if self.trace_cache is None else str(self.trace_cache.directory)
             )
-            self._pool = context.Pool(
+            self._pool = FaultTolerantPool(
+                context,
                 processes=self.jobs,
+                target=_execute_indexed,
                 initializer=_install_worker_state,
-                initargs=(self._pool_registry, trace_cache_dir),
+                initargs=(self._pool_registry, trace_cache_dir, faults.plan_text()),
             )
         return self._pool
 

@@ -45,6 +45,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.sim import faults
 from repro.workloads.trace import Trace
 
 try:  # pragma: no cover - import always succeeds on supported platforms
@@ -125,6 +126,11 @@ def attach_trace(ref: SharedTraceRef) -> Optional[Trace]:
     jobs against one trace maps it once per worker.
     """
     if not shm_available():
+        _STATS["shm_attach_failures"] += 1
+        return None
+    if faults.fire("shm_attach_fail") is not None:
+        # Injected attach failure: exactly the segment-evicted path — the
+        # caller re-resolves from ``ref.fallback``, bit-identically.
         _STATS["shm_attach_failures"] += 1
         return None
     entry = _ATTACH_MEMO.pop(ref.segment, None)
@@ -220,6 +226,11 @@ class SegmentRegistry:
         trace the classic way.
         """
         if not shm_available():
+            return None
+        if faults.fire("shm_publish_fail") is not None:
+            # Injected publish failure (/dev/shm full, say): the caller
+            # ships the trace the classic pickled way, bit-identically.
+            _STATS["shm_publish_failures"] += 1
             return None
         existing = self.lookup(key)
         if existing is not None:

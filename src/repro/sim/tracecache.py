@@ -16,25 +16,37 @@ Layout mirrors the job cache (sharded by the first two fingerprint digits)::
         ab/ab3f...e1.trace      # one generated trace, binary format
         c0/c04d...77.trace
 
-Writes are atomic (temp file + ``os.replace``), reads treat unreadable or
-corrupt entries as misses, and the cache is only ever a memo: every failure
-path falls back to regenerating the trace.
+Entries (both ``.trace`` and ``.decode``) are stored inside the checksummed
+container from :mod:`repro.common.atomicio` — a magic, a SHA-256 digest,
+then the payload.  Writes are atomic (temp file + ``os.replace``); reads
+verify the digest and treat unreadable, truncated or checksum-failing
+entries as *self-healing* misses: the corrupt file is counted
+(:attr:`TraceCache.corrupt_entries`) and deleted, the trace regenerates,
+and the rewrite restores the entry.  The cache is only ever a memo — every
+failure path falls back to regenerating.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.common.atomicio import (
+    CorruptPayloadError,
+    atomic_write_bytes,
+    unwrap_checksummed,
+    wrap_checksummed,
+)
 from repro.common.errors import ReproError
+from repro.sim import faults
 from repro.workloads.trace import TRACE_FORMAT_VERSION, Trace
 
 #: Bump when the key inputs or the entry layout change; entries written by
 #: other versions simply miss (their keys differ).
-TRACE_CACHE_VERSION = 1
+#: v2: entries live inside the checksummed atomicio container.
+TRACE_CACHE_VERSION = 2
 
 
 class TraceCache:
@@ -45,6 +57,9 @@ class TraceCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries (trace or decoded) this cache object read and
+        #: deleted; each also counted as a miss, so the payload regenerated.
+        self.corrupt_entries = 0
 
     # ------------------------------------------------------------------- keys
     @staticmethod
@@ -90,15 +105,47 @@ class TraceCache:
         return self.directory / key[:2] / f"{key}.trace"
 
     # ----------------------------------------------------------------- access
+    def _read_entry(self, path: Path) -> Optional[bytes]:
+        """The verified payload at ``path``, or None (miss / self-heal)."""
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None  # no entry: a plain miss
+        try:
+            return unwrap_checksummed(data)
+        except CorruptPayloadError:
+            self.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write_entry(self, path: Path, payload: bytes) -> None:
+        """Atomically land the checksummed container (or, under an injected
+        ``trace_corrupt`` fault, a torn version of it)."""
+        data = wrap_checksummed(payload)
+        if faults.fire("trace_corrupt") is not None:
+            data = faults.corrupt_bytes(data)
+        atomic_write_bytes(path, data)
+
     def get(self, spec) -> Optional[Trace]:
         """The cached trace for ``spec``, or None on any kind of miss."""
         path = self._entry_path(self.key_for(spec))
+        payload = self._read_entry(path)
+        if payload is None:
+            self.misses += 1
+            return None
         try:
-            trace = Trace.load(str(path))
-        except (OSError, ValueError, ReproError):
-            # ValueError covers decode/struct-level corruption an entry
-            # could still smuggle past the format checks; any unreadable
-            # entry is a miss, never a crash.
+            trace = Trace.from_bytes(payload)
+        except (ValueError, ReproError):
+            # Checksum-valid but undecodable (e.g. written by a buggy
+            # generator version): still a self-healing miss, never a crash.
+            self.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
@@ -113,10 +160,7 @@ class TraceCache:
         try:
             path = self._entry_path(self.key_for(spec))
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-            with open(tmp, "wb") as handle:
-                trace._write(handle)
-            os.replace(tmp, path)
+            self._write_entry(path, trace.to_bytes())
         except OSError:
             pass
 
@@ -151,20 +195,14 @@ class TraceCache:
         change; the package source digest is deliberately not mixed in
         (the payload depends only on the trace and the decode layout).
         """
-        try:
-            return self._decoded_path(trace_digest, block_mask).read_bytes()
-        except OSError:
-            return None
+        return self._read_entry(self._decoded_path(trace_digest, block_mask))
 
     def put_decoded(self, trace_digest: str, block_mask: int, payload: bytes) -> None:
         """Persist a serialized pre-decode (atomically, best-effort)."""
         try:
             path = self._decoded_path(trace_digest, block_mask)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-            with open(tmp, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
+            self._write_entry(path, payload)
         except OSError:
             pass
 

@@ -1,0 +1,88 @@
+"""Tests for the shared atomic-write and checksummed-container helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.atomicio import (
+    CHECKSUM_MAGIC,
+    CorruptPayloadError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    unwrap_checksummed,
+    wrap_checksummed,
+)
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_text_and_json_round_trip(self, tmp_path):
+        atomic_write_text(tmp_path / "note.txt", "héllo")
+        assert (tmp_path / "note.txt").read_text(encoding="utf-8") == "héllo"
+        atomic_write_json(tmp_path / "rows.json", {"b": 2, "a": 1}, sort_keys=True)
+        assert json.loads((tmp_path / "rows.json").read_text()) == {"a": 1, "b": 2}
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "entry.json"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        # No temp files linger after successful writes.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["entry.json"]
+
+    def test_failed_write_leaves_target_and_no_temp(self, tmp_path):
+        path = tmp_path / "entry.json"
+        atomic_write_text(path, "committed")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})  # unserialisable
+        assert path.read_text() == "committed"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["entry.json"]
+
+    def test_temp_name_carries_pid(self, tmp_path, monkeypatch):
+        # Concurrent writers must never collide on the temp name; the pid
+        # suffix is the mechanism, so pin it down.
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(os.path.basename(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        atomic_write_text(tmp_path / "entry.json", "x")
+        assert seen == [f"entry.json.tmp.{os.getpid()}"]
+
+
+class TestChecksummedContainer:
+    def test_round_trip(self):
+        payload = b"columns" * 100
+        assert unwrap_checksummed(wrap_checksummed(payload)) == payload
+
+    def test_empty_payload_round_trips(self):
+        assert unwrap_checksummed(wrap_checksummed(b"")) == b""
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda data: data[: len(data) // 2],  # torn write
+            lambda data: b"JUNK" + data[4:],  # bad magic
+            lambda data: data[:-1] + bytes([data[-1] ^ 0xFF]),  # bit rot
+            lambda data: data[: len(CHECKSUM_MAGIC) + 10],  # truncated header
+            lambda data: b"",  # empty file
+        ],
+    )
+    def test_corruption_raises_corrupt_payload_error(self, mutate):
+        data = wrap_checksummed(b"trace bytes")
+        with pytest.raises(CorruptPayloadError):
+            unwrap_checksummed(mutate(data))
+
+    def test_corrupt_payload_error_is_a_value_error(self):
+        # Pre-checksum cache readers catch ValueError; the subclass keeps
+        # them degrading to a miss instead of crashing.
+        assert issubclass(CorruptPayloadError, ValueError)

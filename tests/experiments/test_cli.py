@@ -82,6 +82,83 @@ class TestArgs:
         assert "fused" in out and "per-config" in out
 
 
+class TestResilienceFlags:
+    def test_defaults_build_a_retrying_policy_with_checkpoint(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        context = build_context(tiny_args("run-all", cache_dir))
+        policy = context.runner.retry_policy
+        assert policy.max_attempts == 3 and policy.job_timeout is None
+        assert context.runner.checkpoint_path == cache_dir / "checkpoint.json"
+
+    def test_flags_reach_the_policy(self, tmp_path):
+        args = tiny_args(
+            "run-all", tmp_path / "cache", "--job-timeout", "7.5", "--job-retries", "0"
+        )
+        policy = build_context(args).runner.retry_policy
+        assert policy.max_attempts == 1 and policy.job_timeout == 7.5
+
+    def test_no_cache_disables_the_checkpoint(self):
+        context = build_context(parse_args(["run-all", *TINY, "--no-cache"]))
+        assert context.runner.checkpoint_path is None
+
+    def test_resume_requires_the_cache(self, capsys):
+        assert main(["run-figure", "table2", *TINY, "--no-cache", "--resume"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys):
+        assert main(["run-figure", "table2", *TINY, "--no-cache",
+                     "--job-retries", "-1"]) == 2
+        assert "--job-retries" in capsys.readouterr().err
+
+    def test_resume_reports_checkpoint_and_simulates_only_residue(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert main(["run-figure", "table2", *TINY,
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert (cache_dir / "checkpoint.json").is_file()
+        capsys.readouterr()
+
+        assert main(["run-figure", "table2", *TINY,
+                     "--cache-dir", str(cache_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: previous run (completed)" in out
+        assert "0 simulated" in out  # warm cache: the residue is empty
+
+    def test_resume_without_manifest_degrades_to_a_note(self, tmp_path, capsys):
+        assert main(["run-figure", "table2", *TINY,
+                     "--cache-dir", str(tmp_path / "fresh"), "--resume"]) == 0
+        assert "no checkpoint manifest" in capsys.readouterr().out
+
+    def test_stats_prints_the_resilience_line(self, tmp_path, capsys):
+        assert main(["run-figure", "table2", *TINY,
+                     "--cache-dir", str(tmp_path / "cache"), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "0 retrie(s)" in out and "0 worker death(s)" in out
+        assert "0 quarantined job(s)" in out and "self-healed" in out
+
+    def test_injected_faults_leave_rows_byte_identical(self, tmp_path, monkeypatch):
+        from repro.sim import faults
+
+        clean = tmp_path / "clean.json"
+        assert main(["run-figure", "table2", *TINY, "--no-cache", "--jobs", "2",
+                     "--output", str(clean)]) == 0
+
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "worker_crash:job=1;shm_publish_fail:segment=1"
+        )
+        faults.reset()  # pick the env plan up lazily, like a fresh process
+        faulted = tmp_path / "faulted.json"
+        try:
+            assert main(["run-figure", "table2", *TINY, "--no-cache", "--jobs", "2",
+                         "--output", str(faulted)]) == 0
+        finally:
+            monkeypatch.delenv("REPRO_FAULT_PLAN")
+            faults.reset()
+        assert clean.read_bytes() == faulted.read_bytes()
+
+
 class TestMain:
     def test_run_figure_writes_output_json(self, tmp_path, capsys):
         output = tmp_path / "rows.json"

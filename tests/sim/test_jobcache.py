@@ -102,14 +102,57 @@ class TestJobCache:
         perturbed = small_job(warmup_instructions=0)
         assert cache.get(perturbed.fingerprint()) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_self_healing_miss(self, tmp_path):
+        cache = JobCache(tmp_path / "cache")
+        job = small_job()
+        fingerprint = job.fingerprint()
+        result = execute_job(job)
+        cache.put(fingerprint, result)
+        entry = cache._entry_path(fingerprint)
+        entry.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(fingerprint) is None
+        # Self-heal: counted, deleted, and the rewrite restores the entry.
+        assert cache.corrupt_entries == 1
+        assert not entry.exists()
+        cache.put(fingerprint, result)
+        assert cache.get(fingerprint) is not None
+        assert cache.corrupt_entries == 1  # healthy reads do not count
+
+    def test_checksum_mismatch_is_a_self_healing_miss(self, tmp_path):
+        # A syntactically valid entry whose content was tampered with (bit
+        # rot, partial overwrite) must fail the checksum, not be served.
         cache = JobCache(tmp_path / "cache")
         job = small_job()
         fingerprint = job.fingerprint()
         cache.put(fingerprint, execute_job(job))
         entry = cache._entry_path(fingerprint)
-        entry.write_text("{ truncated", encoding="utf-8")
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["job"] = {"tampered": True}
+        entry.write_text(json.dumps(payload), encoding="utf-8")
         assert cache.get(fingerprint) is None
+        assert cache.corrupt_entries == 1
+        assert not entry.exists()
+
+    def test_injected_cache_corrupt_fault_lands_torn_then_heals(self, tmp_path):
+        from repro.sim import faults
+
+        cache = JobCache(tmp_path / "cache")
+        job = small_job()
+        fingerprint = job.fingerprint()
+        result = execute_job(job)
+        faults.install_plan("cache_corrupt:shard=1")
+        try:
+            cache.put(fingerprint, result)  # fault: lands torn on disk
+        finally:
+            faults.reset()
+        entry = cache._entry_path(fingerprint)
+        assert entry.exists()
+        assert cache.get(fingerprint) is None  # self-heals
+        assert cache.corrupt_entries == 1
+        cache.put(fingerprint, result)
+        restored = cache.get(fingerprint)
+        assert restored is not None
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
 
     def test_deleted_cache_directory_tolerated(self, tmp_path):
         # Maintenance paths must self-heal like get/put when the directory
