@@ -239,6 +239,78 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
 
     subparsers.add_parser("list", help="list the available experiments")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the crash-safe async sweep server (HTTP; docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1, loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port to bind; 0 picks a free port and prints it (default: 8765)",
+    )
+    serve.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the sweep engine (default: 1, serial)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory; also holds the service's handle manifests "
+             f"under service/handles/ (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded admission queue size; a full queue answers 429 with "
+             "Retry-After instead of buffering (default: 64)",
+    )
+    serve.add_argument(
+        "--tenant-queue-limit", type=int, default=None,
+        help="per-tenant (X-Tenant header) queue bound inside the global "
+             "limit, so one tenant cannot monopolise admission "
+             "(default: the global --queue-limit)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="transient failures (worker deaths + quarantined jobs) within "
+             "the window that open the circuit breaker (default: 5)",
+    )
+    serve.add_argument(
+        "--breaker-window", type=float, default=60.0,
+        help="sliding failure-counting window in seconds (default: 60)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=15.0,
+        help="seconds an open breaker sheds new work before half-opening "
+             "for a probe request (default: 15)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds a SIGTERM drain waits for the in-flight request "
+             "before closing the runner forcefully (default: 10)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget, as in the batch CLI; request "
+             "deadlines (deadline_seconds) tighten it per request "
+             "(default: no timeout)",
+    )
+    serve.add_argument(
+        "--job-retries", type=int, default=2, metavar="N",
+        help="re-dispatches allowed per job after transient failures "
+             "(default: 2)",
+    )
+    serve.add_argument(
+        "--instructions", type=int, default=60_000,
+        help="trace length per application for spec runs; part of a spec "
+             "handle's identity (default: 60000)",
+    )
+    serve.add_argument(
+        "--max-body-kib", type=int, default=256,
+        help="largest request body accepted, in KiB (default: 256)",
+    )
+
     bench = subparsers.add_parser(
         "bench-compare",
         help="gate pytest-benchmark results against the committed perf baseline",
@@ -291,6 +363,39 @@ def bench_compare(args: argparse.Namespace) -> int:
         return 2
     print(comparison.format_report())
     return 0 if comparison.ok else 1
+
+
+def serve_command(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the sweep service until drained."""
+    from repro.service import ServeConfig, serve  # deferred: asyncio stack
+
+    if args.queue_limit < 1:
+        print(f"error: --queue-limit must be >= 1, got {args.queue_limit}", file=sys.stderr)
+        return 2
+    if args.job_retries < 0:
+        print(f"error: --job-retries must be >= 0, got {args.job_retries}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        queue_limit=args.queue_limit,
+        tenant_queue_limit=args.tenant_queue_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_grace=args.drain_grace,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
+        instructions=args.instructions,
+        max_body_kib=args.max_body_kib,
+    )
+    try:
+        return serve(config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def experiment_names(args: argparse.Namespace) -> List[str]:
@@ -542,6 +647,14 @@ def list_output() -> str:
         "caches: completed jobs live in --cache-dir, generated traces in\n"
         "  --cache-dir/traces (binary trace format); --no-cache disables both"
     )
+    lines.append(
+        "service (serve; crash-safe async sweep server, docs/SERVICE.md):\n"
+        "  POST /jobs and /specs return fingerprint-derived handles\n"
+        "  (duplicates share one execution); GET /jobs/HANDLE polls,\n"
+        "  /jobs/HANDLE/stream streams progress, /metrics exposes counters;\n"
+        "  bounded admission answers 429 + Retry-After, SIGTERM drains\n"
+        "  gracefully and a restarted server resumes handles from cache"
+    )
     return "\n".join(lines)
 
 
@@ -565,13 +678,32 @@ def resume_note(args: argparse.Namespace) -> Optional[str]:
             f"graph against the cache from scratch"
         )
     status = "completed" if manifest.get("done") else "interrupted"
-    return (
+    note = (
         f"resume: previous run ({status}) had simulated "
         f"{manifest.get('simulated', 0)} job(s) with {manifest.get('cache_hits', 0)} "
         f"cache hit(s), {manifest.get('pending', 0)} pending and "
         f"{manifest.get('deferred', 0)} deferred at its last checkpoint; "
         f"completed jobs replay from cache, only the residue simulates"
     )
+    quarantined = manifest.get("quarantined") or []
+    if quarantined:
+        lines = [
+            note,
+            f"resume: the previous attempt quarantined {len(quarantined)} job(s) "
+            f"after exhausting their retry budget; they will retry from scratch:",
+        ]
+        for entry in quarantined:
+            if not isinstance(entry, dict):
+                continue
+            fingerprints = entry.get("fingerprints") or []
+            workload = (entry.get("job") or {}).get("workload", "<unknown workload>")
+            shown = ", ".join(str(fp)[:12] for fp in fingerprints) or "<no fingerprint>"
+            lines.append(
+                f"resume:   {workload} [{shown}] after {entry.get('attempts', '?')} "
+                f"attempt(s): {entry.get('error', '')}"
+            )
+        note = "\n".join(lines)
+    return note
 
 
 def resilience_stats_line(runner: SweepRunner) -> str:
@@ -624,6 +756,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench-compare":
         return bench_compare(args)
+
+    if args.command == "serve":
+        return serve_command(args)
 
     if args.command == "run-spec":
         names = list(dict.fromkeys(args.specs))  # de-duplicate, keep order

@@ -7,8 +7,8 @@ at all, so a crash mid-write could leave a torn JSON file that later runs
 would choke on).  This module is the single implementation:
 
 * :func:`atomic_write_bytes` / :func:`atomic_write_text` /
-  :func:`atomic_write_json` — write to ``<name>.tmp.<pid>`` in the target
-  directory, then :func:`os.replace` onto the final name.  Readers
+  :func:`atomic_write_json` — write to ``<name>.tmp.<pid>.<tid>`` in the
+  target directory, then :func:`os.replace` onto the final name.  Readers
   therefore observe either the old content or the new content, never a
   prefix of the new one, even across concurrent sweep processes sharing a
   cache directory.  A killed process leaves at most an orphaned ``.tmp.*``
@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Union
 
@@ -51,11 +52,15 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
 
     The temp file lives in the target directory (rename must not cross
-    filesystems) and carries the writer's pid, so concurrent writers never
-    collide on the temp name either.
+    filesystems) and carries the writer's pid *and* thread id, so
+    concurrent writers — separate sweep processes sharing a cache dir, or
+    two runners inside one process (a service next to a CLI sweep) —
+    never collide on the temp name either.
     """
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp = path.with_name(
+        f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+    )
     try:
         with open(tmp, "wb") as handle:
             handle.write(data)

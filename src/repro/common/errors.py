@@ -96,3 +96,86 @@ class TraceTransportError(TransientJobError):
     """The shared-memory trace transport failed with no fallback available
     (segment gone and the ref carries no spec).  A retry re-publishes the
     segment from the parent, so the next attempt can attach again."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors the sweep service maps onto HTTP responses.
+
+    Every request failure the server *intends* (a rejected payload, a full
+    admission queue, an open circuit breaker) is one of these subclasses;
+    anything else escaping a handler is a genuine bug and surfaces as a
+    500.  The class carries the protocol mapping so the HTTP layer never
+    hard-codes status codes per call site:
+
+    Attributes:
+        status: the HTTP status code this error renders as.
+        code: a short machine-readable error identifier included in the
+            JSON error body (stable across releases; messages are not).
+        retry_after: seconds after which the client should retry, rendered
+            as a ``Retry-After`` header when set (backpressure and breaker
+            rejections always set it — a shed request is an invitation to
+            come back, not a terminal failure).
+    """
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class InvalidRequestError(ServiceError):
+    """The request body or parameters failed validation (HTTP 400)."""
+
+    status = 400
+    code = "invalid-request"
+
+
+class UnknownHandleError(ServiceError):
+    """The requested job handle is not (and was never) known (HTTP 404)."""
+
+    status = 404
+    code = "unknown-handle"
+
+
+class AdmissionFullError(ServiceError):
+    """The bounded admission queue is full; explicit backpressure (HTTP 429).
+
+    Always carries ``retry_after`` — the server's estimate of when a slot
+    will free up — so well-behaved clients back off instead of hammering.
+    """
+
+    status = 429
+    code = "queue-full"
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is shedding new work (HTTP 503).
+
+    Opened when the recent transient-failure rate (worker deaths,
+    quarantined jobs) spikes; new submissions are rejected until the
+    cooldown elapses so the pool can recover instead of grinding through
+    a failing backlog.
+    """
+
+    status = 503
+    code = "circuit-open"
+
+
+class ServiceDrainingError(ServiceError):
+    """The server is draining for shutdown and admits no new work (HTTP 503).
+
+    Already-issued handles keep resolving (from the cache after restart);
+    only *new* submissions are refused.
+    """
+
+    status = 503
+    code = "draining"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before (or while) it executed (HTTP 504)."""
+
+    status = 504
+    code = "deadline-exceeded"

@@ -1,0 +1,12 @@
+"""Simulation-as-a-service: the crash-safe async sweep server.
+
+``python -m repro serve`` runs :class:`~repro.service.server.SweepService`,
+a stdlib-only (asyncio + raw HTTP/1.1) long-running front end over the
+sweep engine.  See ``docs/SERVICE.md`` for the API reference and
+robustness semantics (admission control, fair queueing, dedup, deadlines,
+circuit breaking, graceful drain, crash-safe restart).
+"""
+
+from repro.service.server import ServeConfig, SweepService, serve
+
+__all__ = ["ServeConfig", "SweepService", "serve"]

@@ -1,0 +1,218 @@
+"""Async-to-runner bridge: one daemon thread owns the sweep engine.
+
+:class:`~repro.sim.runner.SweepRunner` is not thread-safe (its memo,
+pending graph and pool are all single-owner state), so the service never
+touches it from the event loop.  Instead a single dedicated **daemon**
+thread owns the runner for the server's whole lifetime, and
+:class:`RunnerBridge` ships work to it one request at a time:
+
+* requests serialize naturally (one thread), so per-request retry-policy
+  swaps — the per-request deadline maps onto the policy's ``job_timeout``
+  — cannot race each other;
+* progress events flow back with ``loop.call_soon_threadsafe``, the only
+  sanctioned way to touch event-loop state from the runner thread;
+* the thread is a daemon with its own task queue (deliberately not a
+  ``ThreadPoolExecutor``, whose atexit hook would *join* a wedged drain
+  and block the graceful-drain exit): if a drain hangs past the drain
+  grace, the process can still exit 0 — the pool's worker processes are
+  killed by :meth:`SweepRunner.close` from the shutdown path, which is
+  re-entry safe precisely for this reason.
+
+Memory stays bounded across requests: after every request the bridge
+calls :meth:`SweepRunner.release_results`, dropping settled futures (and
+the results they pin) from the in-memory memo — cross-request dedup is
+the on-disk job cache's business.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import replace
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.common.errors import DeadlineExceededError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.orchestrator import DoEOrchestrator
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.runner import SimJob, SweepRunner
+
+
+class RunnerThread:
+    """A one-thread task executor whose thread never blocks process exit."""
+
+    def __init__(self, name: str = "sweep-runner") -> None:
+        self._tasks: "queue.Queue[Optional[tuple]]" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        self._tasks.put((fn, args, future))
+        return future
+
+    def _run(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            fn, args, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - ferried to the caller
+                future.set_exception(exc)
+
+    def stop(self) -> None:
+        """Ask the thread to exit after the tasks already queued."""
+        self._tasks.put(None)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+
+class RunnerBridge:
+    """Ships jobs and spec runs from the event loop to the runner thread."""
+
+    def __init__(self, runner: SweepRunner, context_options: Optional[Dict[str, Any]] = None):
+        self.runner = runner
+        #: ExperimentContext keyword defaults for spec runs (n_instructions,
+        #: sample_every, ...), fixed at server start so a spec handle's
+        #: identity (spec fingerprint + these params) is stable.
+        self.context_options = dict(context_options or {})
+        self._thread = RunnerThread()
+
+    # ------------------------------------------------------------ execution
+    async def run_job(
+        self,
+        job: SimJob,
+        deadline: Optional[float] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> Any:
+        """Execute one job on the runner thread; returns its result dict.
+
+        ``deadline`` is the request's remaining wall-clock budget in
+        seconds, measured from now: it tightens the retry policy's
+        ``job_timeout`` (so a hung worker is killed rather than outliving
+        the request) and is re-checked before execution starts, so a
+        request that rotted in the admission queue fails fast with 504
+        instead of burning a pool slot.
+        """
+        expires = None if deadline is None else time.monotonic() + deadline
+        result = await self._submit(self._execute_job, job, expires, progress)
+        return result.to_dict()
+
+    async def run_spec(
+        self,
+        spec: ExperimentSpec,
+        deadline: Optional[float] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> Dict[str, Any]:
+        """Execute one experiment spec; returns its ``--output`` payload."""
+        expires = None if deadline is None else time.monotonic() + deadline
+        return await self._submit(self._execute_spec, spec, expires, progress)
+
+    async def close(self, grace: float = 10.0) -> bool:
+        """Shut the runner down from the runner thread; True on clean exit.
+
+        Waits up to ``grace`` seconds.  On timeout the runner is closed
+        from *this* thread instead — safe now that ``close()`` tolerates
+        re-entry — so worker processes and shared-memory segments never
+        outlive the server even when a drain is wedged.
+        """
+        future = self._thread.submit(self.runner.close)
+        self._thread.stop()
+        try:
+            await asyncio.wait_for(asyncio.wrap_future(future), timeout=grace)
+            clean = True
+        except Exception:  # noqa: BLE001 - timeout or a close() failure
+            self.runner.close()
+            clean = False
+        return clean
+
+    async def _submit(self, fn: Callable[..., Any], *args: Any) -> Any:
+        return await asyncio.wrap_future(self._thread.submit(fn, *args))
+
+    # ----------------------------------------------- runner-thread internals
+    def _check_deadline(self, expires: Optional[float]) -> Optional[float]:
+        """Remaining seconds, or raise 504 if the budget is already spent."""
+        if expires is None:
+            return None
+        remaining = expires - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                "request deadline elapsed before execution started "
+                "(it queued longer than its deadline_seconds budget)"
+            )
+        return remaining
+
+    def _tighten_policy(self, remaining: Optional[float]):
+        """Map the request deadline onto the retry policy's job timeout."""
+        base = self.runner.retry_policy
+        if remaining is None:
+            return base, base
+        timeout = base.job_timeout
+        tightened = remaining if timeout is None else min(timeout, remaining)
+        return base, replace(base, job_timeout=tightened)
+
+    def _execute_job(
+        self,
+        job: SimJob,
+        expires: Optional[float],
+        progress: Optional[Callable[[dict], None]],
+    ):
+        remaining = self._check_deadline(expires)
+        base, policy = self._tighten_policy(remaining)
+        self.runner.retry_policy = policy
+        self.runner.progress_callback = progress
+        try:
+            result = self.runner.run_one(job)
+        finally:
+            self.runner.retry_policy = base
+            self.runner.progress_callback = None
+            self.runner.release_results()
+        self._check_deadline(expires)  # ran past its budget inline? honest 504
+        return result
+
+    def _execute_spec(
+        self,
+        spec: ExperimentSpec,
+        expires: Optional[float],
+        progress: Optional[Callable[[dict], None]],
+    ) -> Dict[str, Any]:
+        remaining = self._check_deadline(expires)
+        base, policy = self._tighten_policy(remaining)
+        # A fresh context per request: its future memo must not leak across
+        # requests (the runner's job cache provides cross-request reuse).
+        context = ExperimentContext(runner=self.runner, **self.context_options)
+        orchestrator = DoEOrchestrator(context)
+        self.runner.retry_policy = policy
+        self.runner.progress_callback = progress
+        try:
+            store = orchestrator.execute(spec)
+        finally:
+            self.runner.retry_policy = base
+            self.runner.progress_callback = None
+            self.runner.release_results()
+        self._check_deadline(expires)
+        return store.to_payload()
+
+
+def threadsafe_progress(
+    loop: asyncio.AbstractEventLoop, apply: Callable[[dict], None]
+) -> Callable[[dict], None]:
+    """Wrap a loop-side progress consumer for invocation from the runner
+    thread (the runner fires callbacks in whatever thread drains)."""
+
+    def callback(event: dict) -> None:
+        try:
+            loop.call_soon_threadsafe(apply, event)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    return callback

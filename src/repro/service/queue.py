@@ -1,0 +1,240 @@
+"""Admission control for the sweep service: fair queueing and shedding.
+
+Two small, independently testable pieces:
+
+* :class:`FairQueue` — a bounded, per-tenant admission queue.  Tenants
+  (the ``X-Tenant`` request header, defaulting to one shared bucket) each
+  get their own FIFO; a round-robin ring picks the next tenant to serve,
+  so one tenant flooding the server delays only itself — other tenants'
+  requests interleave at one-per-turn regardless of backlog depth.  The
+  queue never grows beyond its bound: :meth:`FairQueue.offer` *raises*
+  :class:`~repro.common.errors.AdmissionFullError` (the HTTP layer turns
+  it into ``429`` + ``Retry-After``) instead of buffering — explicit
+  backpressure, never unbounded memory.
+* :class:`CircuitBreaker` — a sliding-window failure counter that sheds
+  *new* work while the worker pool is sick.  The server reports the
+  transient-failure delta (worker deaths + quarantined jobs) after every
+  request; when the recent total crosses the threshold the breaker opens
+  for a cooldown, then half-opens to let one probe request through — a
+  success closes it, another failure re-opens it.
+
+Both live on the event-loop thread only and need no locks; the time
+source is injectable so tests drive the breaker deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.common.errors import AdmissionFullError
+
+#: Tenant bucket used when a request carries no X-Tenant header.
+DEFAULT_TENANT = "public"
+
+#: Fallback per-item estimate (seconds) before any request has completed,
+#: used to compute Retry-After for the very first shed.
+_DEFAULT_SERVICE_TIME = 5.0
+
+
+class FairQueue:
+    """Bounded admission queue with per-tenant round-robin dequeue order."""
+
+    def __init__(self, limit: int, tenant_limit: Optional[int] = None) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be at least 1, got {limit}")
+        self.limit = limit
+        self.tenant_limit = tenant_limit if tenant_limit is not None else limit
+        self._tenants: Dict[str, Deque[object]] = {}
+        self._ring: List[str] = []  # dequeue order; rotated on every take
+        self._size = 0
+        self._available = asyncio.Event()
+        self._closed = False
+        # Exponential moving average of request service times, feeding the
+        # Retry-After estimate: "the queue is this deep and items take this
+        # long, come back then".
+        self._avg_service_time = _DEFAULT_SERVICE_TIME
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, tenant: str) -> int:
+        """Queued items for one tenant."""
+        backlog = self._tenants.get(tenant)
+        return 0 if backlog is None else len(backlog)
+
+    def note_service_time(self, seconds: float) -> None:
+        """Fold one completed request's duration into the moving average."""
+        if seconds > 0:
+            self._avg_service_time = 0.7 * self._avg_service_time + 0.3 * seconds
+
+    def retry_after(self, extra_depth: int = 0) -> float:
+        """Seconds until a slot plausibly frees up (the 429 hint).
+
+        A single worker drains the queue sequentially, so the estimate is
+        queue depth times the average service time, floored at one second
+        — a hint for polite clients, not a promise.
+        """
+        return max(1.0, round((self._size + extra_depth) * self._avg_service_time, 1))
+
+    def offer(self, item: object, tenant: str = DEFAULT_TENANT) -> None:
+        """Admit ``item`` for ``tenant`` or raise :class:`AdmissionFullError`.
+
+        Admission is all-or-nothing and synchronous: by the time the HTTP
+        handler responds 202 the item *is* queued, and by the time it
+        responds 429 no trace of the request remains — a shed request
+        costs O(1) work and zero retained memory.
+        """
+        backlog = self._tenants.get(tenant)
+        if self._size >= self.limit:
+            raise AdmissionFullError(
+                f"admission queue is full ({self._size}/{self.limit} queued)",
+                retry_after=self.retry_after(),
+            )
+        if backlog is not None and len(backlog) >= self.tenant_limit:
+            raise AdmissionFullError(
+                f"tenant {tenant!r} has {len(backlog)} request(s) queued "
+                f"(per-tenant limit {self.tenant_limit})",
+                retry_after=self.retry_after(),
+            )
+        if backlog is None:
+            backlog = deque()
+            self._tenants[tenant] = backlog
+            self._ring.append(tenant)
+        backlog.append(item)
+        self._size += 1
+        self._available.set()
+
+    async def take(self) -> Optional[object]:
+        """Next item in round-robin tenant order; None once closed and empty."""
+        while True:
+            if self._size:
+                for _ in range(len(self._ring)):
+                    tenant = self._ring.pop(0)
+                    backlog = self._tenants[tenant]
+                    if not backlog:
+                        del self._tenants[tenant]
+                        continue
+                    item = backlog.popleft()
+                    self._size -= 1
+                    if backlog:
+                        self._ring.append(tenant)  # back of the ring: fairness
+                    else:
+                        del self._tenants[tenant]
+                    if not self._size:
+                        self._available.clear()
+                    return item
+            if self._closed:
+                return None
+            self._available.clear()
+            await self._available.wait()
+
+    def close(self) -> List[object]:
+        """Stop admissions, wake the consumer, return what was still queued."""
+        self._closed = True
+        leftover: List[object] = []
+        for tenant in list(self._ring):
+            backlog = self._tenants.pop(tenant, None)
+            if backlog:
+                leftover.extend(backlog)
+        self._ring.clear()
+        self._size = 0
+        self._available.set()
+        return leftover
+
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Sliding-window transient-failure breaker for the submission path.
+
+    ``record_failures(n)`` is called after every executed request with the
+    number of fresh transient failures it observed (worker deaths plus
+    newly quarantined jobs).  Once ``threshold`` failures accumulate
+    within ``window`` seconds the breaker opens: :meth:`allow` returns
+    False (the server responds 503) until ``cooldown`` elapses, then one
+    probe request is let through half-open — its outcome closes or
+    re-opens the circuit.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        window: float = 60.0,
+        cooldown: float = 15.0,
+        time_func: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.window = window
+        self.cooldown = cooldown
+        self._now = time_func
+        self._failures: Deque[float] = deque()
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return CLOSED
+        if self._probing:
+            return HALF_OPEN
+        if self._now() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker half-opens (the 503 Retry-After hint)."""
+        if self._opened_at is None:
+            return 1.0
+        return max(1.0, round(self.cooldown - (self._now() - self._opened_at), 1))
+
+    def allow(self) -> bool:
+        """May a new submission be admitted right now?
+
+        Open: no.  Half-open: yes, but only one in-flight probe at a time
+        — concurrent submissions during the probe are still shed, so a
+        thundering herd cannot trample a recovering pool.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """A request completed without transient failures."""
+        if self._opened_at is not None and self._probing:
+            # The half-open probe succeeded: close and forget history.
+            self._opened_at = None
+            self._probing = False
+            self._failures.clear()
+
+    def record_failures(self, count: int) -> None:
+        """Fold ``count`` fresh transient failures into the window."""
+        if count <= 0:
+            self.record_success()
+            return
+        now = self._now()
+        for _ in range(count):
+            self._failures.append(now)
+        cutoff = now - self.window
+        while self._failures and self._failures[0] < cutoff:
+            self._failures.popleft()
+        if self._opened_at is not None:
+            # Failure while open/half-open (the probe failed): restart the
+            # cooldown from now.
+            self._opened_at = now
+            self._probing = False
+        elif len(self._failures) >= self.threshold:
+            self._opened_at = now
+            self._probing = False

@@ -59,6 +59,7 @@ class SimFuture:
 
     __slots__ = (
         "_runner", "_state", "_value", "_error", "_worker_traceback", "label", "attempts",
+        "_callbacks",
     )
 
     def __init__(self, runner: "SweepRunner", label: str = "") -> None:
@@ -67,6 +68,7 @@ class SimFuture:
         self._value: Optional["SimulationResult"] = None
         self._error: Optional[BaseException] = None
         self._worker_traceback: Optional[str] = None
+        self._callbacks: list = []
         self.label = label
         #: Executions the job consumed before this future settled: 1 for
         #: the common case, >1 when transient failures were retried, and
@@ -100,6 +102,31 @@ class SimFuture:
             )
         return self._value  # type: ignore[return-value]
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the future settles (resolves *or* fails).
+
+        Registered callbacks run synchronously inside the runner's drain
+        loop, in registration order, immediately after the future settles;
+        a future that is already done fires ``fn`` right away.  Exceptions
+        raised by callbacks are swallowed — observers (the service layer's
+        progress plumbing) must never be able to wedge a drain.
+        """
+        if self._state != PENDING:
+            self._invoke_callback(fn)
+            return
+        self._callbacks.append(fn)
+
+    def _invoke_callback(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # pragma: no cover - observer bugs must not wedge drains
+            pass
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke_callback(fn)
+
     def exception(self) -> Optional[BaseException]:
         """The job's exception (draining first), or None if it succeeded.
 
@@ -121,6 +148,7 @@ class SimFuture:
             raise SimulationError("future resolved twice")
         self._state = RESOLVED
         self._value = value
+        self._fire_callbacks()
 
     def _fail(
         self,
@@ -134,6 +162,7 @@ class SimFuture:
         self._error = error
         self._worker_traceback = worker_traceback
         self.attempts = attempts
+        self._fire_callbacks()
 
     def __repr__(self) -> str:
         label = f" {self.label!r}" if self.label else ""

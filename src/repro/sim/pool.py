@@ -41,6 +41,7 @@ worker death by the parent, which is what it behaves like.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 from itertools import count
@@ -103,6 +104,16 @@ def _worker_main(conn, target, initializer, initargs) -> None:
     parent is tearing the pool down anyway — and a vanished parent
     (broken pipe) ends the loop rather than raising into a dead ear.
     """
+    # A fork-started worker inherits the parent's signal dispositions.
+    # Under the asyncio sweep service the parent routes SIGTERM into the
+    # event loop's self-pipe, and inheriting that handler makes the
+    # worker ignore terminate() — the pool join would then wedge forever
+    # on an unkillable child.  Restore the default action so terminate()
+    # terminates no matter what the parent had installed at fork time.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     try:
         if initializer is not None:
             initializer(*initargs)
@@ -144,6 +155,10 @@ class FaultTolerantPool:
     no per-dispatch spawn latency), :meth:`terminate` kills them,
     :meth:`join` reaps them; both are idempotent.
     """
+
+    #: Seconds a reap waits for SIGTERM to land before escalating to
+    #: SIGKILL (see :meth:`_discard`).
+    _REAP_GRACE = 5.0
 
     def __init__(
         self,
@@ -194,10 +209,19 @@ class FaultTolerantPool:
         return worker
 
     def _discard(self, worker: _Worker, kill: bool = False) -> None:
-        """Remove a worker, reaping the process (idempotent per worker)."""
+        """Remove a worker, reaping the process (idempotent per worker).
+
+        The reap is bounded: a worker that survives SIGTERM (a handler
+        installed by an initializer, a blocked signal) is escalated to
+        SIGKILL after ``_REAP_GRACE`` seconds rather than wedging the
+        teardown — close() must always return.
+        """
         if kill and worker.process.is_alive():
             worker.process.kill()
-        worker.process.join()
+        worker.process.join(self._REAP_GRACE)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join()
         try:
             worker.conn.close()
         except OSError:

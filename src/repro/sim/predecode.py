@@ -56,6 +56,7 @@ from array import array
 from typing import Dict, List, Optional
 
 from repro.cache.cache import PACKED_WRITEBACK_VALID, Cache
+from repro.common.counters import CounterRegistry
 from repro.cpu.branch import BimodalBranchPredictor
 from repro.sim.vector import numpy_or_none
 from repro.workloads.trace import FLAG_BRANCH, FLAG_MEM, FLAG_STORE, FLAG_TAKEN, Trace
@@ -81,13 +82,13 @@ MAX_ROWS = 1 << 30
 _OPS_LIST_MAX_ROWS = 4_000_000
 PILOT_MEMO_MAX_ROWS = 4_000_000
 
-_STATS = {
+_STATS = CounterRegistry({
     "decode_builds": 0,
     "decode_memo_hits": 0,
     "decode_disk_hits": 0,
     "pilot_builds": 0,
     "pilot_memo_hits": 0,
-}
+})
 
 _DECODE_MEMO: "weakref.WeakKeyDictionary[Trace, Dict[int, DecodedTrace]]" = (
     weakref.WeakKeyDictionary()

@@ -68,6 +68,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Ty
 
 from repro.common.atomicio import atomic_write_json
 from repro.common.config import CacheGeometry, SystemConfig
+from repro.common.counters import CounterRegistry
 from repro.common.errors import (
     JobTimeoutError,
     SimulationError,
@@ -670,7 +671,7 @@ _TRACE_MEMO_MAX = 16
 #: so a sweep whose workers run entirely over shared-memory refs reports
 #: zero worker-side reads.  Snapshots are taken around each job execution
 #: and the deltas shipped back to the parent (see :func:`_execute_indexed`).
-_STATS = {"trace_memo_reads": 0}
+_STATS = CounterRegistry({"trace_memo_reads": 0})
 
 
 def _stats_snapshot() -> Dict[str, int]:
@@ -1043,7 +1044,7 @@ class SweepRunner:
         self.worker_deaths = 0
         self.quarantined: List[dict] = []
         self._interrupted = False
-        self.worker_stats: Dict[str, int] = {}
+        self.worker_stats: CounterRegistry = CounterRegistry()
         # Shared-memory trace transport: traces dispatched to the pool are
         # published once into this registry and jobs ship SharedTraceRefs.
         # The finalizer unlinks every segment at interpreter exit even when
@@ -1053,6 +1054,7 @@ class SweepRunner:
         self._segments_finalizer = weakref.finalize(
             self, self._segments.release_all
         )
+        self._closing = False
         # One pool for the runner's whole lifetime: workers keep their trace
         # memos warm across batches, so a sweep's trace is generated once per
         # worker instead of once per batch.  The registry snapshot the pool
@@ -1068,6 +1070,13 @@ class SweepRunner:
         self._deferred: List[_DeferredEntry] = []
         self._memo: Dict[str, SimFuture] = {}
         self._draining = False
+        #: Optional observer invoked after every batch entry settles during
+        #: a drain, with a small event dict: ``kind`` ("result" or
+        #: "failure"), ``jobs`` (rung count for a fused ladder, else 1) and
+        #: ``simulated`` (this runner's lifetime execution count).  Runs in
+        #: the draining thread; exceptions are swallowed — an observer (the
+        #: service layer's progress plumbing) must never wedge a drain.
+        self.progress_callback: Optional[Callable[[dict], None]] = None
 
     # ------------------------------------------------------------- submission
     def submit(self, job: SimJob, label: str = "") -> SimFuture:
@@ -1424,8 +1433,7 @@ class SweepRunner:
         starting over.
         """
         for position, outcome, stats in self._execute([entry.job for entry in batch]):
-            for key, value in stats.items():
-                self.worker_stats[key] = self.worker_stats.get(key, 0) + value
+            self.worker_stats.merge(stats)
             self._write_checkpoint()
             entry = batch[position]
             if isinstance(entry, _LadderEntry):
@@ -1437,6 +1445,7 @@ class SweepRunner:
                                 outcome.worker_traceback,
                                 attempts=outcome.attempts,
                             )
+                    self._notify_progress("failure", len(entry.futures))
                     continue
                 # Fan the fused pass's results out to the per-rung
                 # fingerprints: the cache ends up exactly as if every rung
@@ -1449,18 +1458,31 @@ class SweepRunner:
                         self.cache.put(fingerprint, result, description=rung_job.describe())
                     for future in rung_futures:
                         future._resolve(result)
+                self._notify_progress("result", len(outcome))
                 continue
             if isinstance(outcome, _JobFailure):
                 for future in entry.futures:
                     future._fail(
                         outcome.error, outcome.worker_traceback, attempts=outcome.attempts
                     )
+                self._notify_progress("failure", 1)
                 continue
             self.simulate_count += 1
             if self.cache is not None and entry.fingerprint is not None:
                 self.cache.put(entry.fingerprint, outcome, description=entry.job.describe())
             for future in entry.futures:
                 future._resolve(outcome)
+            self._notify_progress("result", 1)
+
+    def _notify_progress(self, kind: str, jobs: int) -> None:
+        """Fire :attr:`progress_callback` for one settled batch entry."""
+        callback = self.progress_callback
+        if callback is None:
+            return
+        try:
+            callback({"kind": kind, "jobs": jobs, "simulated": self.simulate_count})
+        except Exception:  # pragma: no cover - observer bugs must not wedge drains
+            pass
 
     def _execute(self, pending: List[SimJob]):
         """Yield (position, result, stats) tuples as jobs complete (any order).
@@ -1556,13 +1578,34 @@ class SweepRunner:
         return fingerprint if fingerprint is not None else f"batch:{position}"
 
     def _quarantine(self, job, attempts: int, error: BaseException) -> None:
-        """Record a job that exhausted its retry budget."""
+        """Record a job that exhausted its retry budget.
+
+        The entry carries the job's cache *fingerprints* (one per rung for
+        a fused ladder) alongside the human-readable description: the
+        checkpoint manifest embeds these entries, so a ``--resume`` run can
+        name exactly which jobs the previous attempt quarantined instead of
+        silently retrying them from scratch.
+        """
         try:
             description = job.describe()
         except Exception:
             description = {}
+        if isinstance(job, LadderJob):
+            rungs = job.rungs
+        else:
+            rungs = [job]
+        fingerprints = [
+            fingerprint
+            for fingerprint in (self._try_fingerprint(rung) for rung in rungs)
+            if fingerprint is not None
+        ]
         self.quarantined.append(
-            {"job": description, "attempts": attempts, "error": str(error)}
+            {
+                "job": description,
+                "attempts": attempts,
+                "error": str(error),
+                "fingerprints": fingerprints,
+            }
         )
 
     # ---------------------------------------------------- shared-memory dispatch
@@ -1664,6 +1707,26 @@ class SweepRunner:
         return self._pool
 
     # ------------------------------------------------------------- lifecycle
+    def release_results(self) -> None:
+        """Drop every settled future (and its retained result) from the
+        in-memory dedup memo.
+
+        A long-lived runner — the sweep service keeps one alive for days —
+        otherwise accumulates a :class:`SimFuture` per distinct job it ever
+        executed, each pinning its full :class:`SimulationResult`.  Calling
+        this between requests bounds the runner's memory to the working set
+        of the *current* request; dedup across requests still happens
+        through the on-disk job cache, which serves repeated fingerprints
+        without re-simulating.  Pending futures (submitted but not yet
+        drained) are kept — dropping them would split a duplicate
+        submission away from its in-flight execution.
+        """
+        self._memo = {
+            fingerprint: future
+            for fingerprint, future in self._memo.items()
+            if not future.done()
+        }
+
     def _close_pool(self) -> None:
         """Terminate and join the worker pool (idempotent).
 
@@ -1681,9 +1744,24 @@ class SweepRunner:
     def close(self) -> None:
         """Shut down the worker pool and unlink every published
         shared-memory segment (idempotent; the runner stays usable — a
-        later batch simply starts a fresh pool and republishes)."""
-        self._close_pool()
-        self._segments.release_all()
+        later batch simply starts a fresh pool and republishes).
+
+        Safe under re-entry: a second Ctrl-C can fire a signal handler (or
+        ``__del__``, or the ``weakref.finalize`` backstop at interpreter
+        exit) *while* a close is already tearing down, and a naive double
+        teardown would race the pool join against the segment unlink.  The
+        in-progress flag turns any re-entrant call into a no-op — the
+        outer close finishes the job — and every step it performs is
+        itself idempotent, so close() after close() is always free.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        try:
+            self._close_pool()
+            self._segments.release_all()
+        finally:
+            self._closing = False
 
     def __enter__(self) -> "SweepRunner":
         return self

@@ -45,6 +45,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.common.counters import CounterRegistry
 from repro.sim import faults
 from repro.workloads.trace import Trace
 
@@ -64,14 +65,14 @@ SEGMENT_PREFIX = "repro"
 ROW_BYTES = 17
 
 #: Per-process transport counters (see :func:`stats_snapshot`).
-_STATS = {
+_STATS = CounterRegistry({
     "shm_published": 0,
     "shm_attached": 0,
     "shm_attach_reuses": 0,
     "shm_attach_failures": 0,
     "shm_publish_failures": 0,
     "shm_unlinked": 0,
-}
+})
 
 
 def stats_snapshot() -> Dict[str, int]:
@@ -271,9 +272,19 @@ class SegmentRegistry:
         return ref
 
     def release_all(self) -> None:
-        """Close and unlink every live segment (idempotent)."""
-        while self._segments:
-            _, (_, segment) = self._segments.popitem()
+        """Close and unlink every live segment (idempotent).
+
+        Safe when re-entered concurrently: the ``weakref.finalize``
+        backstop can fire this at interpreter exit while an explicit
+        ``SweepRunner.close()`` is mid-release, so each iteration *pops*
+        atomically and tolerates losing the race for the final entry
+        instead of check-then-popping (which would raise KeyError).
+        """
+        while True:
+            try:
+                _, (_, segment) = self._segments.popitem()
+            except KeyError:
+                return
             _destroy(segment)
 
     def __len__(self) -> int:

@@ -44,9 +44,12 @@ class TestAtomicWrite:
         assert path.read_text() == "committed"
         assert sorted(p.name for p in tmp_path.iterdir()) == ["entry.json"]
 
-    def test_temp_name_carries_pid(self, tmp_path, monkeypatch):
-        # Concurrent writers must never collide on the temp name; the pid
-        # suffix is the mechanism, so pin it down.
+    def test_temp_name_carries_pid_and_thread_id(self, tmp_path, monkeypatch):
+        # Concurrent writers must never collide on the temp name — across
+        # processes (pid suffix) and across threads within one process
+        # (thread-id suffix: a service runner next to a CLI sweep).
+        import threading
+
         seen = []
         real_replace = os.replace
 
@@ -56,7 +59,7 @@ class TestAtomicWrite:
 
         monkeypatch.setattr(os, "replace", spy)
         atomic_write_text(tmp_path / "entry.json", "x")
-        assert seen == [f"entry.json.tmp.{os.getpid()}"]
+        assert seen == [f"entry.json.tmp.{os.getpid()}.{threading.get_ident()}"]
 
 
 class TestChecksummedContainer:

@@ -138,6 +138,35 @@ class TestResilienceFlags:
         assert "0 retrie(s)" in out and "0 worker death(s)" in out
         assert "0 quarantined job(s)" in out and "self-healed" in out
 
+    def test_resume_names_quarantined_fingerprints(self, tmp_path, capsys):
+        # A checkpoint whose previous attempt quarantined a job: --resume
+        # names the job and its cache fingerprints instead of silently
+        # retrying it from scratch.
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "checkpoint.json").write_text(json.dumps({
+            "version": 1,
+            "done": False,
+            "simulated": 3,
+            "cache_hits": 1,
+            "pending": 2,
+            "deferred": 0,
+            "quarantined": [{
+                "job": {"workload": "gcc (1500 instructions)"},
+                "attempts": 3,
+                "error": "worker crashed on every attempt",
+                "fingerprints": ["ab12cd34ef56" + "0" * 52],
+            }],
+        }))
+        assert main(["run-figure", "table2", *TINY,
+                     "--cache-dir", str(cache_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 job(s)" in out
+        assert "gcc (1500 instructions)" in out
+        assert "ab12cd34ef56" in out  # the truncated fingerprint
+        assert "after 3 attempt(s)" in out
+        assert "worker crashed on every attempt" in out
+
     def test_injected_faults_leave_rows_byte_identical(self, tmp_path, monkeypatch):
         from repro.sim import faults
 

@@ -1,0 +1,163 @@
+"""Fixtures for the sweep-service tests.
+
+The heart is :class:`ServiceHarness`: it boots a real
+:class:`~repro.service.server.SweepService` — real sockets, real asyncio
+loop — in a background thread, and exposes tiny synchronous helpers
+(``get``/``post``) the tests call from the main thread with ``urllib``.
+Everything runs against a per-test cache directory and an OS-assigned
+port, so tests are hermetic and parallel-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import ServeConfig, SweepService
+
+
+class ServiceHarness:
+    """One running service plus synchronous HTTP helpers for tests."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.service = SweepService(config)
+        self.exit_code: Optional[int] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        deadline = time.monotonic() + 10
+        while self.service.bound_port is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert self.service.bound_port is not None, "server failed to bind"
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self.loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.exit_code = loop.run_until_complete(self.service.serve_forever())
+        finally:
+            loop.close()
+
+    # ------------------------------------------------------------- HTTP
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.service.bound_port}"
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: float = 60.0,
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers or {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, error.read(), dict(error.headers)
+
+    def get(self, path: str, **kwargs) -> Tuple[int, bytes, Dict[str, str]]:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, body: Dict[str, Any], **kwargs) -> Tuple[int, bytes, Dict[str, str]]:
+        return self.request("POST", path, body=body, **kwargs)
+
+    def submit_job(self, payload: Dict[str, Any], tenant: Optional[str] = None):
+        headers = {} if tenant is None else {"X-Tenant": tenant}
+        status, body, response_headers = self.post("/jobs", payload, headers=headers)
+        return status, body, response_headers
+
+    def wait_done(self, handle: str, timeout: float = 60.0) -> Dict[str, Any]:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, body, _ = self.get(f"/jobs/{handle}?wait=5")
+            assert status == 200, body
+            document = json.loads(body)
+            if document["state"] in ("done", "failed"):
+                return document
+        raise AssertionError(f"handle {handle} did not settle within {timeout}s")
+
+    def metrics(self) -> Dict[str, float]:
+        status, body, _ = self.get("/metrics")
+        assert status == 200
+        parsed: Dict[str, float] = {}
+        for line in body.decode().splitlines():
+            if not line.strip():
+                continue
+            name, value = line.rsplit(" ", 1)
+            parsed[name] = float(value)
+        return parsed
+
+    # ------------------------------------------------------------ control
+    def run_on_loop(self, coroutine, timeout: float = 30.0):
+        assert self.loop is not None
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(timeout)
+
+    def call_on_loop(self, fn, timeout: float = 10.0):
+        assert self.loop is not None
+        done = threading.Event()
+        box: Dict[str, Any] = {}
+
+        def apply() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - ferried to the test
+                box["error"] = exc
+            done.set()
+
+        self.loop.call_soon_threadsafe(apply)
+        assert done.wait(timeout), "loop callback never ran"
+        if "error" in box:
+            raise box["error"]
+        return box.get("value")
+
+    def shutdown(self, timeout: float = 30.0) -> int:
+        if self.exit_code is None and self.loop is not None and self.loop.is_running():
+            self.run_on_loop(self.service.shutdown(), timeout=timeout)
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server thread failed to stop"
+        assert self.exit_code is not None
+        return self.exit_code
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Build (and reliably tear down) ServiceHarness instances."""
+    harnesses = []
+    counter = [0]
+
+    def build(**overrides) -> ServiceHarness:
+        counter[0] += 1
+        defaults = dict(
+            port=0,
+            cache_dir=str(tmp_path / f"cache-{overrides.pop('cache_name', counter[0])}"),
+            instructions=2_000,
+            drain_grace=5.0,
+            queue_limit=overrides.pop("queue_limit", 8),
+        )
+        defaults.update(overrides)
+        harness = ServiceHarness(ServeConfig(**defaults))
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        if harness.exit_code is None:
+            try:
+                harness.shutdown()
+            except Exception:  # noqa: BLE001 - teardown must not mask the test
+                pass

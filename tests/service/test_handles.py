@@ -1,0 +1,124 @@
+"""Unit tests for the crash-safe handle store and its manifests."""
+
+import json
+
+import pytest
+
+from repro.common.errors import UnknownHandleError
+from repro.service.handles import DONE, FAILED, QUEUED, RUNNING, Handle, HandleStore
+
+
+def make_handle(handle_id="job-" + "a" * 40, state=QUEUED, **kwargs):
+    handle = Handle(handle_id, "job", {"trace": {"application": "gcc"}}, "public", **kwargs)
+    if state == DONE:
+        handle.mark_done({"answer": 42})
+    elif state == FAILED:
+        handle.mark_failed("simulation-failed", "boom")
+    elif state == RUNNING:
+        handle.mark_running()
+    return handle
+
+
+class TestHandle:
+    def test_manifest_round_trip_preserves_terminal_state(self):
+        done = make_handle(state=DONE)
+        restored = Handle.from_manifest(done.manifest())
+        assert restored.state == DONE
+        assert restored.result == {"answer": 42}
+        assert restored.settled.is_set()
+        assert restored.status_payload() == done.status_payload()
+
+    def test_running_persists_as_queued(self):
+        # "running" is not a restartable state: a crash mid-execution must
+        # resume the work, so the manifest demotes it to queued.
+        running = make_handle(state=RUNNING)
+        assert running.manifest()["state"] == QUEUED
+        restored = Handle.from_manifest(running.manifest())
+        assert restored.state == QUEUED
+        assert not restored.settled.is_set()
+
+    def test_status_payload_is_deterministic_for_done_handles(self):
+        # Byte-identity across requests requires the status body to be a
+        # pure function of the manifest data — no timestamps, no counters.
+        done = make_handle(state=DONE)
+        assert done.status_payload() == {
+            "handle": done.handle,
+            "kind": "job",
+            "state": "done",
+            "result": {"answer": 42},
+        }
+
+    def test_failed_payload_carries_the_error(self):
+        failed = make_handle(state=FAILED)
+        payload = failed.status_payload()
+        assert payload["state"] == "failed"
+        assert payload["error"] == {"code": "simulation-failed", "message": "boom"}
+
+
+class TestHandleStore:
+    def test_add_get_and_unknown(self, tmp_path):
+        store = HandleStore(tmp_path)
+        handle = make_handle()
+        store.add(handle)
+        assert store.get(handle.handle) is handle
+        with pytest.raises(UnknownHandleError) as excinfo:
+            store.get("job-" + "f" * 40)
+        assert excinfo.value.status == 404
+
+    def test_get_falls_back_to_manifest_after_eviction(self, tmp_path):
+        store = HandleStore(tmp_path, memory_limit=1)
+        first = make_handle("job-" + "1" * 40, state=DONE)
+        second = make_handle("job-" + "2" * 40, state=DONE)
+        store.add(first)
+        store.add(second)  # evicts `first` from memory
+        assert len(store) == 1
+        reloaded = store.get(first.handle)
+        assert reloaded is not first  # came back from its manifest
+        assert reloaded.state == DONE
+        assert reloaded.result == first.result
+
+    def test_eviction_never_drops_live_work(self, tmp_path):
+        store = HandleStore(tmp_path, memory_limit=1)
+        live = make_handle("job-" + "1" * 40, state=QUEUED)
+        done = make_handle("job-" + "2" * 40, state=DONE)
+        store.add(live)
+        store.add(done)
+        # The done handle was evicted in favour of the live one: the queue
+        # and worker loop share the live object's identity.
+        assert store.get(live.handle) is live
+
+    @pytest.mark.parametrize(
+        "bad", ["../../etc/passwd", "a/b", "a\\b", "handle.json", "", "x" * 200]
+    )
+    def test_path_traversal_attempts_never_touch_disk(self, tmp_path, bad):
+        store = HandleStore(tmp_path)
+        assert store._path(bad) is None
+        with pytest.raises(UnknownHandleError):
+            store.get(bad)
+
+    def test_unfinished_manifests_skips_terminal_and_corrupt(self, tmp_path):
+        store = HandleStore(tmp_path)
+        store.add(make_handle("job-" + "1" * 40, state=QUEUED))
+        store.add(make_handle("job-" + "2" * 40, state=DONE))
+        store.add(make_handle("job-" + "3" * 40, state=FAILED))
+        store.add(make_handle("job-" + "4" * 40, state=RUNNING))
+        (tmp_path / ("job-" + "5" * 40 + ".json")).write_text("{torn")
+        fresh = HandleStore(tmp_path)
+        pending = sorted(h.handle for h in fresh.unfinished_manifests())
+        assert pending == ["job-" + "1" * 40, "job-" + "4" * 40]
+
+    def test_manifests_are_valid_json_on_disk(self, tmp_path):
+        store = HandleStore(tmp_path)
+        handle = make_handle(state=DONE)
+        store.add(handle)
+        path = tmp_path / f"{handle.handle}.json"
+        manifest = json.loads(path.read_text())
+        assert manifest["state"] == DONE
+        assert manifest["version"] == 1
+
+    def test_memoryless_store_is_inert(self):
+        store = HandleStore(None)
+        handle = make_handle()
+        store.add(handle)  # persist is a no-op without a directory
+        assert store.get(handle.handle) is handle
+        assert store.unfinished_manifests() == []

@@ -1,0 +1,156 @@
+"""Unit tests for admission control: FairQueue and CircuitBreaker."""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import AdmissionFullError
+from repro.service.queue import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, FairQueue
+
+
+def drain(queue: FairQueue, count: int):
+    """Take ``count`` items synchronously (the queue is already non-empty)."""
+
+    async def take_all():
+        return [await queue.take() for _ in range(count)]
+
+    return asyncio.run(take_all())
+
+
+class TestFairQueue:
+    def test_bounded_admission_raises_with_retry_after(self):
+        queue = FairQueue(limit=3)
+        for index in range(3):
+            queue.offer(index)
+        with pytest.raises(AdmissionFullError) as excinfo:
+            queue.offer("overflow")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after >= 1.0
+        # The shed item left no trace: the queue still drains exactly 3.
+        assert len(queue) == 3
+        assert drain(queue, 3) == [0, 1, 2]
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            FairQueue(limit=0)
+
+    def test_round_robin_interleaves_tenants(self):
+        queue = FairQueue(limit=10)
+        for item in ("a1", "a2", "a3"):
+            queue.offer(item, tenant="alice")
+        queue.offer("b1", tenant="bob")
+        # Alice's backlog of 3 must not delay Bob by more than one turn.
+        order = drain(queue, 4)
+        assert order.index("b1") <= 1
+        assert [item for item in order if item.startswith("a")] == ["a1", "a2", "a3"]
+
+    def test_per_tenant_limit_protects_other_tenants(self):
+        queue = FairQueue(limit=10, tenant_limit=2)
+        queue.offer("a1", tenant="alice")
+        queue.offer("a2", tenant="alice")
+        with pytest.raises(AdmissionFullError):
+            queue.offer("a3", tenant="alice")
+        # The global queue still has room for everyone else.
+        queue.offer("b1", tenant="bob")
+        assert len(queue) == 3
+        assert queue.depth("alice") == 2
+        assert queue.depth("bob") == 1
+
+    def test_take_returns_none_once_closed_and_empty(self):
+        queue = FairQueue(limit=4)
+        queue.offer("only")
+        leftover = queue.close()
+        assert leftover == ["only"]
+        assert len(queue) == 0
+        assert drain(queue, 1) == [None]
+
+    def test_close_returns_all_tenants_backlogs(self):
+        queue = FairQueue(limit=10)
+        queue.offer("a1", tenant="alice")
+        queue.offer("b1", tenant="bob")
+        queue.offer("a2", tenant="alice")
+        leftover = queue.close()
+        assert sorted(leftover) == ["a1", "a2", "b1"]
+
+    def test_retry_after_tracks_service_time_average(self):
+        queue = FairQueue(limit=8)
+        for index in range(4):
+            queue.offer(index)
+        baseline = queue.retry_after()
+        # Fast completions shrink the estimate; it never drops below 1s.
+        for _ in range(40):
+            queue.note_service_time(0.01)
+        assert queue.retry_after() < baseline
+        assert queue.retry_after() >= 1.0
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds: float):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=kwargs.pop("threshold", 3),
+            window=kwargs.pop("window", 60.0),
+            cooldown=kwargs.pop("cooldown", 15.0),
+            time_func=clock,
+        )
+        return breaker, clock
+
+    def test_opens_at_threshold_and_sheds(self):
+        breaker, _ = self.make()
+        assert breaker.state == CLOSED
+        breaker.record_failures(2)
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failures(1)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after() >= 1.0
+
+    def test_old_failures_age_out_of_the_window(self):
+        breaker, clock = self.make(threshold=3, window=10.0)
+        breaker.record_failures(2)
+        clock.advance(11.0)
+        breaker.record_failures(1)  # the first two are outside the window now
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make(cooldown=15.0)
+        breaker.record_failures(3)
+        clock.advance(15.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # the herd behind it is still shed
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_restarts_the_cooldown(self):
+        breaker, clock = self.make(cooldown=15.0)
+        breaker.record_failures(3)
+        clock.advance(15.0)
+        assert breaker.allow()
+        breaker.record_failures(1)  # probe failed
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(14.0)
+        assert breaker.state == OPEN  # cooldown restarted at the probe failure
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_success_while_closed_is_a_no_op(self):
+        breaker, _ = self.make()
+        breaker.record_failures(1)
+        breaker.record_success()
+        breaker.record_failures(0)
+        assert breaker.state == CLOSED

@@ -1,0 +1,307 @@
+"""Runner lifecycle hardening: idempotent close, bounded memos, progress
+callbacks, future completion callbacks, and checkpoint integrity when two
+runners share one cache directory.
+
+These are the service-enabling properties: a long-lived server closes the
+runner from signal handlers (re-entry), keeps it alive for days (memo
+growth), observes per-request progress (callbacks), and may coexist with a
+CLI sweep on the same cache dir (checkpoint atomicity).
+"""
+
+import json
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.sim import faults
+from repro.sim.future import SimFuture
+from repro.sim.runner import RetryPolicy, SimJob, SweepRunner, TraceSpec
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def tiny_jobs(count=2, n_instructions=2_000):
+    system = SystemConfig()
+    return [
+        SimJob(
+            trace=TraceSpec("m88ksim", n_instructions + 500 * index),
+            system=system,
+            interval_instructions=500,
+        )
+        for index in range(count)
+    ]
+
+
+class TestCloseIdempotency:
+    def test_close_twice_is_free(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(tiny_jobs(1))
+        runner.close()
+        runner.close()  # second close: no error, no double teardown
+
+    def test_close_reentry_is_a_no_op(self, monkeypatch):
+        # Simulate a signal handler firing close() while close() is already
+        # tearing down (the weakref.finalize / __del__ / Ctrl-C scenario).
+        runner = SweepRunner(jobs=1)
+        runner.run(tiny_jobs(1))
+        reentered = []
+        original_release_all = runner._segments.release_all
+
+        def reentrant_release_all():
+            # Inside the outer close(): a re-entrant call must bail out
+            # immediately instead of racing the teardown.
+            assert runner._closing
+            reentered.append(True)
+            runner.close()
+            original_release_all()
+
+        monkeypatch.setattr(runner._segments, "release_all", reentrant_release_all)
+        runner.close()
+        assert reentered == [True]
+        # The guard reset afterwards: close() still works later.
+        monkeypatch.setattr(runner._segments, "release_all", original_release_all)
+        assert not runner._closing
+        runner.close()
+
+    def test_runner_stays_usable_after_close(self):
+        runner = SweepRunner(jobs=1)
+        first = runner.run(tiny_jobs(1))
+        runner.close()
+        second = runner.run(tiny_jobs(1))  # fresh pool on demand
+        assert [r.instructions for r in first] == [r.instructions for r in second]
+        runner.close()
+
+
+class TestReleaseResults:
+    def test_drops_settled_futures_keeps_pending(self):
+        runner = SweepRunner(jobs=1)
+        try:
+            jobs = tiny_jobs(2)
+            runner.run([jobs[0]])
+            assert len(runner._memo) == 1
+            pending = runner.submit(jobs[1])
+            assert len(runner._memo) == 2
+            runner.release_results()
+            # The settled future is gone; the pending one survives so a
+            # duplicate submission still shares its in-flight execution.
+            assert len(runner._memo) == 1
+            assert not pending.done()
+            duplicate = runner.submit(jobs[1])
+            assert duplicate is pending
+            runner.drain()
+            assert pending.done()
+            runner.release_results()
+            assert len(runner._memo) == 0
+        finally:
+            runner.close()
+
+    def test_released_results_still_resolve_from_cache(self, tmp_path):
+        from repro.sim.jobcache import JobCache
+
+        cache = JobCache(tmp_path / "cache")
+        runner = SweepRunner(jobs=1, cache=cache)
+        try:
+            job = tiny_jobs(1)[0]
+            first = runner.run_one(job)
+            runner.release_results()
+            before = runner.simulate_count
+            second = runner.run_one(job)
+            assert runner.simulate_count == before  # cache hit, not a re-run
+            assert first.instructions == second.instructions
+        finally:
+            runner.close()
+
+
+class TestProgressCallback:
+    def test_events_fire_per_settled_job(self):
+        runner = SweepRunner(jobs=1)
+        events = []
+        runner.progress_callback = events.append
+        try:
+            runner.run(tiny_jobs(2))
+        finally:
+            runner.close()
+        assert [event["kind"] for event in events] == ["result", "result"]
+        assert sum(event["jobs"] for event in events) == 2
+        assert events[-1]["simulated"] == runner.simulate_count
+
+    def test_callback_exceptions_never_break_the_drain(self):
+        runner = SweepRunner(jobs=1)
+
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        runner.progress_callback = explode
+        try:
+            results = runner.run(tiny_jobs(1))
+            assert len(results) == 1
+        finally:
+            runner.close()
+
+
+class TestFutureCallbacks:
+    def test_fires_on_resolve(self):
+        future = SimFuture(runner=None)
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == []
+        future._resolve("value")
+        assert seen == [future]
+
+    def test_fires_immediately_when_already_settled(self):
+        future = SimFuture(runner=None)
+        future._resolve("value")
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_fires_on_failure_and_swallows_callback_errors(self):
+        future = SimFuture(runner=None)
+        seen = []
+
+        def bad(_):
+            raise RuntimeError("callback bug")
+
+        future.add_done_callback(bad)
+        future.add_done_callback(seen.append)
+        future._fail(SimulationError("boom"))
+        assert seen == [future]
+        assert future.failed()
+
+
+def _ignore_sigterm():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
+def _echo(payload):
+    return payload
+
+
+class TestWorkerReaping:
+    def test_workers_die_on_terminate_despite_parent_signal_handler(self):
+        # The service scenario: asyncio routes SIGTERM into the event
+        # loop's self-pipe, fork-started workers inherit that disposition,
+        # and a terminate() relying on the default action would never reap
+        # them — close() would wedge on the join.  Workers must reset
+        # SIGTERM to SIG_DFL at startup, making close() prompt regardless
+        # of what the parent had installed at fork time.
+        previous = signal.signal(signal.SIGTERM, lambda *args: None)
+        try:
+            runner = SweepRunner(jobs=2)
+            try:
+                runner.run(tiny_jobs(2))
+            finally:
+                started = time.monotonic()
+                runner.close()
+                elapsed = time.monotonic() - started
+            assert elapsed < 4.0, f"close took {elapsed:.1f}s: workers ignored SIGTERM"
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_sigterm_immune_worker_is_kill_escalated(self, monkeypatch):
+        # Even a worker that re-ignores SIGTERM after startup (an
+        # initializer can do anything) must not wedge the reap: _discard
+        # escalates to SIGKILL after the reap grace.
+        from multiprocessing import get_context
+
+        from repro.sim.pool import FaultTolerantPool
+
+        monkeypatch.setattr(FaultTolerantPool, "_REAP_GRACE", 0.5)
+        try:
+            context = get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable on this platform")
+        pool = FaultTolerantPool(context, 1, _echo, initializer=_ignore_sigterm)
+        # One settled task guarantees the initializer has run, so the
+        # SIGTERM immunity is installed before the teardown starts.
+        events = list(pool.run_batch([(0, "ping")]))
+        assert [event.kind for event in events] == ["result"]
+        started = time.monotonic()
+        pool.terminate()
+        pool.join()
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0, f"reap took {elapsed:.1f}s: escalation missing"
+        assert len(pool) == 0
+
+
+class TestSharedCheckpointIntegrity:
+    def test_concurrent_writers_never_tear_the_manifest(self, tmp_path):
+        # Two runners sharing one cache dir (a service plus a CLI sweep)
+        # write the same checkpoint.json.  The atomic replace means a
+        # reader may see either manifest but never a torn mix or a partial
+        # write.
+        path = tmp_path / "checkpoint.json"
+        runners = [
+            SweepRunner(jobs=1, checkpoint_path=path),
+            SweepRunner(jobs=1, checkpoint_path=path),
+        ]
+        stop = threading.Event()
+        errors = []
+
+        def hammer(runner):
+            while not stop.is_set():
+                runner._write_checkpoint(final=True)
+
+        threads = [
+            threading.Thread(target=hammer, args=(runner,)) for runner in runners
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            reads = 0
+            while reads < 300:
+                try:
+                    text = path.read_text()
+                except FileNotFoundError:
+                    continue
+                if not text:
+                    errors.append("empty manifest read")
+                    break
+                try:
+                    manifest = json.loads(text)
+                except ValueError as exc:
+                    errors.append(f"torn manifest: {exc}: {text[:80]!r}")
+                    break
+                assert manifest["version"] == 1
+                reads += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            for runner in runners:
+                runner.close()
+        assert errors == []
+
+    def test_quarantined_fingerprints_recorded_in_checkpoint(self, tmp_path):
+        # A job that exhausts its retry budget lands in the checkpoint
+        # manifest with its cache fingerprints, so --resume can name it.
+        path = tmp_path / "checkpoint.json"
+        faults.install_plan("worker_crash:job=1;worker_crash:job=2")
+        runner = SweepRunner(
+            jobs=2,  # the pool path: jobs=1 executes inline, no crash to inject
+            checkpoint_path=path,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        try:
+            job = tiny_jobs(1)[0]
+            future = runner.submit(job)
+            runner.drain()
+            assert future.failed()
+        finally:
+            runner.close()
+        manifest = json.loads(path.read_text())
+        assert len(manifest["quarantined"]) == 1
+        entry = manifest["quarantined"][0]
+        assert entry["attempts"] == 2
+        assert entry["fingerprints"] == [job.fingerprint()]
+        assert entry["job"]["workload"].startswith("m88ksim")
